@@ -1,0 +1,66 @@
+// Ablation D — general-purpose allocator across size classes (§3.4): the compile-time-size
+// path (class index constant-folds into a direct slab call, the paper's sized-malloc
+// observation) vs the runtime-size path, and the slab fast path vs the large-allocation
+// (buddy) path. google-benchmark fixture.
+#include <benchmark/benchmark.h>
+
+#include "src/mem/gp_allocator.h"
+
+namespace {
+
+struct BenchEnv {
+  BenchEnv() : runtime(ebbrt::RuntimeKind::kNative, "abl-alloc") {
+    runtime.AddCores(1);
+    ebbrt::mem::Config config;
+    config.arena_bytes = 256ull << 20;
+    ebbrt::mem::Install(runtime, 1, config);
+    ctx = std::make_unique<ebbrt::ScopedContext>(runtime, runtime.global_core(0), 0, false);
+  }
+  ebbrt::Runtime runtime;
+  std::unique_ptr<ebbrt::ScopedContext> ctx;
+};
+
+BenchEnv& Env() {
+  static BenchEnv env;
+  return env;
+}
+
+void BM_RuntimeSize(benchmark::State& state) {
+  Env();
+  std::size_t size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = ebbrt::mem::Alloc(size);
+    benchmark::DoNotOptimize(p);
+    ebbrt::mem::Free(p);
+  }
+}
+BENCHMARK(BM_RuntimeSize)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+template <std::size_t N>
+void BM_CompileTimeSize(benchmark::State& state) {
+  Env();
+  auto gp = ebbrt::GeneralPurposeAllocator::Instance();
+  for (auto _ : state) {
+    void* p = gp->AllocFor<N>();
+    benchmark::DoNotOptimize(p);
+    gp->Free(p);
+  }
+}
+BENCHMARK(BM_CompileTimeSize<8>);
+BENCHMARK(BM_CompileTimeSize<64>);
+BENCHMARK(BM_CompileTimeSize<1024>);
+
+void BM_LargeAllocation(benchmark::State& state) {
+  Env();
+  std::size_t size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = ebbrt::mem::Alloc(size);
+    benchmark::DoNotOptimize(p);
+    ebbrt::mem::Free(p);
+  }
+}
+BENCHMARK(BM_LargeAllocation)->Arg(8192)->Arg(65536)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// Figure 3 — Memory allocation microbenchmark (paper §4.1.2).
+//
+// "Each core in parallel repeatedly measures the time to allocate and free an 8 B object ten
+// times. We report the mean latency of one million measurements per-core."
+//   Paper result: EbbRT scales linearly to 24 cores; glibc degrades (3.8x at 24 cores);
+//   jemalloc scales but is 42% slower than EbbRT.
+//
+// Comparators here: the EbbRT general-purpose allocator (per-core slab caches, no atomics),
+// the host glibc malloc, and a jemalloc-style thread-cache allocator (per-thread magazine
+// refilled from a mutex-protected central pool) we implement below — jemalloc itself is not
+// installed in this environment (substitution documented in DESIGN.md).
+//
+// NOTE: this host exposes 2 CPUs; thread counts above that are time-multiplexed, so absolute
+// scaling beyond 2 "cores" reflects oversubscription, not parallel hardware. The per-op cost
+// ordering (who is fastest, who degrades under cross-core pressure) is the reproducible shape.
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/mem/gp_allocator.h"
+#include "src/platform/clock.h"
+
+namespace ebbrt {
+namespace {
+
+constexpr std::size_t kObjectSize = 8;
+constexpr int kOpsPerMeasure = 10;
+constexpr int kMeasurements = 100000;  // per core (paper: 1M; scaled for the 2-vCPU host)
+
+// jemalloc-style comparator: per-thread magazine + central pool behind a mutex. The fast path
+// is lock-free but pays the periodic refill/flush synchronization EbbRT's design avoids.
+class ThreadCacheAllocator {
+ public:
+  void* Alloc() {
+    auto& cache = GetCache();
+    if (cache.items.empty()) {
+      Refill(cache);
+    }
+    void* p = cache.items.back();
+    cache.items.pop_back();
+    return p;
+  }
+
+  void Free(void* p) {
+    auto& cache = GetCache();
+    cache.items.push_back(p);
+    if (cache.items.size() > kMagazine * 2) {
+      Flush(cache);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMagazine = 64;
+  struct Cache {
+    std::vector<void*> items;
+  };
+
+  Cache& GetCache() {
+    thread_local Cache cache;
+    return cache;
+  }
+
+  void Refill(Cache& cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < kMagazine; ++i) {
+      if (central_.empty()) {
+        cache.items.push_back(::operator new(kObjectSize < 16 ? 16 : kObjectSize));
+      } else {
+        cache.items.push_back(central_.back());
+        central_.pop_back();
+      }
+    }
+  }
+
+  void Flush(Cache& cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < kMagazine; ++i) {
+      central_.push_back(cache.items.back());
+      cache.items.pop_back();
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<void*> central_;
+};
+
+// Runs the paper's measurement loop on `cores` threads with `alloc`/`free` callables;
+// returns mean cycles per measurement (10 alloc/free pairs).
+// `setup` runs on the measurement thread and returns a guard kept alive for its duration
+// (the EbbRT case installs the per-core execution context).
+template <typename AllocFn, typename FreeFn, typename Setup>
+double RunMeasurement(std::size_t cores, Setup&& setup, AllocFn&& alloc, FreeFn&& dealloc) {
+  std::vector<std::thread> threads;
+  std::vector<double> means(cores);
+  for (std::size_t core = 0; core < cores; ++core) {
+    threads.emplace_back([&, core] {
+      auto guard = setup(core);
+      (void)guard;
+      void* slots[kOpsPerMeasure];
+      std::uint64_t total = 0;
+      for (int m = 0; m < kMeasurements; ++m) {
+        std::uint64_t start = ReadCycles();
+        for (int i = 0; i < kOpsPerMeasure; ++i) {
+          slots[i] = alloc();
+        }
+        for (int i = 0; i < kOpsPerMeasure; ++i) {
+          dealloc(slots[i]);
+        }
+        total += ReadCycles() - start;
+      }
+      means[core] = static_cast<double>(total) / kMeasurements;
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  double sum = 0;
+  for (double m : means) {
+    sum += m;
+  }
+  return sum / static_cast<double>(cores);
+}
+
+}  // namespace
+}  // namespace ebbrt
+
+int main() {
+  using namespace ebbrt;
+  std::printf("# Figure 3 reproduction: per-core 8B alloc+free x10, mean cycles per"
+              " measurement\n");
+  std::printf("# paper shape: EbbRT lowest & flat; jemalloc-style flat but slower; glibc"
+              " degrades\n");
+  std::printf("# host has %u hardware threads; counts beyond that are oversubscribed\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-6s %12s %12s %12s\n", "cores", "ebbrt", "glibc", "jemalloc-like");
+
+  const std::size_t kCoreCounts[] = {1, 2, 4, 8, 12, 24};
+  for (std::size_t cores : kCoreCounts) {
+    // Fresh EbbRT machine per count so slab state is comparable run to run.
+    Runtime runtime(RuntimeKind::kNative, "alloc-bench");
+    runtime.AddCores(cores);
+    mem::Config config;
+    config.arena_bytes = 512ull << 20;
+    mem::Install(runtime, cores, config);
+    double ebbrt_cycles = RunMeasurement(
+        cores,
+        [&](std::size_t core) {
+          return std::make_unique<ScopedContext>(runtime, runtime.global_core(core), core,
+                                                 false);
+        },
+        [] { return mem::Alloc(kObjectSize); }, [](void* p) { mem::Free(p); });
+
+    auto no_setup = [](std::size_t) { return std::unique_ptr<ScopedContext>(); };
+    double glibc_cycles = RunMeasurement(
+        cores, no_setup, [] { return std::malloc(kObjectSize); },
+        [](void* p) { std::free(p); });
+
+    ThreadCacheAllocator jemalloc_like;
+    double jemalloc_cycles = RunMeasurement(
+        cores, no_setup, [&] { return jemalloc_like.Alloc(); },
+        [&](void* p) { jemalloc_like.Free(p); });
+
+    std::printf("%-6zu %12.0f %12.0f %12.0f\n", cores, ebbrt_cycles, glibc_cycles,
+                jemalloc_cycles);
+  }
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 5 — Memcached single-core performance: mean and 99th-percentile latency as a
+// function of offered throughput, for EbbRT/KVM, Linux/KVM, Linux native, and OSv.
+#include "bench/memcached_common.h"
+
+int main() {
+  ebbrt::bench::RunFigure("Figure 5", /*server_cores=*/1);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 6 — Memcached multicore (4 server cores) performance. OSv is omitted from the
+// paper's multicore figure (its virtio driver lacks multiqueue and performance degrades);
+// our OSv model runs single-queue, so including it shows that same degradation.
+#include "bench/memcached_common.h"
+
+int main() {
+  ebbrt::bench::RunFigure("Figure 6", /*server_cores=*/4);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Echo server over the EbbRT network stack on the simulated testbed.
+//
+// Demonstrates the paper's data path: zero-copy receive handlers invoked synchronously from
+// the (simulated) device interrupt, application-checked send windows, per-connection core
+// affinity via RSS, and the virtual-time world that hosts it all.
+//
+// Run: ./examples/echo_server
+#include <cstdio>
+
+#include "src/sim/testbed.h"
+
+int main() {
+  using namespace ebbrt;
+  sim::Testbed bed;
+  sim::TestbedNode server = bed.AddNode("server", 2, Ipv4Addr::Of(10, 0, 0, 2));
+  sim::TestbedNode client = bed.AddNode("client", 1, Ipv4Addr::Of(10, 0, 0, 3));
+
+  server.Spawn(0, [&] {
+    server.net->tcp().Listen(7, [](TcpPcb pcb) {
+      std::printf("[server core %zu] accepted connection from %s:%u\n",
+                  CurrentContext().machine_core,
+                  pcb.tuple().remote_ip.ToString().c_str(), pcb.tuple().remote_port);
+      auto conn = std::make_shared<TcpPcb>(std::move(pcb));
+      conn->SetReceiveHandler([conn](std::unique_ptr<IOBuf> data) {
+        // The very buffer the device filled, echoed straight back — no copies in the stack.
+        conn->Send(std::move(data));
+      });
+      conn->SetCloseHandler([conn] { conn->Close(); });
+    });
+  });
+
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, Ipv4Addr::Of(10, 0, 0, 2), 7)
+        .Then([&bed](Future<TcpPcb> f) {
+          auto pcb = std::make_shared<TcpPcb>(f.Get());
+          auto sent_at = std::make_shared<std::uint64_t>(bed.world().Now());
+          pcb->SetReceiveHandler([pcb, sent_at, &bed](std::unique_ptr<IOBuf> data) {
+            std::printf("[client] echoed %zu bytes: \"%.*s\" (rtt %.1f us)\n",
+                        data->Length(), static_cast<int>(data->Length()), data->Data(),
+                        (bed.world().Now() - *sent_at) / 1000.0);
+            pcb->Close();
+          });
+          std::printf("[client] connected on core %zu; sending\n", pcb->core());
+          pcb->Send(IOBuf::CopyBuffer("echo through a library OS"));
+        });
+  });
+
+  bed.world().Run();
+  std::printf("echo example done at virtual t=%.3f ms\n", bed.world().Now() / 1e6);
+  return 0;
+}

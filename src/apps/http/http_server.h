@@ -1,0 +1,56 @@
+// Node-style static webserver (§4.3's final experiment): "The webserver uses the builtin http
+// module and responds to each GET request with a small static response, totaling 148 bytes."
+//
+// HttpServer runs on the uv:: layer over EbbRT — the request handler fires directly from the
+// device event, no context switch, no preemption (the paper's explanation for Table 2).
+// BaselineHttpServer is the same server over the general-purpose-OS socket stack.
+#ifndef EBBRT_SRC_APPS_HTTP_HTTP_SERVER_H_
+#define EBBRT_SRC_APPS_HTTP_HTTP_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baseline/socket.h"
+#include "src/uv/uv.h"
+
+namespace ebbrt {
+namespace http {
+
+// The exact 148-byte response (status line + headers + body).
+std::string StaticResponse();
+
+// Minimal HTTP/1.1 request accumulator: detects end-of-headers, supports keep-alive GETs.
+class RequestAccumulator {
+ public:
+  // Feeds bytes; returns the number of complete requests now available.
+  std::size_t Feed(const char* data, std::size_t len);
+
+ private:
+  // Scans for "\r\n\r\n" across feeds with a 3-byte carry.
+  std::size_t match_ = 0;
+};
+
+class HttpServer {
+ public:
+  HttpServer(NetworkManager& network, std::uint16_t port);
+  std::uint64_t requests() const { return requests_; }
+
+ private:
+  uv::TcpServer server_;
+  std::uint64_t requests_ = 0;
+};
+
+class BaselineHttpServer {
+ public:
+  BaselineHttpServer(baseline::SocketStack& stack, std::uint16_t port);
+  std::uint64_t requests() const { return requests_; }
+
+ private:
+  baseline::SocketStack& stack_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace http
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_APPS_HTTP_HTTP_SERVER_H_

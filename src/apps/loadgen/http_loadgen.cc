@@ -1,0 +1,113 @@
+#include "src/apps/loadgen/http_loadgen.h"
+
+#include <algorithm>
+
+#include "src/event/timer.h"
+
+namespace ebbrt {
+namespace loadgen {
+
+namespace {
+constexpr std::string_view kRequest =
+    "GET / HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n";
+}  // namespace
+
+struct HttpLoadgen::Conn {
+  std::shared_ptr<TcpPcb> pcb;
+  std::size_t bytes_pending = 0;  // of the current response
+  std::uint64_t issued_at = 0;
+  bool stopped = false;
+};
+
+Future<HttpLoadgen::Result> HttpLoadgen::Run() {
+  Future<Result> result = done_.GetFuture();
+  measure_start_ = bed_.world().Now() + config_.warmup_ns;
+  measure_end_ = measure_start_ + config_.duration_ns;
+  latencies_.reserve(1 << 14);
+  std::size_t cores = client_.runtime->num_cores();
+  auto ready = std::make_shared<std::size_t>(0);
+  for (std::size_t i = 0; i < config_.connections; ++i) {
+    std::size_t core = i % cores;
+    client_.Spawn(core, [this, ready] {
+      client_.net->tcp().Connect(*client_.iface, server_, port_).Then([this, ready](
+                                                                          Future<TcpPcb> f) {
+        auto conn = std::make_shared<Conn>();
+        conn->pcb = std::make_shared<TcpPcb>(f.Get());
+        conns_.push_back(conn);
+        auto self = this;
+        conn->pcb->SetReceiveHandler([self, conn](std::unique_ptr<IOBuf> data) {
+          std::size_t len = data->ComputeChainDataLength();
+          if (len >= conn->bytes_pending) {
+            conn->bytes_pending = 0;
+            std::uint64_t now = self->bed_.world().Now();
+            if (conn->issued_at >= self->measure_start_ &&
+                conn->issued_at < self->measure_end_) {
+              self->latencies_.push_back(now - conn->issued_at);
+              ++self->completed_;
+            }
+            if (!conn->stopped && now < self->measure_end_) {
+              // Closed loop with light think time ("moderate load").
+              Timer::Instance()->Start(self->config_.think_time_ns, [self, conn] {
+                self->IssueRequest(conn);
+              });
+            }
+          } else {
+            conn->bytes_pending -= len;
+          }
+        });
+        IssueRequest(conn);
+        if (++*ready == config_.connections) {
+          std::uint64_t horizon = measure_end_ + 20'000'000;
+          std::uint64_t now = bed_.world().Now();
+          client_.Spawn(0, [this, horizon, now] {
+            Timer::Instance()->Start(horizon - now, [this] { Finish(); });
+          });
+        }
+      });
+    });
+  }
+  return result;
+}
+
+void HttpLoadgen::IssueRequest(std::shared_ptr<Conn> conn) {
+  if (conn->stopped || finished_ || bed_.world().Now() >= measure_end_) {
+    conn->stopped = true;
+    return;
+  }
+  conn->issued_at = bed_.world().Now();
+  conn->bytes_pending = config_.expected_response_bytes;
+  conn->pcb->Send(IOBuf::CopyBuffer(kRequest));
+}
+
+void HttpLoadgen::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  for (auto& conn : conns_) {
+    conn->stopped = true;
+    conn->pcb->Close();
+  }
+  Result result;
+  result.samples = latencies_.size();
+  if (!latencies_.empty()) {
+    std::sort(latencies_.begin(), latencies_.end());
+    std::uint64_t sum = 0;
+    for (auto v : latencies_) {
+      sum += v;
+    }
+    result.mean_ns = sum / latencies_.size();
+    auto pct = [this](double p) {
+      std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(latencies_.size()));
+      return latencies_[std::min(idx, latencies_.size() - 1)];
+    };
+    result.p50_ns = pct(0.50);
+    result.p99_ns = pct(0.99);
+  }
+  result.achieved_rps =
+      static_cast<double>(completed_) * 1e9 / static_cast<double>(config_.duration_ns);
+  done_.SetValue(result);
+}
+
+}  // namespace loadgen
+}  // namespace ebbrt

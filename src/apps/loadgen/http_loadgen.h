@@ -1,0 +1,59 @@
+// wrk-style HTTP load generator (§4.3, Table 2): keep-alive connections issuing GETs in a
+// closed loop ("moderate load"), recording per-request latency.
+#ifndef EBBRT_SRC_APPS_LOADGEN_HTTP_LOADGEN_H_
+#define EBBRT_SRC_APPS_LOADGEN_HTTP_LOADGEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/testbed.h"
+
+namespace ebbrt {
+namespace loadgen {
+
+class HttpLoadgen {
+ public:
+  struct Config {
+    std::size_t connections = 4;
+    std::uint64_t warmup_ns = 10'000'000;
+    std::uint64_t duration_ns = 300'000'000;
+    std::size_t expected_response_bytes = 148;
+    std::uint64_t think_time_ns = 20'000;  // pacing between a response and the next request
+  };
+  struct Result {
+    double achieved_rps = 0;
+    std::uint64_t mean_ns = 0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::size_t samples = 0;
+  };
+
+  HttpLoadgen(sim::Testbed& bed, sim::TestbedNode& client, Ipv4Addr server,
+              std::uint16_t port, Config config)
+      : bed_(bed), client_(client), server_(server), port_(port), config_(config) {}
+
+  Future<Result> Run();
+
+ private:
+  struct Conn;
+  void IssueRequest(std::shared_ptr<Conn> conn);
+  void Finish();
+
+  sim::Testbed& bed_;
+  sim::TestbedNode& client_;
+  Ipv4Addr server_;
+  std::uint16_t port_;
+  Config config_;
+  Promise<Result> done_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::uint64_t> latencies_;
+  std::uint64_t measure_start_ = 0;
+  std::uint64_t measure_end_ = 0;
+  std::uint64_t completed_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace loadgen
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_APPS_LOADGEN_HTTP_LOADGEN_H_

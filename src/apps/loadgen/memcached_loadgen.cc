@@ -1,0 +1,215 @@
+#include "src/apps/loadgen/memcached_loadgen.h"
+
+#include <algorithm>
+
+#include "src/event/timer.h"
+
+namespace ebbrt {
+namespace loadgen {
+
+using memcached::BinaryHeader;
+using memcached::kMagicRequest;
+using memcached::Opcode;
+using memcached::RequestParser;
+using memcached::SetExtras;
+
+namespace {
+
+std::unique_ptr<IOBuf> BuildGet(std::string_view key, std::uint32_t opaque) {
+  auto buf = IOBuf::Create(sizeof(BinaryHeader) + key.size(), /*zero=*/true);
+  auto& hdr = buf->Get<BinaryHeader>();
+  hdr.magic = kMagicRequest;
+  hdr.opcode = static_cast<std::uint8_t>(Opcode::kGet);
+  hdr.key_length = HostToNet16(static_cast<std::uint16_t>(key.size()));
+  hdr.total_body = HostToNet32(static_cast<std::uint32_t>(key.size()));
+  hdr.opaque = opaque;
+  std::memcpy(buf->WritableData() + sizeof(BinaryHeader), key.data(), key.size());
+  return buf;
+}
+
+std::unique_ptr<IOBuf> BuildSet(std::string_view key, std::size_t value_size,
+                                std::uint32_t opaque) {
+  std::size_t body = sizeof(SetExtras) + key.size() + value_size;
+  auto buf = IOBuf::Create(sizeof(BinaryHeader) + body, /*zero=*/true);
+  auto& hdr = buf->Get<BinaryHeader>();
+  hdr.magic = kMagicRequest;
+  hdr.opcode = static_cast<std::uint8_t>(Opcode::kSet);
+  hdr.key_length = HostToNet16(static_cast<std::uint16_t>(key.size()));
+  hdr.extras_length = sizeof(SetExtras);
+  hdr.total_body = HostToNet32(static_cast<std::uint32_t>(body));
+  hdr.opaque = opaque;
+  auto* p = buf->WritableData() + sizeof(BinaryHeader) + sizeof(SetExtras);
+  std::memcpy(p, key.data(), key.size());
+  std::memset(p + key.size(), 'v', value_size);
+  return buf;
+}
+
+}  // namespace
+
+struct MemcachedLoadgen::Conn {
+  std::shared_ptr<TcpPcb> pcb;
+  RequestParser parser;       // responses share the request wire format
+  std::deque<std::uint64_t> issue_times;
+  std::unique_ptr<EtcWorkload> workload;
+  MemcachedLoadgen* gen;
+  std::size_t core;
+  double rate_per_ns;
+  bool stopped = false;
+};
+
+Future<MemcachedLoadgen::Result> MemcachedLoadgen::Run() {
+  Future<Result> result = done_.GetFuture();
+  preload_workload_ = std::make_unique<EtcWorkload>(config_.seed, config_.key_space);
+  client_.Spawn(0, [this] {
+    client_.net->tcp().Connect(*client_.iface, server_, port_).Then([this](Future<TcpPcb> f) {
+      auto pcb = std::make_shared<TcpPcb>(f.Get());
+      Preload(0, pcb);
+    });
+  });
+  return result;
+}
+
+void MemcachedLoadgen::Preload(std::size_t next_key, std::shared_ptr<TcpPcb> pcb) {
+  // Pipeline the preload in windows of 32 SETs to keep it fast but bounded.
+  if (next_key >= config_.key_space) {
+    pcb->Close();
+    StartConnections();
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(0);
+  std::size_t batch = std::min<std::size_t>(32, config_.key_space - next_key);
+  *remaining = batch;
+  auto self = this;
+  auto parser = std::make_shared<RequestParser>();
+  pcb->SetReceiveHandler([self, pcb, remaining, next_key, batch,
+                          parser](std::unique_ptr<IOBuf> data) {
+    std::size_t done = 0;
+    parser->Feed(std::move(data), [&done](const RequestParser::Request&) { ++done; });
+    *remaining -= done;
+    if (*remaining == 0) {
+      self->Preload(next_key + batch, pcb);
+    }
+  });
+  for (std::size_t i = 0; i < batch; ++i) {
+    std::size_t idx = next_key + i;
+    pcb->Send(BuildSet(preload_workload_->Key(idx), preload_workload_->ValueSize(idx),
+                       static_cast<std::uint32_t>(idx)));
+  }
+}
+
+void MemcachedLoadgen::StartConnections() {
+  std::size_t client_cores = client_.runtime->num_cores();
+  measure_start_ = bed_.world().Now() + config_.warmup_ns;
+  measure_end_ = measure_start_ + config_.duration_ns;
+  latencies_.reserve(1 << 16);
+  for (std::size_t i = 0; i < config_.connections; ++i) {
+    std::size_t core = i % client_cores;
+    client_.Spawn(core, [this, i, core] {
+      client_.net->tcp().Connect(*client_.iface, server_, port_).Then([this, i, core](
+                                                                          Future<TcpPcb> f) {
+        auto conn = std::make_shared<Conn>();
+        conn->pcb = std::make_shared<TcpPcb>(f.Get());
+        conn->workload = std::make_unique<EtcWorkload>(config_.seed + 17 * (i + 1),
+                                                       config_.key_space);
+        conn->gen = this;
+        conn->core = core;
+        conn->rate_per_ns =
+            config_.target_qps / static_cast<double>(config_.connections) / 1e9;
+        conns_.push_back(conn);
+        conn->pcb->SetReceiveHandler([conn](std::unique_ptr<IOBuf> data) {
+          conn->parser.Feed(std::move(data), [&conn](const RequestParser::Request&) {
+            if (conn->issue_times.empty()) {
+              return;  // response to a request issued outside accounting (shouldn't happen)
+            }
+            std::uint64_t issued = conn->issue_times.front();
+            conn->issue_times.pop_front();
+            MemcachedLoadgen* gen = conn->gen;
+            std::uint64_t now = gen->bed_.world().Now();
+            if (issued >= gen->measure_start_ && issued < gen->measure_end_) {
+              gen->latencies_.push_back(now - issued);
+              ++gen->completed_in_window_;
+            }
+          });
+        });
+        IssueTick(conn);
+        if (++conns_ready_ == config_.connections) {
+          // Arm the finish line on core 0 of the client.
+          std::uint64_t horizon = measure_end_ + 20'000'000;  // drain tail
+          std::uint64_t now = bed_.world().Now();
+          client_.Spawn(0, [this, horizon, now] {
+            Timer::Instance()->Start(horizon - now, [this] { Finish(); });
+          });
+        }
+      });
+    });
+  }
+}
+
+void MemcachedLoadgen::IssueTick(std::shared_ptr<Conn> conn) {
+  if (conn->stopped || finished_) {
+    return;
+  }
+  std::uint64_t now = bed_.world().Now();
+  if (now >= measure_end_) {
+    conn->stopped = true;
+    return;
+  }
+  // Open-loop issue: send unless the pipeline cap is reached (then this arrival is shed and
+  // shows up as achieved < offered, exactly how a closed connection limit behaves).
+  if (conn->issue_times.size() < config_.pipeline) {
+    IssueRequest(*conn);
+  }
+  std::uint64_t delay = std::max<std::uint64_t>(
+      conn->workload->InterarrivalNs(conn->rate_per_ns), 100);
+  Timer::Instance()->Start(delay, [this, conn] { IssueTick(conn); });
+}
+
+void MemcachedLoadgen::IssueRequest(Conn& conn) {
+  std::size_t idx = conn.workload->KeyIndex();
+  std::string key = conn.workload->Key(idx);
+  std::unique_ptr<IOBuf> req;
+  if (conn.workload->IsGet(config_.get_ratio)) {
+    req = BuildGet(key, static_cast<std::uint32_t>(idx));
+  } else {
+    req = BuildSet(key, conn.workload->ValueSize(idx), static_cast<std::uint32_t>(idx));
+  }
+  if (req->ComputeChainDataLength() <= conn.pcb->SendWindowRemaining()) {
+    conn.issue_times.push_back(bed_.world().Now());
+    conn.pcb->Send(std::move(req));
+  }
+}
+
+void MemcachedLoadgen::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  for (auto& conn : conns_) {
+    conn->stopped = true;
+    conn->pcb->Close();
+  }
+  Result result;
+  result.samples = latencies_.size();
+  if (!latencies_.empty()) {
+    std::sort(latencies_.begin(), latencies_.end());
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : latencies_) {
+      sum += v;
+    }
+    result.mean_ns = sum / latencies_.size();
+    auto pct = [this](double p) {
+      std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(latencies_.size()));
+      idx = std::min(idx, latencies_.size() - 1);
+      return latencies_[idx];
+    };
+    result.p50_ns = pct(0.50);
+    result.p95_ns = pct(0.95);
+    result.p99_ns = pct(0.99);
+  }
+  result.achieved_qps = static_cast<double>(completed_in_window_) * 1e9 /
+                        static_cast<double>(config_.duration_ns);
+  done_.SetValue(result);
+}
+
+}  // namespace loadgen
+}  // namespace ebbrt

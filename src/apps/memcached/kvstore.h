@@ -1,0 +1,87 @@
+// KvStore — the RCU-backed key/value store behind the memcached servers (§4.2: "Key-value
+// pairs are stored in an RCU hash table to alleviate lock contention which is a common cause
+// for poor scalability in memcached").
+//
+// Items are immutable and reference-counted: GET handlers build zero-copy response views over
+// the item's bytes (see MakeValueBuffer), with the IOBuf's deleter holding a reference so a
+// concurrent SET replacing the item cannot free it while a response or retransmission still
+// points at it.
+#ifndef EBBRT_SRC_APPS_MEMCACHED_KVSTORE_H_
+#define EBBRT_SRC_APPS_MEMCACHED_KVSTORE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/iobuf/iobuf.h"
+#include "src/rcu/rcu_hash_table.h"
+
+namespace ebbrt {
+namespace memcached {
+
+struct Item {
+  std::string value;
+  std::uint32_t flags = 0;
+  std::uint64_t cas = 0;
+};
+
+using ItemRef = std::shared_ptr<const Item>;
+
+class KvStore {
+ public:
+  explicit KvStore(RcuManagerRoot& rcu, std::size_t bucket_bits = 14)
+      : table_(rcu, bucket_bits) {}
+
+  // Lock-free read; the returned reference keeps the item alive past replacement.
+  ItemRef Get(std::string_view key) {
+    ItemRef* found = table_.Find(std::string(key));
+    return found != nullptr ? *found : nullptr;
+  }
+
+  void Set(std::string_view key, std::string value, std::uint32_t flags) {
+    auto item = std::make_shared<Item>();
+    item->value = std::move(value);
+    item->flags = flags;
+    item->cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+    table_.InsertOrReplace(std::string(key), std::move(item));
+  }
+
+  bool Add(std::string_view key, std::string value, std::uint32_t flags) {
+    auto item = std::make_shared<Item>();
+    item->value = std::move(value);
+    item->flags = flags;
+    item->cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+    return table_.Insert(std::string(key), std::move(item));
+  }
+
+  bool Replace(std::string_view key, std::string value, std::uint32_t flags) {
+    if (Get(key) == nullptr) {
+      return false;
+    }
+    Set(key, std::move(value), flags);
+    return true;
+  }
+
+  bool Delete(std::string_view key) { return table_.Erase(std::string(key)); }
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  RcuHashTable<std::string, ItemRef> table_;
+  std::atomic<std::uint64_t> next_cas_{1};
+};
+
+// Zero-copy view of an item's value whose lifetime is pinned by the IOBuf itself.
+inline std::unique_ptr<IOBuf> MakeValueBuffer(ItemRef item) {
+  const void* data = item->value.data();
+  std::size_t len = item->value.size();
+  auto* anchor = new ItemRef(std::move(item));
+  return IOBuf::TakeOwnership(
+      const_cast<void*>(data), len, len,
+      [](void*, void* arg) { delete static_cast<ItemRef*>(arg); }, anchor);
+}
+
+}  // namespace memcached
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_APPS_MEMCACHED_KVSTORE_H_

@@ -1,0 +1,70 @@
+// memcached binary protocol (the subset the paper's evaluation exercises; §4.2: "supports the
+// standard memcached binary protocol", requests issued as separate GET/SET over TCP).
+#ifndef EBBRT_SRC_APPS_MEMCACHED_PROTOCOL_H_
+#define EBBRT_SRC_APPS_MEMCACHED_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "src/net/net_types.h"
+
+namespace ebbrt {
+namespace memcached {
+
+inline constexpr std::uint8_t kMagicRequest = 0x80;
+inline constexpr std::uint8_t kMagicResponse = 0x81;
+
+enum class Opcode : std::uint8_t {
+  kGet = 0x00,
+  kSet = 0x01,
+  kAdd = 0x02,
+  kReplace = 0x03,
+  kDelete = 0x04,
+  kQuit = 0x07,
+  kNoop = 0x0a,
+  kVersion = 0x0b,
+  kGetK = 0x0c,
+  kStat = 0x10,
+};
+
+enum class Status : std::uint16_t {
+  kOk = 0x0000,
+  kKeyNotFound = 0x0001,
+  kKeyExists = 0x0002,
+  kItemNotStored = 0x0005,
+  kUnknownCommand = 0x0081,
+};
+
+struct BinaryHeader {
+  std::uint8_t magic;
+  std::uint8_t opcode;
+  std::uint16_t key_length;       // network order
+  std::uint8_t extras_length;
+  std::uint8_t data_type;
+  std::uint16_t status_vbucket;   // network order: status (response) / vbucket (request)
+  std::uint32_t total_body;       // network order: extras + key + value
+  std::uint32_t opaque;           // echoed verbatim
+  std::uint64_t cas;
+
+  std::uint16_t KeyLength() const { return NetToHost16(key_length); }
+  std::uint32_t TotalBody() const { return NetToHost32(total_body); }
+  std::uint32_t ValueLength() const {
+    return TotalBody() - KeyLength() - extras_length;
+  }
+} __attribute__((packed));
+static_assert(sizeof(BinaryHeader) == 24);
+
+// SET/ADD/REPLACE request extras.
+struct SetExtras {
+  std::uint32_t flags;   // network order
+  std::uint32_t expiry;  // network order
+} __attribute__((packed));
+
+// GET response extras.
+struct GetExtras {
+  std::uint32_t flags;  // network order
+} __attribute__((packed));
+
+}  // namespace memcached
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_APPS_MEMCACHED_PROTOCOL_H_

@@ -1,0 +1,193 @@
+#include "src/apps/memcached/server.h"
+
+namespace ebbrt {
+namespace memcached {
+
+std::unique_ptr<IOBuf> BuildResponseHeader(const BinaryHeader& req, Status status,
+                                           std::size_t extras_len, std::size_t key_len,
+                                           std::size_t value_len) {
+  auto buf = IOBuf::Create(sizeof(BinaryHeader) + extras_len, /*zero=*/true);
+  auto& hdr = buf->Get<BinaryHeader>();
+  hdr.magic = kMagicResponse;
+  hdr.opcode = req.opcode;
+  hdr.key_length = HostToNet16(static_cast<std::uint16_t>(key_len));
+  hdr.extras_length = static_cast<std::uint8_t>(extras_len);
+  hdr.status_vbucket = HostToNet16(static_cast<std::uint16_t>(status));
+  hdr.total_body =
+      HostToNet32(static_cast<std::uint32_t>(extras_len + key_len + value_len));
+  hdr.opaque = req.opaque;
+  hdr.cas = req.cas;
+  return buf;
+}
+
+// --- EbbRT-native server ----------------------------------------------------------------------
+
+MemcachedServer::MemcachedServer(NetworkManager& network, std::uint16_t port)
+    : network_(network), store_(network.rcu()) {
+  network_.tcp().Listen(port, [this](TcpPcb pcb) {
+    auto conn = std::make_shared<Connection>();
+    conn->pcb = std::move(pcb);
+    conn->server = this;
+    conn->pcb.SetReceiveHandler([conn](std::unique_ptr<IOBuf> data) {
+      // Parsed and answered synchronously, on this core, within the device event.
+      conn->parser.Feed(std::move(data), [&conn](const RequestParser::Request& req) {
+        conn->server->HandleRequest(*conn, req);
+      });
+    });
+    conn->pcb.SetCloseHandler([conn] { conn->pcb.Close(); });
+  });
+}
+
+void MemcachedServer::HandleRequest(Connection& conn, const RequestParser::Request& req) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  switch (static_cast<Opcode>(req.header.opcode)) {
+    case Opcode::kGet:
+    case Opcode::kGetK: {
+      bool with_key = static_cast<Opcode>(req.header.opcode) == Opcode::kGetK;
+      ItemRef item = store_.Get(req.key);
+      if (item == nullptr) {
+        conn.pcb.Send(BuildResponseHeader(req.header, Status::kKeyNotFound, 0, 0, 0));
+        return;
+      }
+      std::size_t key_len = with_key ? req.key.size() : 0;
+      auto response = BuildResponseHeader(req.header, Status::kOk, sizeof(GetExtras),
+                                          key_len, item->value.size());
+      // Extras live in the header buffer; append key (copied — tiny) and the value as a
+      // zero-copy reference-counted view of the stored item.
+      auto& extras = response->Get<GetExtras>(sizeof(BinaryHeader));
+      extras.flags = HostToNet32(item->flags);
+      response->Get<BinaryHeader>().cas = item->cas;
+      if (with_key) {
+        response->AppendChain(IOBuf::CopyBuffer(req.key));
+      }
+      response->AppendChain(MakeValueBuffer(std::move(item)));
+      conn.pcb.Send(std::move(response));
+      return;
+    }
+    case Opcode::kSet: {
+      store_.Set(req.key, std::string(req.value), 0);
+      conn.pcb.Send(BuildResponseHeader(req.header, Status::kOk, 0, 0, 0));
+      return;
+    }
+    case Opcode::kAdd: {
+      bool ok = store_.Add(req.key, std::string(req.value), 0);
+      conn.pcb.Send(BuildResponseHeader(
+          req.header, ok ? Status::kOk : Status::kKeyExists, 0, 0, 0));
+      return;
+    }
+    case Opcode::kReplace: {
+      bool ok = store_.Replace(req.key, std::string(req.value), 0);
+      conn.pcb.Send(BuildResponseHeader(
+          req.header, ok ? Status::kOk : Status::kItemNotStored, 0, 0, 0));
+      return;
+    }
+    case Opcode::kDelete: {
+      bool ok = store_.Delete(req.key);
+      conn.pcb.Send(BuildResponseHeader(
+          req.header, ok ? Status::kOk : Status::kKeyNotFound, 0, 0, 0));
+      return;
+    }
+    case Opcode::kNoop:
+    case Opcode::kVersion: {
+      conn.pcb.Send(BuildResponseHeader(req.header, Status::kOk, 0, 0, 0));
+      return;
+    }
+    case Opcode::kQuit: {
+      conn.pcb.Close();
+      return;
+    }
+    default:
+      conn.pcb.Send(BuildResponseHeader(req.header, Status::kUnknownCommand, 0, 0, 0));
+  }
+}
+
+// --- Baseline (socket API) server ---------------------------------------------------------------
+
+BaselineMemcachedServer::BaselineMemcachedServer(baseline::SocketStack& stack,
+                                                 std::uint16_t port)
+    : stack_(stack), store_(stack.net().rcu()) {
+  stack_.Listen(port, [this](std::shared_ptr<baseline::Socket> socket) {
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(socket);
+    conn->server = this;
+    conn->socket->SetDataReadyHandler([this, conn] { OnReadable(conn); });
+  });
+}
+
+void BaselineMemcachedServer::OnReadable(std::shared_ptr<Connection> conn) {
+  char buf[16384];
+  for (;;) {
+    std::size_t n = conn->socket->Read(buf, sizeof(buf));
+    if (n == 0) {
+      break;
+    }
+    conn->out.clear();
+    conn->parser.FeedBytes(buf, n, [&conn](const RequestParser::Request& req) {
+      conn->server->HandleRequest(*conn, req);
+    });
+    if (!conn->out.empty()) {
+      conn->socket->Write(conn->out.data(), conn->out.size());
+    }
+  }
+}
+
+void BaselineMemcachedServer::HandleRequest(Connection& conn,
+                                            const RequestParser::Request& req) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  auto append_response = [&conn](const BinaryHeader& hdr, Status status,
+                                 std::string_view extras, std::string_view key,
+                                 std::string_view value) {
+    BinaryHeader out;
+    std::memset(&out, 0, sizeof(out));
+    out.magic = kMagicResponse;
+    out.opcode = hdr.opcode;
+    out.key_length = HostToNet16(static_cast<std::uint16_t>(key.size()));
+    out.extras_length = static_cast<std::uint8_t>(extras.size());
+    out.status_vbucket = HostToNet16(static_cast<std::uint16_t>(status));
+    out.total_body =
+        HostToNet32(static_cast<std::uint32_t>(extras.size() + key.size() + value.size()));
+    out.opaque = hdr.opaque;
+    // Staged into a user-space buffer, then write(2) copies it into the kernel — the copy
+    // chain a socket API imposes.
+    conn.out.append(reinterpret_cast<const char*>(&out), sizeof(out));
+    conn.out.append(extras.data(), extras.size());
+    conn.out.append(key.data(), key.size());
+    conn.out.append(value.data(), value.size());
+  };
+
+  switch (static_cast<Opcode>(req.header.opcode)) {
+    case Opcode::kGet: {
+      ItemRef item = store_.Get(req.key);
+      if (item == nullptr) {
+        append_response(req.header, Status::kKeyNotFound, {}, {}, {});
+        return;
+      }
+      GetExtras extras;
+      extras.flags = HostToNet32(item->flags);
+      append_response(req.header, Status::kOk,
+                      {reinterpret_cast<const char*>(&extras), sizeof(extras)}, {},
+                      item->value);
+      return;
+    }
+    case Opcode::kSet: {
+      store_.Set(req.key, std::string(req.value), 0);
+      append_response(req.header, Status::kOk, {}, {}, {});
+      return;
+    }
+    case Opcode::kDelete: {
+      bool ok = store_.Delete(req.key);
+      append_response(req.header, ok ? Status::kOk : Status::kKeyNotFound, {}, {}, {});
+      return;
+    }
+    case Opcode::kNoop:
+    case Opcode::kVersion: {
+      append_response(req.header, Status::kOk, {}, {}, {});
+      return;
+    }
+    default:
+      append_response(req.header, Status::kUnknownCommand, {}, {}, {});
+  }
+}
+
+}  // namespace memcached
+}  // namespace ebbrt

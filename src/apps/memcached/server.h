@@ -1,0 +1,140 @@
+// Memcached servers for both stacks.
+//
+// MemcachedServer (EbbRT): the paper's §4.2 structure — "receives TCP data synchronously from
+// the network card. It is then passed through the network stack and parsed in the application
+// in order to construct a response, which is then sent out synchronously." Request handling
+// runs to completion on the connection's core, straight from the device event; GET responses
+// reference item bytes zero-copy.
+//
+// BaselineMemcachedServer: the same protocol and store, but written the way a general-purpose
+// OS forces: epoll-style readiness callbacks, read(2) into a connection buffer, responses
+// assembled into a contiguous buffer and write(2)-copied into the kernel.
+#ifndef EBBRT_SRC_APPS_MEMCACHED_SERVER_H_
+#define EBBRT_SRC_APPS_MEMCACHED_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/apps/memcached/kvstore.h"
+#include "src/apps/memcached/protocol.h"
+#include "src/baseline/socket.h"
+#include "src/net/network_manager.h"
+#include "src/net/tcp.h"
+
+namespace ebbrt {
+namespace memcached {
+
+// Accumulates a TCP byte stream and yields complete binary-protocol requests. When a request
+// is fully contained in one segment it is parsed in place (no copy); only requests split
+// across segments are reassembled into the pending buffer.
+class RequestParser {
+ public:
+  struct Request {
+    BinaryHeader header;        // host-copied
+    std::string_view key;       // views into segment or pending buffer
+    std::string_view extras;
+    std::string_view value;
+  };
+
+  // Feeds `data` and invokes `fn(request)` for each complete request.
+  template <typename F>
+  void Feed(std::unique_ptr<IOBuf> data, F&& fn) {
+    for (IOBuf* seg = data.get(); seg != nullptr; seg = seg->Next()) {
+      FeedBytes(reinterpret_cast<const char*>(seg->Data()), seg->Length(),
+                std::forward<F>(fn));
+    }
+  }
+
+  template <typename F>
+  void FeedBytes(const char* bytes, std::size_t len, F&& fn) {
+    if (pending_.empty()) {
+      std::size_t consumed = ParseFrom(bytes, len, std::forward<F>(fn));
+      if (consumed < len) {
+        pending_.assign(bytes + consumed, len - consumed);
+      }
+      return;
+    }
+    pending_.append(bytes, len);
+    std::size_t consumed = ParseFrom(pending_.data(), pending_.size(), std::forward<F>(fn));
+    pending_.erase(0, consumed);
+  }
+
+ private:
+  template <typename F>
+  std::size_t ParseFrom(const char* base, std::size_t len, F&& fn) {
+    std::size_t off = 0;
+    while (len - off >= sizeof(BinaryHeader)) {
+      BinaryHeader header;
+      std::memcpy(&header, base + off, sizeof(header));
+      std::uint32_t body = header.TotalBody();
+      if (len - off < sizeof(header) + body) {
+        break;  // incomplete request
+      }
+      Request req;
+      req.header = header;
+      const char* p = base + off + sizeof(header);
+      req.extras = {p, header.extras_length};
+      req.key = {p + header.extras_length, header.KeyLength()};
+      req.value = {p + header.extras_length + header.KeyLength(), header.ValueLength()};
+      fn(req);
+      off += sizeof(header) + body;
+    }
+    return off;
+  }
+
+  std::string pending_;
+};
+
+// Builds the response header (+extras) buffer with room for an appended value chain.
+std::unique_ptr<IOBuf> BuildResponseHeader(const BinaryHeader& req, Status status,
+                                           std::size_t extras_len, std::size_t key_len,
+                                           std::size_t value_len);
+
+class MemcachedServer {
+ public:
+  MemcachedServer(NetworkManager& network, std::uint16_t port);
+
+  KvStore& store() { return store_; }
+  std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Connection {
+    TcpPcb pcb;
+    RequestParser parser;
+    MemcachedServer* server;
+  };
+
+  void HandleRequest(Connection& conn, const RequestParser::Request& req);
+
+  NetworkManager& network_;
+  KvStore store_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+class BaselineMemcachedServer {
+ public:
+  BaselineMemcachedServer(baseline::SocketStack& stack, std::uint16_t port);
+
+  KvStore& store() { return store_; }
+  std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Connection {
+    std::shared_ptr<baseline::Socket> socket;
+    RequestParser parser;
+    BaselineMemcachedServer* server;
+    std::string out;  // response staging buffer (written with one write(2) per batch)
+  };
+
+  void OnReadable(std::shared_ptr<Connection> conn);
+  void HandleRequest(Connection& conn, const RequestParser::Request& req);
+
+  baseline::SocketStack& stack_;
+  KvStore store_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace memcached
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_APPS_MEMCACHED_SERVER_H_

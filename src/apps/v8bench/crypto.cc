@@ -1,0 +1,164 @@
+// Crypto — RSA-flavoured bignum arithmetic: 256-bit modular exponentiation with schoolbook
+// multiplication and shift-subtract reduction (the suite's Crypto member is a JS bignum RSA;
+// the character is wide-integer multiply/reduce loops).
+#include "src/apps/v8bench/kernels.h"
+
+#include <cstring>
+
+namespace ebbrt {
+namespace v8bench {
+namespace {
+
+constexpr int kWords = 4;  // 256-bit
+
+struct Big {
+  std::uint64_t w[kWords] = {};
+};
+
+struct Big2 {
+  std::uint64_t w[kWords * 2] = {};
+};
+
+// Word i of (m << (shift_words*64 + shift_bits)) within a 512-bit frame.
+std::uint64_t ShiftedWord(const Big& m, int i, int shift_words, int shift_bits) {
+  std::uint64_t mw = 0;
+  int src = i - shift_words;
+  if (src >= 0 && src < kWords) {
+    mw = m.w[src] << shift_bits;
+    if (shift_bits != 0 && src - 1 >= 0) {
+      mw |= m.w[src - 1] >> (64 - shift_bits);
+    }
+  } else if (shift_bits != 0 && src == kWords) {
+    mw = m.w[kWords - 1] >> (64 - shift_bits);
+  }
+  return mw;
+}
+
+int CompareShifted(const Big2& a, const Big& m, int shift_words, int shift_bits) {
+  for (int i = kWords * 2 - 1; i >= 0; --i) {
+    std::uint64_t mw = ShiftedWord(m, i, shift_words, shift_bits);
+    if (a.w[i] != mw) {
+      return a.w[i] < mw ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+void SubShifted(Big2& a, const Big& m, int shift_words, int shift_bits) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < kWords * 2; ++i) {
+    __uint128_t sub =
+        static_cast<__uint128_t>(ShiftedWord(m, i, shift_words, shift_bits)) + borrow;
+    __uint128_t have = a.w[i];
+    if (have >= sub) {
+      a.w[i] = static_cast<std::uint64_t>(have - sub);
+      borrow = 0;
+    } else {
+      a.w[i] = static_cast<std::uint64_t>((have + (static_cast<__uint128_t>(1) << 64)) - sub);
+      borrow = 1;
+    }
+  }
+}
+
+int TopBit(const Big2& a) {
+  for (int i = kWords * 2 - 1; i >= 0; --i) {
+    if (a.w[i] != 0) {
+      return i * 64 + 63 - __builtin_clzll(a.w[i]);
+    }
+  }
+  return -1;
+}
+
+int TopBit(const Big& a) {
+  for (int i = kWords - 1; i >= 0; --i) {
+    if (a.w[i] != 0) {
+      return i * 64 + 63 - __builtin_clzll(a.w[i]);
+    }
+  }
+  return -1;
+}
+
+// r = a mod m (shift-subtract).
+Big Mod(Big2 a, const Big& m) {
+  int mb = TopBit(m);
+  for (;;) {
+    int ab = TopBit(a);
+    if (ab < mb) {
+      break;
+    }
+    int shift = ab - mb;
+    int sw = shift / 64;
+    int sb = shift % 64;
+    if (CompareShifted(a, m, sw, sb) < 0) {
+      if (shift == 0) {
+        break;
+      }
+      --shift;
+      sw = shift / 64;
+      sb = shift % 64;
+    }
+    SubShifted(a, m, sw, sb);
+  }
+  Big r;
+  for (int i = 0; i < kWords; ++i) {
+    r.w[i] = a.w[i];
+  }
+  return r;
+}
+
+Big2 Mul(const Big& a, const Big& b) {
+  Big2 r;
+  for (int i = 0; i < kWords; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < kWords; ++j) {
+      __uint128_t cur = static_cast<__uint128_t>(a.w[i]) * b.w[j] + r.w[i + j] + carry;
+      r.w[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    r.w[i + kWords] += carry;
+  }
+  return r;
+}
+
+Big ModMul(const Big& a, const Big& b, const Big& m) { return Mod(Mul(a, b), m); }
+
+Big ModExp(Big base, const Big& exp, const Big& m) {
+  Big result;
+  result.w[0] = 1;
+  for (int bit = 0; bit <= TopBit(exp); ++bit) {
+    if ((exp.w[bit / 64] >> (bit % 64)) & 1) {
+      result = ModMul(result, base, m);
+    }
+    base = ModMul(base, base, m);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t RunCrypto(Env& env) {
+  (void)env;  // pure compute: allocation-free by design, like the JS original's hot loop
+  // A fixed 256-bit odd modulus and generator; "encrypt" a rolling message block.
+  Big m;
+  m.w[0] = 0xFFFFFFFFFFFFFC5Full;
+  m.w[1] = 0xFFFFFFFFFFFFFFFEull;
+  m.w[2] = 0xBAAEDCE6AF48A03Bull;
+  m.w[3] = 0x8FFFFFFFFFFFFFFFull;
+  Big e;
+  e.w[0] = 0x10001;  // 65537
+  std::uint64_t checksum = 0;
+  Big msg;
+  msg.w[0] = 0x243F6A8885A308D3ull;
+  msg.w[1] = 0x13198A2E03707344ull;
+  msg.w[2] = 0xA4093822299F31D0ull;
+  msg.w[3] = 0x082EFA98EC4E6C89ull;
+  for (int i = 0; i < 48; ++i) {
+    Big c = ModExp(msg, e, m);
+    checksum ^= c.w[0] + c.w[3];
+    msg = c;  // chain
+  }
+  return checksum;
+}
+
+}  // namespace v8bench
+}  // namespace ebbrt

@@ -1,0 +1,71 @@
+// v8bench::Env — the execution-environment model for the V8-suite reproduction (Figure 7).
+//
+// The paper attributes EbbRT's win on pure-JavaScript benchmarks to two environmental
+// differences, not to any change in V8 itself: "EbbRT aggressively maps in memory allocated
+// by V8 and therefore suffers no page faults. Additionally our non-preemptive execution
+// environment prevents unnecessary timer interrupts and cache pollution due to OS execution."
+//
+// Env reproduces exactly those two knobs around our C++ kernel re-implementations:
+//   kEbbRT — heap arena pre-mapped and pre-touched (zero faults), no timer signal.
+//   kLinux — heap arena demand-faulted page by page (real SIGSEGV + mprotect cost per page),
+//            plus a periodic SIGALRM "scheduler tick" whose handler pollutes the cache.
+#ifndef EBBRT_SRC_APPS_V8BENCH_ENV_H_
+#define EBBRT_SRC_APPS_V8BENCH_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/mem/vmem.h"
+
+namespace ebbrt {
+namespace v8bench {
+
+class Env {
+ public:
+  enum class Kind { kEbbRT, kLinux };
+
+  Env(Kind kind, std::size_t arena_bytes);
+  ~Env();
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  Kind kind() const { return kind_; }
+
+  // Bump allocation from the managed heap arena (kernels allocate all data through this, so
+  // the mapping policy difference is what the benchmark actually feels).
+  void* Alloc(std::size_t bytes) {
+    std::size_t aligned = (bytes + 15) & ~std::size_t{15};
+    if (offset_ + aligned > size_) {
+      offset_ = 0;  // wrap: benchmarks size their arenas to avoid live-data reuse
+    }
+    void* p = base_ + offset_;
+    offset_ += aligned;
+    return p;
+  }
+
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    return new (Alloc(sizeof(T))) T(std::forward<Args>(args)...);
+  }
+
+  void Reset() { offset_ = 0; }
+  std::uint64_t page_faults() const;
+
+  // Starts/stops the periodic tick (kLinux only; no-op under kEbbRT).
+  void StartTicks();
+  void StopTicks();
+
+ private:
+  Kind kind_;
+  VMemRegion* region_;
+  std::uint8_t* base_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+  bool ticks_on_ = false;
+};
+
+}  // namespace v8bench
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_APPS_V8BENCH_ENV_H_

@@ -1,0 +1,132 @@
+// NavierStokes — Jos Stam's stable-fluid solver on a 2D grid (the suite's member is Oliver
+// Hunt's JS port of the same algorithm): diffusion, advection and a Gauss-Seidel projection.
+#include "src/apps/v8bench/kernels.h"
+
+#include <cstring>
+
+namespace ebbrt {
+namespace v8bench {
+namespace {
+
+constexpr int kN = 128;          // interior cells per side
+constexpr int kSize = (kN + 2) * (kN + 2);
+
+inline int Ix(int i, int j) { return i + (kN + 2) * j; }
+
+void SetBoundary(int b, double* x) {
+  for (int i = 1; i <= kN; ++i) {
+    x[Ix(0, i)] = b == 1 ? -x[Ix(1, i)] : x[Ix(1, i)];
+    x[Ix(kN + 1, i)] = b == 1 ? -x[Ix(kN, i)] : x[Ix(kN, i)];
+    x[Ix(i, 0)] = b == 2 ? -x[Ix(i, 1)] : x[Ix(i, 1)];
+    x[Ix(i, kN + 1)] = b == 2 ? -x[Ix(i, kN)] : x[Ix(i, kN)];
+  }
+  x[Ix(0, 0)] = 0.5 * (x[Ix(1, 0)] + x[Ix(0, 1)]);
+  x[Ix(0, kN + 1)] = 0.5 * (x[Ix(1, kN + 1)] + x[Ix(0, kN)]);
+  x[Ix(kN + 1, 0)] = 0.5 * (x[Ix(kN, 0)] + x[Ix(kN + 1, 1)]);
+  x[Ix(kN + 1, kN + 1)] = 0.5 * (x[Ix(kN, kN + 1)] + x[Ix(kN + 1, kN)]);
+}
+
+void LinSolve(int b, double* x, const double* x0, double a, double c) {
+  for (int k = 0; k < 20; ++k) {
+    for (int j = 1; j <= kN; ++j) {
+      for (int i = 1; i <= kN; ++i) {
+        x[Ix(i, j)] = (x0[Ix(i, j)] + a * (x[Ix(i - 1, j)] + x[Ix(i + 1, j)] +
+                                           x[Ix(i, j - 1)] + x[Ix(i, j + 1)])) /
+                      c;
+      }
+    }
+    SetBoundary(b, x);
+  }
+}
+
+void Diffuse(int b, double* x, const double* x0, double diff, double dt) {
+  double a = dt * diff * kN * kN;
+  LinSolve(b, x, x0, a, 1 + 4 * a);
+}
+
+void Advect(int b, double* d, const double* d0, const double* u, const double* v, double dt) {
+  double dt0 = dt * kN;
+  for (int j = 1; j <= kN; ++j) {
+    for (int i = 1; i <= kN; ++i) {
+      double x = i - dt0 * u[Ix(i, j)];
+      double y = j - dt0 * v[Ix(i, j)];
+      x = x < 0.5 ? 0.5 : (x > kN + 0.5 ? kN + 0.5 : x);
+      y = y < 0.5 ? 0.5 : (y > kN + 0.5 ? kN + 0.5 : y);
+      int i0 = static_cast<int>(x);
+      int j0 = static_cast<int>(y);
+      double s1 = x - i0;
+      double t1 = y - j0;
+      d[Ix(i, j)] = (1 - s1) * ((1 - t1) * d0[Ix(i0, j0)] + t1 * d0[Ix(i0, j0 + 1)]) +
+                    s1 * ((1 - t1) * d0[Ix(i0 + 1, j0)] + t1 * d0[Ix(i0 + 1, j0 + 1)]);
+    }
+  }
+  SetBoundary(b, d);
+}
+
+void Project(double* u, double* v, double* p, double* div) {
+  for (int j = 1; j <= kN; ++j) {
+    for (int i = 1; i <= kN; ++i) {
+      div[Ix(i, j)] = -0.5 * (u[Ix(i + 1, j)] - u[Ix(i - 1, j)] + v[Ix(i, j + 1)] -
+                              v[Ix(i, j - 1)]) /
+                      kN;
+      p[Ix(i, j)] = 0;
+    }
+  }
+  SetBoundary(0, div);
+  SetBoundary(0, p);
+  LinSolve(0, p, div, 1, 4);
+  for (int j = 1; j <= kN; ++j) {
+    for (int i = 1; i <= kN; ++i) {
+      u[Ix(i, j)] -= 0.5 * kN * (p[Ix(i + 1, j)] - p[Ix(i - 1, j)]);
+      v[Ix(i, j)] -= 0.5 * kN * (p[Ix(i, j + 1)] - p[Ix(i, j - 1)]);
+    }
+  }
+  SetBoundary(1, u);
+  SetBoundary(2, v);
+}
+
+}  // namespace
+
+std::uint64_t RunNavierStokes(Env& env) {
+  auto alloc_field = [&env] {
+    auto* f = static_cast<double*>(env.Alloc(sizeof(double) * kSize));
+    std::memset(f, 0, sizeof(double) * kSize);
+    return f;
+  };
+  double* u = alloc_field();
+  double* v = alloc_field();
+  double* u0 = alloc_field();
+  double* v0 = alloc_field();
+  double* dens = alloc_field();
+  double* dens0 = alloc_field();
+  double* p = alloc_field();
+  double* div = alloc_field();
+
+  constexpr double kDt = 0.1;
+  constexpr double kDiff = 0.0;
+  std::uint64_t checksum = 0;
+  for (int step = 0; step < 12; ++step) {
+    // Sources injected directly into the live fields: density blob + opposing swirl.
+    dens[Ix(kN / 2, kN / 2)] += 100.0;
+    u[Ix(kN / 4, kN / 2)] += 4.0;
+    v[Ix(3 * kN / 4, kN / 2)] -= 4.0;
+
+    // Velocity step (Stam): diffuse into the scratch fields, project, advect back, project.
+    Diffuse(1, u0, u, kDiff, kDt);
+    Diffuse(2, v0, v, kDiff, kDt);
+    Project(u0, v0, p, div);
+    Advect(1, u, u0, u0, v0, kDt);
+    Advect(2, v, v0, u0, v0, kDt);
+    Project(u, v, p, div);
+
+    // Density step: diffuse into scratch, advect along the velocity field.
+    Diffuse(0, dens0, dens, kDiff, kDt);
+    Advect(0, dens, dens0, u, v, kDt);
+
+    checksum += static_cast<std::uint64_t>(dens[Ix(kN / 2, kN / 2 + step % 8)] * 1000.0);
+  }
+  return checksum;
+}
+
+}  // namespace v8bench
+}  // namespace ebbrt

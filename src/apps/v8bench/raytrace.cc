@@ -1,0 +1,141 @@
+// RayTrace — sphere scene with a checkered ground plane, point light, shadows and one level
+// of reflection (the suite's member is Flanagan's JS ray tracer; same structure, fixed FP).
+#include "src/apps/v8bench/kernels.h"
+
+#include <cmath>
+
+namespace ebbrt {
+namespace v8bench {
+namespace {
+
+struct Vec {
+  double x = 0, y = 0, z = 0;
+  Vec operator+(Vec o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec operator-(Vec o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec operator*(double s) const { return {x * s, y * s, z * s}; }
+  double Dot(Vec o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec Norm() const {
+    double len = std::sqrt(Dot(*this));
+    return {x / len, y / len, z / len};
+  }
+};
+
+struct Sphere {
+  Vec center;
+  double radius;
+  Vec color;
+  double reflect;
+};
+
+struct Scene {
+  Sphere* spheres;
+  int num_spheres;
+  Vec light;
+};
+
+bool HitSphere(const Sphere& s, Vec origin, Vec dir, double* t) {
+  Vec oc = origin - s.center;
+  double b = 2.0 * oc.Dot(dir);
+  double c = oc.Dot(oc) - s.radius * s.radius;
+  double disc = b * b - 4 * c;
+  if (disc < 0) {
+    return false;
+  }
+  double root = (-b - std::sqrt(disc)) / 2;
+  if (root < 1e-4) {
+    root = (-b + std::sqrt(disc)) / 2;
+  }
+  if (root < 1e-4) {
+    return false;
+  }
+  *t = root;
+  return true;
+}
+
+Vec Trace(const Scene& scene, Vec origin, Vec dir, int depth) {
+  double best_t = 1e30;
+  const Sphere* hit = nullptr;
+  for (int i = 0; i < scene.num_spheres; ++i) {
+    double t;
+    if (HitSphere(scene.spheres[i], origin, dir, &t) && t < best_t) {
+      best_t = t;
+      hit = &scene.spheres[i];
+    }
+  }
+  // Ground plane y = -2 with a checkerboard.
+  double plane_t = dir.y < -1e-6 ? (-2.0 - origin.y) / dir.y : 1e30;
+  if (hit == nullptr && plane_t >= 1e30) {
+    return {0.1, 0.1, 0.2};  // sky
+  }
+  if (hit == nullptr || plane_t < best_t) {
+    Vec p = origin + dir * plane_t;
+    int check = (static_cast<int>(std::floor(p.x)) + static_cast<int>(std::floor(p.z))) & 1;
+    Vec base = check ? Vec{0.9, 0.9, 0.9} : Vec{0.1, 0.1, 0.1};
+    // Shadow ray.
+    Vec to_light = (scene.light - p).Norm();
+    for (int i = 0; i < scene.num_spheres; ++i) {
+      double t;
+      if (HitSphere(scene.spheres[i], p, to_light, &t)) {
+        return base * 0.3;
+      }
+    }
+    return base;
+  }
+  Vec p = origin + dir * best_t;
+  Vec n = (p - hit->center).Norm();
+  Vec to_light = (scene.light - p).Norm();
+  double diffuse = std::max(0.0, n.Dot(to_light));
+  for (int i = 0; i < scene.num_spheres; ++i) {
+    double t;
+    if (&scene.spheres[i] != hit && HitSphere(scene.spheres[i], p, to_light, &t)) {
+      diffuse = 0;
+      break;
+    }
+  }
+  Vec color = hit->color * (0.15 + 0.85 * diffuse);
+  if (depth > 0 && hit->reflect > 0) {
+    Vec r = dir - n * (2 * dir.Dot(n));
+    Vec reflected = Trace(scene, p, r.Norm(), depth - 1);
+    color = color * (1 - hit->reflect) + reflected * hit->reflect;
+  }
+  return color;
+}
+
+}  // namespace
+
+std::uint64_t RunRayTrace(Env& env) {
+  constexpr int kWidth = 192;
+  constexpr int kHeight = 144;
+  constexpr int kSpheres = 6;
+  auto* spheres = static_cast<Sphere*>(env.Alloc(sizeof(Sphere) * kSpheres));
+  for (int i = 0; i < kSpheres; ++i) {
+    double a = i * 1.047;
+    spheres[i] = {{2.5 * std::cos(a), -1.0 + 0.4 * i, 6.0 + 2.0 * std::sin(a)},
+                  0.8,
+                  {0.2 + 0.13 * i, 0.9 - 0.12 * i, 0.5},
+                  i % 2 ? 0.5 : 0.1};
+  }
+  Scene scene{spheres, kSpheres, {5, 8, 0}};
+  auto* image = static_cast<float*>(env.Alloc(sizeof(float) * kWidth * kHeight * 3));
+  std::uint64_t checksum = 0;
+  for (int frame = 0; frame < 3; ++frame) {
+    scene.light.x = 5 - 3 * frame;
+    for (int y = 0; y < kHeight; ++y) {
+      for (int x = 0; x < kWidth; ++x) {
+        Vec dir = Vec{(x - kWidth / 2.0) / kWidth, (kHeight / 2.0 - y) / kHeight, 1.0}.Norm();
+        Vec c = Trace(scene, {0, 0, 0}, dir, 2);
+        float* px = image + (y * kWidth + x) * 3;
+        px[0] = static_cast<float>(c.x);
+        px[1] = static_cast<float>(c.y);
+        px[2] = static_cast<float>(c.z);
+        checksum += static_cast<std::uint64_t>(c.x * 255) +
+                    static_cast<std::uint64_t>(c.y * 255) +
+                    static_cast<std::uint64_t>(c.z * 255);
+      }
+    }
+  }
+  return checksum;
+}
+
+}  // namespace v8bench
+}  // namespace ebbrt

@@ -1,0 +1,279 @@
+// Richards — Martin Richards' OS task-scheduler simulation (the V8 suite's port of the BCPL
+// original): an idle task, two device tasks, two handler tasks and a worker exchange packets
+// through a priority scheduler. Exercises virtual dispatch and pointer-heavy control flow.
+#include "src/apps/v8bench/kernels.h"
+
+#include "src/platform/debug.h"
+
+namespace ebbrt {
+namespace v8bench {
+namespace {
+
+constexpr int kIdIdle = 0;
+constexpr int kIdWorker = 1;
+constexpr int kIdHandlerA = 2;
+constexpr int kIdHandlerB = 3;
+constexpr int kIdDevA = 4;
+constexpr int kIdDevB = 5;
+constexpr int kNumTasks = 6;
+
+constexpr int kKindDevice = 0;
+constexpr int kKindWork = 1;
+
+struct Packet {
+  Packet* link = nullptr;
+  int id = 0;
+  int kind = 0;
+  int a1 = 0;
+  int a2[4] = {};
+};
+
+Packet* Append(Packet* packet, Packet* queue) {
+  packet->link = nullptr;
+  if (queue == nullptr) {
+    return packet;
+  }
+  Packet* tail = queue;
+  while (tail->link != nullptr) {
+    tail = tail->link;
+  }
+  tail->link = packet;
+  return queue;
+}
+
+class Scheduler;
+
+class Task {
+ public:
+  virtual ~Task() = default;
+  virtual Task* Run(Packet* packet) = 0;
+
+  Packet* queue = nullptr;
+  int priority = 0;
+  bool task_holding = false;
+  bool task_waiting = false;
+  int id = 0;
+};
+
+class Scheduler {
+ public:
+  Task* tasks[kNumTasks] = {};
+  Task* current = nullptr;
+  int current_id = 0;
+  std::uint64_t queue_count = 0;
+  std::uint64_t hold_count = 0;
+
+  void AddTask(int id, Task* task) {
+    task->id = id;
+    tasks[id] = task;
+  }
+
+  void Schedule() {
+    // Highest priority runnable task runs; "running" here is one Run() step.
+    for (;;) {
+      Task* best = nullptr;
+      for (Task* task : tasks) {
+        if (task != nullptr && !task->task_holding &&
+            (!task->task_waiting || task->queue != nullptr)) {
+          if (best == nullptr || task->priority > best->priority) {
+            best = task;
+          }
+        }
+      }
+      if (best == nullptr) {
+        return;
+      }
+      current = best;
+      current_id = best->id;
+      Packet* packet = nullptr;
+      if (best->task_waiting && best->queue != nullptr) {
+        packet = best->queue;
+        best->queue = packet->link;
+        best->task_waiting = false;
+      }
+      Task* next = best->Run(packet);
+      if (next == nullptr) {
+        return;  // idle task exhausted: simulation over
+      }
+    }
+  }
+
+  Task* QueuePacket(Packet* packet) {
+    Task* target = tasks[packet->id];
+    if (target == nullptr) {
+      return nullptr;
+    }
+    ++queue_count;
+    packet->link = nullptr;
+    packet->id = current_id;
+    target->queue = Append(packet, target->queue);
+    return target;
+  }
+
+  Task* HoldSelf() {
+    ++hold_count;
+    current->task_holding = true;
+    return current;
+  }
+
+  Task* WaitSelf() {
+    current->task_waiting = true;
+    return current;
+  }
+
+  Task* Release(int id) {
+    Task* task = tasks[id];
+    if (task == nullptr) {
+      return nullptr;
+    }
+    task->task_holding = false;
+    return task;
+  }
+};
+
+class IdleTask : public Task {
+ public:
+  IdleTask(Scheduler& s, int count) : sched(s), remaining(count) {}
+  Task* Run(Packet*) override {
+    if (--remaining == 0) {
+      return nullptr;
+    }
+    if ((control & 1) == 0) {
+      control >>= 1;
+      return sched.Release(kIdDevA);
+    }
+    control = (control >> 1) ^ 0xD008;
+    return sched.Release(kIdDevB);
+  }
+  Scheduler& sched;
+  int remaining;
+  std::uint32_t control = 1;
+};
+
+class DeviceTask : public Task {
+ public:
+  explicit DeviceTask(Scheduler& s) : sched(s) {}
+  Task* Run(Packet* packet) override {
+    if (packet == nullptr) {
+      if (pending == nullptr) {
+        return sched.WaitSelf();
+      }
+      Packet* p = pending;
+      pending = nullptr;
+      return sched.QueuePacket(p);
+    }
+    pending = packet;
+    return sched.HoldSelf();
+  }
+  Scheduler& sched;
+  Packet* pending = nullptr;
+};
+
+class HandlerTask : public Task {
+ public:
+  HandlerTask(Scheduler& s, int device_id) : sched(s), device(device_id) {}
+  Task* Run(Packet* packet) override {
+    if (packet != nullptr) {
+      if (packet->kind == kKindWork) {
+        work_queue = Append(packet, work_queue);
+      } else {
+        device_queue = Append(packet, device_queue);
+      }
+    }
+    if (work_queue != nullptr) {
+      Packet* work = work_queue;
+      if (work->a1 < 4) {
+        if (device_queue != nullptr) {
+          Packet* dev = device_queue;
+          device_queue = dev->link;
+          dev->a1 = work->a2[work->a1];
+          work->a1 += 1;
+          dev->id = device;
+          return sched.QueuePacket(dev);
+        }
+      } else {
+        work_queue = work->link;
+        work->id = kIdWorker;
+        return sched.QueuePacket(work);
+      }
+    }
+    return sched.WaitSelf();
+  }
+  Scheduler& sched;
+  int device;
+  Packet* work_queue = nullptr;
+  Packet* device_queue = nullptr;
+};
+
+class WorkerTask : public Task {
+ public:
+  explicit WorkerTask(Scheduler& s) : sched(s) {}
+  Task* Run(Packet* packet) override {
+    if (packet == nullptr) {
+      return sched.WaitSelf();
+    }
+    destination = destination == kIdHandlerA ? kIdHandlerB : kIdHandlerA;
+    packet->id = destination;
+    packet->a1 = 0;
+    for (int i = 0; i < 4; ++i) {
+      seed = (seed * 1664525 + 1013904223) & 0xffff;
+      packet->a2[i] = static_cast<int>(seed & 0xff);
+    }
+    return sched.QueuePacket(packet);
+  }
+  Scheduler& sched;
+  int destination = kIdHandlerA;
+  std::uint32_t seed = 17;
+};
+
+}  // namespace
+
+std::uint64_t RunRichards(Env& env) {
+  std::uint64_t checksum = 0;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    env.Reset();
+    Scheduler sched;
+    auto* idle = env.New<IdleTask>(sched, 4000);
+    idle->priority = 0;
+    sched.AddTask(kIdIdle, idle);
+
+    auto* worker = env.New<WorkerTask>(sched);
+    worker->priority = 1000;
+    worker->task_waiting = true;
+    sched.AddTask(kIdWorker, worker);
+    Packet* wp = env.New<Packet>();
+    wp->id = kIdWorker;
+    wp->kind = kKindWork;
+    worker->queue = Append(wp, worker->queue);
+    Packet* wp2 = env.New<Packet>();
+    wp2->id = kIdWorker;
+    wp2->kind = kKindWork;
+    worker->queue = Append(wp2, worker->queue);
+
+    for (int h = 0; h < 2; ++h) {
+      int id = h == 0 ? kIdHandlerA : kIdHandlerB;
+      int dev = h == 0 ? kIdDevA : kIdDevB;
+      auto* handler = env.New<HandlerTask>(sched, dev);
+      handler->priority = 2000 + h;
+      handler->task_waiting = true;
+      sched.AddTask(id, handler);
+      for (int p = 0; p < 3; ++p) {
+        Packet* dp = env.New<Packet>();
+        dp->id = id;
+        dp->kind = kKindDevice;
+        handler->queue = Append(dp, handler->queue);
+      }
+      auto* device = env.New<DeviceTask>(sched);
+      device->priority = 4000 + h;
+      device->task_waiting = true;
+      sched.AddTask(dev, device);
+    }
+
+    sched.Schedule();
+    checksum += sched.queue_count * 3 + sched.hold_count;
+  }
+  return checksum;
+}
+
+}  // namespace v8bench
+}  // namespace ebbrt

@@ -1,0 +1,23 @@
+#include "src/core/ebb_allocator.h"
+
+#include "src/core/runtime.h"
+
+namespace ebbrt {
+
+EbbId EbbAllocator::AllocateLocal() { return CurrentRuntime().AllocateLocalId(); }
+
+EbbId EbbAllocator::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (global_next_ != kNullEbbId && global_next_ < global_end_) {
+    return global_next_++;
+  }
+  return CurrentRuntime().AllocateLocalId();
+}
+
+void EbbAllocator::SetGlobalBlock(EbbId first, EbbId count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  global_next_ = first;
+  global_end_ = first + count;
+}
+
+}  // namespace ebbrt

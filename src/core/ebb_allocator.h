@@ -1,0 +1,43 @@
+// EbbAllocator — allocates EbbIds.
+//
+// The paper gives every Ebb instance a system-wide unique 32-bit id. Within one machine ids
+// come from a local range; ids that must be valid across machines (e.g. an Ebb whose reps span
+// native and hosted instances) come from a block handed out by the hosted frontend's
+// GlobalIdMap (see src/dist/). This Ebb is itself a SharedEbb with the static id
+// kEbbManagerId, so it is invocable before any dynamic allocation exists.
+#ifndef EBBRT_SRC_CORE_EBB_ALLOCATOR_H_
+#define EBBRT_SRC_CORE_EBB_ALLOCATOR_H_
+
+#include <mutex>
+
+#include "src/core/ebb_id.h"
+#include "src/core/multicore_ebb.h"
+
+namespace ebbrt {
+
+class EbbAllocator : public SharedEbb<EbbAllocator> {
+ public:
+  EbbAllocator() = default;
+
+  static EbbRef<EbbAllocator> Instance() { return EbbRef<EbbAllocator>(kEbbManagerId); }
+
+  // Machine-local id (unique within this runtime; stable across cores).
+  EbbId AllocateLocal();
+
+  // Id from the machine's global block (valid across all machines of the application). The
+  // block is installed by dist::GlobalIdMap during bring-up; falls back to local ids when the
+  // machine runs standalone.
+  EbbId Allocate();
+
+  // Installs a [first, first+count) block of globally-unique ids for this machine.
+  void SetGlobalBlock(EbbId first, EbbId count);
+
+ private:
+  std::mutex mu_;
+  EbbId global_next_ = kNullEbbId;
+  EbbId global_end_ = kNullEbbId;
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_CORE_EBB_ALLOCATOR_H_

@@ -1,0 +1,167 @@
+// Runtime — the per-machine spine of an EbbRT instance.
+//
+// The paper deploys one library OS per VM plus hosted library instances inside Linux
+// processes. Our reproduction runs several such instances inside one address space (so the
+// simulated testbed can wire them together), which means every "per-machine singleton" of the
+// original — Ebb roots, the boot allocator, the network stack — hangs off a Runtime object
+// instead of being a process-global. A Runtime owns:
+//
+//   * its kind (Native or Hosted — Hosted runtimes translate EbbIds through per-core hash
+//     maps, reproducing the paper's userspace translation cost),
+//   * the global core slots assigned to it,
+//   * the root registry: EbbId -> root object used by representative miss handlers,
+//   * typed subsystem slots for the default Ebbs (event manager, allocators, network stack),
+//     installed during bring-up by each subsystem.
+#ifndef EBBRT_SRC_CORE_RUNTIME_H_
+#define EBBRT_SRC_CORE_RUNTIME_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/ebb_id.h"
+#include "src/platform/context.h"
+#include "src/platform/debug.h"
+
+namespace ebbrt {
+
+enum class RuntimeKind : std::uint8_t {
+  kNative,  // library OS instance: flat per-core Ebb translation tables
+  kHosted,  // userspace library instance: per-core hash-table translation
+};
+
+// Typed slots for boot-time subsystems. Subsystems register themselves at bring-up;
+// representatives fetch them from the current runtime without a registry lookup.
+enum class Subsystem : std::size_t {
+  kEventManager = 0,
+  kTimer,
+  kPageAllocator,
+  kSlabRoot,
+  kGeneralPurposeAllocator,
+  kVMemAllocator,
+  kRcuManager,
+  kNic,
+  kNetworkManager,
+  kMessenger,
+  kGlobalIdMap,
+  kMachine,  // simulated machine this runtime is attached to (if any)
+  kNumSubsystems,
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeKind kind, std::string name = "machine");
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  RuntimeKind kind() const { return kind_; }
+  bool hosted() const { return kind_ == RuntimeKind::kHosted; }
+  const std::string& name() const { return name_; }
+  std::size_t id() const { return id_; }
+
+  // --- Cores -------------------------------------------------------------
+  // Claims `n` global core slots for this machine. Must be called once before any event
+  // execution. Returns the first global slot.
+  std::size_t AddCores(std::size_t n);
+  std::size_t num_cores() const { return cores_.size(); }
+  std::size_t global_core(std::size_t machine_core) const {
+    Kassert(machine_core < cores_.size(), "global_core: bad index");
+    return cores_[machine_core];
+  }
+  const std::vector<std::size_t>& cores() const { return cores_; }
+
+  // --- Root registry -----------------------------------------------------
+  // Returns the root object for `id`, constructing it with `factory` under the registry lock
+  // if absent. Roots are type-erased; MulticoreEbb supplies the typed wrapper.
+  template <typename Factory>
+  void* GetOrCreateRoot(EbbId id, Factory&& factory) {
+    std::lock_guard<std::mutex> lock(roots_mu_);
+    auto it = roots_.find(id);
+    if (it != roots_.end()) {
+      return it->second.ptr;
+    }
+    RootEntry entry;
+    entry.ptr = factory();
+    entry.deleter = [](void*) {};  // roots are owned by their Ebb type by default
+    roots_.emplace(id, entry);
+    return roots_.find(id)->second.ptr;
+  }
+
+  void* FindRoot(EbbId id) {
+    std::lock_guard<std::mutex> lock(roots_mu_);
+    auto it = roots_.find(id);
+    return it == roots_.end() ? nullptr : it->second.ptr;
+  }
+
+  // Installs an externally-owned root (used when a root must outlive registry erasure rules).
+  void InstallRoot(EbbId id, void* root);
+  void EraseRoot(EbbId id);
+
+  // --- Hosted translation cache -------------------------------------------
+  // Hosted runtimes cache representatives in a per-core hash map (the paper's Linux userspace
+  // cannot use per-core virtual memory regions). Returns nullptr on miss.
+  void* HostedCacheLookup(std::size_t machine_core, EbbId id);
+  void HostedCacheInsert(std::size_t machine_core, EbbId id, void* rep);
+
+  // Caches `rep` for (current core, id): native -> flat table, hosted -> hash map.
+  static void CacheRep(EbbId id, void* rep);
+
+  // --- Subsystem slots ----------------------------------------------------
+  template <typename T>
+  void SetSubsystem(Subsystem which, T* ptr) {
+    subsystems_[static_cast<std::size_t>(which)] = ptr;
+  }
+
+  template <typename T>
+  T& GetSubsystem(Subsystem which) const {
+    void* p = subsystems_[static_cast<std::size_t>(which)];
+    Kassert(p != nullptr, "GetSubsystem: subsystem not installed");
+    return *static_cast<T*>(p);
+  }
+
+  template <typename T>
+  T* TryGetSubsystem(Subsystem which) const {
+    return static_cast<T*>(subsystems_[static_cast<std::size_t>(which)]);
+  }
+
+  // Dynamic EbbId allocation for this machine (see EbbAllocator for the distributed story).
+  EbbId AllocateLocalId();
+
+ private:
+  struct RootEntry {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  RuntimeKind kind_;
+  std::string name_;
+  std::size_t id_;
+  std::vector<std::size_t> cores_;
+
+  std::mutex roots_mu_;
+  std::unordered_map<EbbId, RootEntry> roots_;
+
+  std::mutex hosted_mu_;
+  std::vector<std::unordered_map<EbbId, void*>> hosted_cache_;
+
+  void* subsystems_[static_cast<std::size_t>(Subsystem::kNumSubsystems)] = {};
+
+  std::mutex id_mu_;
+  EbbId next_local_id_ = kFirstFreeId;
+};
+
+// Global core-slot bookkeeping (which runtime owns which global core).
+namespace core_registry {
+std::size_t Claim(Runtime* runtime, std::size_t n);
+Runtime* Owner(std::size_t core);
+void Release(Runtime* runtime);
+}  // namespace core_registry
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_CORE_RUNTIME_H_

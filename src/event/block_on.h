@@ -1,0 +1,65 @@
+// BlockOn — cooperative blocking on a future (the paper's save/restore escape hatch applied
+// to futures).
+//
+// Ported software often wants a blocking call ("read this file, give me the bytes"). Inside an
+// event handler we cannot block the core, so BlockOn freezes the current event with
+// SaveContext and resumes it when the future fulfills — other events keep flowing meanwhile.
+//
+// The subtle race: the future may fulfill on another core between installing the continuation
+// and freezing the context. The continuation therefore never activates directly; it spawns an
+// activation event onto the origin core. Events on a core never preempt the running event, so
+// the activation can only dispatch after SaveContext has parked the frame — by which time the
+// context is valid.
+#ifndef EBBRT_SRC_EVENT_BLOCK_ON_H_
+#define EBBRT_SRC_EVENT_BLOCK_ON_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "src/event/event_manager.h"
+#include "src/future/future.h"
+
+namespace ebbrt {
+namespace event {
+
+template <typename T>
+T BlockOn(Future<T> future) {
+  if (future.Ready()) {
+    return future.Get();
+  }
+  EventManager& em = Local();
+  std::size_t origin = CurrentContext().machine_core;
+
+  struct State {
+    std::atomic<bool> completed{false};
+    bool blocked = false;  // only touched by the origin core
+    EventContext ctx;
+    std::optional<Future<T>> done;
+  };
+  auto st = std::make_shared<State>();
+
+  future.Then([st, &em, origin](Future<T> f) {
+    st->done.emplace(std::move(f));
+    st->completed.store(true, std::memory_order_release);
+    em.SpawnRemote(
+        [st, &em] {
+          if (st->blocked) {
+            em.ActivateContext(std::move(st->ctx));
+          }
+        },
+        origin);
+  });
+
+  if (!st->completed.load(std::memory_order_acquire)) {
+    st->blocked = true;
+    em.SaveContext(st->ctx);
+  }
+  Kassert(st->completed.load(std::memory_order_acquire), "BlockOn: resumed unfulfilled");
+  return st->done->Get();
+}
+
+}  // namespace event
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_EVENT_BLOCK_ON_H_

@@ -1,0 +1,335 @@
+#include "src/event/event_manager.h"
+
+#include <utility>
+
+namespace ebbrt {
+
+// --- Root -----------------------------------------------------------------------------------
+
+EventManagerRoot::EventManagerRoot(Executor& executor, std::size_t num_cores)
+    : executor_(executor) {
+  reps_.reserve(num_cores);
+  for (std::size_t i = 0; i < num_cores; ++i) {
+    reps_.push_back(std::make_unique<EventManager>(*this, executor, i));
+  }
+}
+
+EventManagerRoot::~EventManagerRoot() = default;
+
+EventManager& EventManagerRoot::RepFor(std::size_t machine_core) {
+  Kassert(machine_core < reps_.size(), "EventManagerRoot: bad core");
+  return *reps_[machine_core];
+}
+
+EventManager& EventManager::HandleFault(EbbId id) {
+  Context& ctx = CurrentContext();
+  auto* root = static_cast<EventManagerRoot*>(ctx.runtime->FindRoot(id));
+  Kbugon(root == nullptr, "EventManager: no root installed for machine '%s'",
+         ctx.runtime->name().c_str());
+  EventManager& rep = root->RepFor(ctx.machine_core);
+  Runtime::CacheRep(id, &rep);
+  return rep;
+}
+
+// --- Rep ------------------------------------------------------------------------------------
+
+EventManager::EventManager(EventManagerRoot& root, Executor& executor,
+                           std::size_t machine_core)
+    : root_(root), executor_(executor), machine_core_(machine_core) {}
+
+EventManager::~EventManager() = default;
+
+void EventManager::Spawn(MoveFunction<void()> fn) {
+  QueueEntry entry;
+  entry.fn = std::move(fn);
+  if (HaveContext() && CurrentContext().machine_core == machine_core_ && in_loop_) {
+    local_queue_.push_back(std::move(entry));
+    return;
+  }
+  // Not on this core's loop (bring-up, another core, or a device thread): use the mailbox.
+  {
+    std::lock_guard<Spinlock> lock(remote_mu_);
+    remote_queue_.push_back(std::move(entry));
+  }
+  executor_.WakeCore(machine_core_);
+}
+
+void EventManager::SpawnRemote(MoveFunction<void()> fn, std::size_t machine_core) {
+  root_.RepFor(machine_core).Spawn(std::move(fn));
+}
+
+std::uint32_t EventManager::AllocateVector(MoveFunction<void()> handler) {
+  std::uint32_t vector = next_vector_++;
+  vector_table_[vector] = std::move(handler);
+  return vector;
+}
+
+void EventManager::SetVectorHandler(std::uint32_t vector, MoveFunction<void()> handler) {
+  vector_table_[vector] = std::move(handler);
+}
+
+void EventManager::RaiseVector(std::uint32_t vector) {
+  {
+    std::lock_guard<Spinlock> lock(irq_mu_);
+    pending_vectors_.push_back(vector);
+  }
+  executor_.WakeCore(machine_core_);
+}
+
+// --- Idle callbacks --------------------------------------------------------------------------
+
+EventManager::IdleCallback::~IdleCallback() {
+  if (started_) {
+    Stop();
+  }
+}
+
+void EventManager::IdleCallback::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  em_.idle_callbacks_.push_back(this);
+  em_.executor_.WakeCore(em_.machine_core_);
+}
+
+void EventManager::IdleCallback::Stop() {
+  if (!started_) {
+    return;
+  }
+  started_ = false;
+  auto& cbs = em_.idle_callbacks_;
+  for (auto it = cbs.begin(); it != cbs.end(); ++it) {
+    if (*it == this) {
+      cbs.erase(it);
+      break;
+    }
+  }
+}
+
+// --- Fiber dispatch --------------------------------------------------------------------------
+
+void EventManager::FiberTrampoline(void* arg) {
+  auto* self = static_cast<EventManager*>(arg);
+  self->FiberMain();
+  // FiberMain switches away and never returns here.
+  Kabort("EventManager: fiber fell through");
+}
+
+void EventManager::FiberMain() {
+  // One-shot events MOVE their closure onto this fiber's stack before invocation: if the
+  // handler suspends (SaveContext), the loop-frame QueueEntry that carried the closure dies
+  // while the fiber is frozen, so the closure must live here. Persistent handlers (interrupt
+  // vectors, idle callbacks) are invoked in place — they are re-fired repeatedly and their
+  // storage (the vector table / callback object) outlives any single activation.
+  if (active_persistent_) {
+    MoveFunction<void()>* fn = active_fn_;
+    active_fn_ = nullptr;
+    (*fn)();
+  } else {
+    MoveFunction<void()> fn = std::move(*active_fn_);
+    active_fn_ = nullptr;
+    fn();
+  }
+  // Completed: mark done (not suspended) and return to the loop. Our stack is recycled by the
+  // loop after the switch completes.
+  fiber_suspended_ = false;
+  ebbrt_context_switch(&fiber_sp_, loop_sp_);
+}
+
+void EventManager::RunOnEventStack(MoveFunction<void()>* fn, bool persistent) {
+  active_fn_ = fn;
+  active_persistent_ = persistent;
+  active_stack_ = stack_pool_.Get();
+  fiber_suspended_ = false;
+  void* sp = active_stack_->InitialSp(&FiberTrampoline, this);
+  ebbrt_context_switch(&loop_sp_, sp);
+  // Back on the loop stack: the fiber either completed or suspended into suspend_target_.
+  if (fiber_suspended_) {
+    Kassert(suspend_target_ != nullptr, "EventManager: suspended without target");
+    suspend_target_->sp_ = fiber_sp_;
+    suspend_target_->stack_ = std::move(active_stack_);
+    suspend_target_ = nullptr;
+  } else {
+    stack_pool_.Put(std::move(active_stack_));
+  }
+  executor_.OnHandlerComplete();
+}
+
+void EventManager::ResumeContext(QueueEntry entry) {
+  // Adopt the frozen stack as the active fiber and switch into it.
+  active_stack_ = std::move(entry.resume_stack);
+  fiber_suspended_ = false;
+  ebbrt_context_switch(&loop_sp_, entry.resume_sp);
+  if (fiber_suspended_) {
+    Kassert(suspend_target_ != nullptr, "EventManager: suspended without target");
+    suspend_target_->sp_ = fiber_sp_;
+    suspend_target_->stack_ = std::move(active_stack_);
+    suspend_target_ = nullptr;
+  } else {
+    stack_pool_.Put(std::move(active_stack_));
+  }
+  executor_.OnHandlerComplete();
+}
+
+void EventManager::SaveContext(EventContext& ctx) {
+  Kassert(active_stack_ != nullptr, "SaveContext: not inside an event handler");
+  Kassert(CurrentContext().machine_core == machine_core_, "SaveContext: wrong core");
+  fiber_suspended_ = true;
+  suspend_target_ = &ctx;
+  ebbrt_context_switch(&fiber_sp_, loop_sp_);
+  // Resumed via ActivateContext: execution continues here, back inside the original event.
+}
+
+void EventManager::ActivateContext(EventContext&& ctx) {
+  Kassert(ctx.valid(), "ActivateContext: invalid context");
+  QueueEntry entry;
+  entry.resume_sp = ctx.sp_;
+  entry.resume_stack = std::move(ctx.stack_);
+  ctx.sp_ = nullptr;
+  if (HaveContext() && CurrentContext().machine_core == machine_core_ && in_loop_) {
+    local_queue_.push_back(std::move(entry));
+    return;
+  }
+  {
+    std::lock_guard<Spinlock> lock(remote_mu_);
+    remote_queue_.push_back(std::move(entry));
+  }
+  executor_.WakeCore(machine_core_);
+}
+
+// --- Dispatch protocol (§3.2) ----------------------------------------------------------------
+
+bool EventManager::DispatchTimers() {
+  if (!timer_poll_) {
+    return false;
+  }
+  // The poll runs due timer callbacks (each on an event stack, via this EventManager) and
+  // returns the next pending deadline for the halt decision.
+  TimerPollResult result = timer_poll_(executor_.Now());
+  stats_.timers += result.dispatched;
+  timer_deadline_ = result.next_deadline;
+  return result.dispatched != 0;
+}
+
+bool EventManager::DispatchInterrupts() {
+  bool any = false;
+  for (;;) {
+    std::uint32_t vector;
+    {
+      std::lock_guard<Spinlock> lock(irq_mu_);
+      if (pending_vectors_.empty()) {
+        break;
+      }
+      vector = pending_vectors_.front();
+      pending_vectors_.pop_front();
+    }
+    auto it = vector_table_.find(vector);
+    Kbugon(it == vector_table_.end(), "EventManager: spurious vector %u", vector);
+    ++stats_.interrupts;
+    any = true;
+    // The persistent handler runs on an event stack with interrupts conceptually masked.
+    RunOnEventStack(&it->second, /*persistent=*/true);
+  }
+  return any;
+}
+
+bool EventManager::DispatchRemote() {
+  bool any = false;
+  for (;;) {
+    QueueEntry entry;
+    {
+      std::lock_guard<Spinlock> lock(remote_mu_);
+      if (remote_queue_.empty()) {
+        break;
+      }
+      entry = std::move(remote_queue_.front());
+      remote_queue_.pop_front();
+    }
+    any = true;
+    if (entry.resume_sp != nullptr) {
+      ResumeContext(std::move(entry));
+    } else {
+      ++stats_.synthetic;
+      RunOnEventStack(&entry.fn);
+    }
+  }
+  return any;
+}
+
+bool EventManager::DispatchOneSynthetic() {
+  if (local_queue_.empty()) {
+    return false;
+  }
+  QueueEntry entry = std::move(local_queue_.front());
+  local_queue_.pop_front();
+  if (entry.resume_sp != nullptr) {
+    ResumeContext(std::move(entry));
+  } else {
+    ++stats_.synthetic;
+    RunOnEventStack(&entry.fn);
+  }
+  return true;
+}
+
+bool EventManager::DispatchIdle() {
+  if (idle_callbacks_.empty()) {
+    return false;
+  }
+  ++stats_.idle_passes;
+  // Callbacks may Start/Stop callbacks while running; iterate over a snapshot.
+  std::vector<IdleCallback*> snapshot = idle_callbacks_;
+  bool any = false;
+  for (IdleCallback* cb : snapshot) {
+    if (!cb->started_) {
+      continue;  // stopped by an earlier callback this pass
+    }
+    any = true;
+    RunOnEventStack(&cb->fn_, /*persistent=*/true);
+  }
+  return any;
+}
+
+bool EventManager::DispatchPass() {
+  bool did = false;
+  did |= DispatchTimers();
+  did |= DispatchInterrupts();
+  did |= DispatchRemote();
+  did |= DispatchOneSynthetic();
+  if (did) {
+    // Hardware interrupts and synthetic events take priority: restart the protocol before
+    // giving idle handlers another turn only if nothing else ran.
+    return true;
+  }
+  return DispatchIdle();
+}
+
+void EventManager::Loop() {
+  Kassert(CurrentContext().machine_core == machine_core_, "Loop: wrong core");
+  in_loop_ = true;
+  while (!stopped_ && !executor_.Stopped()) {
+    if (!DispatchPass()) {
+      // Nothing ran: enable interrupts and halt until a wake or the next timer deadline.
+      executor_.Halt(machine_core_, timer_deadline_);
+    } else {
+      executor_.MaybeYield(machine_core_);
+    }
+  }
+  in_loop_ = false;
+}
+
+void EventManager::LoopUntil(MoveFunction<bool()> pred) {
+  Kassert(CurrentContext().machine_core == machine_core_, "LoopUntil: wrong core");
+  bool was_in_loop = in_loop_;
+  in_loop_ = true;
+  while (!pred() && !stopped_ && !executor_.Stopped()) {
+    if (!DispatchPass()) {
+      executor_.Halt(machine_core_, timer_deadline_);
+    } else {
+      executor_.MaybeYield(machine_core_);
+    }
+  }
+  in_loop_ = was_in_loop;
+}
+
+}  // namespace ebbrt

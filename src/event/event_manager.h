@@ -1,0 +1,235 @@
+// EventManager — per-core, non-preemptive event dispatch (paper §2.3 / §3.2).
+//
+// One representative per core. A core's loop dispatches, in priority order:
+//
+//   1. due timer callbacks and pending interrupt vectors (the "enable then disable interrupts"
+//      window of the paper's protocol),
+//   2. remote spawns (our stand-in for IPIs),
+//   3. exactly ONE synthetic event,
+//   4. all registered IdleCallbacks,
+//
+// and restarts from the top whenever any step ran a handler, so interrupts and synthetic
+// events always take priority over repeatedly-invoked idle handlers; only when a full pass
+// runs nothing does the core "enable interrupts and halt" (Executor::Halt).
+//
+// Every handler runs on a pooled event stack (fiber). A handler that must wait for
+// asynchronous work calls SaveContext(ctx) — its stack and callee-saved registers freeze
+// inside ctx and the loop continues with other events on a fresh activation. ActivateContext
+// re-queues the frozen context; the loop switches back into it as if the save had just
+// returned. This is the paper's hybrid stack-ripping escape hatch, used to give ported
+// software familiar blocking semantics.
+//
+// Because handlers are never preempted and never migrate, all per-core state in this class is
+// plain (non-atomic); only the remote-spawn / interrupt mailboxes, which other cores push
+// into, take a spinlock.
+#ifndef EBBRT_SRC_EVENT_EVENT_MANAGER_H_
+#define EBBRT_SRC_EVENT_EVENT_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/ebb_id.h"
+#include "src/core/ebb_ref.h"
+#include "src/core/runtime.h"
+#include "src/event/executor.h"
+#include "src/platform/fiber.h"
+#include "src/platform/move_function.h"
+#include "src/platform/spinlock.h"
+
+namespace ebbrt {
+
+class EventManager;
+
+// Frozen state of a blocked event (opaque to users; see SaveContext/ActivateContext).
+class EventContext {
+ public:
+  EventContext() = default;
+  EventContext(EventContext&& other) noexcept { *this = std::move(other); }
+  EventContext& operator=(EventContext&& other) noexcept {
+    sp_ = other.sp_;
+    stack_ = std::move(other.stack_);
+    other.sp_ = nullptr;
+    return *this;
+  }
+  bool valid() const { return sp_ != nullptr; }
+
+ private:
+  friend class EventManager;
+  void* sp_ = nullptr;
+  std::unique_ptr<FiberStack> stack_;
+};
+
+class EventManagerRoot {
+ public:
+  EventManagerRoot(Executor& executor, std::size_t num_cores);
+  ~EventManagerRoot();
+
+  EventManager& RepFor(std::size_t machine_core);
+  Executor& executor() { return executor_; }
+  std::size_t num_cores() const { return reps_.size(); }
+
+ private:
+  Executor& executor_;
+  std::vector<std::unique_ptr<EventManager>> reps_;
+};
+
+class EventManager {
+ public:
+  static EbbRef<EventManager> Instance() { return EbbRef<EventManager>(kEventManagerId); }
+  // Resolves the current core's representative (installed at machine bring-up).
+  static EventManager& HandleFault(EbbId id);
+
+  EventManager(EventManagerRoot& root, Executor& executor, std::size_t machine_core);
+  ~EventManager();
+
+  // --- Spawning ---------------------------------------------------------------------------
+  // Queues `fn` as a synthetic event on this core. Spawned events run exactly once.
+  void Spawn(MoveFunction<void()> fn);
+  void SpawnLocal(MoveFunction<void()> fn) { Spawn(std::move(fn)); }
+  // Queues `fn` on another core of this machine (cross-core safe).
+  void SpawnRemote(MoveFunction<void()> fn, std::size_t machine_core);
+
+  // --- Interrupt vectors --------------------------------------------------------------------
+  // Devices allocate a vector and bind a persistent handler (paper: "Devices can allocate a
+  // hardware interrupt from the EventManager and then bind a handler to that interrupt").
+  std::uint32_t AllocateVector(MoveFunction<void()> handler);
+  void SetVectorHandler(std::uint32_t vector, MoveFunction<void()> handler);
+  // Fires a vector on this core. Safe from any thread; the handler is invoked from the event
+  // loop with interrupts (conceptually) disabled.
+  void RaiseVector(std::uint32_t vector);
+
+  // --- Idle callbacks -----------------------------------------------------------------------
+  // Recurring handler invoked on every idle pass (adaptive polling builds on this).
+  class IdleCallback {
+   public:
+    IdleCallback(EventManager& em, MoveFunction<void()> fn)
+        : em_(em), fn_(std::move(fn)) {}
+    ~IdleCallback();
+    void Start();
+    void Stop();
+    bool started() const { return started_; }
+
+   private:
+    friend class EventManager;
+    EventManager& em_;
+    MoveFunction<void()> fn_;
+    bool started_ = false;
+  };
+
+  // --- Blocking support ---------------------------------------------------------------------
+  // Freezes the current event into `ctx` and resumes the loop. Must be called from within an
+  // event handler on this core. Returns when ActivateContext(ctx) runs.
+  void SaveContext(EventContext& ctx);
+  // Re-queues a frozen event; it resumes with interrupt priority. Cross-core safe.
+  void ActivateContext(EventContext&& ctx);
+
+  // --- Loop control ------------------------------------------------------------------------
+  // Runs the dispatch protocol until Stop() (or executor shutdown). Called by the executor on
+  // the core's base stack.
+  void Loop();
+  // Runs until `pred()` holds at a loop boundary (used by tests and machine bring-up).
+  void LoopUntil(MoveFunction<bool()> pred);
+  void Stop() { stopped_ = true; }
+
+  std::size_t machine_core() const { return machine_core_; }
+  Executor& executor() { return executor_; }
+
+  // Timer integration (Timer rep registers its due-dispatch here; see timer.h). The poll
+  // callback dispatches all due timer callbacks and reports the next pending deadline.
+  struct TimerPollResult {
+    std::uint64_t dispatched = 0;          // callbacks run during this poll
+    std::uint64_t next_deadline = kNoWakeup;  // ns, kNoWakeup when no timer pending
+  };
+  void SetTimerPoll(MoveFunction<TimerPollResult(std::uint64_t)> poll) {
+    timer_poll_ = std::move(poll);
+  }
+  // Lets the Timer rep tighten the halt deadline when a new timer is started mid-pass.
+  void SetTimerDeadline(std::uint64_t deadline) { timer_deadline_ = deadline; }
+  // Runs a due timer callback on an event stack (callable only from the timer poll, which
+  // executes on this core's loop). Timer callbacks thereby get full event semantics,
+  // including SaveContext blocking. One-shot callbacks (persistent=false) are moved onto the
+  // fiber stack and survive suspension.
+  void RunTimerHandler(MoveFunction<void()>* fn, bool persistent) {
+    RunOnEventStack(fn, persistent);
+  }
+
+  // Statistics (exported for tests and the adaptive-polling policy).
+  std::uint64_t interrupts_dispatched() const { return stats_.interrupts; }
+  std::uint64_t events_dispatched() const { return stats_.synthetic; }
+  std::uint64_t idle_passes() const { return stats_.idle_passes; }
+
+ private:
+  struct QueueEntry {
+    MoveFunction<void()> fn;  // synthetic event, or
+    void* resume_sp = nullptr;  // frozen context to resume
+    std::unique_ptr<FiberStack> resume_stack;
+  };
+
+  static void FiberTrampoline(void* arg);
+  void FiberMain();
+  // Dispatches one callable on an event stack; handles completion vs. suspension. One-shot
+  // (non-persistent) callables are moved onto the fiber stack so they survive suspension.
+  void RunOnEventStack(MoveFunction<void()>* fn, bool persistent = false);
+  void ResumeContext(QueueEntry entry);
+
+  bool DispatchPass();  // one pass of the §3.2 protocol; true if any handler ran
+  bool DispatchTimers();
+  bool DispatchInterrupts();
+  bool DispatchRemote();
+  bool DispatchOneSynthetic();
+  bool DispatchIdle();
+
+  EventManagerRoot& root_;
+  Executor& executor_;
+  std::size_t machine_core_;
+
+  // Core-local synthetic event queue (paper: Spawn). Plain deque: single writer/reader.
+  std::deque<QueueEntry> local_queue_;
+
+  // Cross-core mailboxes.
+  Spinlock remote_mu_;
+  std::deque<QueueEntry> remote_queue_;
+  Spinlock irq_mu_;
+  std::deque<std::uint32_t> pending_vectors_;
+
+  // Vector table. Handlers are persistent; table mutated only on this core.
+  std::unordered_map<std::uint32_t, MoveFunction<void()>> vector_table_;
+  std::uint32_t next_vector_ = 32;  // skip "reserved" vectors, flavor of x86
+
+  std::vector<IdleCallback*> idle_callbacks_;
+
+  MoveFunction<TimerPollResult(std::uint64_t)> timer_poll_;
+  std::uint64_t timer_deadline_ = kNoWakeup;
+
+  // Fiber dispatch state.
+  StackPool stack_pool_;
+  void* loop_sp_ = nullptr;               // loop context while a fiber runs
+  MoveFunction<void()>* active_fn_ = nullptr;  // invocation for a fresh fiber
+  bool active_persistent_ = false;             // invoke in place vs. move onto fiber stack
+  std::unique_ptr<FiberStack> active_stack_;   // stack of the currently-running fiber
+  bool fiber_suspended_ = false;          // current fiber called SaveContext
+  EventContext* suspend_target_ = nullptr;
+  void* fiber_sp_ = nullptr;              // save slot for the running fiber on switch-out
+
+  bool stopped_ = false;
+  bool in_loop_ = false;
+
+  struct {
+    std::uint64_t interrupts = 0;
+    std::uint64_t synthetic = 0;
+    std::uint64_t idle_passes = 0;
+    std::uint64_t timers = 0;
+  } stats_;
+};
+
+namespace event {
+// The current core's EventManager representative.
+inline EventManager& Local() { return *EventManager::Instance(); }
+}  // namespace event
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_EVENT_EVENT_MANAGER_H_

@@ -1,0 +1,258 @@
+#include "src/event/sim_world.h"
+
+namespace ebbrt {
+
+SimWorld::SimWorld(CostMode mode, std::uint64_t fixed_event_cost_ns)
+    : mode_(mode), fixed_event_cost_ns_(fixed_event_cost_ns) {}
+
+SimWorld::~SimWorld() { Shutdown(); }
+
+Runtime& SimWorld::AddMachine(std::string name, std::size_t cores, RuntimeKind kind) {
+  auto runtime = std::make_unique<Runtime>(kind, std::move(name));
+  Runtime& rt = *runtime;
+  rt.AddCores(cores);
+
+  auto executor = std::make_unique<MachineExecutor>(*this);
+  auto em_root = std::make_unique<EventManagerRoot>(*executor, cores);
+  rt.InstallRoot(kEventManagerId, em_root.get());
+  rt.SetSubsystem(Subsystem::kEventManager, em_root.get());
+  auto timer_root = std::make_unique<TimerRoot>(*executor, *em_root, cores);
+  rt.InstallRoot(kTimerId, timer_root.get());
+  rt.SetSubsystem(Subsystem::kTimer, timer_root.get());
+
+  for (std::size_t i = 0; i < cores; ++i) {
+    auto core = std::make_unique<SimCore>();
+    core->runtime = &rt;
+    core->executor = executor.get();
+    core->machine_core = i;
+    core->global_core = rt.global_core(i);
+    executor->cores_.push_back(core.get());
+    cores_.push_back(std::move(core));
+  }
+
+  runtimes_.push_back(std::move(runtime));
+  executors_.push_back(std::move(executor));
+  em_roots_.push_back(std::move(em_root));
+  timer_roots_.push_back(std::move(timer_root));
+  return rt;
+}
+
+void SimWorld::SpawnOn(Runtime& runtime, std::size_t core, MoveFunction<void()> fn) {
+  runtime.GetSubsystem<EventManagerRoot>(Subsystem::kEventManager)
+      .RepFor(core)
+      .Spawn(std::move(fn));
+}
+
+void SimWorld::At(std::uint64_t t, MoveFunction<void()> fn) {
+  CalendarEntry entry;
+  entry.time = std::max(t, Now());
+  entry.seq = next_seq_++;
+  entry.core = nullptr;
+  entry.action = std::move(fn);
+  PushEntry(std::move(entry));
+}
+
+void SimWorld::After(std::uint64_t dt, MoveFunction<void()> fn) {
+  At(Now() + dt, std::move(fn));
+}
+
+std::uint64_t SimWorld::Now() const {
+  if (current_ != nullptr) {
+    return SliceNow();
+  }
+  return now_;
+}
+
+std::uint64_t SimWorld::SliceNow() const {
+  if (mode_ == CostMode::kMeasured) {
+    std::uint64_t cycles = ReadCycles() - slice_start_cycles_;
+    return slice_start_clock_ + CyclesToNs(cycles) + slice_charge_;
+  }
+  return slice_start_clock_ + slice_charge_;
+}
+
+void SimWorld::Charge(std::uint64_t ns) { slice_charge_ += ns; }
+
+void SimWorld::OnHandlerComplete() {
+  if (mode_ == CostMode::kFixed && current_ != nullptr) {
+    slice_charge_ += fixed_event_cost_ns_;
+  }
+}
+
+void SimWorld::PushEntry(CalendarEntry entry) {
+  calendar_.push_back(std::move(entry));
+  std::push_heap(calendar_.begin(), calendar_.end(), EntryLater{});
+}
+
+SimWorld::CalendarEntry SimWorld::PopEntry() {
+  std::pop_heap(calendar_.begin(), calendar_.end(), EntryLater{});
+  CalendarEntry entry = std::move(calendar_.back());
+  calendar_.pop_back();
+  return entry;
+}
+
+void SimWorld::PushWake(SimCore* core, std::uint64_t t) {
+  if (core->wake_scheduled_at <= t) {
+    return;  // an existing wake at or before `t` already covers this request
+  }
+  core->wake_scheduled_at = t;
+  CalendarEntry entry;
+  entry.time = t;
+  entry.seq = next_seq_++;
+  entry.core = core;
+  PushEntry(std::move(entry));
+}
+
+void SimWorld::WakeSimCore(SimCore* core) {
+  if (core == current_) {
+    // A handler on this very core produced more local work; the loop will find it.
+    core->wake_pending = true;
+    return;
+  }
+  PushWake(core, Now());
+}
+
+void SimWorld::HaltCore(SimCore* core, std::uint64_t wake_at) {
+  Kassert(core == current_, "HaltCore: not the running core");
+  if (core->wake_pending) {
+    core->wake_pending = false;
+    return;  // work arrived during this slice; don't park
+  }
+  // Finalize this slice's virtual time, schedule the timer wake, park the fiber.
+  core->clock = SliceNow();
+  if (wake_at != kNoWakeup) {
+    PushWake(core, std::max(wake_at, core->clock));
+  }
+  ebbrt_context_switch(&core->fiber_sp, calendar_sp_);
+  // Woken by RunSlice: slice state has been re-armed; resume the loop.
+}
+
+void SimWorld::YieldCore(SimCore* core) {
+  if (core != current_ || stopped_ || calendar_.empty()) {
+    return;
+  }
+  std::uint64_t slice_now = SliceNow();
+  if (calendar_.front().time >= slice_now) {
+    return;  // nothing the core's progress would miss
+  }
+  // Park with an immediate self-wake at the core's clock: earlier calendar entries (packet
+  // deliveries, other cores) run first, then this core resumes exactly where it yielded.
+  ++stats_.yields;
+  core->clock = slice_now;
+  PushWake(core, slice_now);
+  ebbrt_context_switch(&core->fiber_sp, calendar_sp_);
+}
+
+void SimWorld::CoreFiberEntry(void* arg) {
+  auto* core = static_cast<SimCore*>(arg);
+  core->runtime->GetSubsystem<EventManagerRoot>(Subsystem::kEventManager)
+      .RepFor(core->machine_core)
+      .Loop();
+  // Loop exited (world shutdown): park permanently.
+  core->loop_exited = true;
+  void* dummy;
+  ebbrt_context_switch(&dummy, core->executor->world_.calendar_sp_);
+  Kabort("SimWorld: exited core resumed");
+}
+
+void SimWorld::RunSlice(SimCore* core, std::uint64_t t) {
+  if (core->loop_exited) {
+    return;
+  }
+  ++stats_.slices;
+  core->clock = std::max(core->clock, t);
+  current_ = core;
+  slice_start_clock_ = core->clock;
+  slice_charge_ = 0;
+  slice_start_cycles_ = ReadCycles();
+
+  Context cctx;
+  cctx.runtime = core->runtime;
+  cctx.core = core->global_core;
+  cctx.machine_core = core->machine_core;
+  InstallContext(cctx, core->runtime->hosted());
+
+  if (!core->fiber_started) {
+    core->fiber_started = true;
+    core->stack = std::make_unique<FiberStack>();
+    void* sp = core->stack->InitialSp(&CoreFiberEntry, core);
+    ebbrt_context_switch(&calendar_sp_, sp);
+  } else {
+    ebbrt_context_switch(&calendar_sp_, core->fiber_sp);
+  }
+
+  // Core parked again (or exited).
+  Context none;
+  InstallContext(none, false);
+  current_ = nullptr;
+}
+
+bool SimWorld::DispatchEntry(CalendarEntry entry) {
+  now_ = std::max(now_, entry.time);
+  ++stats_.entries_dispatched;
+  if (entry.core == nullptr) {
+    ++stats_.actions;
+    entry.action();
+    return true;
+  }
+  SimCore* core = entry.core;
+  if (entry.time != core->wake_scheduled_at) {
+    return false;  // stale duplicate: a tighter wake superseded this entry
+  }
+  core->wake_scheduled_at = kNoWakeup;
+  // A core whose virtual clock is ahead of the calendar is logically still busy: defer the
+  // wake to its clock so work arriving "while busy" queues up behind it. This is what makes
+  // interrupt coalescing, adaptive polling, and queueing delay emerge correctly in the DES.
+  if (core->clock > entry.time && !stopped_) {
+    ++stats_.entries_deferred;
+    PushWake(core, core->clock);
+    return false;
+  }
+  RunSlice(core, now_);
+  return true;
+}
+
+void SimWorld::Run() {
+  Kassert(!in_run_, "SimWorld: reentrant Run");
+  in_run_ = true;
+  while (!stopped_ && !calendar_.empty()) {
+    DispatchEntry(PopEntry());
+  }
+  in_run_ = false;
+}
+
+bool SimWorld::RunUntil(std::uint64_t t) {
+  Kassert(!in_run_, "SimWorld: reentrant Run");
+  in_run_ = true;
+  bool quiescent = true;
+  while (!stopped_) {
+    if (calendar_.empty()) {
+      break;
+    }
+    if (calendar_.front().time > t) {
+      quiescent = false;
+      break;
+    }
+    DispatchEntry(PopEntry());
+  }
+  now_ = std::max(now_, t);
+  in_run_ = false;
+  return quiescent;
+}
+
+void SimWorld::Shutdown() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  // Resume every started core once so its loop observes Stopped() and exits, unwinding the
+  // parked fiber to a terminal park (loop_exited).
+  for (auto& core : cores_) {
+    if (core->fiber_started && !core->loop_exited) {
+      RunSlice(core.get(), now_);
+    }
+  }
+  calendar_.clear();
+}
+
+}  // namespace ebbrt

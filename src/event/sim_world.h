@@ -1,0 +1,186 @@
+// SimWorld — deterministic discrete-event substrate for the benchmark testbed.
+//
+// The paper's evaluation ran on a 24-core Xeon server wired to a 20-core client over 10GbE,
+// with EbbRT instances booted inside KVM. None of that hardware exists here, so SimWorld
+// substitutes *time and hardware* while the framework and protocol code execute for real:
+//
+//   * Machines are Runtimes whose cores run the genuine EventManager loop, one core at a time
+//     on a single host thread, each inside its own fiber.
+//   * A calendar orders wakeups (interrupt deliveries, timer deadlines, device completions)
+//     by virtual time; cores advance their own virtual clocks while they run.
+//   * Virtual time during a handler comes from either (a) measured host cycles scaled to the
+//     paper's 2.6 GHz clock — so code that does less work earns proportionally less virtual
+//     time — or (b) a fixed per-handler cost for bitwise-deterministic tests.
+//   * Device models (sim::Nic, sim::Wire) schedule calendar actions and Charge() explicit
+//     costs (VM exits, wire transit, copies) that we cannot execute natively.
+//
+// Single-threaded by construction: no locks are needed anywhere in the world, and runs are
+// reproducible in fixed-cost mode.
+#ifndef EBBRT_SRC_EVENT_SIM_WORLD_H_
+#define EBBRT_SRC_EVENT_SIM_WORLD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/event/event_manager.h"
+#include "src/event/executor.h"
+#include "src/event/timer.h"
+#include "src/platform/clock.h"
+#include "src/platform/fiber.h"
+
+namespace ebbrt {
+
+class SimWorld {
+ public:
+  enum class CostMode {
+    kMeasured,  // handler virtual time = measured host cycles scaled to 2.6 GHz
+    kFixed,     // handler virtual time = fixed_event_cost_ns (deterministic)
+  };
+
+  explicit SimWorld(CostMode mode = CostMode::kFixed, std::uint64_t fixed_event_cost_ns = 500);
+  ~SimWorld();
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  // Creates a machine with `cores` simulated cores. Event manager and timer roots are
+  // installed; the runtime is owned by the world.
+  Runtime& AddMachine(std::string name, std::size_t cores,
+                      RuntimeKind kind = RuntimeKind::kNative);
+
+  // Queues `fn` on (runtime, machine core); it runs when the world does.
+  static void SpawnOn(Runtime& runtime, std::size_t core, MoveFunction<void()> fn);
+
+  // Schedules a world action (device model callback) at absolute virtual time `t` / after
+  // `dt` from Now(). Actions run on the calendar context, not on any core.
+  void At(std::uint64_t t, MoveFunction<void()> fn);
+  void After(std::uint64_t dt, MoveFunction<void()> fn);
+
+  // Current virtual time: slice-relative while a core runs, calendar time otherwise.
+  std::uint64_t Now() const;
+
+  // Adds `ns` of modeled cost to the running core's clock (device models: VM exit, copy,
+  // interrupt delivery). Must be called during a core slice or world action.
+  void Charge(std::uint64_t ns);
+
+  // Runs until the calendar drains (all cores halted, no pending actions).
+  void Run();
+  // Runs until virtual time `t` (or quiescence). Returns true if quiescent.
+  bool RunUntil(std::uint64_t t);
+
+  // Requests shutdown: all core loops exit, parked fibers unwind. Idempotent; also invoked by
+  // the destructor.
+  void Shutdown();
+
+  bool stopped() const { return stopped_; }
+
+  // Diagnostics: calendar pressure and scheduling behaviour (used to validate bench setups).
+  struct WorldStats {
+    std::uint64_t entries_dispatched = 0;
+    std::uint64_t entries_deferred = 0;
+    std::uint64_t slices = 0;
+    std::uint64_t yields = 0;
+    std::uint64_t actions = 0;
+  };
+  const WorldStats& world_stats() const { return stats_; }
+
+ private:
+  struct SimCore;
+
+  // Executor facade handed to one machine's EventManager/Timer roots.
+  class MachineExecutor : public Executor {
+   public:
+    MachineExecutor(SimWorld& world) : world_(world) {}
+    std::uint64_t Now() override { return world_.Now(); }
+    void WakeCore(std::size_t machine_core) override {
+      world_.WakeSimCore(cores_[machine_core]);
+    }
+    void Halt(std::size_t machine_core, std::uint64_t wake_at) override {
+      world_.HaltCore(cores_[machine_core], wake_at);
+    }
+    bool Stopped() const override { return world_.stopped_; }
+    void OnHandlerComplete() override { world_.OnHandlerComplete(); }
+    void MaybeYield(std::size_t machine_core) override {
+      world_.YieldCore(cores_[machine_core]);
+    }
+
+   private:
+    friend class SimWorld;
+    SimWorld& world_;
+    std::vector<SimCore*> cores_;
+  };
+
+  struct SimCore {
+    Runtime* runtime = nullptr;
+    MachineExecutor* executor = nullptr;
+    std::size_t machine_core = 0;
+    std::size_t global_core = 0;
+    std::uint64_t clock = 0;  // core-local virtual time
+    bool fiber_started = false;
+    bool loop_exited = false;
+    bool wake_pending = false;
+    // Earliest outstanding calendar wake for this core (kNoWakeup when none). Maintained so
+    // each core has at most ONE live wake entry; later-scheduled duplicates are dropped on
+    // pop. Without this, every halt adds an entry and the calendar grows with traffic.
+    std::uint64_t wake_scheduled_at = kNoWakeup;
+    std::unique_ptr<FiberStack> stack;
+    void* fiber_sp = nullptr;
+  };
+
+  struct CalendarEntry {
+    std::uint64_t time;
+    std::uint64_t seq;
+    SimCore* core;                // non-null => core wake
+    MoveFunction<void()> action;  // else world action
+  };
+  struct EntryLater {
+    bool operator()(const CalendarEntry& a, const CalendarEntry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  static void CoreFiberEntry(void* arg);
+  // Dispatches one calendar entry; returns false when the entry was deferred (core busy).
+  bool DispatchEntry(CalendarEntry entry);
+  void RunSlice(SimCore* core, std::uint64_t t);
+  void WakeSimCore(SimCore* core);
+  void HaltCore(SimCore* core, std::uint64_t wake_at);
+  void YieldCore(SimCore* core);
+  // Schedules (or tightens) the core's single outstanding wake to time `t`.
+  void PushWake(SimCore* core, std::uint64_t t);
+  void OnHandlerComplete();
+  void PushEntry(CalendarEntry entry);
+  CalendarEntry PopEntry();
+  std::uint64_t SliceNow() const;
+
+  CostMode mode_;
+  std::uint64_t fixed_event_cost_ns_;
+  WorldStats stats_;
+
+  std::vector<CalendarEntry> calendar_;  // heap ordered by EntryLater
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t now_ = 0;
+  bool stopped_ = false;
+  bool in_run_ = false;
+
+  // Slice state (valid while current_ != nullptr).
+  SimCore* current_ = nullptr;
+  std::uint64_t slice_start_clock_ = 0;
+  std::uint64_t slice_start_cycles_ = 0;
+  std::uint64_t slice_charge_ = 0;
+  void* calendar_sp_ = nullptr;
+
+  std::vector<std::unique_ptr<Runtime>> runtimes_;
+  std::vector<std::unique_ptr<MachineExecutor>> executors_;
+  std::vector<std::unique_ptr<EventManagerRoot>> em_roots_;
+  std::vector<std::unique_ptr<TimerRoot>> timer_roots_;
+  std::vector<std::unique_ptr<SimCore>> cores_;
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_EVENT_SIM_WORLD_H_

@@ -1,0 +1,89 @@
+#include "src/event/timer.h"
+
+namespace ebbrt {
+
+TimerRoot::TimerRoot(Executor& executor, EventManagerRoot& em_root, std::size_t num_cores)
+    : executor_(executor), em_root_(em_root) {
+  reps_.resize(num_cores);
+}
+
+Timer& TimerRoot::RepFor(std::size_t machine_core) {
+  Kassert(machine_core < reps_.size(), "TimerRoot: bad core");
+  std::lock_guard<Spinlock> lock(mu_);
+  if (reps_[machine_core] == nullptr) {
+    reps_[machine_core] = std::make_unique<Timer>(*this, machine_core);
+  }
+  return *reps_[machine_core];
+}
+
+Timer& Timer::HandleFault(EbbId id) {
+  Context& ctx = CurrentContext();
+  auto* root = static_cast<TimerRoot*>(ctx.runtime->FindRoot(id));
+  Kbugon(root == nullptr, "Timer: no root installed for machine '%s'",
+         ctx.runtime->name().c_str());
+  Timer& rep = root->RepFor(ctx.machine_core);
+  Runtime::CacheRep(id, &rep);
+  return rep;
+}
+
+Timer::Timer(TimerRoot& root, std::size_t machine_core)
+    : root_(root), machine_core_(machine_core) {
+  // Hook this rep into its core's event loop. The loop polls due timers each pass and uses
+  // the returned deadline to bound its halt.
+  root_.em_root().RepFor(machine_core_).SetTimerPoll(
+      [this](std::uint64_t now) { return Poll(now); });
+}
+
+std::uint64_t Timer::Start(std::uint64_t delay_ns, MoveFunction<void()> fn, bool periodic) {
+  Kassert(CurrentContext().machine_core == machine_core_, "Timer::Start: wrong core");
+  std::uint64_t handle = next_handle_++;
+  std::uint64_t now = root_.executor().Now();
+  Entry entry;
+  entry.fn = std::move(fn);
+  entry.period_ns = periodic ? delay_ns : 0;
+  entry.cancelled = false;
+  entries_.emplace(handle, std::move(entry));
+  queue_.push({now + delay_ns, handle});
+  // Tighten the loop's halt deadline in case no further dispatch pass polls before halting.
+  root_.em_root().RepFor(machine_core_).SetTimerDeadline(queue_.top().deadline);
+  return handle;
+}
+
+void Timer::Stop(std::uint64_t handle) {
+  auto it = entries_.find(handle);
+  if (it != entries_.end()) {
+    // Lazy cancellation: the queue entry dies when it pops.
+    it->second.cancelled = true;
+  }
+}
+
+EventManager::TimerPollResult Timer::Poll(std::uint64_t now) {
+  EventManager::TimerPollResult result;
+  while (!queue_.empty() && queue_.top().deadline <= now) {
+    QueueItem item = queue_.top();
+    queue_.pop();
+    auto it = entries_.find(item.handle);
+    if (it == entries_.end() || it->second.cancelled) {
+      entries_.erase(item.handle);
+      continue;
+    }
+    ++result.dispatched;
+    EventManager& em = root_.em_root().RepFor(machine_core_);
+    if (it->second.period_ns != 0) {
+      // Re-arm before running so the callback can Stop() its own handle. Periodic callbacks
+      // are persistent: invoked in place, never moved out.
+      queue_.push({item.deadline + it->second.period_ns, item.handle});
+      em.RunTimerHandler(&it->second.fn, /*persistent=*/true);
+    } else {
+      // One-shot: move the callback out so the entry can be reclaimed even if the callback
+      // starts new timers (iterator invalidation). The event stack takes ownership.
+      MoveFunction<void()> fn = std::move(it->second.fn);
+      entries_.erase(it);
+      em.RunTimerHandler(&fn, /*persistent=*/false);
+    }
+  }
+  result.next_deadline = queue_.empty() ? kNoWakeup : queue_.top().deadline;
+  return result;
+}
+
+}  // namespace ebbrt

@@ -1,0 +1,44 @@
+#include "src/future/future.h"
+
+namespace ebbrt {
+
+Future<void> WhenAll(std::vector<Future<void>> futures) {
+  struct Gather {
+    Spinlock mu;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+    Promise<void> promise;
+  };
+  if (futures.empty()) {
+    return MakeReadyFuture<void>();
+  }
+  auto gather = std::make_shared<Gather>();
+  gather->remaining = futures.size();
+  Future<void> result = gather->promise.GetFuture();
+  for (auto& future : futures) {
+    future.Then([gather](Future<void> f) {
+      bool last = false;
+      {
+        std::lock_guard<Spinlock> lock(gather->mu);
+        try {
+          f.Get();
+        } catch (...) {
+          if (!gather->first_error) {
+            gather->first_error = std::current_exception();
+          }
+        }
+        last = (--gather->remaining == 0);
+      }
+      if (last) {
+        if (gather->first_error) {
+          gather->promise.SetException(gather->first_error);
+        } else {
+          gather->promise.SetValue();
+        }
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace ebbrt

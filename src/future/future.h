@@ -1,0 +1,392 @@
+// Monadic futures (paper §3.5).
+//
+// EbbRT's futures differ from std::future in exactly the ways the paper calls out:
+//
+//   * `Then(f)` chains a continuation and returns a new future for f's result (monadic bind);
+//     when f itself returns a Future<U>, the result flattens to Future<U>.
+//   * When the value is already available, `Then` runs the continuation *synchronously* — the
+//     ARP-cache-hit path in Figure 2 never bounces through the event loop.
+//   * Exceptions flow: `Get()` rethrows a stored exception; a continuation that does not catch
+//     leaves the exception in the returned future, so only the *final* `Then` must handle
+//     errors, mirroring synchronous try/catch structure.
+//
+// The state word + continuation install/fire handshake is the "sometimes subtle
+// synchronization code" the paper centralizes here: SetValue and Then may race from different
+// cores; a spinlock over tiny critical sections resolves it.
+#ifndef EBBRT_SRC_FUTURE_FUTURE_H_
+#define EBBRT_SRC_FUTURE_FUTURE_H_
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/platform/debug.h"
+#include "src/platform/move_function.h"
+#include "src/platform/spinlock.h"
+
+namespace ebbrt {
+
+template <typename T>
+class Future;
+template <typename T>
+class Promise;
+
+namespace future_internal {
+
+template <typename T>
+struct Flatten {
+  using type = T;
+};
+template <typename T>
+struct Flatten<Future<T>> {
+  using type = typename Flatten<T>::type;
+};
+
+template <typename T>
+using flatten_t = typename Flatten<T>::type;
+
+template <typename T>
+struct IsFuture : std::false_type {};
+template <typename T>
+struct IsFuture<Future<T>> : std::true_type {};
+
+enum class State : std::uint8_t { kPending, kReady, kFailed };
+
+template <typename T>
+struct ValueStorage {
+  alignas(T) unsigned char bytes[sizeof(T)];
+  T* ptr() { return std::launder(reinterpret_cast<T*>(bytes)); }
+  template <typename... Args>
+  void Construct(Args&&... args) {
+    new (bytes) T(std::forward<Args>(args)...);
+  }
+  void Destroy() { ptr()->~T(); }
+};
+
+template <>
+struct ValueStorage<void> {
+  void Construct() {}
+  void Destroy() {}
+};
+
+template <typename T>
+class SharedState {
+ public:
+  using Continuation = MoveFunction<void()>;
+
+  ~SharedState() {
+    if (state_ == State::kReady) {
+      value_.Destroy();
+    }
+  }
+
+  template <typename... Args>
+  void SetValue(Args&&... args) {
+    Continuation cont;
+    {
+      std::lock_guard<Spinlock> lock(mu_);
+      Kassert(state_ == State::kPending, "Future: value set twice");
+      value_.Construct(std::forward<Args>(args)...);
+      state_ = State::kReady;
+      cont = std::move(continuation_);
+    }
+    if (cont) {
+      cont();
+    }
+  }
+
+  void SetException(std::exception_ptr eptr) {
+    Continuation cont;
+    {
+      std::lock_guard<Spinlock> lock(mu_);
+      Kassert(state_ == State::kPending, "Future: value set twice");
+      exception_ = std::move(eptr);
+      state_ = State::kFailed;
+      cont = std::move(continuation_);
+    }
+    if (cont) {
+      cont();
+    }
+  }
+
+  // Installs `cont` to run when the state becomes ready; runs it immediately (synchronously,
+  // on this core) if it already is. Returns true when run synchronously.
+  bool SetContinuation(Continuation cont) {
+    {
+      std::lock_guard<Spinlock> lock(mu_);
+      if (state_ == State::kPending) {
+        Kassert(!continuation_, "Future: Then called twice");
+        continuation_ = std::move(cont);
+        return false;
+      }
+    }
+    cont();
+    return true;
+  }
+
+  bool Ready() const {
+    std::lock_guard<Spinlock> lock(mu_);
+    return state_ != State::kPending;
+  }
+
+  State state() const {
+    std::lock_guard<Spinlock> lock(mu_);
+    return state_;
+  }
+
+  // Pre: ready. Moves the value out / rethrows the failure.
+  template <typename U = T>
+  std::enable_if_t<!std::is_void_v<U>, U> Take() {
+    Kassert(state_ != State::kPending, "Future: Get before ready");
+    if (state_ == State::kFailed) {
+      std::rethrow_exception(exception_);
+    }
+    return std::move(*value_.ptr());
+  }
+
+  void TakeVoid() {
+    Kassert(state_ != State::kPending, "Future: Get before ready");
+    if (state_ == State::kFailed) {
+      std::rethrow_exception(exception_);
+    }
+  }
+
+  std::exception_ptr exception() const { return exception_; }
+
+ private:
+  mutable Spinlock mu_;
+  State state_ = State::kPending;
+  ValueStorage<T> value_;
+  std::exception_ptr exception_;
+  Continuation continuation_;
+};
+
+// Fulfills `promise` with the result of invoking f(fut), unwrapping nested futures and
+// capturing thrown exceptions.
+template <typename R, typename F, typename T>
+void InvokeAndFulfill(Promise<flatten_t<R>> promise, F& f, Future<T> fut) {
+  if constexpr (IsFuture<R>::value) {
+    // f returns a future: forward its eventual result into our promise (flattening).
+    using Inner = flatten_t<R>;
+    try {
+      R inner = f(std::move(fut));
+      inner.Then([promise = std::move(promise)](Future<Inner> done) mutable {
+        try {
+          if constexpr (std::is_void_v<Inner>) {
+            done.Get();
+            promise.SetValue();
+          } else {
+            promise.SetValue(done.Get());
+          }
+        } catch (...) {
+          promise.SetException(std::current_exception());
+        }
+      });
+    } catch (...) {
+      promise.SetException(std::current_exception());
+    }
+  } else if constexpr (std::is_void_v<R>) {
+    try {
+      f(std::move(fut));
+      promise.SetValue();
+    } catch (...) {
+      promise.SetException(std::current_exception());
+    }
+  } else {
+    try {
+      promise.SetValue(f(std::move(fut)));
+    } catch (...) {
+      promise.SetException(std::current_exception());
+    }
+  }
+}
+
+}  // namespace future_internal
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<future_internal::SharedState<T>>()) {}
+
+  Future<T> GetFuture();
+
+  template <typename... Args>
+  void SetValue(Args&&... args) {
+    state_->SetValue(std::forward<Args>(args)...);
+  }
+
+  void SetException(std::exception_ptr eptr) { state_->SetException(std::move(eptr)); }
+
+ private:
+  std::shared_ptr<future_internal::SharedState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  using ValueType = T;
+
+  Future() = default;
+  explicit Future(std::shared_ptr<future_internal::SharedState<T>> state)
+      : state_(std::move(state)) {}
+
+  Future(Future&&) noexcept = default;
+  Future& operator=(Future&&) noexcept = default;
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+
+  bool Valid() const { return state_ != nullptr; }
+  bool Ready() const { return state_ && state_->Ready(); }
+
+  // Pre: Ready(). Moves the value out or rethrows the stored exception. A continuation passed
+  // to Then receives a fulfilled future and calls Get() on it (Figure 2 line 9).
+  T Get() {
+    Kassert(state_ != nullptr, "Future: Get on invalid future");
+    if constexpr (std::is_void_v<T>) {
+      state_->TakeVoid();
+    } else {
+      return state_->Take();
+    }
+  }
+
+  // Monadic bind. F is invoked with the fulfilled Future<T>; returns Future of F's (flattened)
+  // result. Runs synchronously when this future is already fulfilled.
+  template <typename F>
+  Future<future_internal::flatten_t<std::invoke_result_t<F, Future<T>>>> Then(F f) {
+    using R = std::invoke_result_t<F, Future<T>>;
+    using Flat = future_internal::flatten_t<R>;
+    Kassert(state_ != nullptr, "Future: Then on invalid future");
+    Promise<Flat> promise;
+    Future<Flat> result = promise.GetFuture();
+    auto state = state_;  // keep alive through the continuation
+    state->SetContinuation(
+        [state, f = std::move(f), promise = std::move(promise)]() mutable {
+          future_internal::InvokeAndFulfill<R>(std::move(promise), f, Future<T>(state));
+        });
+    state_ = nullptr;  // consumed
+    return result;
+  }
+
+ private:
+  std::shared_ptr<future_internal::SharedState<T>> state_;
+};
+
+template <typename T>
+Future<T> Promise<T>::GetFuture() {
+  return Future<T>(state_);
+}
+
+// --- Constructors ----------------------------------------------------------------------------
+
+template <typename T, typename... Args>
+Future<T> MakeReadyFuture(Args&&... args) {
+  Promise<T> promise;
+  promise.SetValue(std::forward<Args>(args)...);
+  return promise.GetFuture();
+}
+
+template <typename T>
+Future<T> MakeFailedFuture(std::exception_ptr eptr) {
+  Promise<T> promise;
+  promise.SetException(std::move(eptr));
+  return promise.GetFuture();
+}
+
+// Runs `f()` and captures its (flattened) result or exception into a future. Convenient at
+// async API boundaries: callers get exception flow through the future instead of a throw.
+template <typename F>
+auto AsyncHelper(F&& f) -> Future<future_internal::flatten_t<std::invoke_result_t<F>>> {
+  using R = std::invoke_result_t<F>;
+  using Flat = future_internal::flatten_t<R>;
+  Promise<Flat> promise;
+  Future<Flat> result = promise.GetFuture();
+  if constexpr (future_internal::IsFuture<R>::value) {
+    try {
+      f().Then([promise = std::move(promise)](Future<Flat> done) mutable {
+        try {
+          if constexpr (std::is_void_v<Flat>) {
+            done.Get();
+            promise.SetValue();
+          } else {
+            promise.SetValue(done.Get());
+          }
+        } catch (...) {
+          promise.SetException(std::current_exception());
+        }
+      });
+    } catch (...) {
+      promise.SetException(std::current_exception());
+    }
+  } else if constexpr (std::is_void_v<R>) {
+    try {
+      f();
+      promise.SetValue();
+    } catch (...) {
+      promise.SetException(std::current_exception());
+    }
+  } else {
+    try {
+      promise.SetValue(f());
+    } catch (...) {
+      promise.SetException(std::current_exception());
+    }
+  }
+  return result;
+}
+
+// --- WhenAll ---------------------------------------------------------------------------------
+
+// Collects the results of all futures (in order). If any fails, the aggregate fails with the
+// first error observed (others' errors are swallowed, matching EbbRT's semantics).
+template <typename T>
+Future<std::vector<T>> WhenAll(std::vector<Future<T>> futures) {
+  struct Gather {
+    Spinlock mu;
+    std::vector<T> values;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+    Promise<std::vector<T>> promise;
+  };
+  if (futures.empty()) {
+    return MakeReadyFuture<std::vector<T>>();
+  }
+  auto gather = std::make_shared<Gather>();
+  gather->values.resize(futures.size());
+  gather->remaining = futures.size();
+  Future<std::vector<T>> result = gather->promise.GetFuture();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    futures[i].Then([gather, i](Future<T> f) {
+      bool last = false;
+      {
+        std::lock_guard<Spinlock> lock(gather->mu);
+        try {
+          gather->values[i] = f.Get();
+        } catch (...) {
+          if (!gather->first_error) {
+            gather->first_error = std::current_exception();
+          }
+        }
+        last = (--gather->remaining == 0);
+      }
+      if (last) {
+        if (gather->first_error) {
+          gather->promise.SetException(gather->first_error);
+        } else {
+          gather->promise.SetValue(std::move(gather->values));
+        }
+      }
+    });
+  }
+  return result;
+}
+
+// void flavor: completion only.
+Future<void> WhenAll(std::vector<Future<void>> futures);
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_FUTURE_FUTURE_H_

@@ -1,0 +1,143 @@
+#include "src/iobuf/iobuf.h"
+
+#include <cstdlib>
+
+namespace ebbrt {
+
+namespace {
+void FreeHeap(void* buffer, void* /*arg*/) { std::free(buffer); }
+}  // namespace
+
+std::unique_ptr<IOBuf> IOBuf::Create(std::size_t capacity, bool zero) {
+  auto* storage = static_cast<std::uint8_t*>(zero ? std::calloc(1, capacity ? capacity : 1)
+                                                  : std::malloc(capacity ? capacity : 1));
+  Kbugon(storage == nullptr, "IOBuf::Create: allocation of %zu bytes failed", capacity);
+  return std::unique_ptr<IOBuf>(
+      new IOBuf(storage, capacity, storage, capacity, FreeHeap, nullptr));
+}
+
+std::unique_ptr<IOBuf> IOBuf::CreateReserve(std::size_t capacity, std::size_t headroom) {
+  Kassert(headroom <= capacity, "IOBuf::CreateReserve: headroom > capacity");
+  auto* storage = static_cast<std::uint8_t*>(std::malloc(capacity ? capacity : 1));
+  Kbugon(storage == nullptr, "IOBuf::CreateReserve: allocation of %zu bytes failed", capacity);
+  return std::unique_ptr<IOBuf>(
+      new IOBuf(storage, capacity, storage + headroom, 0, FreeHeap, nullptr));
+}
+
+std::unique_ptr<IOBuf> IOBuf::CopyBuffer(const void* data, std::size_t len,
+                                         std::size_t headroom) {
+  auto buf = CreateReserve(len + headroom, headroom);
+  std::memcpy(buf->WritableTail(), data, len);
+  buf->Append(len);
+  return buf;
+}
+
+std::unique_ptr<IOBuf> IOBuf::WrapBuffer(const void* data, std::size_t len) {
+  auto* bytes = static_cast<std::uint8_t*>(const_cast<void*>(data));
+  return std::unique_ptr<IOBuf>(new IOBuf(bytes, len, bytes, len, nullptr, nullptr));
+}
+
+std::unique_ptr<IOBuf> IOBuf::TakeOwnership(void* buffer, std::size_t capacity,
+                                            std::size_t length, FreeFn free_fn, void* arg) {
+  auto* bytes = static_cast<std::uint8_t*>(buffer);
+  return std::unique_ptr<IOBuf>(new IOBuf(bytes, capacity, bytes, length, free_fn, arg));
+}
+
+IOBuf::~IOBuf() {
+  // Destroy the chain iteratively: deep recursion through unique_ptr would overflow the small
+  // event stacks on long chains.
+  std::unique_ptr<IOBuf> rest = std::move(next_);
+  while (rest != nullptr) {
+    std::unique_ptr<IOBuf> next = std::move(rest->next_);
+    rest = std::move(next);
+  }
+  if (free_fn_ != nullptr) {
+    free_fn_(buffer_, free_arg_);
+  }
+}
+
+void IOBuf::AppendChain(std::unique_ptr<IOBuf> chain) {
+  IOBuf* tail = this;
+  while (tail->next_ != nullptr) {
+    tail = tail->next_.get();
+  }
+  tail->next_ = std::move(chain);
+}
+
+std::size_t IOBuf::CountChainElements() const {
+  std::size_t count = 0;
+  for (const IOBuf* buf = this; buf != nullptr; buf = buf->Next()) {
+    ++count;
+  }
+  return count;
+}
+
+std::size_t IOBuf::ComputeChainDataLength() const {
+  std::size_t total = 0;
+  for (const IOBuf* buf = this; buf != nullptr; buf = buf->Next()) {
+    total += buf->Length();
+  }
+  return total;
+}
+
+void IOBuf::CoalesceChain() {
+  if (next_ == nullptr) {
+    return;
+  }
+  std::size_t total = ComputeChainDataLength();
+  auto* storage = static_cast<std::uint8_t*>(std::malloc(total ? total : 1));
+  Kbugon(storage == nullptr, "IOBuf::CoalesceChain: allocation of %zu bytes failed", total);
+  std::size_t offset = 0;
+  for (const IOBuf* buf = this; buf != nullptr; buf = buf->Next()) {
+    std::memcpy(storage + offset, buf->Data(), buf->Length());
+    offset += buf->Length();
+  }
+  // Release old storage and the rest of the chain, then adopt the flat buffer.
+  next_.reset();
+  if (free_fn_ != nullptr) {
+    free_fn_(buffer_, free_arg_);
+  }
+  buffer_ = storage;
+  capacity_ = total;
+  data_ = storage;
+  length_ = total;
+  free_fn_ = FreeHeap;
+  free_arg_ = nullptr;
+}
+
+void IOBuf::CopyOut(void* dst, std::size_t len, std::size_t offset) const {
+  auto* out = static_cast<std::uint8_t*>(dst);
+  const IOBuf* buf = this;
+  // Skip to the element containing `offset`.
+  while (buf != nullptr && offset >= buf->Length()) {
+    offset -= buf->Length();
+    buf = buf->Next();
+  }
+  while (len > 0) {
+    Kassert(buf != nullptr, "IOBuf::CopyOut: chain too short");
+    std::size_t here = buf->Length() - offset;
+    std::size_t take = here < len ? here : len;
+    std::memcpy(out, buf->Data() + offset, take);
+    out += take;
+    len -= take;
+    offset = 0;
+    buf = buf->Next();
+  }
+}
+
+std::unique_ptr<IOBuf> IOBuf::Clone() const {
+  std::size_t total = ComputeChainDataLength();
+  auto copy = Create(total);
+  CopyOut(copy->WritableData(), total);
+  return copy;
+}
+
+void DataPointer::CopyOut(void* dst, std::size_t len) const {
+  Kassert(buf_ != nullptr || len == 0, "DataPointer::CopyOut: past end");
+  if (len == 0) {
+    return;
+  }
+  buf_->CopyOut(dst, len, offset_);
+}
+
+}  // namespace ebbrt

@@ -1,0 +1,226 @@
+// IOBuf — ownership descriptor + view over a region of memory (paper §3.6).
+//
+// "An IOBuf is a descriptor which manages ownership of a region of memory as well as a view of
+// a portion of that memory." Device drivers pass IOBufs up the stack synchronously; each
+// protocol layer Advance()s past its header rather than copying; applications receive the same
+// descriptor the DMA engine filled. Sends accept *chains* of IOBufs so headers and payload
+// from different owners are scatter/gathered without copies.
+//
+// Layout of a single buffer:
+//
+//     buffer_                data_                   data_+length_      buffer_+capacity_
+//        |--- headroom ---------|------ view ------------|----- tailroom -----|
+//
+// Chains are singly linked through owned `next_` pointers; typical chains are 1–4 elements
+// (header + payload), so tail walks are O(1)-ish and kept simple.
+#ifndef EBBRT_SRC_IOBUF_IOBUF_H_
+#define EBBRT_SRC_IOBUF_IOBUF_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "src/platform/debug.h"
+
+namespace ebbrt {
+
+class IOBuf {
+ public:
+  // Free-function type invoked to release externally-owned storage.
+  using FreeFn = void (*)(void* buffer, void* arg);
+
+  // A buffer of `capacity` bytes with the view covering the whole capacity (EbbRT's
+  // MakeUniqueIOBuf convention). When `zero` is set the storage is zero-filled.
+  static std::unique_ptr<IOBuf> Create(std::size_t capacity, bool zero = false);
+
+  // A buffer of `capacity` bytes with an *empty* view positioned `headroom` bytes in; callers
+  // extend with Append()/Prepend(). Useful for building headers in front of payload.
+  static std::unique_ptr<IOBuf> CreateReserve(std::size_t capacity, std::size_t headroom);
+
+  // Copies [data, data+len) into a new owned buffer (with optional headroom).
+  static std::unique_ptr<IOBuf> CopyBuffer(const void* data, std::size_t len,
+                                           std::size_t headroom = 0);
+  static std::unique_ptr<IOBuf> CopyBuffer(std::string_view sv, std::size_t headroom = 0) {
+    return CopyBuffer(sv.data(), sv.size(), headroom);
+  }
+
+  // Wraps external memory without taking ownership. The caller guarantees the memory outlives
+  // the IOBuf (e.g. static protocol constants, arena-backed stores).
+  static std::unique_ptr<IOBuf> WrapBuffer(const void* data, std::size_t len);
+
+  // Takes ownership of external memory; `free_fn(buffer, arg)` is called on destruction.
+  static std::unique_ptr<IOBuf> TakeOwnership(void* buffer, std::size_t capacity,
+                                              std::size_t length, FreeFn free_fn, void* arg);
+
+  ~IOBuf();
+
+  IOBuf(const IOBuf&) = delete;
+  IOBuf& operator=(const IOBuf&) = delete;
+
+  // --- View of this element ---------------------------------------------------------------
+  const std::uint8_t* Data() const { return data_; }
+  std::uint8_t* WritableData() { return data_; }
+  std::size_t Length() const { return length_; }
+  std::size_t Capacity() const { return capacity_; }
+  const std::uint8_t* Buffer() const { return buffer_; }
+  const std::uint8_t* Tail() const { return data_ + length_; }
+  std::uint8_t* WritableTail() { return data_ + length_; }
+  std::size_t Headroom() const { return static_cast<std::size_t>(data_ - buffer_); }
+  std::size_t Tailroom() const {
+    return static_cast<std::size_t>((buffer_ + capacity_) - Tail());
+  }
+
+  // Shrinks the view from the front (protocol layers step past their headers).
+  void Advance(std::size_t amount) {
+    Kassert(amount <= length_, "IOBuf::Advance past end");
+    data_ += amount;
+    length_ -= amount;
+  }
+
+  // Grows the view backwards into headroom (prepending a header into reserved space).
+  void Retreat(std::size_t amount) {
+    Kassert(amount <= Headroom(), "IOBuf::Retreat past start");
+    data_ -= amount;
+    length_ += amount;
+  }
+
+  // Grows the view forward into tailroom.
+  void Append(std::size_t amount) {
+    Kassert(amount <= Tailroom(), "IOBuf::Append past capacity");
+    length_ += amount;
+  }
+
+  void TrimEnd(std::size_t amount) {
+    Kassert(amount <= length_, "IOBuf::TrimEnd past start");
+    length_ -= amount;
+  }
+
+  void TrimStart(std::size_t amount) { Advance(amount); }
+
+  // Reinterprets the front of the view as a (packed) structure — Figure 2's
+  // `buf->Get<EthernetHeader>()`.
+  template <typename T>
+  T& Get(std::size_t offset = 0) {
+    Kassert(offset + sizeof(T) <= length_, "IOBuf::Get: view too short");
+    return *reinterpret_cast<T*>(data_ + offset);
+  }
+
+  template <typename T>
+  const T& Get(std::size_t offset = 0) const {
+    Kassert(offset + sizeof(T) <= length_, "IOBuf::Get: view too short");
+    return *reinterpret_cast<const T*>(data_ + offset);
+  }
+
+  // --- Chain operations ---------------------------------------------------------------------
+  IOBuf* Next() { return next_.get(); }
+  const IOBuf* Next() const { return next_.get(); }
+  bool IsChained() const { return next_ != nullptr; }
+
+  // Appends `chain` at the tail of this chain (scatter/gather send path).
+  void AppendChain(std::unique_ptr<IOBuf> chain);
+
+  // Detaches and returns everything after this element.
+  std::unique_ptr<IOBuf> Pop() { return std::move(next_); }
+
+  std::size_t CountChainElements() const;
+  std::size_t ComputeChainDataLength() const;
+
+  // Flattens the whole chain into this element, reallocating if needed. Returns *this's new
+  // contiguous view. Used sparingly (e.g. reassembling an application record that crossed
+  // segment boundaries); the fast paths never coalesce.
+  void CoalesceChain();
+
+  // Copies the first `len` bytes of the chain's data into `dst` (chain-aware memcpy-out).
+  void CopyOut(void* dst, std::size_t len, std::size_t offset = 0) const;
+
+  // Deep copy of the whole chain into a single new buffer.
+  std::unique_ptr<IOBuf> Clone() const;
+
+  std::string_view AsStringView() const {
+    return {reinterpret_cast<const char*>(data_), length_};
+  }
+
+ private:
+  IOBuf(std::uint8_t* buffer, std::size_t capacity, std::uint8_t* data, std::size_t length,
+        FreeFn free_fn, void* free_arg)
+      : buffer_(buffer),
+        capacity_(capacity),
+        data_(data),
+        length_(length),
+        free_fn_(free_fn),
+        free_arg_(free_arg) {}
+
+  std::uint8_t* buffer_;
+  std::size_t capacity_;
+  std::uint8_t* data_;
+  std::size_t length_;
+  FreeFn free_fn_;  // nullptr => non-owning
+  void* free_arg_;
+  std::unique_ptr<IOBuf> next_;
+};
+
+// Cursor for parsing data that may span chain elements. Protocol parsers Get<T>() headers and
+// Advance() through the chain without caring about element boundaries (as long as any single
+// Get does not straddle one — parsers coalesce records when that rule would break).
+class DataPointer {
+ public:
+  explicit DataPointer(const IOBuf* buf) : buf_(buf) {}
+
+  template <typename T>
+  const T& Get() {
+    const T& result = GetNoAdvance<T>();
+    Advance(sizeof(T));
+    return result;
+  }
+
+  template <typename T>
+  const T& GetNoAdvance() const {
+    Kassert(buf_ != nullptr, "DataPointer: past end");
+    Kassert(offset_ + sizeof(T) <= buf_->Length(), "DataPointer: Get straddles chain element");
+    return *reinterpret_cast<const T*>(buf_->Data() + offset_);
+  }
+
+  const std::uint8_t* Data() const {
+    Kassert(buf_ != nullptr, "DataPointer: past end");
+    return buf_->Data() + offset_;
+  }
+
+  void Advance(std::size_t amount) {
+    while (amount > 0) {
+      Kassert(buf_ != nullptr, "DataPointer: advance past end");
+      std::size_t here = buf_->Length() - offset_;
+      if (amount < here) {
+        offset_ += amount;
+        return;
+      }
+      amount -= here;
+      buf_ = buf_->Next();
+      offset_ = 0;
+    }
+  }
+
+  std::size_t Remaining() const {
+    std::size_t total = 0;
+    const IOBuf* buf = buf_;
+    std::size_t off = offset_;
+    while (buf != nullptr) {
+      total += buf->Length() - off;
+      off = 0;
+      buf = buf->Next();
+    }
+    return total;
+  }
+
+  // Chain-aware copy-out from the cursor position (does not advance).
+  void CopyOut(void* dst, std::size_t len) const;
+
+ private:
+  const IOBuf* buf_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_IOBUF_IOBUF_H_

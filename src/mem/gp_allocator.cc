@@ -1,0 +1,113 @@
+#include "src/mem/gp_allocator.h"
+
+namespace ebbrt {
+
+GeneralPurposeAllocatorRoot::GeneralPurposeAllocatorRoot(PageAllocatorRoot& pages,
+                                                         std::size_t num_cores)
+    : pages_(pages), num_cores_(num_cores) {
+  // One slab cache Ebb per size class. Ids are taken from the machine-local dynamic range so
+  // the class caches are themselves replaceable/invocable Ebbs.
+  for (std::size_t i = 0; i < gp_internal::kSizeClasses.size(); ++i) {
+    EbbId id = CurrentRuntime().AllocateLocalId();
+    class_roots_[i] = std::make_unique<SlabCacheRoot>(pages, gp_internal::kSizeClasses[i], id,
+                                                      num_cores);
+    CurrentRuntime().InstallRoot(id, class_roots_[i].get());
+  }
+  reps_.resize(num_cores);
+}
+
+GeneralPurposeAllocatorRoot::~GeneralPurposeAllocatorRoot() = default;
+
+GeneralPurposeAllocator& GeneralPurposeAllocatorRoot::RepFor(std::size_t machine_core) {
+  Kassert(machine_core < reps_.size(), "GeneralPurposeAllocatorRoot: bad core");
+  std::lock_guard<Spinlock> lock(rep_mu_);
+  if (reps_[machine_core] == nullptr) {
+    reps_[machine_core] = std::make_unique<GeneralPurposeAllocator>(*this, machine_core);
+  }
+  return *reps_[machine_core];
+}
+
+GeneralPurposeAllocator& GeneralPurposeAllocator::HandleFault(EbbId id) {
+  Context& ctx = CurrentContext();
+  auto* root = static_cast<GeneralPurposeAllocatorRoot*>(ctx.runtime->FindRoot(id));
+  Kbugon(root == nullptr, "GeneralPurposeAllocator: memory subsystem not installed on '%s'",
+         ctx.runtime->name().c_str());
+  GeneralPurposeAllocator& rep = root->RepFor(ctx.machine_core);
+  Runtime::CacheRep(id, &rep);
+  return rep;
+}
+
+GeneralPurposeAllocator::GeneralPurposeAllocator(GeneralPurposeAllocatorRoot& root,
+                                                 std::size_t machine_core)
+    : root_(root), machine_core_(machine_core) {
+  for (std::size_t i = 0; i < gp_internal::kSizeClasses.size(); ++i) {
+    class_reps_[i] = &root.class_root(i).RepFor(machine_core);
+  }
+}
+
+void* GeneralPurposeAllocator::Alloc(std::size_t size) {
+  std::size_t cls = gp_internal::ClassFor(size);
+  if (__builtin_expect(cls < gp_internal::kSizeClasses.size(), true)) {
+    return class_reps_[cls]->Alloc();
+  }
+  return AllocLarge(size);
+}
+
+void GeneralPurposeAllocator::Free(void* p) {
+  PhysArena& arena = root_.pages().arena();
+  Kassert(arena.Contains(p), "GeneralPurposeAllocator: free of foreign pointer");
+  PageInfo& info = arena.InfoForAddr(p);
+  if (__builtin_expect(info.kind == PageKind::kSlab, true)) {
+    auto* cache_root = static_cast<SlabCacheRoot*>(info.owner);
+    cache_root->RepFor(machine_core_).Free(p);
+    return;
+  }
+  Kassert(info.kind == PageKind::kLarge, "GeneralPurposeAllocator: free of non-allocated page");
+  FreeLarge(p, info);
+}
+
+void* GeneralPurposeAllocator::AllocLarge(std::size_t size) {
+  std::size_t pages_needed = (size + kPageSize - 1) >> kPageShift;
+  std::size_t order = 0;
+  while ((std::size_t{1} << order) < pages_needed) {
+    ++order;
+  }
+  if (order > kMaxOrder) {
+    return nullptr;
+  }
+  PageAllocator& pages = root_.pages().RepForCore(machine_core_);
+  void* block = pages.AllocPages(order);
+  if (block == nullptr) {
+    return nullptr;
+  }
+  PageInfo& info = pages.arena().InfoForAddr(block);
+  info.kind = PageKind::kLarge;
+  info.order = static_cast<std::uint8_t>(order);
+  return block;
+}
+
+void GeneralPurposeAllocator::FreeLarge(void* p, PageInfo& info) {
+  root_.pages().RepForNode(info.node).FreePages(p);
+}
+
+namespace mem {
+
+void Install(Runtime& runtime, std::size_t num_cores, Config config) {
+  auto* arena = new PhysArena(config.arena_bytes, config.numa_nodes);
+  std::size_t cores_per_node = config.cores_per_node != 0
+                                   ? config.cores_per_node
+                                   : (num_cores + config.numa_nodes - 1) / config.numa_nodes;
+  auto* page_root = new PageAllocatorRoot(*arena, cores_per_node);
+  runtime.InstallRoot(kPageAllocatorId, page_root);
+  runtime.SetSubsystem(Subsystem::kPageAllocator, page_root);
+  // GP root construction allocates Ebb ids, which needs a current-runtime context; callers
+  // install memory before the loops run, so borrow core 0's identity.
+  ScopedContext ctx(runtime, runtime.global_core(0), 0, runtime.hosted());
+  auto* gp_root = new GeneralPurposeAllocatorRoot(*page_root, num_cores);
+  runtime.InstallRoot(kGeneralPurposeAllocatorId, gp_root);
+  runtime.SetSubsystem(Subsystem::kGeneralPurposeAllocator, gp_root);
+}
+
+}  // namespace mem
+
+}  // namespace ebbrt

@@ -1,0 +1,22 @@
+#include "src/mem/phys_arena.h"
+
+#include <sys/mman.h>
+
+namespace ebbrt {
+
+PhysArena::PhysArena(std::size_t bytes, std::size_t numa_nodes) : nodes_(numa_nodes) {
+  Kassert(numa_nodes >= 1, "PhysArena: need at least one node");
+  pages_ = bytes >> kPageShift;
+  Kassert(pages_ >= numa_nodes * (1u << kMaxOrder),
+          "PhysArena: arena too small for one max-order block per node");
+  void* mapping = mmap(nullptr, pages_ << kPageShift, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  Kbugon(mapping == MAP_FAILED, "PhysArena: mmap of %zu pages failed", pages_);
+  base_ = static_cast<std::uint8_t*>(mapping);
+  pages_per_node_ = pages_ / nodes_;
+  page_info_.resize(pages_);
+}
+
+PhysArena::~PhysArena() { munmap(base_, pages_ << kPageShift); }
+
+}  // namespace ebbrt

@@ -1,0 +1,92 @@
+// PhysArena — the machine's simulated physical memory.
+//
+// EbbRT identity-maps all of physical memory and never pages it out, which is what makes
+// zero-copy I/O with ordinary allocations possible (§3.4, §3.6): any allocated buffer is
+// physically contiguous and pinned from the device's point of view. We model physical memory
+// as one big mmap'd arena per machine; "physical addresses" are offsets into it, identity
+// mapping is the arena's base address, and a side table holds per-page metadata (the analogue
+// of Linux's struct page array) used by the allocators to classify any pointer.
+#ifndef EBBRT_SRC_MEM_PHYS_ARENA_H_
+#define EBBRT_SRC_MEM_PHYS_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/platform/debug.h"
+
+namespace ebbrt {
+
+inline constexpr std::size_t kPageShift = 12;
+inline constexpr std::size_t kPageSize = 1 << kPageShift;  // 4 KiB
+inline constexpr std::size_t kMaxOrder = 10;               // largest buddy block: 4 MiB
+
+using Pfn = std::size_t;
+
+enum class PageKind : std::uint8_t {
+  kFree,            // in a buddy free list (first page of the block carries the order)
+  kBuddyTail,       // interior page of a free or allocated block
+  kBuddyAllocated,  // first page of a block handed out by the page allocator
+  kSlab,            // backs a slab cache (owner = SlabCacheRoot*)
+  kLarge,           // first page of a large GP allocation (order recorded)
+};
+
+struct PageInfo {
+  PageKind kind = PageKind::kBuddyTail;
+  std::uint8_t order = 0;
+  std::uint16_t node = 0;
+  void* owner = nullptr;  // PageKind::kSlab: the owning SlabCacheRoot
+};
+
+class PhysArena {
+ public:
+  // Reserves `bytes` (rounded down to a page multiple) of "physical" memory split evenly
+  // across `numa_nodes`.
+  PhysArena(std::size_t bytes, std::size_t numa_nodes);
+  ~PhysArena();
+
+  PhysArena(const PhysArena&) = delete;
+  PhysArena& operator=(const PhysArena&) = delete;
+
+  std::size_t pages() const { return pages_; }
+  std::size_t nodes() const { return nodes_; }
+
+  std::uint8_t* PfnToAddr(Pfn pfn) const {
+    Kassert(pfn < pages_, "PhysArena: pfn out of range");
+    return base_ + (pfn << kPageShift);
+  }
+
+  Pfn AddrToPfn(const void* addr) const {
+    auto offset = static_cast<std::size_t>(static_cast<const std::uint8_t*>(addr) - base_);
+    Kassert(offset < pages_ << kPageShift, "PhysArena: address outside arena");
+    return offset >> kPageShift;
+  }
+
+  bool Contains(const void* addr) const {
+    auto* p = static_cast<const std::uint8_t*>(addr);
+    return p >= base_ && p < base_ + (pages_ << kPageShift);
+  }
+
+  PageInfo& InfoFor(Pfn pfn) {
+    Kassert(pfn < pages_, "PhysArena: pfn out of range");
+    return page_info_[pfn];
+  }
+  PageInfo& InfoForAddr(const void* addr) { return InfoFor(AddrToPfn(addr)); }
+
+  // Node n owns pfns [NodeFirstPfn(n), NodeFirstPfn(n) + NodePages(n)).
+  Pfn NodeFirstPfn(std::size_t node) const { return node * pages_per_node_; }
+  std::size_t NodePages(std::size_t node) const {
+    return node + 1 == nodes_ ? pages_ - node * pages_per_node_ : pages_per_node_;
+  }
+
+ private:
+  std::uint8_t* base_;
+  std::size_t pages_;
+  std::size_t nodes_;
+  std::size_t pages_per_node_;
+  std::vector<PageInfo> page_info_;
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_MEM_PHYS_ARENA_H_

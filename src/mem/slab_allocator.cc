@@ -1,0 +1,153 @@
+#include "src/mem/slab_allocator.h"
+
+namespace ebbrt {
+
+namespace {
+inline void*& NextOf(void* obj) { return *static_cast<void**>(obj); }
+}  // namespace
+
+SlabCacheRoot::SlabCacheRoot(PageAllocatorRoot& pages, std::size_t object_size, EbbId id,
+                             std::size_t num_cores)
+    : pages_(pages), object_size_(object_size), id_(id) {
+  Kassert(object_size >= sizeof(void*), "SlabCacheRoot: object too small for a link");
+  // Pick the smallest slab order that fits at least 8 objects (single page when possible).
+  slab_order_ = 0;
+  while (slab_order_ < kMaxOrder &&
+         ((kPageSize << slab_order_) / object_size_) < 8) {
+    ++slab_order_;
+  }
+  objects_per_slab_ = (kPageSize << slab_order_) / object_size_;
+  Kassert(objects_per_slab_ >= 1, "SlabCacheRoot: object larger than max slab");
+  reps_ = std::vector<std::atomic<SlabCache*>>(num_cores);
+  depots_ = std::vector<Depot>(pages.nodes());
+}
+
+SlabCacheRoot::~SlabCacheRoot() {
+  for (auto& rep : reps_) {
+    delete rep.load(std::memory_order_relaxed);
+  }
+}
+
+SlabCache& SlabCacheRoot::RepFor(std::size_t machine_core) {
+  Kassert(machine_core < reps_.size(), "SlabCacheRoot: bad core");
+  SlabCache* rep = reps_[machine_core].load(std::memory_order_acquire);
+  if (__builtin_expect(rep != nullptr, true)) {
+    return *rep;
+  }
+  std::lock_guard<Spinlock> lock(rep_mu_);
+  rep = reps_[machine_core].load(std::memory_order_relaxed);
+  if (rep == nullptr) {
+    rep = new SlabCache(*this, machine_core);
+    reps_[machine_core].store(rep, std::memory_order_release);
+  }
+  return *rep;
+}
+
+SlabCache& SlabCache::HandleFault(EbbId id) {
+  Context& ctx = CurrentContext();
+  auto* root = static_cast<SlabCacheRoot*>(ctx.runtime->FindRoot(id));
+  Kbugon(root == nullptr, "SlabCache: no root for id %u on '%s'", id,
+         ctx.runtime->name().c_str());
+  SlabCache& rep = root->RepFor(ctx.machine_core);
+  Runtime::CacheRep(id, &rep);
+  return rep;
+}
+
+SlabCache::SlabCache(SlabCacheRoot& root, std::size_t machine_core)
+    : root_(root), machine_core_(machine_core) {
+  node_ = root_.pages().RepForCore(machine_core).node();
+}
+
+void* SlabCache::Alloc() {
+  if (__builtin_expect(freelist_ != nullptr, true)) {
+    void* obj = freelist_;
+    freelist_ = NextOf(obj);
+    --free_count_;
+    return obj;
+  }
+  if (!Refill()) {
+    return nullptr;
+  }
+  void* obj = freelist_;
+  freelist_ = NextOf(obj);
+  --free_count_;
+  return obj;
+}
+
+void SlabCache::Free(void* p) {
+  NextOf(p) = freelist_;
+  freelist_ = p;
+  if (__builtin_expect(++free_count_ > kWatermark, false)) {
+    FlushHalfToDepot();
+  }
+}
+
+bool SlabCache::RefillFromDepot() {
+  SlabCacheRoot::Depot& depot = root_.depot_for(node_);
+  std::lock_guard<Spinlock> lock(depot.mu);
+  if (depot.head == nullptr) {
+    return false;
+  }
+  // Take the whole depot chain in O(1); balancing granularity is the flush batch.
+  freelist_ = depot.head;
+  free_count_ = depot.count;
+  depot.head = nullptr;
+  depot.count = 0;
+  return true;
+}
+
+void SlabCache::FlushHalfToDepot() {
+  // Walk to the midpoint and hand the tail half to the node depot.
+  std::size_t keep = free_count_ / 2;
+  void* cursor = freelist_;
+  for (std::size_t i = 1; i < keep; ++i) {
+    cursor = NextOf(cursor);
+  }
+  void* flush_head = NextOf(cursor);
+  NextOf(cursor) = nullptr;
+  std::size_t flush_count = free_count_ - keep;
+  free_count_ = keep;
+  // Find the flush chain's tail to splice in O(len); lists here are short relative to
+  // watermark and this path is rare (1 in kWatermark/2 frees).
+  void* tail = flush_head;
+  while (NextOf(tail) != nullptr) {
+    tail = NextOf(tail);
+  }
+  SlabCacheRoot::Depot& depot = root_.depot_for(node_);
+  std::lock_guard<Spinlock> lock(depot.mu);
+  NextOf(tail) = depot.head;
+  depot.head = flush_head;
+  depot.count += flush_count;
+}
+
+bool SlabCache::Refill() {
+  if (RefillFromDepot()) {
+    return true;
+  }
+  // Carve a fresh slab from this node's buddy allocator.
+  PageAllocator& pages = root_.pages().RepForNode(node_);
+  void* slab = pages.AllocPages(root_.slab_order());
+  if (slab == nullptr) {
+    return false;
+  }
+  PhysArena& arena = pages.arena();
+  Pfn first = arena.AddrToPfn(slab);
+  for (std::size_t i = 0; i < (std::size_t{1} << root_.slab_order()); ++i) {
+    PageInfo& info = arena.InfoFor(first + i);
+    info.kind = PageKind::kSlab;
+    info.owner = &root_;
+  }
+  root_.count_slab();
+  auto* bytes = static_cast<std::uint8_t*>(slab);
+  std::size_t object_size = root_.object_size();
+  std::size_t count = root_.objects_per_slab();
+  for (std::size_t i = 0; i < count; ++i) {
+    void* obj = bytes + i * object_size;
+    NextOf(obj) = freelist_;
+    freelist_ = obj;
+  }
+  free_count_ += count;
+  return true;
+}
+
+}  // namespace ebbrt

@@ -1,0 +1,109 @@
+// SlabAllocator — fixed-size object caches in the style of Linux's SLQB (§3.4).
+//
+// Per-core representatives hold object free lists; a per-NUMA-node shared depot balances
+// objects between cores (a core flushes half its list when it exceeds the watermark and
+// refills from the depot before carving fresh pages). The fast path — pop/push on the
+// core-local list — uses no atomic operations at all: EbbRT events cannot be preempted or
+// migrate, which is exactly the property the paper exploits ("most allocations can be serviced
+// from a per-core cache without any synchronization").
+//
+// Backing pages come from the node's buddy allocator and are tagged in the arena's page-info
+// table so any pointer can be routed back to its cache (the general-purpose allocator's Free
+// uses this).
+#ifndef EBBRT_SRC_MEM_SLAB_ALLOCATOR_H_
+#define EBBRT_SRC_MEM_SLAB_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/ebb_id.h"
+#include "src/core/ebb_ref.h"
+#include "src/core/runtime.h"
+#include "src/mem/page_allocator.h"
+#include "src/platform/spinlock.h"
+
+namespace ebbrt {
+
+class SlabCache;
+
+class SlabCacheRoot {
+ public:
+  // A cache of `object_size`-byte objects. `id` is the Ebb id reps are reached through.
+  SlabCacheRoot(PageAllocatorRoot& pages, std::size_t object_size, EbbId id,
+                std::size_t num_cores);
+  ~SlabCacheRoot();
+
+  SlabCache& RepFor(std::size_t machine_core);
+
+  std::size_t object_size() const { return object_size_; }
+  EbbId id() const { return id_; }
+  PageAllocatorRoot& pages() { return pages_; }
+
+  // Per-node depot of surplus objects (intrusive singly-linked, spinlock-protected).
+  struct alignas(kCacheLineSize) Depot {
+    Spinlock mu;
+    void* head = nullptr;
+    std::size_t count = 0;
+  };
+  Depot& depot_for(std::size_t node) { return depots_[node]; }
+
+  // Pages a slab of this size occupies (larger objects use multi-page slabs).
+  std::size_t slab_order() const { return slab_order_; }
+  std::size_t objects_per_slab() const { return objects_per_slab_; }
+
+  std::size_t total_slabs() const { return total_slabs_.load(std::memory_order_relaxed); }
+  void count_slab() { total_slabs_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  PageAllocatorRoot& pages_;
+  std::size_t object_size_;
+  EbbId id_;
+  std::size_t slab_order_;
+  std::size_t objects_per_slab_;
+  // Lock-free rep lookup: RepFor sits on the Free() fast path (any pointer routes back to
+  // its cache through the page-info table), so reads must not synchronize. Constructed
+  // under rep_mu_ with a double-check, published with release semantics.
+  std::vector<std::atomic<SlabCache*>> reps_;
+  std::vector<Depot> depots_;
+  std::atomic<std::size_t> total_slabs_{0};
+  Spinlock rep_mu_;
+};
+
+// Cache-line aligned: representatives of adjacent cores are allocated back to back, and the
+// freelist head is written on every alloc/free — sharing a line across cores would put
+// coherence traffic on the very path whose point is to have none.
+class alignas(kCacheLineSize) SlabCache {
+ public:
+  static SlabCache& HandleFault(EbbId id);
+
+  SlabCache(SlabCacheRoot& root, std::size_t machine_core);
+
+  // Fast path: pop the core-local free list (no atomics). Slow path: refill from the node
+  // depot or carve a new slab from the buddy allocator.
+  void* Alloc();
+  // Fast path: push onto the core-local free list; flushes half to the node depot past the
+  // watermark so one core's frees feed another core's allocs.
+  void Free(void* p);
+
+  std::size_t local_free() const { return free_count_; }
+  SlabCacheRoot& root() { return root_; }
+
+ private:
+  static constexpr std::size_t kWatermark = 4096;  // objects kept core-local before flushing
+
+  bool Refill();
+  void FlushHalfToDepot();
+  bool RefillFromDepot();
+
+  SlabCacheRoot& root_;
+  std::size_t machine_core_;
+  std::size_t node_;
+  void* freelist_ = nullptr;  // next pointer embedded in the first word of each free object
+  std::size_t free_count_ = 0;
+  char padding_[kCacheLineSize];  // keep the next heap object off this rep's line
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_MEM_SLAB_ALLOCATOR_H_

@@ -1,0 +1,65 @@
+// VMemRegion — virtual memory regions with application-provided fault handlers (§3.4):
+// "Applications can allocate virtual regions and provide their own page fault handler which is
+// invoked on faults to that region. This allows applications to implement arbitrary paging
+// policies."
+//
+// Regions are mmap'd PROT_NONE; a process-wide SIGSEGV handler routes faults inside a region
+// to its handler (which typically MapPage()s and returns). MapAll() pre-maps the whole region
+// — the "aggressive mapping" EbbRT applies to V8's heap that eliminates its page faults (the
+// paper's explanation for the Splay benchmark win, Figure 7).
+#ifndef EBBRT_SRC_MEM_VMEM_H_
+#define EBBRT_SRC_MEM_VMEM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace ebbrt {
+
+class VMemRegion {
+ public:
+  // Handler invoked on the faulting thread with the faulting address. It must make the
+  // address accessible (e.g. MapPage) or the fault repeats.
+  using FaultHandler = std::function<void(VMemRegion&, void* addr)>;
+
+  ~VMemRegion();
+  VMemRegion(const VMemRegion&) = delete;
+  VMemRegion& operator=(const VMemRegion&) = delete;
+
+  void* base() const { return base_; }
+  std::size_t size() const { return size_; }
+  bool Contains(const void* addr) const {
+    auto* p = static_cast<const std::uint8_t*>(addr);
+    return p >= static_cast<std::uint8_t*>(base_) &&
+           p < static_cast<std::uint8_t*>(base_) + size_;
+  }
+
+  // Makes the page containing `addr` readable/writable.
+  void MapPage(void* addr);
+  // Pre-maps (and optionally pre-touches) the entire region: no faults will ever occur.
+  void MapAll(bool touch = false);
+
+  std::uint64_t fault_count() const { return faults_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class VMemRegistry;
+  VMemRegion(void* base, std::size_t size, FaultHandler handler);
+
+  void* base_;
+  std::size_t size_;
+  FaultHandler handler_;
+  std::atomic<std::uint64_t> faults_{0};
+};
+
+namespace vmem {
+// Allocates a fault-handled region of `bytes` (rounded up to pages). The default handler maps
+// the faulting page (demand paging). The region stays registered until Release().
+VMemRegion& Allocate(std::size_t bytes, VMemRegion::FaultHandler handler = nullptr);
+void Release(VMemRegion& region);
+}  // namespace vmem
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_MEM_VMEM_H_

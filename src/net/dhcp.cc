@@ -1,0 +1,217 @@
+#include "src/net/dhcp.h"
+
+#include <cstring>
+#include <memory>
+
+namespace ebbrt {
+
+namespace {
+
+constexpr std::uint32_t kDhcpMagic = 0x63825363;
+constexpr std::uint8_t kOptMessageType = 53;
+constexpr std::uint8_t kOptSubnetMask = 1;
+constexpr std::uint8_t kOptRouter = 3;
+constexpr std::uint8_t kOptRequestedIp = 50;
+constexpr std::uint8_t kOptEnd = 255;
+
+struct ParsedOptions {
+  std::uint8_t message_type = 0;
+  Ipv4Addr subnet_mask;
+  Ipv4Addr router;
+  Ipv4Addr requested_ip;
+};
+
+ParsedOptions ParseOptions(const IOBuf& msg) {
+  ParsedOptions out;
+  std::size_t off = sizeof(DhcpHeader);
+  std::size_t len = msg.ComputeChainDataLength();
+  std::uint8_t buf[4];
+  while (off + 2 <= len) {
+    std::uint8_t tag;
+    msg.CopyOut(&tag, 1, off);
+    if (tag == kOptEnd) {
+      break;
+    }
+    std::uint8_t opt_len;
+    msg.CopyOut(&opt_len, 1, off + 1);
+    if (off + 2 + opt_len > len) {
+      break;
+    }
+    if (opt_len <= 4) {
+      msg.CopyOut(buf, opt_len, off + 2);
+      std::uint32_t v = 0;
+      if (opt_len == 4) {
+        std::memcpy(&v, buf, 4);
+        v = NetToHost32(v);
+      }
+      switch (tag) {
+        case kOptMessageType:
+          out.message_type = buf[0];
+          break;
+        case kOptSubnetMask:
+          out.subnet_mask = {v};
+          break;
+        case kOptRouter:
+          out.router = {v};
+          break;
+        case kOptRequestedIp:
+          out.requested_ip = {v};
+          break;
+        default:
+          break;
+      }
+    }
+    off += 2 + opt_len;
+  }
+  return out;
+}
+
+std::unique_ptr<IOBuf> BuildMessage(std::uint8_t op, std::uint32_t xid, MacAddr chaddr,
+                                    Ipv4Addr yiaddr, DhcpMessageType type,
+                                    Ipv4Addr subnet_mask, Ipv4Addr router,
+                                    Ipv4Addr requested) {
+  // Header + generous option space.
+  auto buf = IOBuf::Create(sizeof(DhcpHeader) + 32, /*zero=*/true);
+  auto& hdr = buf->Get<DhcpHeader>();
+  hdr.op = op;
+  hdr.htype = 1;
+  hdr.hlen = 6;
+  hdr.xid = HostToNet32(xid);
+  hdr.yiaddr = HostToNet32(yiaddr.raw);
+  std::memcpy(hdr.chaddr, chaddr.bytes.data(), 6);
+  hdr.magic = HostToNet32(kDhcpMagic);
+  auto* opt = buf->WritableData() + sizeof(DhcpHeader);
+  *opt++ = kOptMessageType;
+  *opt++ = 1;
+  *opt++ = static_cast<std::uint8_t>(type);
+  auto put_addr = [&opt](std::uint8_t tag, Ipv4Addr addr) {
+    *opt++ = tag;
+    *opt++ = 4;
+    std::uint32_t v = HostToNet32(addr.raw);
+    std::memcpy(opt, &v, 4);
+    opt += 4;
+  };
+  if (!(subnet_mask == Ipv4Addr{})) {
+    put_addr(kOptSubnetMask, subnet_mask);
+  }
+  if (!(router == Ipv4Addr{})) {
+    put_addr(kOptRouter, router);
+  }
+  if (!(requested == Ipv4Addr{})) {
+    put_addr(kOptRequestedIp, requested);
+  }
+  *opt++ = kOptEnd;
+  return buf;
+}
+
+std::uint64_t ChaddrKey(const std::uint8_t* chaddr) {
+  std::uint64_t key = 0;
+  std::memcpy(&key, chaddr, 6);
+  return key;
+}
+
+}  // namespace
+
+namespace dhcp {
+
+Future<Interface::IpConfig> Acquire(NetworkManager& network, Interface& iface) {
+  struct Exchange {
+    Promise<Interface::IpConfig> done;
+    std::uint32_t xid;
+    bool requested = false;
+  };
+  auto ex = std::make_shared<Exchange>();
+  ex->xid = 0x4242 + static_cast<std::uint32_t>(iface.mac().bytes[5]);
+  Future<Interface::IpConfig> result = ex->done.GetFuture();
+  MacAddr mac = iface.mac();
+
+  network.BindUdp(kDhcpClientPort, [ex, &network, &iface, mac](Ipv4Addr, std::uint16_t,
+                                                               std::unique_ptr<IOBuf> msg) {
+    if (msg->ComputeChainDataLength() < sizeof(DhcpHeader)) {
+      return;
+    }
+    DhcpHeader hdr;
+    msg->CopyOut(&hdr, sizeof(hdr));
+    if (NetToHost32(hdr.xid) != ex->xid || NetToHost32(hdr.magic) != kDhcpMagic) {
+      return;
+    }
+    ParsedOptions opts = ParseOptions(*msg);
+    Ipv4Addr offered{NetToHost32(hdr.yiaddr)};
+    if (opts.message_type == kDhcpOffer && !ex->requested) {
+      ex->requested = true;
+      auto request = BuildMessage(1, ex->xid, mac, {}, kDhcpRequest, {}, {}, offered);
+      network.SendUdp(Ipv4Addr::BroadcastAll(), kDhcpClientPort, kDhcpServerPort,
+                      std::move(request));
+    } else if (opts.message_type == kDhcpAck) {
+      Interface::IpConfig config;
+      config.addr = offered;
+      config.netmask = opts.subnet_mask.raw != 0 ? opts.subnet_mask
+                                                 : Ipv4Addr::Of(255, 255, 255, 0);
+      config.gateway = opts.router;
+      iface.set_config(config);
+      network.UnbindUdp(kDhcpClientPort);
+      ex->done.SetValue(config);
+    }
+  });
+
+  auto discover = BuildMessage(1, ex->xid, mac, {}, kDhcpDiscover, {}, {}, {});
+  network.SendUdp(Ipv4Addr::BroadcastAll(), kDhcpClientPort, kDhcpServerPort,
+                  std::move(discover));
+  return result;
+}
+
+}  // namespace dhcp
+
+DhcpServer::DhcpServer(NetworkManager& network, Ipv4Addr pool_start, std::uint32_t pool_size,
+                       Ipv4Addr netmask, Ipv4Addr gateway)
+    : network_(network), pool_start_(pool_start), pool_size_(pool_size), netmask_(netmask),
+      gateway_(gateway) {
+  network_.BindUdp(kDhcpServerPort,
+                   [this](Ipv4Addr src, std::uint16_t sport, std::unique_ptr<IOBuf> msg) {
+                     HandleMessage(src, sport, std::move(msg));
+                   });
+}
+
+DhcpServer::~DhcpServer() { network_.UnbindUdp(kDhcpServerPort); }
+
+void DhcpServer::HandleMessage(Ipv4Addr, std::uint16_t, std::unique_ptr<IOBuf> msg) {
+  if (msg->ComputeChainDataLength() < sizeof(DhcpHeader)) {
+    return;
+  }
+  DhcpHeader hdr;
+  msg->CopyOut(&hdr, sizeof(hdr));
+  if (NetToHost32(hdr.magic) != kDhcpMagic || hdr.op != 1) {
+    return;
+  }
+  ParsedOptions opts = ParseOptions(*msg);
+  std::uint64_t key = ChaddrKey(hdr.chaddr);
+  Ipv4Addr lease;
+  {
+    std::lock_guard<Spinlock> lock(mu_);
+    auto it = leases_.find(key);
+    if (it != leases_.end()) {
+      lease = it->second;
+    } else {
+      Kbugon(next_offset_ >= pool_size_, "DhcpServer: address pool exhausted");
+      lease = Ipv4Addr{pool_start_.raw + next_offset_++};
+      leases_.emplace(key, lease);
+    }
+  }
+  if (opts.message_type == kDhcpDiscover) {
+    Reply(hdr, kDhcpOffer, lease);
+  } else if (opts.message_type == kDhcpRequest) {
+    Reply(hdr, kDhcpAck, lease);
+  }
+}
+
+void DhcpServer::Reply(const DhcpHeader& request, DhcpMessageType type, Ipv4Addr yiaddr) {
+  MacAddr chaddr;
+  std::memcpy(chaddr.bytes.data(), request.chaddr, 6);
+  auto reply = BuildMessage(2, NetToHost32(request.xid), chaddr, yiaddr, type, netmask_,
+                            gateway_, {});
+  // The client has no address yet: reply via broadcast.
+  network_.SendUdp(Ipv4Addr::BroadcastAll(), kDhcpServerPort, kDhcpClientPort,
+                   std::move(reply));
+}
+
+}  // namespace ebbrt

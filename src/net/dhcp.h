@@ -1,0 +1,80 @@
+// DHCP client and server over the stack's UDP layer (§3.6 lists DHCP as part of the native
+// stack; machines in the testbed can boot with no static configuration).
+//
+// The client runs the DISCOVER -> OFFER -> REQUEST -> ACK exchange and resolves a future with
+// the acquired lease. The server is a small authoritative allocator used by tests and the
+// hosted-frontend example (a real deployment would already have one on the isolated network).
+#ifndef EBBRT_SRC_NET_DHCP_H_
+#define EBBRT_SRC_NET_DHCP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/future/future.h"
+#include "src/net/network_manager.h"
+
+namespace ebbrt {
+
+inline constexpr std::uint16_t kDhcpServerPort = 67;
+inline constexpr std::uint16_t kDhcpClientPort = 68;
+
+// BOOTP fixed header (RFC 2131) followed by the options magic + TLVs.
+struct DhcpHeader {
+  std::uint8_t op;        // 1 request, 2 reply
+  std::uint8_t htype;     // 1 ethernet
+  std::uint8_t hlen;      // 6
+  std::uint8_t hops;
+  std::uint32_t xid;      // network order
+  std::uint16_t secs;
+  std::uint16_t flags;
+  std::uint32_t ciaddr;
+  std::uint32_t yiaddr;   // "your" address (network order)
+  std::uint32_t siaddr;
+  std::uint32_t giaddr;
+  std::uint8_t chaddr[16];
+  std::uint8_t sname[64];
+  std::uint8_t file[128];
+  std::uint32_t magic;    // 0x63825363
+} __attribute__((packed));
+static_assert(sizeof(DhcpHeader) == 240);
+
+enum DhcpMessageType : std::uint8_t {
+  kDhcpDiscover = 1,
+  kDhcpOffer = 2,
+  kDhcpRequest = 3,
+  kDhcpAck = 5,
+};
+
+namespace dhcp {
+// Acquires a lease for `iface`'s machine: sends DISCOVER from 0.0.0.0, completes the exchange,
+// applies the resulting IpConfig to the interface, and fulfills the future with it.
+Future<Interface::IpConfig> Acquire(NetworkManager& network, Interface& iface);
+}  // namespace dhcp
+
+// Authoritative DHCP server handing out [pool_start, pool_start + pool_size) with fixed
+// netmask/gateway. Bind on the serving machine's network manager.
+class DhcpServer {
+ public:
+  DhcpServer(NetworkManager& network, Ipv4Addr pool_start, std::uint32_t pool_size,
+             Ipv4Addr netmask, Ipv4Addr gateway);
+  ~DhcpServer();
+
+  std::size_t leases() const { return leases_.size(); }
+
+ private:
+  void HandleMessage(Ipv4Addr src, std::uint16_t sport, std::unique_ptr<IOBuf> msg);
+  void Reply(const DhcpHeader& request, DhcpMessageType type, Ipv4Addr yiaddr);
+
+  NetworkManager& network_;
+  Ipv4Addr pool_start_;
+  std::uint32_t pool_size_;
+  Ipv4Addr netmask_;
+  Ipv4Addr gateway_;
+  Spinlock mu_;
+  std::unordered_map<std::uint64_t, Ipv4Addr> leases_;  // chaddr hash -> address
+  std::uint32_t next_offset_ = 0;
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_NET_DHCP_H_

@@ -1,0 +1,199 @@
+// TCP for the EbbRT stack (§3.6).
+//
+// Deliberate departures from a general-purpose OS TCP, straight from the paper:
+//
+//   * NO stack-side buffering in either direction. Received in-order bytes are handed to the
+//     application immediately, from the driver's event, on the connection's core. On the send
+//     side the application must check SendWindowRemaining() before Send() — the stack never
+//     queues application data waiting for window (out-of-window sends are rejected).
+//   * NO Nagle. Send() puts segments on the wire immediately; aggregation is an application
+//     decision ("This allows the application to decide whether or not to delay sending to
+//     aggregate multiple sends into a single TCP segment").
+//   * The application controls the advertised receive window (SetReceiveWindow) — its own
+//     admission control, not a kernel buffer size.
+//   * Connection state lives on exactly one core (where the SYN landed / where the connector
+//     arranged its flow hash to land). Lookups go through an RCU hash table; the data path
+//     takes no locks and no atomics.
+//
+// Reliability machinery kept for correctness (exercised by the packet-loss tests): go-back-N
+// retransmission with exponential backoff, out-of-order segment parking, TIME_WAIT.
+#ifndef EBBRT_SRC_NET_TCP_H_
+#define EBBRT_SRC_NET_TCP_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/future/future.h"
+#include "src/iobuf/iobuf.h"
+#include "src/net/net_types.h"
+#include "src/rcu/rcu_hash_table.h"
+
+namespace ebbrt {
+
+class NetworkManager;
+class Interface;
+class TcpManager;
+class TcpPcb;
+
+inline constexpr std::size_t kTcpMss = 1460;
+inline constexpr std::uint16_t kTcpDefaultWindow = 65535;
+
+enum class TcpState : std::uint8_t {
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kLastAck,
+  kClosing,
+  kTimeWait,
+  kClosed,
+};
+
+// Internal per-connection state. All fields are owned by `owner_core`; only that core touches
+// them (the RSS steering invariant). Applications hold it through TcpPcb.
+class TcpEntry {
+ public:
+  using ReceiveFn = std::function<void(std::unique_ptr<IOBuf>)>;
+  using CloseFn = std::function<void()>;
+  using SendReadyFn = std::function<void()>;
+
+  TcpEntry(TcpManager& manager, Interface& iface, FourTuple tuple, std::size_t owner_core);
+
+  TcpManager& manager;
+  Interface& iface;
+  FourTuple tuple;
+  std::size_t owner_core;
+  TcpState state = TcpState::kClosed;
+
+  // Send sequence space.
+  std::uint32_t snd_una = 0;  // oldest unacknowledged
+  std::uint32_t snd_nxt = 0;  // next to send
+  std::uint32_t snd_wnd = kTcpDefaultWindow;  // peer's advertised window
+  // Receive sequence space.
+  std::uint32_t rcv_nxt = 0;
+  std::uint16_t rcv_wnd = kTcpDefaultWindow;  // our advertisement (application-controlled)
+
+  ReceiveFn receive_fn;
+  CloseFn close_fn;
+  SendReadyFn send_ready_fn;
+
+  // Retransmission queue: unacked segments with owning payload copies (retransmit is the rare
+  // path; the fast path transmits zero-copy views of application memory).
+  struct RtxSeg {
+    std::uint32_t seq;
+    std::uint32_t len;  // payload bytes (+1 virtual byte for SYN/FIN)
+    std::uint8_t flags;
+    std::unique_ptr<IOBuf> payload;    // views into `owner`; cloned only on retransmit
+    std::shared_ptr<IOBuf> owner;      // keeps the application chain alive until acked
+  };
+  std::deque<RtxSeg> rtx_queue;
+  std::uint64_t rtx_timer = 0;  // Timer handle, 0 when unarmed
+  std::uint32_t rtx_backoff = 0;
+
+  // Out-of-order segments parked until the gap fills (bounded).
+  std::map<std::uint32_t, std::unique_ptr<IOBuf>> ooo;
+  static constexpr std::size_t kMaxOoo = 64;
+
+  bool pending_ack = false;   // a received segment needs acknowledging
+  bool app_closed = false;
+  bool fin_sent = false;
+  std::uint64_t time_wait_timer = 0;
+
+  Promise<void> connected;  // fulfilled for active opens
+  bool connect_pending = false;
+  std::function<void(TcpPcb)> on_established;  // passive opens: listener's accept callback
+};
+
+// Application handle to a connection. Methods must be called on the connection's core.
+class TcpPcb {
+ public:
+  TcpPcb() = default;
+  explicit TcpPcb(std::shared_ptr<TcpEntry> entry) : entry_(std::move(entry)) {}
+
+  bool valid() const { return entry_ != nullptr; }
+  std::size_t core() const { return entry_->owner_core; }
+  FourTuple tuple() const { return entry_->tuple; }
+  TcpState state() const { return entry_->state; }
+
+  // Handler receiving in-order payload the moment it arrives (ownership transferred).
+  void SetReceiveHandler(TcpEntry::ReceiveFn fn) { entry_->receive_fn = std::move(fn); }
+  // Invoked when the peer closes (FIN) or the connection aborts.
+  void SetCloseHandler(TcpEntry::CloseFn fn) { entry_->close_fn = std::move(fn); }
+  // Invoked when ACKs open send window that was previously exhausted.
+  void SetSendReadyHandler(TcpEntry::SendReadyFn fn) {
+    entry_->send_ready_fn = std::move(fn);
+  }
+
+  // Application-controlled advertised window (§3.6: "an application can explicitly set the
+  // window size to prevent further sends from the remote host").
+  void SetReceiveWindow(std::uint16_t window);
+
+  // Bytes the peer+our outstanding data currently allow us to send. The application must
+  // check this before Send (paper contract); Send returns false when violated.
+  std::size_t SendWindowRemaining() const;
+  // Unacknowledged bytes currently in flight (used by the baseline stack's Nagle check).
+  std::size_t BytesInFlight() const { return entry_->snd_nxt - entry_->snd_una; }
+  bool Send(std::unique_ptr<IOBuf> chain);
+
+  void Close();
+
+ private:
+  std::shared_ptr<TcpEntry> entry_;
+};
+
+class TcpManager {
+ public:
+  using AcceptFn = std::function<void(TcpPcb)>;
+
+  explicit TcpManager(NetworkManager& manager);
+  ~TcpManager();
+
+  // Passive open: accept handler runs on the core where each connection's SYN lands.
+  void Listen(std::uint16_t port, AcceptFn accept);
+  void Unlisten(std::uint16_t port);
+
+  // Active open from the current core: picks an ephemeral source port whose flow hash steers
+  // the connection back to this core, then completes the handshake.
+  Future<TcpPcb> Connect(Interface& iface, Ipv4Addr dst, std::uint16_t dst_port);
+
+  // Segment input from the IP layer (on the RSS core).
+  void HandleSegment(Interface& iface, const Ipv4Header& ip, std::unique_ptr<IOBuf> segment);
+
+  std::size_t active_connections() const { return table_.size(); }
+
+  // internal (used by TcpPcb/TcpEntry logic)
+  void TransmitSegment(TcpEntry& entry, std::uint8_t flags, std::unique_ptr<IOBuf> payload,
+                       std::uint32_t seq, bool queue_rtx);
+  void ArmRtxTimer(TcpEntry& entry);
+  void RtxTimeout(std::shared_ptr<TcpEntry> entry);
+  void RemoveEntry(TcpEntry& entry);
+  NetworkManager& network() { return network_; }
+
+ private:
+  struct Listener {
+    AcceptFn accept;
+  };
+
+  std::shared_ptr<TcpEntry>* FindEntry(const FourTuple& tuple) { return table_.Find(tuple); }
+  void HandleSyn(Interface& iface, const Ipv4Header& ip, const TcpHeader& tcp);
+  void ProcessSegment(std::shared_ptr<TcpEntry> entry, const TcpHeader& tcp,
+                      std::unique_ptr<IOBuf> payload);
+  void DeliverInOrder(TcpEntry& entry, std::unique_ptr<IOBuf> payload, std::uint8_t flags);
+  void SendAckIfPending(TcpEntry& entry);
+  void EnterTimeWait(std::shared_ptr<TcpEntry> entry);
+  std::uint16_t PickEphemeralPort(Interface& iface, Ipv4Addr dst, std::uint16_t dst_port,
+                                  std::size_t desired_core);
+
+  NetworkManager& network_;
+  RcuHashTable<FourTuple, std::shared_ptr<TcpEntry>, FourTupleHash> table_;
+  RcuHashTable<std::uint16_t, std::shared_ptr<Listener>> listeners_;
+  std::atomic<std::uint16_t> next_ephemeral_{33000};
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_NET_TCP_H_

@@ -1,0 +1,45 @@
+// Assertion and fatal-error utilities for the EbbRT runtime.
+//
+// The native EbbRT kernel cannot unwind into a debugger on assertion failure; it prints and
+// halts. We mirror that: kabort/kassert print a message and abort the process. kbugon mirrors
+// the EbbRT macro of the same name (abort when the condition is TRUE).
+#ifndef EBBRT_SRC_PLATFORM_DEBUG_H_
+#define EBBRT_SRC_PLATFORM_DEBUG_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ebbrt {
+
+// Prints a printf-style message to stderr and aborts. Never returns.
+[[noreturn]] inline void Kabort(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Aborts when `cond` is true (matching EbbRT's kbugon semantics).
+template <typename... Args>
+inline void Kbugon(bool cond, const char* fmt, Args... args) {
+  if (__builtin_expect(cond, false)) {
+    Kabort(fmt, args...);
+  }
+}
+
+// Runtime assertion: aborts when `cond` is false. Enabled in all build types — the runtime's
+// invariants (single-writer per-core state, interrupt masking) are cheap to check and
+// violations are otherwise silent corruption.
+inline void Kassert(bool cond, const char* msg) {
+  if (__builtin_expect(!cond, false)) {
+    Kabort("kassert failure: %s", msg);
+  }
+}
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_PLATFORM_DEBUG_H_

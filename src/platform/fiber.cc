@@ -1,0 +1,60 @@
+#include "src/platform/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/platform/debug.h"
+
+namespace ebbrt {
+
+FiberStack::FiberStack(std::size_t size) {
+  long page = sysconf(_SC_PAGESIZE);
+  std::size_t page_size = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  // Round the usable area up to whole pages and add one guard page below.
+  std::size_t usable = (size + page_size - 1) & ~(page_size - 1);
+  mapping_size_ = usable + page_size;
+  mapping_ = mmap(nullptr, mapping_size_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  Kbugon(mapping_ == MAP_FAILED, "FiberStack: mmap of %zu bytes failed", mapping_size_);
+  Kbugon(mprotect(mapping_, page_size, PROT_NONE) != 0, "FiberStack: guard mprotect failed");
+  limit_ = static_cast<std::uint8_t*>(mapping_) + page_size;
+  // Top aligned down to 16 so the fiber-entry trampoline sees an ABI-aligned stack.
+  auto top = reinterpret_cast<std::uintptr_t>(mapping_) + mapping_size_;
+  top_ = reinterpret_cast<void*>(top & ~std::uintptr_t{15});
+}
+
+FiberStack::~FiberStack() { munmap(mapping_, mapping_size_); }
+
+void* FiberStack::InitialSp(void (*entry)(void*), void* arg) {
+  // Frame layout consumed by ebbrt_context_switch's restore path (low to high):
+  //   [r15][r14][r13][r12=arg][rbx=entry][rbp][return address = ebbrt_fiber_entry]
+  auto* slots = static_cast<void**>(top_);
+  slots -= 7;
+  slots[0] = nullptr;                                 // r15
+  slots[1] = nullptr;                                 // r14
+  slots[2] = nullptr;                                 // r13
+  slots[3] = arg;                                     // r12 -> rdi in trampoline
+  slots[4] = reinterpret_cast<void*>(entry);          // rbx -> call target
+  slots[5] = nullptr;                                 // rbp
+  slots[6] = reinterpret_cast<void*>(&ebbrt_fiber_entry);  // ret lands in trampoline
+  return slots;
+}
+
+std::unique_ptr<FiberStack> StackPool::Get() {
+  if (!pool_.empty()) {
+    auto stack = std::move(pool_.back());
+    pool_.pop_back();
+    return stack;
+  }
+  return std::make_unique<FiberStack>();
+}
+
+void StackPool::Put(std::unique_ptr<FiberStack> stack) {
+  if (pool_.size() < kMaxPooled) {
+    pool_.push_back(std::move(stack));
+  }
+}
+
+}  // namespace ebbrt

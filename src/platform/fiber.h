@@ -1,0 +1,62 @@
+// Event stacks and the raw context-switch primitive (see fiber.S).
+//
+// Stacks are mmap'd with a guard page below them so overflow faults instead of corrupting the
+// neighbour. The event manager pools stacks per core: an event that never blocks costs one
+// switch in and one out; a blocked event parks its stack until reactivated.
+#ifndef EBBRT_SRC_PLATFORM_FIBER_H_
+#define EBBRT_SRC_PLATFORM_FIBER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ebbrt {
+
+extern "C" {
+// Saves the current context's callee-saved state on its stack, stores the stack pointer to
+// *save_sp, and resumes the context whose stack pointer is restore_sp.
+void ebbrt_context_switch(void** save_sp, void* restore_sp);
+// Assembly trampoline that first-activates a fiber (declared for address-of only).
+void ebbrt_fiber_entry();
+}
+
+class FiberStack {
+ public:
+  static constexpr std::size_t kDefaultSize = 256 * 1024;
+
+  explicit FiberStack(std::size_t size = kDefaultSize);
+  ~FiberStack();
+
+  FiberStack(const FiberStack&) = delete;
+  FiberStack& operator=(const FiberStack&) = delete;
+
+  // Builds the initial fake switch frame: the first ebbrt_context_switch into the returned
+  // stack pointer calls entry(arg) on this stack via ebbrt_fiber_entry.
+  void* InitialSp(void (*entry)(void*), void* arg);
+
+  void* limit() const { return limit_; }  // lowest usable address
+  void* top() const { return top_; }      // highest (aligned) address
+
+ private:
+  void* mapping_;
+  std::size_t mapping_size_;
+  void* limit_;
+  void* top_;
+};
+
+// Per-core stack pool. Not thread-safe: each core owns one (non-preemptive single writer).
+class StackPool {
+ public:
+  std::unique_ptr<FiberStack> Get();
+  void Put(std::unique_ptr<FiberStack> stack);
+  std::size_t size() const { return pool_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 16;
+  std::vector<std::unique_ptr<FiberStack>> pool_;
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_PLATFORM_FIBER_H_

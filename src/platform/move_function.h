@@ -1,0 +1,145 @@
+// MoveFunction — a move-only callable wrapper with small-buffer optimization.
+//
+// EbbRT passes ownership of IOBufs and Promises into continuations; std::function requires
+// copyable callables, which forces shared_ptr workarounds and heap churn. MoveFunction stores
+// any move-constructible callable, inline when it fits in the small buffer (no allocation on
+// the event hot path), on the heap otherwise. This mirrors ebbrt::MovableFunction from the
+// original runtime (std::move_only_function is C++23 and unavailable on this toolchain).
+#ifndef EBBRT_SRC_PLATFORM_MOVE_FUNCTION_H_
+#define EBBRT_SRC_PLATFORM_MOVE_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/platform/debug.h"
+
+namespace ebbrt {
+
+template <typename Signature>
+class MoveFunction;
+
+template <typename R, typename... Args>
+class MoveFunction<R(Args...)> {
+ public:
+  MoveFunction() noexcept = default;
+  MoveFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, MoveFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  MoveFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Holder<Decayed>) <= kBufferSize &&
+                  alignof(Holder<Decayed>) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      vtable_ = Holder<Decayed>::InlineVtable();
+      new (&buffer_) Holder<Decayed>(std::forward<F>(f));
+    } else {
+      vtable_ = Holder<Decayed>::HeapVtable();
+      heap_ = new Holder<Decayed>(std::forward<F>(f));
+    }
+  }
+
+  MoveFunction(MoveFunction&& other) noexcept { MoveFrom(std::move(other)); }
+
+  MoveFunction& operator=(MoveFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  MoveFunction(const MoveFunction&) = delete;
+  MoveFunction& operator=(const MoveFunction&) = delete;
+
+  ~MoveFunction() { Reset(); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    Kassert(vtable_ != nullptr, "MoveFunction: invoking empty function");
+    return vtable_->invoke(Storage(), std::forward<Args>(args)...);
+  }
+
+ private:
+  static constexpr std::size_t kBufferSize = 6 * sizeof(void*);
+
+  struct Vtable {
+    R (*invoke)(void* storage, Args&&... args);
+    void (*move_to)(void* from, void* to) noexcept;  // inline only; moves holder into `to`
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename F>
+  struct Holder {
+    explicit Holder(const F& f) : fn(f) {}
+    explicit Holder(F&& f) : fn(std::move(f)) {}
+    F fn;
+
+    static const Vtable* InlineVtable() {
+      static const Vtable vt = {
+          [](void* storage, Args&&... args) -> R {
+            return static_cast<Holder*>(storage)->fn(std::forward<Args>(args)...);
+          },
+          [](void* from, void* to) noexcept {
+            new (to) Holder(std::move(*static_cast<Holder*>(from)));
+            static_cast<Holder*>(from)->~Holder();
+          },
+          [](void* storage) noexcept { static_cast<Holder*>(storage)->~Holder(); },
+          true};
+      return &vt;
+    }
+
+    static const Vtable* HeapVtable() {
+      static const Vtable vt = {
+          [](void* storage, Args&&... args) -> R {
+            return static_cast<Holder*>(storage)->fn(std::forward<Args>(args)...);
+          },
+          nullptr,
+          [](void* storage) noexcept { delete static_cast<Holder*>(storage); },
+          false};
+      return &vt;
+    }
+  };
+
+  void* Storage() noexcept {
+    return vtable_ && vtable_->inline_storage ? static_cast<void*>(&buffer_) : heap_;
+  }
+
+  void Reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(Storage());
+      vtable_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+
+  void MoveFrom(MoveFunction&& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      if (vtable_->inline_storage) {
+        vtable_->move_to(&other.buffer_, &buffer_);
+      } else {
+        heap_ = other.heap_;
+      }
+      other.vtable_ = nullptr;
+      other.heap_ = nullptr;
+    }
+  }
+
+  const Vtable* vtable_ = nullptr;
+  union {
+    alignas(std::max_align_t) unsigned char buffer_[kBufferSize];
+    void* heap_;
+  };
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_PLATFORM_MOVE_FUNCTION_H_

@@ -1,0 +1,82 @@
+// RCU for a non-preemptive event system (§3.6).
+//
+// "Due to the event-driven execution model of EbbRT, RCU is a natural primitive to provide.
+// Because we lack preemption, entering and exiting RCU critical sections have no cost."
+//
+// A read-side critical section is any stretch of code within one event handler: handlers are
+// never preempted and never migrate, so a reader observed "in" a structure is guaranteed out
+// of it once its core dispatches the next event. A grace period therefore elapses once every
+// core of the machine has dispatched one more event. CallRcu broadcasts a marker event to all
+// cores; when the last marker runs, every pre-existing reader has finished and the callback
+// (typically `delete node`) is safe to run.
+//
+// Readers: zero instructions. Updaters: one broadcast per reclamation batch.
+#ifndef EBBRT_SRC_RCU_RCU_H_
+#define EBBRT_SRC_RCU_RCU_H_
+
+#include <atomic>
+#include <memory>
+
+#include "src/core/runtime.h"
+#include "src/event/event_manager.h"
+#include "src/platform/move_function.h"
+
+namespace ebbrt {
+
+class RcuManagerRoot {
+ public:
+  explicit RcuManagerRoot(Runtime& runtime) : runtime_(runtime) {}
+
+  // Runs `fn` after a grace period: once every core of this machine has passed an event
+  // boundary. `fn` executes on whichever core completes the grace period. When the machine
+  // has no event loops (unit-test contexts), `fn` runs immediately — there are no concurrent
+  // event-borne readers to wait for.
+  void CallRcu(MoveFunction<void()> fn) {
+    auto* em_root =
+        runtime_.TryGetSubsystem<EventManagerRoot>(Subsystem::kEventManager);
+    std::size_t cores = runtime_.num_cores();
+    if (em_root == nullptr || cores == 0) {
+      fn();
+      return;
+    }
+    struct Grace {
+      std::atomic<std::size_t> remaining;
+      MoveFunction<void()> fn;
+    };
+    auto grace = std::make_shared<Grace>();
+    grace->remaining.store(cores, std::memory_order_relaxed);
+    grace->fn = std::move(fn);
+    for (std::size_t core = 0; core < cores; ++core) {
+      em_root->RepFor(core).Spawn([grace] {
+        if (grace->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          grace->fn();
+        }
+      });
+    }
+  }
+
+  // Installs (or returns) the machine's RCU root.
+  static RcuManagerRoot& For(Runtime& runtime) {
+    auto* root = runtime.TryGetSubsystem<RcuManagerRoot>(Subsystem::kRcuManager);
+    if (root == nullptr) {
+      root = new RcuManagerRoot(runtime);
+      runtime.SetSubsystem(Subsystem::kRcuManager, root);
+      runtime.InstallRoot(kRcuManagerId, root);
+    }
+    return *root;
+  }
+
+ private:
+  Runtime& runtime_;
+};
+
+namespace rcu {
+// Defers `fn` past a grace period on the current machine.
+inline void Call(MoveFunction<void()> fn) {
+  RcuManagerRoot::For(CurrentRuntime()).CallRcu(std::move(fn));
+}
+}  // namespace rcu
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_RCU_RCU_H_

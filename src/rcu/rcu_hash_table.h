@@ -1,0 +1,174 @@
+// RcuHashTable — lock-free readers, per-bucket-locked writers, RCU-deferred reclamation.
+//
+// The EbbRT network stack "stores connection state in an RCU hash table which allows common
+// connection lookup operations to proceed without any atomic operations" (§3.6); memcached's
+// key/value store uses the same structure to avoid the lock contention that limits stock
+// memcached's scalability (§4.2).
+//
+// Readers traverse bucket chains through release/consume-ordered next pointers — plain loads
+// on x86 — and never synchronize. Writers serialize per bucket; erased nodes are reclaimed
+// through RcuManagerRoot once every core has passed an event boundary.
+#ifndef EBBRT_SRC_RCU_RCU_HASH_TABLE_H_
+#define EBBRT_SRC_RCU_RCU_HASH_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/platform/spinlock.h"
+#include "src/rcu/rcu.h"
+
+namespace ebbrt {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class RcuHashTable {
+ public:
+  // `bucket_bits` fixes the table at 2^bits buckets (RCU-resizable tables exist; the paper's
+  // stack uses a fixed-size table and so do we — sized generously by the owner).
+  RcuHashTable(RcuManagerRoot& rcu, std::size_t bucket_bits)
+      : rcu_(rcu), mask_((std::size_t{1} << bucket_bits) - 1),
+        buckets_(std::size_t{1} << bucket_bits) {}
+
+  ~RcuHashTable() {
+    for (auto& bucket : buckets_) {
+      Node* node = bucket.head.load(std::memory_order_relaxed);
+      while (node != nullptr) {
+        Node* next = node->next.load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+      }
+    }
+  }
+
+  RcuHashTable(const RcuHashTable&) = delete;
+  RcuHashTable& operator=(const RcuHashTable&) = delete;
+
+  // Lock-free lookup. The returned pointer is guaranteed valid for the remainder of the
+  // current event (the RCU read-side section); callers must not hold it across events.
+  V* Find(const K& key) {
+    Bucket& bucket = BucketFor(key);
+    for (Node* node = bucket.head.load(std::memory_order_acquire); node != nullptr;
+         node = node->next.load(std::memory_order_acquire)) {
+      if (node->key == key) {
+        return &node->value;
+      }
+    }
+    return nullptr;
+  }
+
+  // Inserts (key, value); returns false (and drops value) if the key already exists.
+  bool Insert(const K& key, V value) {
+    Bucket& bucket = BucketFor(key);
+    std::lock_guard<Spinlock> lock(bucket.mu);
+    for (Node* node = bucket.head.load(std::memory_order_relaxed); node != nullptr;
+         node = node->next.load(std::memory_order_relaxed)) {
+      if (node->key == key) {
+        return false;
+      }
+    }
+    Node* node = new Node(key, std::move(value));
+    node->next.store(bucket.head.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    bucket.head.store(node, std::memory_order_release);  // publish
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Inserts or replaces. Replacement unlinks the old node and RCU-defers its deletion, so
+  // concurrent readers keep a valid (old) value.
+  void InsertOrReplace(const K& key, V value) {
+    Bucket& bucket = BucketFor(key);
+    Node* node = new Node(key, std::move(value));
+    Node* victim = nullptr;
+    {
+      std::lock_guard<Spinlock> lock(bucket.mu);
+      std::atomic<Node*>* link = &bucket.head;
+      Node* cursor = link->load(std::memory_order_relaxed);
+      while (cursor != nullptr) {
+        if (cursor->key == key) {
+          victim = cursor;
+          node->next.store(cursor->next.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+          link->store(node, std::memory_order_release);
+          break;
+        }
+        link = &cursor->next;
+        cursor = link->load(std::memory_order_relaxed);
+      }
+      if (victim == nullptr) {
+        node->next.store(bucket.head.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        bucket.head.store(node, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (victim != nullptr) {
+      rcu_.CallRcu([victim] { delete victim; });
+    }
+  }
+
+  // Unlinks `key`; deletion is deferred past a grace period. Returns false if absent.
+  bool Erase(const K& key) {
+    Bucket& bucket = BucketFor(key);
+    Node* victim = nullptr;
+    {
+      std::lock_guard<Spinlock> lock(bucket.mu);
+      std::atomic<Node*>* link = &bucket.head;
+      Node* cursor = link->load(std::memory_order_relaxed);
+      while (cursor != nullptr) {
+        if (cursor->key == key) {
+          victim = cursor;
+          link->store(cursor->next.load(std::memory_order_relaxed),
+                      std::memory_order_release);
+          break;
+        }
+        link = &cursor->next;
+        cursor = link->load(std::memory_order_relaxed);
+      }
+    }
+    if (victim == nullptr) {
+      return false;
+    }
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    rcu_.CallRcu([victim] { delete victim; });
+    return true;
+  }
+
+  // Read-side iteration (same validity rules as Find).
+  template <typename F>
+  void ForEach(F&& f) {
+    for (auto& bucket : buckets_) {
+      for (Node* node = bucket.head.load(std::memory_order_acquire); node != nullptr;
+           node = node->next.load(std::memory_order_acquire)) {
+        f(node->key, node->value);
+      }
+    }
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node {
+    Node(const K& k, V v) : key(k), value(std::move(v)) {}
+    K key;
+    V value;
+    std::atomic<Node*> next{nullptr};
+  };
+  struct Bucket {
+    std::atomic<Node*> head{nullptr};
+    Spinlock mu;
+  };
+
+  Bucket& BucketFor(const K& key) { return buckets_[Hash{}(key)&mask_]; }
+
+  RcuManagerRoot& rcu_;
+  std::size_t mask_;
+  std::vector<Bucket> buckets_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_RCU_RCU_HASH_TABLE_H_

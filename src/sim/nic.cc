@@ -1,0 +1,158 @@
+#include "src/sim/nic.h"
+
+#include <algorithm>
+
+namespace ebbrt {
+namespace sim {
+
+Nic::Nic(SimWorld& world, Runtime& runtime, MacAddr mac, Switch& fabric)
+    : Nic(world, runtime, mac, fabric, Config{}) {}
+
+Nic::Nic(SimWorld& world, Runtime& runtime, MacAddr mac, Switch& fabric, Config config)
+    : world_(world), runtime_(runtime), mac_(mac), fabric_(fabric), config_(config) {
+  port_ = fabric.Attach(this);
+  std::size_t queues = config.queues != 0 ? config.queues : runtime.num_cores();
+  queues = std::min(queues, config.hv.max_queues);
+  queues = std::max<std::size_t>(queues, 1);
+  auto& em_root = runtime.GetSubsystem<EventManagerRoot>(Subsystem::kEventManager);
+  for (std::size_t i = 0; i < queues; ++i) {
+    auto queue = std::make_unique<Queue>();
+    queue->index = i;
+    queue->target_core = i % runtime.num_cores();
+    Queue* q = queue.get();
+    // Allocate the queue's interrupt vector on its target core; the persistent handler
+    // services the ring to completion (the paper's driver pattern).
+    queue->vector = em_root.RepFor(queue->target_core)
+                        .AllocateVector([this, q] { ServiceQueue(*q, /*from_interrupt=*/true); });
+    queues_.push_back(std::move(queue));
+  }
+}
+
+void Nic::Transmit(std::unique_ptr<IOBuf> frame) {
+  // Virtio kick: the guest writes the available ring and traps to the host.
+  if (config_.hv.virtualized) {
+    world_.Charge(config_.hv.tx_exit_ns);
+  }
+  fabric_.Transmit(port_, *frame);
+  // The frame's ownership ends here; the fabric cloned what it needed.
+}
+
+std::size_t Nic::SteerFrame(const IOBuf& frame) const {
+  if (queues_.size() == 1) {
+    return 0;
+  }
+  // Peek ethertype + IPv4 flow fields for RSS; non-IP traffic lands on queue 0.
+  if (frame.Length() < sizeof(EthernetHeader) + sizeof(Ipv4Header)) {
+    return 0;
+  }
+  const auto& eth = frame.Get<EthernetHeader>();
+  if (NetToHost16(eth.type) != kEthTypeIpv4) {
+    return 0;
+  }
+  const auto& ip = frame.Get<Ipv4Header>(sizeof(EthernetHeader));
+  if (ip.protocol != kIpProtoTcp && ip.protocol != kIpProtoUdp) {
+    return 0;
+  }
+  std::size_t l4_off = sizeof(EthernetHeader) + ip.HeaderLength();
+  if (frame.Length() < l4_off + 4) {
+    return 0;
+  }
+  std::uint16_t src_port = NetToHost16(frame.Get<std::uint16_t>(l4_off));
+  std::uint16_t dst_port = NetToHost16(frame.Get<std::uint16_t>(l4_off + 2));
+  return QueueForFlow(ip.SrcAddr(), src_port, ip.DstAddr(), dst_port);
+}
+
+void Nic::DeliverFrame(std::unique_ptr<IOBuf> frame) {
+  Queue& queue = *queues_[SteerFrame(*frame)];
+  queue.ring.push_back(std::move(frame));
+  if (queue.interrupts_enabled && !queue.irq_pending) {
+    queue.irq_pending = true;
+    ++interrupts_raised_;
+    runtime_.GetSubsystem<EventManagerRoot>(Subsystem::kEventManager)
+        .RepFor(queue.target_core)
+        .RaiseVector(queue.vector);
+  }
+  // Polling mode: the idle callback will find the frame.
+}
+
+void Nic::ServiceQueue(Queue& queue, bool from_interrupt) {
+  if (from_interrupt) {
+    queue.irq_pending = false;
+    if (config_.hv.virtualized) {
+      world_.Charge(config_.hv.irq_inject_ns);
+    } else {
+      world_.Charge(config_.hv.irq_inject_ns);  // bare-metal MSI cost (smaller, see model)
+    }
+  }
+  std::size_t handled = 0;
+  while (!queue.ring.empty()) {
+    std::unique_ptr<IOBuf> frame = std::move(queue.ring.front());
+    queue.ring.pop_front();
+    ++handled;
+    ++frames_received_;
+    if (config_.hv.virtualized && config_.hv.rx_copy) {
+      // The hypervisor copies the packet into guest receive buffers: a real copy, plus the
+      // modeled per-byte cost for fixed-time determinism.
+      std::size_t len = frame->ComputeChainDataLength();
+      world_.Charge(config_.hv.rx_copy_fixed_ns +
+                    static_cast<std::uint64_t>(config_.hv.rx_copy_ns_per_byte *
+                                               static_cast<double>(len)));
+      frame = frame->Clone();
+    }
+    if (!from_interrupt) {
+      ++frames_polled_;
+    }
+    if (rx_handler_) {
+      rx_handler_(std::move(frame));
+    }
+  }
+  if (from_interrupt) {
+    // Adaptive policy: a big batch behind one interrupt means the rate is high — switch to
+    // polling (§3.2's driver example).
+    if (handled >= config_.poll_enter_threshold && queue.poll_callback == nullptr) {
+      EnterPolling(queue);
+    }
+  } else {
+    if (handled == 0) {
+      if (++queue.empty_polls >= config_.poll_exit_threshold) {
+        LeavePolling(queue);
+      }
+    } else {
+      queue.empty_polls = 0;
+    }
+  }
+}
+
+void Nic::EnterPolling(Queue& queue) {
+  queue.interrupts_enabled = false;
+  queue.empty_polls = 0;
+  auto& em = runtime_.GetSubsystem<EventManagerRoot>(Subsystem::kEventManager)
+                 .RepFor(queue.target_core);
+  Queue* q = &queue;
+  queue.poll_callback = std::make_unique<EventManager::IdleCallback>(
+      em, [this, q] { ServiceQueue(*q, /*from_interrupt=*/false); });
+  queue.poll_callback->Start();
+}
+
+void Nic::LeavePolling(Queue& queue) {
+  queue.interrupts_enabled = true;
+  if (queue.poll_callback != nullptr) {
+    queue.poll_callback->Stop();
+    // Defer destruction: we are executing inside this very callback's invocation.
+    EventManager::IdleCallback* raw = queue.poll_callback.release();
+    runtime_.GetSubsystem<EventManagerRoot>(Subsystem::kEventManager)
+        .RepFor(queue.target_core)
+        .Spawn([raw] { delete raw; });
+  }
+  // Frames that raced in while we were disabling: raise an interrupt for them.
+  if (!queue.ring.empty() && !queue.irq_pending) {
+    queue.irq_pending = true;
+    ++interrupts_raised_;
+    runtime_.GetSubsystem<EventManagerRoot>(Subsystem::kEventManager)
+        .RepFor(queue.target_core)
+        .RaiseVector(queue.vector);
+  }
+}
+
+}  // namespace sim
+}  // namespace ebbrt

@@ -1,0 +1,118 @@
+// Nic — multiqueue virtio-style NIC model plus its EbbRT driver.
+//
+// Device side (SimWorld action context): frames arriving from the switch are steered to a
+// queue by symmetric RSS over the IP flow; each queue either raises its interrupt vector on
+// its target core or, in polling mode, waits for the idle-loop poll.
+//
+// Driver side (machine core context): implements the paper's adaptive polling policy (§3.2):
+// the interrupt handler processes the ring to completion; when the arrival rate (frames per
+// interrupt) exceeds a threshold, it masks the interrupt and installs an IdleCallback that
+// polls the ring each idle pass; when polls come up empty repeatedly, it re-enables the
+// interrupt and stops polling.
+//
+// Cost accounting: the transmitting core is charged the virtio kick (VM exit) per
+// notification; the receiving core is charged interrupt injection and, under virtualization,
+// the hypervisor's RX copy (a real memcpy into a fresh buffer, plus modeled per-byte cost in
+// fixed mode).
+#ifndef EBBRT_SRC_SIM_NIC_H_
+#define EBBRT_SRC_SIM_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/event/event_manager.h"
+#include "src/event/sim_world.h"
+#include "src/iobuf/iobuf.h"
+#include "src/net/net_types.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/switch.h"
+
+namespace ebbrt {
+namespace sim {
+
+class Nic {
+ public:
+  struct Config {
+    HypervisorModel hv = HypervisorModel::Kvm();
+    std::size_t queues = 0;  // 0 => min(cores, hv.max_queues)
+    // Adaptive polling thresholds (frames handled per interrupt to enter polling; consecutive
+    // empty polls to leave it).
+    std::uint32_t poll_enter_threshold = 16;
+    std::uint32_t poll_exit_threshold = 64;
+  };
+
+  using FrameHandler = MoveFunction<void(std::unique_ptr<IOBuf>)>;
+
+  Nic(SimWorld& world, Runtime& runtime, MacAddr mac, Switch& fabric, Config config);
+  // Default configuration (KVM hypervisor model, one queue per core).
+  Nic(SimWorld& world, Runtime& runtime, MacAddr mac, Switch& fabric);
+
+  MacAddr mac() const { return mac_; }
+  std::size_t num_queues() const { return queues_.size(); }
+  Runtime& runtime() { return runtime_; }
+
+  // --- Driver API ---------------------------------------------------------------------------
+  // Installs the stack's receive entry point (invoked on the queue's target core with
+  // ownership of the frame).
+  void SetReceiveHandler(FrameHandler handler) { rx_handler_ = std::move(handler); }
+
+  // Transmits a frame chain (called from a core of this machine). Charges the virtio kick.
+  void Transmit(std::unique_ptr<IOBuf> frame);
+
+  // The machine core that receives traffic for the given flow (RSS steering preview — used by
+  // active connectors to pick a source port landing on the desired core).
+  std::size_t CoreForFlow(Ipv4Addr a_ip, std::uint16_t a_port, Ipv4Addr b_ip,
+                          std::uint16_t b_port) const {
+    return QueueForFlow(a_ip, a_port, b_ip, b_port) % runtime_.num_cores();
+  }
+  std::size_t QueueForFlow(Ipv4Addr a_ip, std::uint16_t a_port, Ipv4Addr b_ip,
+                           std::uint16_t b_port) const {
+    return RssHash(a_ip, a_port, b_ip, b_port) % queues_.size();
+  }
+
+  // --- Device side (called by the switch in world-action context) ----------------------------
+  void DeliverFrame(std::unique_ptr<IOBuf> frame);
+
+  // --- Stats ----------------------------------------------------------------------------------
+  std::uint64_t interrupts_raised() const { return interrupts_raised_; }
+  std::uint64_t frames_polled() const { return frames_polled_; }
+  std::uint64_t frames_received() const { return frames_received_; }
+
+ private:
+  struct Queue {
+    std::size_t index = 0;
+    std::size_t target_core = 0;
+    std::uint32_t vector = 0;
+    std::deque<std::unique_ptr<IOBuf>> ring;
+    bool interrupts_enabled = true;
+    bool irq_pending = false;  // raised but not yet serviced
+    std::unique_ptr<EventManager::IdleCallback> poll_callback;
+    std::uint32_t empty_polls = 0;
+  };
+
+  std::size_t SteerFrame(const IOBuf& frame) const;
+  void ServiceQueue(Queue& queue, bool from_interrupt);
+  void EnterPolling(Queue& queue);
+  void LeavePolling(Queue& queue);
+
+  SimWorld& world_;
+  Runtime& runtime_;
+  MacAddr mac_;
+  Switch& fabric_;
+  std::size_t port_;
+  Config config_;
+  FrameHandler rx_handler_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+
+  std::uint64_t interrupts_raised_ = 0;
+  std::uint64_t frames_polled_ = 0;
+  std::uint64_t frames_received_ = 0;
+};
+
+}  // namespace sim
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_SIM_NIC_H_

@@ -1,0 +1,67 @@
+#include "src/sim/switch.h"
+
+#include "src/sim/nic.h"
+
+namespace ebbrt {
+namespace sim {
+
+std::size_t Switch::Attach(Nic* nic) {
+  ports_.push_back(nic);
+  tx_link_free_.push_back(0);
+  return ports_.size() - 1;
+}
+
+void Switch::Transmit(std::size_t from_port, const IOBuf& frame) {
+  Kassert(from_port < ports_.size(), "Switch: bad port");
+  if (loss_rate_ > 0.0) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    if (dist(rng_) < loss_rate_) {
+      ++frames_dropped_;
+      return;
+    }
+  }
+  std::size_t frame_len = frame.ComputeChainDataLength();
+  if (frame_len < sizeof(EthernetHeader)) {
+    ++frames_dropped_;
+    return;
+  }
+  // Learn the source MAC, resolve the destination port.
+  EthernetHeader eth;
+  frame.CopyOut(&eth, sizeof(eth));
+  mac_table_[eth.src] = from_port;
+
+  // Serialize on the sender's link: the link is busy until the frame's bits are on the wire.
+  std::uint64_t now = world_.Now();
+  std::uint64_t start = std::max(now, tx_link_free_[from_port]);
+  std::uint64_t done = start + link_.SerializationNs(frame_len);
+  tx_link_free_[from_port] = done;
+  std::uint64_t arrival = done + link_.propagation_ns;
+
+  ++frames_forwarded_;
+  if (!eth.dst.IsBroadcast()) {
+    auto it = mac_table_.find(eth.dst);
+    if (it != mac_table_.end()) {
+      DeliverTo(it->second, frame, arrival);
+      return;
+    }
+  }
+  // Flood: broadcast or unknown destination.
+  for (std::size_t port = 0; port < ports_.size(); ++port) {
+    if (port != from_port) {
+      DeliverTo(port, frame, arrival);
+    }
+  }
+}
+
+void Switch::DeliverTo(std::size_t port, const IOBuf& frame, std::uint64_t at) {
+  // Deep copy at the fabric boundary: bytes physically leave the sender's memory. The clone
+  // is flattened — receivers see one contiguous DMA buffer, as a real NIC would present.
+  auto copy = frame.Clone();
+  Nic* nic = ports_[port];
+  // Shared-ptr shim: MoveFunction is movable but calendar entries are heap-managed anyway.
+  auto shared = std::make_shared<std::unique_ptr<IOBuf>>(std::move(copy));
+  world_.At(at, [nic, shared] { nic->DeliverFrame(std::move(*shared)); });
+}
+
+}  // namespace sim
+}  // namespace ebbrt

@@ -1,0 +1,76 @@
+// Switch — the simulated physical network fabric.
+//
+// Ports connect NICs; frames cross the fabric with per-link serialization (size/bandwidth,
+// serialized on the sender's link) plus propagation delay. MAC learning forwards unicast
+// frames; unknown/broadcast destinations flood. A deterministic loss rate can be injected for
+// protocol robustness tests (retransmission, reordering under loss).
+//
+// The switch runs entirely in SimWorld action context — single-threaded, no locks. Frames are
+// deep-copied at the fabric boundary: the wire is where payload bytes genuinely leave one
+// machine's memory and appear in another's.
+#ifndef EBBRT_SRC_SIM_SWITCH_H_
+#define EBBRT_SRC_SIM_SWITCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "src/event/sim_world.h"
+#include "src/iobuf/iobuf.h"
+#include "src/net/net_types.h"
+#include "src/sim/cost_model.h"
+
+namespace ebbrt {
+namespace sim {
+
+class Nic;
+
+class Switch {
+ public:
+  Switch(SimWorld& world, LinkModel link = {}) : world_(world), link_(link) {}
+
+  // Registers a NIC; returns its port number.
+  std::size_t Attach(Nic* nic);
+
+  // Called by a NIC's transmit path (during its machine's core slice). The frame is cloned
+  // onto the fabric and delivered to the destination port(s) after link delays.
+  void Transmit(std::size_t from_port, const IOBuf& frame);
+
+  // Deterministic packet loss for robustness tests: drops each frame with probability
+  // `rate` using the given seed.
+  void SetLossRate(double rate, std::uint32_t seed = 1234) {
+    loss_rate_ = rate;
+    rng_.seed(seed);
+  }
+
+  std::uint64_t frames_forwarded() const { return frames_forwarded_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  struct MacHash {
+    std::size_t operator()(const MacAddr& m) const {
+      std::uint64_t v = 0;
+      std::memcpy(&v, m.bytes.data(), 6);
+      return std::hash<std::uint64_t>{}(v);
+    }
+  };
+
+  void DeliverTo(std::size_t port, const IOBuf& frame, std::uint64_t at);
+
+  SimWorld& world_;
+  LinkModel link_;
+  std::vector<Nic*> ports_;
+  std::unordered_map<MacAddr, std::size_t, MacHash> mac_table_;
+  std::vector<std::uint64_t> tx_link_free_;  // per-port sender link availability
+  double loss_rate_ = 0.0;
+  std::mt19937 rng_{1234};
+  std::uint64_t frames_forwarded_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace sim
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_SIM_SWITCH_H_

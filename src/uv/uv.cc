@@ -1,0 +1,59 @@
+#include "src/uv/uv.h"
+
+namespace ebbrt {
+namespace uv {
+
+void TimerHandle::Start(std::uint64_t timeout_ns, std::uint64_t repeat_ns, Callback cb) {
+  Stop();
+  cb_ = std::move(cb);
+  repeat_ = repeat_ns;
+  if (repeat_ns != 0 && timeout_ns == repeat_ns) {
+    handle_ = Timer::Instance()->Start(repeat_ns, [this] { cb_(); }, /*periodic=*/true);
+    return;
+  }
+  handle_ = Timer::Instance()->Start(timeout_ns, [this] {
+    handle_ = 0;
+    cb_();
+    if (repeat_ != 0) {
+      handle_ = Timer::Instance()->Start(repeat_, [this] { cb_(); }, /*periodic=*/true);
+    }
+  });
+}
+
+void TimerHandle::Stop() {
+  if (handle_ != 0) {
+    Timer::Instance()->Stop(handle_);
+    handle_ = 0;
+  }
+}
+
+void TcpStream::ReadStart(ReadCallback on_read) {
+  auto self = shared_from_this();
+  pcb_.SetReceiveHandler([self, on_read = std::move(on_read)](std::unique_ptr<IOBuf> data) {
+    on_read(std::move(data));
+  });
+}
+
+void TcpStream::ReadStop() {
+  pcb_.SetReceiveHandler([](std::unique_ptr<IOBuf>) {});
+}
+
+void TcpStream::OnClose(CloseCallback on_close) {
+  auto self = shared_from_this();
+  pcb_.SetCloseHandler([self, on_close = std::move(on_close)] { on_close(); });
+}
+
+void TcpServer::Listen(std::uint16_t port, ConnectionCallback on_connection) {
+  network_.tcp().Listen(port, [on_connection = std::move(on_connection)](TcpPcb pcb) {
+    on_connection(std::make_shared<TcpStream>(std::move(pcb)));
+  });
+}
+
+Future<std::shared_ptr<TcpStream>> TcpServer::Connect(Ipv4Addr dst, std::uint16_t port) {
+  return network_.tcp().Connect(network_.interface(), dst, port).Then([](Future<TcpPcb> f) {
+    return std::make_shared<TcpStream>(f.Get());
+  });
+}
+
+}  // namespace uv
+}  // namespace ebbrt

@@ -1,0 +1,82 @@
+// uv:: — a libuv-shaped callback API implemented over EbbRT events (§4.3).
+//
+// The paper's node.js port maps libuv's loop/handle/callback model onto EbbRT's per-core
+// event loops: "Our approach allows the libuv callbacks to be invoked directly from the
+// hardware interrupt in the same way that the memcached application was able to." This module
+// is that mapping — the surface node-style applications (our webserver) program against.
+// There is no uv_run(): the EbbRT event loop is already the loop; handles simply register
+// callbacks that fire from device events and timers.
+#ifndef EBBRT_SRC_UV_UV_H_
+#define EBBRT_SRC_UV_UV_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/event/event_manager.h"
+#include "src/event/timer.h"
+#include "src/net/network_manager.h"
+#include "src/net/tcp.h"
+
+namespace ebbrt {
+namespace uv {
+
+// uv_timer_t analogue.
+class TimerHandle {
+ public:
+  using Callback = std::function<void()>;
+
+  // Fires `cb` after `timeout_ns`, then every `repeat_ns` (0 = one-shot).
+  void Start(std::uint64_t timeout_ns, std::uint64_t repeat_ns, Callback cb);
+  void Stop();
+  ~TimerHandle() { Stop(); }
+
+ private:
+  std::uint64_t handle_ = 0;
+  std::uint64_t repeat_ = 0;
+  Callback cb_;
+};
+
+// uv_stream_t/uv_tcp_t analogue bound to an EbbRT TCP connection.
+class TcpStream : public std::enable_shared_from_this<TcpStream> {
+ public:
+  using ReadCallback = std::function<void(std::unique_ptr<IOBuf>)>;
+  using CloseCallback = std::function<void()>;
+
+  explicit TcpStream(TcpPcb pcb) : pcb_(std::move(pcb)) {}
+
+  // uv_read_start: data callbacks fire directly from the driver's event.
+  void ReadStart(ReadCallback on_read);
+  void ReadStop();
+  void OnClose(CloseCallback on_close);
+
+  // uv_write (the callback-less common case). Returns false when the peer's window forbids
+  // writing `data` right now — callers at this scale (small responses) treat that as fatal.
+  bool Write(std::unique_ptr<IOBuf> data) { return pcb_.Send(std::move(data)); }
+  bool Write(std::string_view s) { return Write(IOBuf::CopyBuffer(s)); }
+
+  void Close() { pcb_.Close(); }
+  TcpPcb& pcb() { return pcb_; }
+
+ private:
+  TcpPcb pcb_;
+};
+
+// uv_tcp_t server side.
+class TcpServer {
+ public:
+  using ConnectionCallback = std::function<void(std::shared_ptr<TcpStream>)>;
+
+  TcpServer(NetworkManager& network) : network_(network) {}
+
+  void Listen(std::uint16_t port, ConnectionCallback on_connection);
+  Future<std::shared_ptr<TcpStream>> Connect(Ipv4Addr dst, std::uint16_t port);
+
+ private:
+  NetworkManager& network_;
+};
+
+}  // namespace uv
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_UV_UV_H_

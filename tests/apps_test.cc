@@ -1,0 +1,219 @@
+// Application-level integration tests: memcached (both stacks), HTTP servers, the baseline
+// socket layer, and V8-suite kernel result invariance across environments.
+#include <gtest/gtest.h>
+
+#include "src/apps/http/http_server.h"
+#include "src/apps/memcached/server.h"
+#include "src/apps/v8bench/kernels.h"
+#include "src/sim/testbed.h"
+
+namespace ebbrt {
+namespace {
+
+using sim::Testbed;
+using sim::TestbedNode;
+
+constexpr Ipv4Addr kServerIp = Ipv4Addr::Of(10, 0, 0, 2);
+constexpr Ipv4Addr kClientIp = Ipv4Addr::Of(10, 0, 0, 3);
+
+std::unique_ptr<IOBuf> BuildSetRequest(std::string_view key, std::string_view value) {
+  using namespace memcached;
+  std::size_t body = sizeof(SetExtras) + key.size() + value.size();
+  auto buf = IOBuf::Create(sizeof(BinaryHeader) + body, true);
+  auto& hdr = buf->Get<BinaryHeader>();
+  hdr.magic = kMagicRequest;
+  hdr.opcode = static_cast<std::uint8_t>(Opcode::kSet);
+  hdr.key_length = HostToNet16(static_cast<std::uint16_t>(key.size()));
+  hdr.extras_length = sizeof(SetExtras);
+  hdr.total_body = HostToNet32(static_cast<std::uint32_t>(body));
+  auto* p = buf->WritableData() + sizeof(BinaryHeader) + sizeof(SetExtras);
+  std::memcpy(p, key.data(), key.size());
+  std::memcpy(p + key.size(), value.data(), value.size());
+  return buf;
+}
+
+std::unique_ptr<IOBuf> BuildGetRequest(std::string_view key) {
+  using namespace memcached;
+  auto buf = IOBuf::Create(sizeof(BinaryHeader) + key.size(), true);
+  auto& hdr = buf->Get<BinaryHeader>();
+  hdr.magic = kMagicRequest;
+  hdr.opcode = static_cast<std::uint8_t>(Opcode::kGet);
+  hdr.key_length = HostToNet16(static_cast<std::uint16_t>(key.size()));
+  hdr.total_body = HostToNet32(static_cast<std::uint32_t>(key.size()));
+  std::memcpy(buf->WritableData() + sizeof(BinaryHeader), key.data(), key.size());
+  return buf;
+}
+
+struct ClientState {
+  memcached::RequestParser parser;
+  std::vector<std::pair<memcached::Status, std::string>> responses;
+};
+
+void RunMemcachedExchange(TestbedNode& client, std::shared_ptr<TcpPcb> pcb,
+                          std::shared_ptr<ClientState> state) {
+  pcb->SetReceiveHandler([state](std::unique_ptr<IOBuf> data) {
+    state->parser.Feed(std::move(data), [state](const memcached::RequestParser::Request& r) {
+      state->responses.emplace_back(
+          static_cast<memcached::Status>(NetToHost16(r.header.status_vbucket)),
+          std::string(r.value));
+    });
+  });
+  pcb->Send(BuildSetRequest("answer", "forty-two"));
+  pcb->Send(BuildGetRequest("answer"));
+  pcb->Send(BuildGetRequest("missing"));
+}
+
+TEST(Apps, MemcachedEbbRTSetGet) {
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 2, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  auto state = std::make_shared<ClientState>();
+  memcached::MemcachedServer* srv = nullptr;
+  server.Spawn(0, [&] { srv = new memcached::MemcachedServer(*server.net, 11211); });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 11211).Then([&, state](
+                                                                        Future<TcpPcb> f) {
+      RunMemcachedExchange(client, std::make_shared<TcpPcb>(f.Get()), state);
+    });
+  });
+  bed.world().Run();
+  ASSERT_EQ(state->responses.size(), 3u);
+  EXPECT_EQ(state->responses[0].first, memcached::Status::kOk);          // SET
+  EXPECT_EQ(state->responses[1].first, memcached::Status::kOk);          // GET hit
+  EXPECT_EQ(state->responses[1].second, "forty-two");
+  EXPECT_EQ(state->responses[2].first, memcached::Status::kKeyNotFound); // GET miss
+  EXPECT_EQ(srv->requests(), 3u);
+}
+
+TEST(Apps, MemcachedBaselineSetGet) {
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 2, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  auto state = std::make_shared<ClientState>();
+  baseline::SocketStack* stack = nullptr;
+  memcached::BaselineMemcachedServer* srv = nullptr;
+  server.Spawn(0, [&] {
+    stack = new baseline::SocketStack(bed.world(), *server.net,
+                                      baseline::SocketStack::LinuxModel());
+    srv = new memcached::BaselineMemcachedServer(*stack, 11211);
+  });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 11211).Then([&, state](
+                                                                        Future<TcpPcb> f) {
+      RunMemcachedExchange(client, std::make_shared<TcpPcb>(f.Get()), state);
+    });
+  });
+  // The baseline runs scheduler ticks forever; run to a bounded horizon.
+  bed.world().RunUntil(2ull * 1000 * 1000 * 1000);
+  ASSERT_EQ(state->responses.size(), 3u);
+  EXPECT_EQ(state->responses[1].second, "forty-two");
+  EXPECT_EQ(srv->requests(), 3u);
+}
+
+TEST(Apps, MemcachedValueSurvivesReplacementRace) {
+  // A GET response referencing an item zero-copy must survive the item being replaced before
+  // the response drains (the ItemRef anchor in MakeValueBuffer).
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  auto state = std::make_shared<ClientState>();
+  server.Spawn(0, [&] { new memcached::MemcachedServer(*server.net, 11211); });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 11211).Then([state](Future<TcpPcb> f) {
+      auto pcb = std::make_shared<TcpPcb>(f.Get());
+      pcb->SetReceiveHandler([state](std::unique_ptr<IOBuf> data) {
+        state->parser.Feed(std::move(data),
+                           [state](const memcached::RequestParser::Request& r) {
+                             state->responses.emplace_back(
+                                 static_cast<memcached::Status>(
+                                     NetToHost16(r.header.status_vbucket)),
+                                 std::string(r.value));
+                           });
+      });
+      pcb->Send(BuildSetRequest("k", std::string(900, 'A')));
+      pcb->Send(BuildGetRequest("k"));
+      pcb->Send(BuildSetRequest("k", std::string(900, 'B')));  // replaces while GET in flight
+      pcb->Send(BuildGetRequest("k"));
+    });
+  });
+  bed.world().Run();
+  ASSERT_EQ(state->responses.size(), 4u);
+  EXPECT_EQ(state->responses[1].second, std::string(900, 'A'));
+  EXPECT_EQ(state->responses[3].second, std::string(900, 'B'));
+}
+
+TEST(Apps, HttpServerServes148ByteResponse) {
+  EXPECT_EQ(http::StaticResponse().size(), 148u);
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  std::string response;
+  server.Spawn(0, [&] { new http::HttpServer(*server.net, 8080); });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 8080).Then([&response](
+                                                                       Future<TcpPcb> f) {
+      auto pcb = std::make_shared<TcpPcb>(f.Get());
+      pcb->SetReceiveHandler([&response, pcb](std::unique_ptr<IOBuf> data) {
+        response += std::string(data->AsStringView());
+      });
+      pcb->Send(IOBuf::CopyBuffer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+      pcb->Send(IOBuf::CopyBuffer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));  // keep-alive
+    });
+  });
+  bed.world().Run();
+  EXPECT_EQ(response.size(), 2 * 148u);
+  EXPECT_EQ(response.substr(0, 15), "HTTP/1.1 200 OK");
+}
+
+TEST(Apps, BaselineHttpServerServes) {
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  std::string response;
+  server.Spawn(0, [&] {
+    auto* stack = new baseline::SocketStack(bed.world(), *server.net,
+                                            baseline::SocketStack::LinuxModel());
+    new http::BaselineHttpServer(*stack, 8080);
+  });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 8080).Then([&response](
+                                                                       Future<TcpPcb> f) {
+      auto pcb = std::make_shared<TcpPcb>(f.Get());
+      pcb->SetReceiveHandler([&response, pcb](std::unique_ptr<IOBuf> data) {
+        response += std::string(data->AsStringView());
+      });
+      pcb->Send(IOBuf::CopyBuffer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+    });
+  });
+  bed.world().RunUntil(2ull * 1000 * 1000 * 1000);
+  EXPECT_EQ(response.size(), 148u);
+}
+
+// The environment must never change kernel *results* — only timing.
+class V8KernelChecksums : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(V8KernelChecksums, SameAcrossEnvironments) {
+  const auto& kernel = v8bench::AllKernels()[GetParam()];
+  std::uint64_t ebbrt_sum;
+  std::uint64_t linux_sum;
+  {
+    v8bench::Env env(v8bench::Env::Kind::kEbbRT, kernel.arena_bytes);
+    ebbrt_sum = kernel.fn(env);
+    EXPECT_EQ(env.page_faults(), 0u) << "EbbRT env must not fault";
+  }
+  {
+    v8bench::Env env(v8bench::Env::Kind::kLinux, kernel.arena_bytes);
+    linux_sum = kernel.fn(env);
+  }
+  EXPECT_EQ(ebbrt_sum, linux_sum) << kernel.name;
+  EXPECT_NE(ebbrt_sum, 0u) << kernel.name << ": degenerate checksum";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, V8KernelChecksums,
+                         ::testing::Range<std::size_t>(0, 8),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return v8bench::AllKernels()[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace ebbrt

@@ -1,0 +1,218 @@
+// Tests for the Ebb model: translation, per-core representatives, roots, hosted mode.
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/ebb_allocator.h"
+#include "src/core/ebb_ref.h"
+#include "src/core/multicore_ebb.h"
+#include "src/core/runtime.h"
+
+namespace ebbrt {
+namespace {
+
+// A per-core counter Ebb with no root.
+class Counter : public MulticoreEbb<Counter, void> {
+ public:
+  void Add(int n) { count_ += n; }
+  int Get() const { return count_; }
+
+ private:
+  int count_ = 0;
+};
+
+// Per-core rep sharing a per-machine root that tallies rep constructions.
+struct TallyRoot {
+  std::atomic<int> reps_created{0};
+};
+
+class Tally : public MulticoreEbb<Tally, TallyRoot> {
+ public:
+  explicit Tally(TallyRoot& root) : root_(root) { root.reps_created.fetch_add(1); }
+  TallyRoot& root() { return root_; }
+
+ private:
+  TallyRoot& root_;
+};
+
+// Machine-wide shared Ebb.
+class Registry : public SharedEbb<Registry> {
+ public:
+  void Put(int v) { values_.insert(v); }
+  std::size_t Size() const { return values_.size(); }
+
+ private:
+  std::set<int> values_;
+};
+
+class EbbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_ = std::make_unique<Runtime>(RuntimeKind::kNative, "test");
+    first_core_ = runtime_->AddCores(4);
+  }
+
+  std::unique_ptr<Runtime> runtime_;
+  std::size_t first_core_;
+};
+
+TEST_F(EbbTest, RepIsPerCore) {
+  EbbRef<Counter> counter(kFirstStaticUserId);
+  {
+    ScopedContext ctx(*runtime_, first_core_, 0, false);
+    counter->Add(5);
+    EXPECT_EQ(counter->Get(), 5);
+  }
+  {
+    ScopedContext ctx(*runtime_, first_core_ + 1, 1, false);
+    EXPECT_EQ(counter->Get(), 0);  // fresh rep on another core
+    counter->Add(7);
+    EXPECT_EQ(counter->Get(), 7);
+  }
+  {
+    ScopedContext ctx(*runtime_, first_core_, 0, false);
+    EXPECT_EQ(counter->Get(), 5);  // first core's rep persisted
+  }
+}
+
+TEST_F(EbbTest, FastPathReturnsSameRep) {
+  EbbRef<Counter> counter(kFirstStaticUserId + 1);
+  ScopedContext ctx(*runtime_, first_core_, 0, false);
+  Counter* a = &counter.GetRep();
+  Counter* b = &counter.GetRep();
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(EbbTest, RootSharedAcrossCores) {
+  EbbRef<Tally> tally(kFirstStaticUserId + 2);
+  TallyRoot* root = nullptr;
+  for (int core = 0; core < 4; ++core) {
+    ScopedContext ctx(*runtime_, first_core_ + core, core, false);
+    TallyRoot& r = tally->root();
+    if (root == nullptr) {
+      root = &r;
+    } else {
+      EXPECT_EQ(root, &r);  // every rep sees the same machine root
+    }
+  }
+  EXPECT_EQ(root->reps_created.load(), 4);
+}
+
+TEST_F(EbbTest, ExplicitRootInstall) {
+  auto* root = new TallyRoot();
+  EbbRef<Tally> tally;
+  {
+    ScopedContext ctx(*runtime_, first_core_, 0, false);
+    tally = Tally::Create(root, kFirstStaticUserId + 3);
+    tally->root();
+  }
+  EXPECT_EQ(root->reps_created.load(), 1);
+}
+
+TEST_F(EbbTest, SharedEbbSingleInstance) {
+  EbbRef<Registry> reg(kFirstStaticUserId + 4);
+  {
+    ScopedContext ctx(*runtime_, first_core_, 0, false);
+    reg->Put(1);
+  }
+  {
+    ScopedContext ctx(*runtime_, first_core_ + 2, 2, false);
+    reg->Put(2);
+    EXPECT_EQ(reg->Size(), 2u);  // same instance seen from another core
+  }
+}
+
+TEST_F(EbbTest, DistinctIdsDistinctReps) {
+  EbbRef<Counter> a(kFirstStaticUserId + 5);
+  EbbRef<Counter> b(kFirstStaticUserId + 6);
+  ScopedContext ctx(*runtime_, first_core_, 0, false);
+  a->Add(1);
+  b->Add(2);
+  EXPECT_EQ(a->Get(), 1);
+  EXPECT_EQ(b->Get(), 2);
+}
+
+TEST_F(EbbTest, SeparateMachinesSeparateRoots) {
+  Runtime other(RuntimeKind::kNative, "other");
+  std::size_t other_core = other.AddCores(1);
+  EbbRef<Tally> tally(kFirstStaticUserId + 7);
+  TallyRoot* root_a;
+  TallyRoot* root_b;
+  {
+    ScopedContext ctx(*runtime_, first_core_, 0, false);
+    root_a = &tally->root();
+  }
+  {
+    ScopedContext ctx(other, other_core, 0, false);
+    root_b = &tally->root();
+  }
+  EXPECT_NE(root_a, root_b);  // per-machine roots, same EbbId (paper's shared namespace)
+}
+
+TEST_F(EbbTest, HostedModeTranslates) {
+  Runtime hosted(RuntimeKind::kHosted, "frontend");
+  std::size_t hcore = hosted.AddCores(2);
+  EbbRef<Counter> counter(kFirstStaticUserId + 8);
+  {
+    ScopedContext ctx(hosted, hcore, 0, true);
+    counter->Add(3);
+    EXPECT_EQ(counter->Get(), 3);  // hash-cache hit returns the same rep
+  }
+  {
+    ScopedContext ctx(hosted, hcore + 1, 1, true);
+    EXPECT_EQ(counter->Get(), 0);  // still per-core reps in hosted mode
+  }
+}
+
+TEST_F(EbbTest, EbbAllocatorUniqueIds) {
+  ScopedContext ctx(*runtime_, first_core_, 0, false);
+  auto allocator = EbbAllocator::Instance();
+  std::set<EbbId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.insert(allocator->AllocateLocal());
+  }
+  EXPECT_EQ(ids.size(), 100u);
+  EXPECT_GE(*ids.begin(), kFirstFreeId);
+}
+
+TEST_F(EbbTest, EbbAllocatorGlobalBlock) {
+  ScopedContext ctx(*runtime_, first_core_, 0, false);
+  auto allocator = EbbAllocator::Instance();
+  allocator->SetGlobalBlock(0x1000, 4);
+  EXPECT_EQ(allocator->Allocate(), 0x1000u);
+  EXPECT_EQ(allocator->Allocate(), 0x1001u);
+  EXPECT_EQ(allocator->Allocate(), 0x1002u);
+  EXPECT_EQ(allocator->Allocate(), 0x1003u);
+  // Block exhausted: falls back to machine-local ids.
+  EXPECT_GE(allocator->Allocate(), kFirstFreeId);
+}
+
+TEST_F(EbbTest, ConcurrentFaultsOneRootManyReps) {
+  EbbRef<Tally> tally(kFirstStaticUserId + 9);
+  std::vector<std::thread> threads;
+  std::atomic<TallyRoot*> seen_root{nullptr};
+  std::atomic<bool> mismatch{false};
+  for (int core = 0; core < 4; ++core) {
+    threads.emplace_back([&, core] {
+      ScopedContext ctx(*runtime_, first_core_ + core, core, false);
+      TallyRoot& r = tally->root();
+      TallyRoot* expected = nullptr;
+      if (!seen_root.compare_exchange_strong(expected, &r)) {
+        if (expected != &r) {
+          mismatch = true;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(seen_root.load()->reps_created.load(), 4);
+}
+
+}  // namespace
+}  // namespace ebbrt

@@ -1,0 +1,133 @@
+// Hybrid-structure tests (§2.1, §4.3): messaging between machines, GlobalIdMap naming served
+// by the hosted frontend, and the FileSystem Ebb function-shipping to real POSIX files.
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/core/ebb_allocator.h"
+#include "src/dist/file_system.h"
+#include "src/sim/testbed.h"
+
+namespace ebbrt {
+namespace {
+
+using sim::Testbed;
+using sim::TestbedNode;
+
+constexpr Ipv4Addr kFrontendIp = Ipv4Addr::Of(10, 0, 0, 2);
+constexpr Ipv4Addr kNativeIp = Ipv4Addr::Of(10, 0, 0, 3);
+
+class DistTest : public ::testing::Test {
+ protected:
+  DistTest()
+      : frontend_(bed_.AddNode("frontend", 1, kFrontendIp, sim::HypervisorModel::Native(),
+                               RuntimeKind::kHosted)),
+        native_(bed_.AddNode("native", 2, kNativeIp)) {
+    root_ = "/tmp/ebbrt_fs_test_" + std::to_string(::getpid());
+  }
+
+  Testbed bed_;
+  TestbedNode frontend_;
+  TestbedNode native_;
+  std::string root_;
+};
+
+TEST_F(DistTest, MessengerRoundTrip) {
+  std::string received_at_frontend;
+  std::string received_at_native;
+  frontend_.Spawn(0, [&] {
+    auto& messenger = dist::Messenger::For(*frontend_.runtime);
+    messenger.RegisterReceiver(kFirstStaticUserId, [&](Ipv4Addr from,
+                                                       std::unique_ptr<IOBuf> payload) {
+      received_at_frontend = std::string(payload->AsStringView());
+      messenger.Send(from, kFirstStaticUserId, IOBuf::CopyBuffer("pong from frontend"));
+    });
+  });
+  native_.Spawn(0, [&] {
+    auto& messenger = dist::Messenger::For(*native_.runtime);
+    messenger.RegisterReceiver(kFirstStaticUserId,
+                               [&](Ipv4Addr, std::unique_ptr<IOBuf> payload) {
+                                 received_at_native = std::string(payload->AsStringView());
+                               });
+    messenger.Send(kFrontendIp, kFirstStaticUserId, IOBuf::CopyBuffer("ping from native"));
+  });
+  bed_.world().Run();
+  EXPECT_EQ(received_at_frontend, "ping from native");
+  EXPECT_EQ(received_at_native, "pong from frontend");
+}
+
+TEST_F(DistTest, FileSystemOffloadsToHostedPosix) {
+  std::string read_back;
+  std::uint64_t size = 0;
+  frontend_.Spawn(0, [&] { dist::FileSystem::ServeOn(*frontend_.runtime, root_); });
+  native_.Spawn(0, [&] {
+    auto& fs = dist::FileSystem::For(*native_.runtime, kFrontendIp);
+    fs.WriteFile("greeting.txt", "written from the native instance")
+        .Then([&fs, &read_back, &size](Future<void> f) {
+          f.Get();
+          return fs.ReadFile("greeting.txt").Then([&fs, &read_back, &size](
+                                                      Future<std::string> rf) {
+            read_back = rf.Get();
+            return fs.GetFileSize("greeting.txt").Then([&size](Future<std::uint64_t> sf) {
+              size = sf.Get();
+            });
+          });
+        });
+  });
+  bed_.world().Run();
+  EXPECT_EQ(read_back, "written from the native instance");
+  EXPECT_EQ(size, read_back.size());
+  // The file genuinely exists on the "Linux" side.
+  std::FILE* f = std::fopen((root_ + "/greeting.txt").c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+}
+
+TEST_F(DistTest, FileSystemReadMissingFails) {
+  bool failed = false;
+  frontend_.Spawn(0, [&] { dist::FileSystem::ServeOn(*frontend_.runtime, root_); });
+  native_.Spawn(0, [&] {
+    auto& fs = dist::FileSystem::For(*native_.runtime, kFrontendIp);
+    fs.ReadFile("does-not-exist").Then([&failed](Future<std::string> f) {
+      try {
+        f.Get();
+      } catch (const std::runtime_error&) {
+        failed = true;
+      }
+    });
+  });
+  bed_.world().Run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(DistTest, GlobalIdMapNamingAndIdBlocks) {
+  std::string value;
+  EbbId block_a = 0;
+  EbbId block_b = 0;
+  frontend_.Spawn(0, [&] { dist::GlobalIdMap::ServeOn(*frontend_.runtime); });
+  native_.Spawn(0, [&] {
+    auto& map = dist::GlobalIdMap::For(*native_.runtime, kFrontendIp);
+    map.Set("service/memcached", "10.0.0.3:11211").Then([&](Future<void> f) {
+      f.Get();
+      return map.Get("service/memcached").Then([&](Future<std::string> gf) {
+        value = gf.Get();
+        return map.AllocateIdBlock(64).Then([&](Future<EbbId> bf) {
+          block_a = bf.Get();
+          return map.AllocateIdBlock(64).Then([&](Future<EbbId> bf2) {
+            block_b = bf2.Get();
+            // Install the block into this machine's allocator, as bring-up would.
+            EbbAllocator::Instance()->SetGlobalBlock(block_b, 64);
+          });
+        });
+      });
+    });
+  });
+  bed_.world().Run();
+  EXPECT_EQ(value, "10.0.0.3:11211");
+  EXPECT_NE(block_a, 0u);
+  EXPECT_EQ(block_b, block_a + 64);
+}
+
+}  // namespace
+}  // namespace ebbrt

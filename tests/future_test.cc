@@ -1,0 +1,219 @@
+// Tests for monadic futures (§3.5): Then chaining, synchronous fast path, flattening,
+// exception flow, WhenAll.
+#include "src/future/future.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ebbrt {
+namespace {
+
+TEST(Future, ReadyFutureGet) {
+  auto f = MakeReadyFuture<int>(42);
+  ASSERT_TRUE(f.Ready());
+  EXPECT_EQ(f.Get(), 42);
+}
+
+TEST(Future, PromiseFulfillsLater) {
+  Promise<std::string> p;
+  auto f = p.GetFuture();
+  EXPECT_FALSE(f.Ready());
+  p.SetValue("hello");
+  ASSERT_TRUE(f.Ready());
+  EXPECT_EQ(f.Get(), "hello");
+}
+
+TEST(Future, ThenOnReadyRunsSynchronously) {
+  // Figure 2: when the ARP translation is cached, the continuation runs inline.
+  bool ran = false;
+  MakeReadyFuture<int>(7).Then([&ran](Future<int> f) {
+    EXPECT_EQ(f.Get(), 7);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);  // before Then returned
+}
+
+TEST(Future, ThenOnPendingDeferred) {
+  Promise<int> p;
+  bool ran = false;
+  p.GetFuture().Then([&ran](Future<int> f) {
+    EXPECT_EQ(f.Get(), 1);
+    ran = true;
+  });
+  EXPECT_FALSE(ran);
+  p.SetValue(1);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Future, ThenReturnsTransformedValue) {
+  auto doubled = MakeReadyFuture<int>(21).Then([](Future<int> f) { return f.Get() * 2; });
+  ASSERT_TRUE(doubled.Ready());
+  EXPECT_EQ(doubled.Get(), 42);
+}
+
+TEST(Future, ChainedThens) {
+  Promise<int> p;
+  auto result = p.GetFuture()
+                    .Then([](Future<int> f) { return f.Get() + 1; })
+                    .Then([](Future<int> f) { return f.Get() * 10; })
+                    .Then([](Future<int> f) { return std::to_string(f.Get()); });
+  p.SetValue(3);
+  ASSERT_TRUE(result.Ready());
+  EXPECT_EQ(result.Get(), "40");
+}
+
+TEST(Future, MonadicFlattening) {
+  // A continuation returning Future<U> yields Future<U>, not Future<Future<U>>.
+  Promise<int> outer;
+  Promise<std::string> inner;
+  Future<std::string> flat = outer.GetFuture().Then(
+      [&inner](Future<int>) { return inner.GetFuture(); });
+  EXPECT_FALSE(flat.Ready());
+  outer.SetValue(1);
+  EXPECT_FALSE(flat.Ready());  // waits for the inner future
+  inner.SetValue("deep");
+  ASSERT_TRUE(flat.Ready());
+  EXPECT_EQ(flat.Get(), "deep");
+}
+
+TEST(Future, ExceptionPropagatesToGet) {
+  auto f = MakeFailedFuture<int>(std::make_exception_ptr(std::runtime_error("boom")));
+  ASSERT_TRUE(f.Ready());
+  EXPECT_THROW(f.Get(), std::runtime_error);
+}
+
+TEST(Future, ExceptionFlowsThroughIntermediateThens) {
+  // Paper: "any intermediate exceptions will naturally flow to the first function which
+  // attempts to catch the exception" — intermediate continuations that just Get() pass the
+  // error along to the final handler.
+  Promise<int> p;
+  std::string caught;
+  p.GetFuture()
+      .Then([](Future<int> f) { return f.Get() + 1; })   // rethrows internally
+      .Then([](Future<int> f) { return f.Get() * 2; })   // never produces a value
+      .Then([&caught](Future<int> f) {
+        try {
+          f.Get();
+        } catch (const std::runtime_error& e) {
+          caught = e.what();
+        }
+      });
+  p.SetException(std::make_exception_ptr(std::runtime_error("arp failed")));
+  EXPECT_EQ(caught, "arp failed");
+}
+
+TEST(Future, ThrowInsideContinuationCapturedInResult) {
+  auto f = MakeReadyFuture<int>(1).Then(
+      [](Future<int>) -> int { throw std::logic_error("bad"); });
+  ASSERT_TRUE(f.Ready());
+  EXPECT_THROW(f.Get(), std::logic_error);
+}
+
+TEST(Future, VoidFutureCompletion) {
+  Promise<void> p;
+  bool done = false;
+  p.GetFuture().Then([&done](Future<void> f) {
+    f.Get();
+    done = true;
+  });
+  p.SetValue();
+  EXPECT_TRUE(done);
+}
+
+TEST(Future, VoidChainsToValue) {
+  auto f = MakeReadyFuture<void>().Then([](Future<void> fv) {
+    fv.Get();
+    return 5;
+  });
+  EXPECT_EQ(f.Get(), 5);
+}
+
+TEST(Future, MoveOnlyValue) {
+  Promise<std::unique_ptr<int>> p;
+  auto f = p.GetFuture().Then([](Future<std::unique_ptr<int>> f) { return *f.Get(); });
+  p.SetValue(std::make_unique<int>(11));
+  EXPECT_EQ(f.Get(), 11);
+}
+
+TEST(Future, AsyncHelperCapturesThrow) {
+  auto f = AsyncHelper([]() -> int { throw std::runtime_error("sync throw"); });
+  EXPECT_THROW(f.Get(), std::runtime_error);
+}
+
+TEST(Future, AsyncHelperFlattens) {
+  auto f = AsyncHelper([] { return MakeReadyFuture<int>(9); });
+  static_assert(std::is_same_v<decltype(f), Future<int>>);
+  EXPECT_EQ(f.Get(), 9);
+}
+
+TEST(Future, WhenAllCollectsInOrder) {
+  std::vector<Promise<int>> promises(3);
+  std::vector<Future<int>> futures;
+  for (auto& p : promises) {
+    futures.push_back(p.GetFuture());
+  }
+  auto all = WhenAll(std::move(futures));
+  promises[2].SetValue(30);
+  promises[0].SetValue(10);
+  EXPECT_FALSE(all.Ready());
+  promises[1].SetValue(20);
+  ASSERT_TRUE(all.Ready());
+  EXPECT_EQ(all.Get(), (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Future, WhenAllEmptyIsReady) {
+  auto all = WhenAll(std::vector<Future<int>>{});
+  EXPECT_TRUE(all.Ready());
+}
+
+TEST(Future, WhenAllPropagatesFirstError) {
+  std::vector<Promise<int>> promises(2);
+  std::vector<Future<int>> futures;
+  for (auto& p : promises) {
+    futures.push_back(p.GetFuture());
+  }
+  auto all = WhenAll(std::move(futures));
+  promises[0].SetException(std::make_exception_ptr(std::runtime_error("e0")));
+  promises[1].SetValue(2);
+  ASSERT_TRUE(all.Ready());
+  EXPECT_THROW(all.Get(), std::runtime_error);
+}
+
+TEST(Future, WhenAllVoid) {
+  std::vector<Promise<void>> promises(4);
+  std::vector<Future<void>> futures;
+  for (auto& p : promises) {
+    futures.push_back(p.GetFuture());
+  }
+  auto all = WhenAll(std::move(futures));
+  for (auto& p : promises) {
+    p.SetValue();
+  }
+  ASSERT_TRUE(all.Ready());
+  EXPECT_NO_THROW(all.Get());
+}
+
+TEST(Future, CrossThreadFulfillRace) {
+  // SetValue and Then race from different threads; every continuation must run exactly once.
+  constexpr int kIters = 2000;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kIters; ++i) {
+    Promise<int> p;
+    auto f = p.GetFuture();
+    std::thread setter([&p, i] { p.SetValue(i); });
+    f.Then([&ran](Future<int> f) {
+      f.Get();
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    setter.join();
+  }
+  EXPECT_EQ(ran.load(), kIters);
+}
+
+}  // namespace
+}  // namespace ebbrt

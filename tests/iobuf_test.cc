@@ -1,0 +1,194 @@
+// Tests for the IOBuf zero-copy primitive (§3.6): views, chains, cursors.
+#include "src/iobuf/iobuf.h"
+
+#include <cstring>
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ebbrt {
+namespace {
+
+TEST(IOBuf, CreateFullView) {
+  auto buf = IOBuf::Create(128);
+  EXPECT_EQ(buf->Length(), 128u);
+  EXPECT_EQ(buf->Capacity(), 128u);
+  EXPECT_EQ(buf->Headroom(), 0u);
+  EXPECT_EQ(buf->Tailroom(), 0u);
+}
+
+TEST(IOBuf, CreateZeroed) {
+  auto buf = IOBuf::Create(64, /*zero=*/true);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(buf->Data()[i], 0u);
+  }
+}
+
+TEST(IOBuf, ReserveEmptyViewWithHeadroom) {
+  auto buf = IOBuf::CreateReserve(256, 64);
+  EXPECT_EQ(buf->Length(), 0u);
+  EXPECT_EQ(buf->Headroom(), 64u);
+  EXPECT_EQ(buf->Tailroom(), 192u);
+}
+
+TEST(IOBuf, AdvanceRetreatSymmetry) {
+  auto buf = IOBuf::Create(100);
+  buf->Advance(40);
+  EXPECT_EQ(buf->Length(), 60u);
+  EXPECT_EQ(buf->Headroom(), 40u);
+  buf->Retreat(40);
+  EXPECT_EQ(buf->Length(), 100u);
+  EXPECT_EQ(buf->Headroom(), 0u);
+}
+
+TEST(IOBuf, HeaderPrependViaRetreat) {
+  // The send path reserves headroom, writes payload, then each layer Retreat()s to prepend
+  // its header in place — no copies.
+  auto buf = IOBuf::CreateReserve(64, 16);
+  std::memcpy(buf->WritableTail(), "payload", 7);
+  buf->Append(7);
+  buf->Retreat(4);
+  std::memcpy(buf->WritableData(), "HDR:", 4);
+  EXPECT_EQ(buf->AsStringView(), "HDR:payload");
+}
+
+TEST(IOBuf, GetTyped) {
+  struct Header {
+    std::uint16_t a;
+    std::uint16_t b;
+  };
+  auto buf = IOBuf::Create(sizeof(Header));
+  auto& h = buf->Get<Header>();
+  h.a = 0x1234;
+  h.b = 0x5678;
+  const auto& ch = static_cast<const IOBuf&>(*buf).Get<Header>();
+  EXPECT_EQ(ch.a, 0x1234);
+  EXPECT_EQ(ch.b, 0x5678);
+}
+
+TEST(IOBuf, CopyBufferCopies) {
+  std::string src = "abcdef";
+  auto buf = IOBuf::CopyBuffer(src);
+  src[0] = 'z';
+  EXPECT_EQ(buf->AsStringView(), "abcdef");
+}
+
+TEST(IOBuf, WrapBufferAliases) {
+  char storage[8] = "wrapme!";
+  auto buf = IOBuf::WrapBuffer(storage, 7);
+  storage[0] = 'W';
+  EXPECT_EQ(buf->AsStringView(), "Wrapme!");
+}
+
+TEST(IOBuf, TakeOwnershipCallsFree) {
+  static int freed = 0;
+  freed = 0;
+  auto* raw = static_cast<std::uint8_t*>(std::malloc(16));
+  {
+    auto buf = IOBuf::TakeOwnership(
+        raw, 16, 16, [](void* p, void*) { std::free(p); ++freed; }, nullptr);
+    EXPECT_EQ(buf->Length(), 16u);
+  }
+  EXPECT_EQ(freed, 1);
+}
+
+TEST(IOBuf, ChainAppendAndCount) {
+  auto a = IOBuf::CopyBuffer("aa", 2);
+  a->AppendChain(IOBuf::CopyBuffer("bbb"));
+  a->AppendChain(IOBuf::CopyBuffer("c"));
+  EXPECT_EQ(a->CountChainElements(), 3u);
+  EXPECT_EQ(a->ComputeChainDataLength(), 6u);
+}
+
+TEST(IOBuf, PopDetachesRest) {
+  auto a = IOBuf::CopyBuffer("head");
+  a->AppendChain(IOBuf::CopyBuffer("tail"));
+  auto rest = a->Pop();
+  EXPECT_FALSE(a->IsChained());
+  EXPECT_EQ(rest->AsStringView(), "tail");
+}
+
+TEST(IOBuf, CoalesceChainFlattens) {
+  auto a = IOBuf::CopyBuffer("one-");
+  a->AppendChain(IOBuf::CopyBuffer("two-"));
+  a->AppendChain(IOBuf::CopyBuffer("three"));
+  a->CoalesceChain();
+  EXPECT_FALSE(a->IsChained());
+  EXPECT_EQ(a->AsStringView(), "one-two-three");
+}
+
+TEST(IOBuf, CopyOutAcrossChain) {
+  auto a = IOBuf::CopyBuffer("0123");
+  a->AppendChain(IOBuf::CopyBuffer("4567"));
+  a->AppendChain(IOBuf::CopyBuffer("89"));
+  char out[10];
+  a->CopyOut(out, 10);
+  EXPECT_EQ(std::string(out, 10), "0123456789");
+  char mid[4];
+  a->CopyOut(mid, 4, 3);  // offset crossing the first boundary
+  EXPECT_EQ(std::string(mid, 4), "3456");
+}
+
+TEST(IOBuf, CloneDeepCopies) {
+  auto a = IOBuf::CopyBuffer("xy");
+  a->AppendChain(IOBuf::CopyBuffer("z"));
+  auto clone = a->Clone();
+  EXPECT_EQ(clone->AsStringView(), "xyz");
+  a->WritableData()[0] = 'Q';
+  EXPECT_EQ(clone->AsStringView(), "xyz");  // independent storage
+}
+
+TEST(IOBuf, LongChainDestructionIsIterative) {
+  // Build a 100k-element chain; destruction must not recurse (event stacks are small).
+  auto head = IOBuf::Create(1);
+  for (int i = 0; i < 100000; ++i) {
+    head->AppendChain(IOBuf::Create(1));
+    if (i > 0 && i % 10000 == 0) {
+      // AppendChain walks the chain; rebuild from the tail occasionally to keep this test
+      // fast: prepend instead by swapping.
+      break;
+    }
+  }
+  // Extend quickly by chaining at the head.
+  for (int i = 0; i < 100000; ++i) {
+    auto next = IOBuf::Create(1);
+    next->AppendChain(std::move(head));
+    head = std::move(next);
+  }
+  EXPECT_GE(head->CountChainElements(), 100000u);
+  head.reset();  // must not overflow the stack
+}
+
+TEST(DataPointer, GetAcrossElements) {
+  auto a = IOBuf::CopyBuffer("\x01\x02", 2);
+  a->AppendChain(IOBuf::CopyBuffer("\x03\x04", 2));
+  DataPointer dp(a.get());
+  EXPECT_EQ(dp.Get<std::uint8_t>(), 1);
+  EXPECT_EQ(dp.Get<std::uint8_t>(), 2);
+  EXPECT_EQ(dp.Get<std::uint8_t>(), 3);  // crossed the element boundary
+  EXPECT_EQ(dp.Remaining(), 1u);
+}
+
+TEST(DataPointer, CopyOutDoesNotAdvance) {
+  auto a = IOBuf::CopyBuffer("abcd");
+  a->AppendChain(IOBuf::CopyBuffer("efgh"));
+  DataPointer dp(a.get());
+  dp.Advance(2);
+  char out[4];
+  dp.CopyOut(out, 4);
+  EXPECT_EQ(std::string(out, 4), "cdef");
+  EXPECT_EQ(dp.Remaining(), 6u);
+}
+
+TEST(DataPointer, RemainingTracksChain) {
+  auto a = IOBuf::CopyBuffer("abc");
+  a->AppendChain(IOBuf::CopyBuffer("de"));
+  DataPointer dp(a.get());
+  EXPECT_EQ(dp.Remaining(), 5u);
+  dp.Advance(4);
+  EXPECT_EQ(dp.Remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace ebbrt

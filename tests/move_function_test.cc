@@ -1,0 +1,91 @@
+#include "src/platform/move_function.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ebbrt {
+namespace {
+
+TEST(MoveFunction, EmptyIsFalsy) {
+  MoveFunction<void()> fn;
+  EXPECT_FALSE(fn);
+}
+
+TEST(MoveFunction, InvokesLambda) {
+  int x = 0;
+  MoveFunction<void()> fn = [&x] { x = 42; };
+  fn();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(MoveFunction, ReturnsValue) {
+  MoveFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(MoveFunction, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(7);
+  MoveFunction<int()> fn = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(fn(), 7);
+}
+
+TEST(MoveFunction, MoveTransfersOwnership) {
+  auto p = std::make_unique<int>(9);
+  MoveFunction<int()> a = [p = std::move(p)] { return *p; };
+  MoveFunction<int()> b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is documented empty
+  EXPECT_TRUE(b);
+  EXPECT_EQ(b(), 9);
+}
+
+TEST(MoveFunction, LargeCaptureGoesToHeap) {
+  // Capture larger than the inline buffer must still work (heap path).
+  std::string big(1024, 'x');
+  int arr[64] = {0};
+  arr[13] = 5;
+  MoveFunction<std::size_t()> fn = [big, arr] { return big.size() + arr[13]; };
+  EXPECT_EQ(fn(), 1029u);
+}
+
+TEST(MoveFunction, MoveAssignReplacesTarget) {
+  int destroyed = 0;
+  struct Probe {
+    int* counter;
+    ~Probe() {
+      if (counter != nullptr) {
+        ++*counter;
+      }
+    }
+    Probe(int* c) : counter(c) {}
+    Probe(Probe&& o) noexcept : counter(o.counter) { o.counter = nullptr; }
+    Probe(const Probe&) = delete;
+  };
+  {
+    MoveFunction<void()> a = [p = Probe(&destroyed)] {};
+    MoveFunction<void()> b = [] {};
+    a = std::move(b);
+    EXPECT_EQ(destroyed, 1);  // old callable destroyed on assignment
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(MoveFunction, DestructorReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  {
+    MoveFunction<void()> fn = [counter] { ++*counter; };
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(MoveFunction, MutableLambdaKeepsState) {
+  MoveFunction<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+}  // namespace
+}  // namespace ebbrt

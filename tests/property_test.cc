@@ -1,0 +1,192 @@
+// Property-style parameterized suites: invariants that must hold across swept parameters.
+//
+//  * TCP delivers byte-exact streams for any (message size, loss rate) combination.
+//  * The chain checksum equals the flat checksum for any split of a buffer.
+//  * Slab caches hand out non-overlapping, correctly-sized objects for every size class.
+//  * The buddy allocator conserves pages for arbitrary alloc/free interleavings.
+#include <numeric>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/mem/gp_allocator.h"
+#include "src/sim/testbed.h"
+
+namespace ebbrt {
+namespace {
+
+// --- TCP stream integrity across loss/size ------------------------------------------------
+
+struct TcpSweepParam {
+  std::size_t bytes;
+  double loss;
+  std::uint32_t seed;
+};
+
+class TcpStreamIntegrity : public ::testing::TestWithParam<TcpSweepParam> {};
+
+TEST_P(TcpStreamIntegrity, ByteExactUnderLossAndSize) {
+  const TcpSweepParam param = GetParam();
+  sim::Testbed bed;
+  if (param.loss > 0) {
+    bed.fabric().SetLossRate(param.loss, param.seed);
+  }
+  sim::TestbedNode server = bed.AddNode("server", 2, Ipv4Addr::Of(10, 0, 0, 2));
+  sim::TestbedNode client = bed.AddNode("client", 1, Ipv4Addr::Of(10, 0, 0, 3));
+  std::string payload(param.bytes, '\0');
+  std::mt19937 rng(param.seed);
+  for (auto& c : payload) {
+    c = static_cast<char>('a' + rng() % 26);
+  }
+  std::string received;
+  server.Spawn(0, [&] {
+    server.net->tcp().Listen(9100, [&received](TcpPcb pcb) {
+      auto conn = std::make_shared<TcpPcb>(std::move(pcb));
+      conn->SetReceiveHandler([&received, conn](std::unique_ptr<IOBuf> data) {
+        received += std::string(data->AsStringView());
+      });
+    });
+  });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, Ipv4Addr::Of(10, 0, 0, 2), 9100)
+        .Then([&](Future<TcpPcb> f) {
+          auto pcb = std::make_shared<TcpPcb>(f.Get());
+          auto offset = std::make_shared<std::size_t>(0);
+          auto pump = std::make_shared<std::function<void()>>();
+          *pump = [pcb, offset, &payload, pump] {
+            while (*offset < payload.size()) {
+              std::size_t window = pcb->SendWindowRemaining();
+              if (window == 0) {
+                return;
+              }
+              std::size_t chunk = std::min(window, payload.size() - *offset);
+              pcb->Send(IOBuf::CopyBuffer(payload.data() + *offset, chunk));
+              *offset += chunk;
+            }
+          };
+          pcb->SetSendReadyHandler([pump] { (*pump)(); });
+          (*pump)();
+        });
+  });
+  bed.world().RunUntil(120ull * 1000 * 1000 * 1000);
+  ASSERT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TcpStreamIntegrity,
+    ::testing::Values(TcpSweepParam{100, 0.0, 1}, TcpSweepParam{1460, 0.0, 2},
+                      TcpSweepParam{1461, 0.0, 3},  // one byte past a segment boundary
+                      TcpSweepParam{30000, 0.0, 4}, TcpSweepParam{200000, 0.0, 5},
+                      TcpSweepParam{5000, 0.02, 6}, TcpSweepParam{30000, 0.05, 7},
+                      TcpSweepParam{20000, 0.08, 8},  // heavy loss: retransmission-dominated
+                      TcpSweepParam{100000, 0.03, 9}),
+    [](const ::testing::TestParamInfo<TcpSweepParam>& info) {
+      return "bytes" + std::to_string(info.param.bytes) + "_losspct" +
+             std::to_string(static_cast<int>(info.param.loss * 100));
+    });
+
+// --- Checksum split-invariance ---------------------------------------------------------------
+
+class ChecksumSplit : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChecksumSplit, ChainChecksumMatchesFlat) {
+  std::mt19937 rng(GetParam());
+  std::size_t len = 1 + rng() % 4096;
+  std::string data(len, '\0');
+  for (auto& c : data) {
+    c = static_cast<char>(rng());
+  }
+  std::uint16_t flat = InternetChecksum(data.data(), data.size());
+  // Split into random chain elements (odd splits exercise the byte-carry logic).
+  auto chain = IOBuf::CopyBuffer(data.data(), 0);
+  std::size_t off = 0;
+  while (off < len) {
+    std::size_t piece = 1 + rng() % 97;
+    piece = std::min(piece, len - off);
+    chain->AppendChain(IOBuf::CopyBuffer(data.data() + off, piece));
+    off += piece;
+  }
+  ChecksumAccumulator acc;
+  acc.AddChain(*chain);
+  EXPECT_EQ(acc.Finish(), flat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumSplit, ::testing::Range(1, 17));
+
+// --- Slab size-class invariants ----------------------------------------------------------------
+
+class SlabSizeClasses : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  SlabSizeClasses() : runtime_(RuntimeKind::kNative, "prop-slab") {
+    runtime_.AddCores(1);
+    mem::Config config;
+    config.arena_bytes = 64ull << 20;
+    mem::Install(runtime_, 1, config);
+  }
+  Runtime runtime_;
+};
+
+TEST_P(SlabSizeClasses, ObjectsDisjointAndWritable) {
+  ScopedContext ctx(runtime_, runtime_.global_core(0), 0, false);
+  std::size_t size = GetParam();
+  constexpr int kCount = 300;
+  std::vector<void*> objs;
+  for (int i = 0; i < kCount; ++i) {
+    void* p = mem::Alloc(size);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, i & 0xff, size);
+    objs.push_back(p);
+  }
+  // Disjointness: each object still carries its own fill byte at both ends.
+  for (int i = 0; i < kCount; ++i) {
+    auto* bytes = static_cast<std::uint8_t*>(objs[i]);
+    EXPECT_EQ(bytes[0], i & 0xff);
+    EXPECT_EQ(bytes[size - 1], i & 0xff);
+  }
+  for (void* p : objs) {
+    mem::Free(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, SlabSizeClasses,
+                         ::testing::Values(1, 8, 9, 17, 48, 63, 100, 256, 300, 1000, 2048,
+                                           4000, 4096));
+
+// --- Buddy conservation under random interleavings ---------------------------------------------
+
+class BuddyConservation : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BuddyConservation, FreePagesRestoredAfterChurn) {
+  PhysArena arena(32ull << 20, 1);
+  PageAllocator buddy(arena, 0);
+  std::size_t before = buddy.free_pages();
+  std::mt19937 rng(GetParam());
+  std::vector<void*> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng() % 3 != 0) {
+      void* p = buddy.AllocPages(rng() % 6);
+      if (p != nullptr) {
+        live.push_back(p);
+      }
+    } else {
+      std::size_t idx = rng() % live.size();
+      buddy.FreePages(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  for (void* p : live) {
+    buddy.FreePages(p);
+  }
+  EXPECT_EQ(buddy.free_pages(), before);
+  // Full coalescing: a max-order block must be allocatable again.
+  void* big = buddy.AllocPages(kMaxOrder);
+  EXPECT_NE(big, nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyConservation, ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace ebbrt
