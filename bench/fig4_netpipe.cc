@@ -33,45 +33,44 @@ class EbbRTPingPong {
  public:
   // Echo server with application-managed buffering (§3.6: the stack never buffers; an
   // application that cannot send within the advertised window queues the data itself and
-  // resumes when acknowledgments open the window).
-  struct EchoConn {
-    std::shared_ptr<TcpPcb> pcb;
-    std::deque<std::unique_ptr<IOBuf>> pending;
+  // resumes from SendReady when acknowledgments open the window). Queued chains are split
+  // zero-copy at the window boundary instead of being copied into partial buffers.
+  class EchoHandler final : public TcpHandler {
+   public:
+    void Receive(std::unique_ptr<IOBuf> data) override {
+      pending_.push_back(std::move(data));
+      Pump();
+    }
+    void SendReady() override { Pump(); }
 
+   private:
     void Pump() {
-      while (!pending.empty()) {
-        std::size_t window = pcb->SendWindowRemaining();
+      while (!pending_.empty()) {
+        std::size_t window = Pcb().SendWindowRemaining();
         if (window == 0) {
           return;
         }
-        std::unique_ptr<IOBuf>& head = pending.front();
+        std::unique_ptr<IOBuf>& head = pending_.front();
         std::size_t len = head->ComputeChainDataLength();
         if (len <= window) {
-          pcb->Send(std::move(head));
-          pending.pop_front();
+          Pcb().Send(std::move(head));
+          pending_.pop_front();
         } else {
-          auto part = IOBuf::Create(window);
-          head->CopyOut(part->WritableData(), window);
-          auto rest = IOBuf::Create(len - window);
-          head->CopyOut(rest->WritableData(), len - window, window);
-          pcb->Send(std::move(part));
+          std::unique_ptr<IOBuf> rest = head->Split(window);
+          Pcb().Send(std::move(head));
           head = std::move(rest);
           return;
         }
       }
     }
+
+    std::deque<std::unique_ptr<IOBuf>> pending_;
   };
 
   static void StartServer(TestbedNode& node) {
     node.Spawn(0, [&node] {
       node.net->tcp().Listen(kPort, [](TcpPcb pcb) {
-        auto conn = std::make_shared<EchoConn>();
-        conn->pcb = std::make_shared<TcpPcb>(std::move(pcb));
-        conn->pcb->SetReceiveHandler([conn](std::unique_ptr<IOBuf> data) {
-          conn->pending.push_back(std::move(data));
-          conn->Pump();
-        });
-        conn->pcb->SetSendReadyHandler([conn] { conn->Pump(); });
+        pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<EchoHandler>()));
       });
     });
   }
@@ -82,29 +81,12 @@ class EbbRTPingPong {
     client.Spawn(0, [&, size, iters] {
       client.net->tcp().Connect(*client.iface, kServerIp, kPort).Then([&, size, iters](
                                                                           Future<TcpPcb> f) {
-        auto pcb = std::make_shared<TcpPcb>(f.Get());
-        auto state = std::make_shared<PingState>();
-        state->size = size;
-        state->remaining_iters = iters;
-        state->bed = &bed;
-        state->message = IOBuf::Create(size);
-        state->start = &start_ns;
-        state->end = &end_ns;
-        pcb->SetReceiveHandler([pcb, state](std::unique_ptr<IOBuf> data) {
-          state->received += data->ComputeChainDataLength();
-          if (state->received >= state->size) {
-            state->received = 0;
-            if (--state->remaining_iters == 0) {
-              *state->end = state->bed->world().Now();
-              pcb->Close();
-              return;
-            }
-            SendMessage(*pcb, *state);
-          }
-        });
-        pcb->SetSendReadyHandler([pcb, state] { Pump(*pcb, *state); });
-        *state->start = bed.world().Now();
-        SendMessage(*pcb, *state);
+        TcpPcb pcb = f.Get();
+        auto handler = std::make_unique<PingHandler>(bed, size, iters, &end_ns);
+        auto* raw = handler.get();
+        pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::move(handler)));
+        start_ns = bed.world().Now();
+        raw->SendMessage();
       });
     });
     bed.world().RunUntil(60ull * 1000 * 1000 * 1000);
@@ -117,37 +99,62 @@ class EbbRTPingPong {
   }
 
  private:
-  struct PingState {
-    std::size_t size;
-    std::size_t received = 0;
-    std::size_t send_offset = 0;
-    bool sending = false;
-    int remaining_iters;
-    Testbed* bed;
-    std::unique_ptr<IOBuf> message;
-    std::uint64_t* start;
-    std::uint64_t* end;
-  };
+  // Client half of the ping-pong: one message of `size` bytes bounced `iters` times, the
+  // send side paced by the application against the advertised window (§3.6).
+  class PingHandler final : public TcpHandler {
+   public:
+    PingHandler(Testbed& bed, std::size_t size, int iters, std::uint64_t* end)
+        : bed_(bed),
+          size_(size),
+          remaining_iters_(iters),
+          message_(IOBuf::Create(size)),
+          end_(end) {}
 
-  static void SendMessage(TcpPcb& pcb, PingState& state) {
-    state.send_offset = 0;
-    state.sending = true;
-    Pump(pcb, state);
-  }
-
-  static void Pump(TcpPcb& pcb, PingState& state) {
-    // Application-owned pacing (§3.6): send while the advertised window allows.
-    while (state.sending && state.send_offset < state.size) {
-      std::size_t window = pcb.SendWindowRemaining();
-      if (window == 0) {
-        return;
+    void Receive(std::unique_ptr<IOBuf> data) override {
+      received_ += data->ComputeChainDataLength();
+      if (received_ >= size_) {
+        received_ = 0;
+        if (--remaining_iters_ == 0) {
+          *end_ = bed_.world().Now();
+          Pcb().Close();
+          return;
+        }
+        SendMessage();
       }
-      std::size_t chunk = std::min(window, state.size - state.send_offset);
-      pcb.Send(IOBuf::WrapBuffer(state.message->Data() + state.send_offset, chunk));
-      state.send_offset += chunk;
     }
-    state.sending = false;
-  }
+
+    void SendReady() override { Pump(); }
+
+    void SendMessage() {
+      send_offset_ = 0;
+      sending_ = true;
+      Pump();
+    }
+
+   private:
+    void Pump() {
+      // Application-owned pacing (§3.6): send while the advertised window allows.
+      while (sending_ && send_offset_ < size_) {
+        std::size_t window = Pcb().SendWindowRemaining();
+        if (window == 0) {
+          return;
+        }
+        std::size_t chunk = std::min(window, size_ - send_offset_);
+        Pcb().Send(IOBuf::WrapBuffer(message_->Data() + send_offset_, chunk));
+        send_offset_ += chunk;
+      }
+      sending_ = false;
+    }
+
+    Testbed& bed_;
+    std::size_t size_;
+    std::size_t received_ = 0;
+    std::size_t send_offset_ = 0;
+    bool sending_ = false;
+    int remaining_iters_;
+    std::unique_ptr<IOBuf> message_;
+    std::uint64_t* end_;
+  };
 };
 
 // --- Baseline (socket API) ping-pong ------------------------------------------------------------

@@ -1,13 +1,45 @@
 // Echo server over the EbbRT network stack on the simulated testbed.
 //
-// Demonstrates the paper's data path: zero-copy receive handlers invoked synchronously from
-// the (simulated) device interrupt, application-checked send windows, per-connection core
-// affinity via RSS, and the virtual-time world that hosts it all.
+// Demonstrates the paper's data path: a per-connection TcpHandler invoked synchronously from
+// the (simulated) device interrupt, zero-copy receive buffers echoed straight back,
+// application-checked send windows, per-connection core affinity via RSS, and the virtual-
+// time world that hosts it all.
 //
 // Run: ./examples/echo_server
 #include <cstdio>
 
 #include "src/sim/testbed.h"
+
+namespace {
+
+using namespace ebbrt;
+
+// The server side of a connection: the very buffer the device filled is echoed straight
+// back — no copies anywhere in the stack.
+class EchoHandler final : public TcpHandler {
+ public:
+  void Receive(std::unique_ptr<IOBuf> data) override { Pcb().Send(std::move(data)); }
+  void Close() override { Pcb().Close(); }
+};
+
+// The client side: sends one message, prints the echo, closes.
+class ClientHandler final : public TcpHandler {
+ public:
+  ClientHandler(sim::Testbed& bed, std::uint64_t sent_at) : bed_(bed), sent_at_(sent_at) {}
+
+  void Receive(std::unique_ptr<IOBuf> data) override {
+    std::printf("[client] echoed %zu bytes: \"%.*s\" (rtt %.1f us)\n", data->Length(),
+                static_cast<int>(data->Length()), data->Data(),
+                (bed_.world().Now() - sent_at_) / 1000.0);
+    Pcb().Close();
+  }
+
+ private:
+  sim::Testbed& bed_;
+  std::uint64_t sent_at_;
+};
+
+}  // namespace
 
 int main() {
   using namespace ebbrt;
@@ -20,28 +52,18 @@ int main() {
       std::printf("[server core %zu] accepted connection from %s:%u\n",
                   CurrentContext().machine_core,
                   pcb.tuple().remote_ip.ToString().c_str(), pcb.tuple().remote_port);
-      auto conn = std::make_shared<TcpPcb>(std::move(pcb));
-      conn->SetReceiveHandler([conn](std::unique_ptr<IOBuf> data) {
-        // The very buffer the device filled, echoed straight back — no copies in the stack.
-        conn->Send(std::move(data));
-      });
-      conn->SetCloseHandler([conn] { conn->Close(); });
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<EchoHandler>()));
     });
   });
 
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, Ipv4Addr::Of(10, 0, 0, 2), 7)
         .Then([&bed](Future<TcpPcb> f) {
-          auto pcb = std::make_shared<TcpPcb>(f.Get());
-          auto sent_at = std::make_shared<std::uint64_t>(bed.world().Now());
-          pcb->SetReceiveHandler([pcb, sent_at, &bed](std::unique_ptr<IOBuf> data) {
-            std::printf("[client] echoed %zu bytes: \"%.*s\" (rtt %.1f us)\n",
-                        data->Length(), static_cast<int>(data->Length()), data->Data(),
-                        (bed.world().Now() - *sent_at) / 1000.0);
-            pcb->Close();
-          });
-          std::printf("[client] connected on core %zu; sending\n", pcb->core());
-          pcb->Send(IOBuf::CopyBuffer("echo through a library OS"));
+          TcpPcb pcb = f.Get();
+          std::printf("[client] connected on core %zu; sending\n", pcb.core());
+          pcb.InstallHandler(std::unique_ptr<TcpHandler>(
+              std::make_unique<ClientHandler>(bed, bed.world().Now())));
+          pcb.Send(IOBuf::CopyBuffer("echo through a library OS"));
         });
   });
 

@@ -41,14 +41,21 @@ std::size_t RequestAccumulator::Feed(const char* data, std::size_t len) {
   return complete;
 }
 
+std::size_t RequestAccumulator::Feed(const IOBuf& chain) {
+  std::size_t complete = 0;
+  for (const IOBuf* seg = &chain; seg != nullptr; seg = seg->Next()) {
+    complete += Feed(reinterpret_cast<const char*>(seg->Data()), seg->Length());
+  }
+  return complete;
+}
+
 HttpServer::HttpServer(NetworkManager& network, std::uint16_t port) : server_(network) {
   server_.Listen(port, [this](std::shared_ptr<uv::TcpStream> stream) {
     auto acc = std::make_shared<RequestAccumulator>();
     stream->ReadStart([this, stream, acc](std::unique_ptr<IOBuf> data) {
-      std::size_t requests = 0;
-      for (IOBuf* seg = data.get(); seg != nullptr; seg = seg->Next()) {
-        requests += acc->Feed(reinterpret_cast<const char*>(seg->Data()), seg->Length());
-      }
+      // The stream handler fires straight from the device event; the accumulator scans the
+      // received chain in place — no copies on any path.
+      std::size_t requests = acc->Feed(*data);
       // Respond synchronously from the device event — one static buffer per request.
       static const std::string kResponse = StaticResponse();
       for (std::size_t i = 0; i < requests; ++i) {
@@ -56,7 +63,7 @@ HttpServer::HttpServer(NetworkManager& network, std::uint16_t port) : server_(ne
         stream->Write(IOBuf::WrapBuffer(kResponse.data(), kResponse.size()));
       }
     });
-    stream->OnClose([stream] { stream->Close(); });
+    stream->OnClose([stream] { stream->Shutdown(); });
   });
 }
 

@@ -20,10 +20,14 @@ namespace http {
 std::string StaticResponse();
 
 // Minimal HTTP/1.1 request accumulator: detects end-of-headers, supports keep-alive GETs.
+// A pure state machine — it scans IOBuf chains element by element and never copies or
+// accumulates bytes, regardless of how requests straddle segment boundaries.
 class RequestAccumulator {
  public:
   // Feeds bytes; returns the number of complete requests now available.
   std::size_t Feed(const char* data, std::size_t len);
+  // Chain-aware feed: scans every element of the received chain in place.
+  std::size_t Feed(const IOBuf& chain);
 
  private:
   // Scans for "\r\n\r\n" across feeds with a 3-byte carry.

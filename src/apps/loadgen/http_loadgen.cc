@@ -12,11 +12,36 @@ constexpr std::string_view kRequest =
     "GET / HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n";
 }  // namespace
 
-struct HttpLoadgen::Conn {
-  std::shared_ptr<TcpPcb> pcb;
+// A closed-loop keep-alive connection: a TcpHandler that counts response bytes in place
+// (no copies — only chain lengths are inspected) and issues the next request after a think
+// pause.
+struct HttpLoadgen::Conn final : public TcpHandler,
+                                 public std::enable_shared_from_this<Conn> {
+  HttpLoadgen* gen = nullptr;
   std::size_t bytes_pending = 0;  // of the current response
   std::uint64_t issued_at = 0;
   bool stopped = false;
+
+  void Receive(std::unique_ptr<IOBuf> data) override {
+    std::size_t len = data->ComputeChainDataLength();
+    if (len < bytes_pending) {
+      bytes_pending -= len;
+      return;
+    }
+    bytes_pending = 0;
+    std::uint64_t now = gen->bed_.world().Now();
+    if (issued_at >= gen->measure_start_ && issued_at < gen->measure_end_) {
+      gen->latencies_.push_back(now - issued_at);
+      ++gen->completed_;
+    }
+    if (!stopped && now < gen->measure_end_) {
+      // Closed loop with light think time ("moderate load").
+      HttpLoadgen* g = gen;
+      auto self = shared_from_this();
+      Timer::Instance()->Start(g->config_.think_time_ns,
+                               [g, self] { g->IssueRequest(self); });
+    }
+  }
 };
 
 Future<HttpLoadgen::Result> HttpLoadgen::Run() {
@@ -31,30 +56,11 @@ Future<HttpLoadgen::Result> HttpLoadgen::Run() {
     client_.Spawn(core, [this, ready] {
       client_.net->tcp().Connect(*client_.iface, server_, port_).Then([this, ready](
                                                                           Future<TcpPcb> f) {
+        TcpPcb pcb = f.Get();
         auto conn = std::make_shared<Conn>();
-        conn->pcb = std::make_shared<TcpPcb>(f.Get());
+        conn->gen = this;
         conns_.push_back(conn);
-        auto self = this;
-        conn->pcb->SetReceiveHandler([self, conn](std::unique_ptr<IOBuf> data) {
-          std::size_t len = data->ComputeChainDataLength();
-          if (len >= conn->bytes_pending) {
-            conn->bytes_pending = 0;
-            std::uint64_t now = self->bed_.world().Now();
-            if (conn->issued_at >= self->measure_start_ &&
-                conn->issued_at < self->measure_end_) {
-              self->latencies_.push_back(now - conn->issued_at);
-              ++self->completed_;
-            }
-            if (!conn->stopped && now < self->measure_end_) {
-              // Closed loop with light think time ("moderate load").
-              Timer::Instance()->Start(self->config_.think_time_ns, [self, conn] {
-                self->IssueRequest(conn);
-              });
-            }
-          } else {
-            conn->bytes_pending -= len;
-          }
-        });
+        pcb.InstallHandler(std::shared_ptr<TcpHandler>(conn));
         IssueRequest(conn);
         if (++*ready == config_.connections) {
           std::uint64_t horizon = measure_end_ + 20'000'000;
@@ -76,7 +82,7 @@ void HttpLoadgen::IssueRequest(std::shared_ptr<Conn> conn) {
   }
   conn->issued_at = bed_.world().Now();
   conn->bytes_pending = config_.expected_response_bytes;
-  conn->pcb->Send(IOBuf::CopyBuffer(kRequest));
+  conn->Pcb().Send(IOBuf::CopyBuffer(kRequest));
 }
 
 void HttpLoadgen::Finish() {
@@ -86,7 +92,7 @@ void HttpLoadgen::Finish() {
   finished_ = true;
   for (auto& conn : conns_) {
     conn->stopped = true;
-    conn->pcb->Close();
+    conn->Pcb().Close();
   }
   Result result;
   result.samples = latencies_.size();

@@ -46,15 +46,68 @@ std::unique_ptr<IOBuf> BuildSet(std::string_view key, std::size_t value_size,
 
 }  // namespace
 
-struct MemcachedLoadgen::Conn {
-  std::shared_ptr<TcpPcb> pcb;
+// Measurement connection: the loadgen's half of the unified datapath. Responses are parsed
+// and accounted synchronously from the device event on the connection's core.
+struct MemcachedLoadgen::Conn final : public TcpHandler {
   RequestParser parser;       // responses share the request wire format
   std::deque<std::uint64_t> issue_times;
   std::unique_ptr<EtcWorkload> workload;
-  MemcachedLoadgen* gen;
-  std::size_t core;
-  double rate_per_ns;
+  MemcachedLoadgen* gen = nullptr;
+  std::size_t core = 0;
+  double rate_per_ns = 0;
   bool stopped = false;
+
+  void Receive(std::unique_ptr<IOBuf> data) override {
+    parser.Feed(std::move(data), [this](const RequestParser::Request&) {
+      if (issue_times.empty()) {
+        return;  // response to a request issued outside accounting (shouldn't happen)
+      }
+      std::uint64_t issued = issue_times.front();
+      issue_times.pop_front();
+      std::uint64_t now = gen->bed_.world().Now();
+      if (issued >= gen->measure_start_ && issued < gen->measure_end_) {
+        gen->latencies_.push_back(now - issued);
+        ++gen->completed_in_window_;
+      }
+    });
+  }
+};
+
+// Preloads the keyspace over one connection, pipelining SETs in windows of 32 to keep it
+// fast but bounded; kicks off the measurement connections when the last batch is acked.
+struct MemcachedLoadgen::Preloader final : public TcpHandler {
+  explicit Preloader(MemcachedLoadgen& g) : gen(g) {}
+
+  MemcachedLoadgen& gen;
+  RequestParser parser;
+  std::size_t next_key = 0;
+  std::size_t remaining = 0;
+
+  void Receive(std::unique_ptr<IOBuf> data) override {
+    std::size_t done = 0;
+    parser.Feed(std::move(data), [&done](const RequestParser::Request&) { ++done; });
+    remaining -= done;
+    if (remaining == 0) {
+      SendNextBatch();
+    }
+  }
+
+  void SendNextBatch() {
+    if (next_key >= gen.config_.key_space) {
+      Pcb().Close();
+      gen.StartConnections();
+      return;
+    }
+    std::size_t batch = std::min<std::size_t>(32, gen.config_.key_space - next_key);
+    remaining = batch;
+    for (std::size_t i = 0; i < batch; ++i) {
+      std::size_t idx = next_key + i;
+      Pcb().Send(BuildSet(gen.preload_workload_->Key(idx),
+                          gen.preload_workload_->ValueSize(idx),
+                          static_cast<std::uint32_t>(idx)));
+    }
+    next_key += batch;
+  }
 };
 
 Future<MemcachedLoadgen::Result> MemcachedLoadgen::Run() {
@@ -62,39 +115,14 @@ Future<MemcachedLoadgen::Result> MemcachedLoadgen::Run() {
   preload_workload_ = std::make_unique<EtcWorkload>(config_.seed, config_.key_space);
   client_.Spawn(0, [this] {
     client_.net->tcp().Connect(*client_.iface, server_, port_).Then([this](Future<TcpPcb> f) {
-      auto pcb = std::make_shared<TcpPcb>(f.Get());
-      Preload(0, pcb);
+      TcpPcb pcb = f.Get();
+      auto preloader = std::make_unique<Preloader>(*this);
+      auto* raw = preloader.get();
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::move(preloader)));
+      raw->SendNextBatch();
     });
   });
   return result;
-}
-
-void MemcachedLoadgen::Preload(std::size_t next_key, std::shared_ptr<TcpPcb> pcb) {
-  // Pipeline the preload in windows of 32 SETs to keep it fast but bounded.
-  if (next_key >= config_.key_space) {
-    pcb->Close();
-    StartConnections();
-    return;
-  }
-  auto remaining = std::make_shared<std::size_t>(0);
-  std::size_t batch = std::min<std::size_t>(32, config_.key_space - next_key);
-  *remaining = batch;
-  auto self = this;
-  auto parser = std::make_shared<RequestParser>();
-  pcb->SetReceiveHandler([self, pcb, remaining, next_key, batch,
-                          parser](std::unique_ptr<IOBuf> data) {
-    std::size_t done = 0;
-    parser->Feed(std::move(data), [&done](const RequestParser::Request&) { ++done; });
-    *remaining -= done;
-    if (*remaining == 0) {
-      self->Preload(next_key + batch, pcb);
-    }
-  });
-  for (std::size_t i = 0; i < batch; ++i) {
-    std::size_t idx = next_key + i;
-    pcb->Send(BuildSet(preload_workload_->Key(idx), preload_workload_->ValueSize(idx),
-                       static_cast<std::uint32_t>(idx)));
-  }
 }
 
 void MemcachedLoadgen::StartConnections() {
@@ -107,8 +135,8 @@ void MemcachedLoadgen::StartConnections() {
     client_.Spawn(core, [this, i, core] {
       client_.net->tcp().Connect(*client_.iface, server_, port_).Then([this, i, core](
                                                                           Future<TcpPcb> f) {
+        TcpPcb pcb = f.Get();
         auto conn = std::make_shared<Conn>();
-        conn->pcb = std::make_shared<TcpPcb>(f.Get());
         conn->workload = std::make_unique<EtcWorkload>(config_.seed + 17 * (i + 1),
                                                        config_.key_space);
         conn->gen = this;
@@ -116,21 +144,7 @@ void MemcachedLoadgen::StartConnections() {
         conn->rate_per_ns =
             config_.target_qps / static_cast<double>(config_.connections) / 1e9;
         conns_.push_back(conn);
-        conn->pcb->SetReceiveHandler([conn](std::unique_ptr<IOBuf> data) {
-          conn->parser.Feed(std::move(data), [&conn](const RequestParser::Request&) {
-            if (conn->issue_times.empty()) {
-              return;  // response to a request issued outside accounting (shouldn't happen)
-            }
-            std::uint64_t issued = conn->issue_times.front();
-            conn->issue_times.pop_front();
-            MemcachedLoadgen* gen = conn->gen;
-            std::uint64_t now = gen->bed_.world().Now();
-            if (issued >= gen->measure_start_ && issued < gen->measure_end_) {
-              gen->latencies_.push_back(now - issued);
-              ++gen->completed_in_window_;
-            }
-          });
-        });
+        pcb.InstallHandler(std::shared_ptr<TcpHandler>(conn));
         IssueTick(conn);
         if (++conns_ready_ == config_.connections) {
           // Arm the finish line on core 0 of the client.
@@ -173,9 +187,9 @@ void MemcachedLoadgen::IssueRequest(Conn& conn) {
   } else {
     req = BuildSet(key, conn.workload->ValueSize(idx), static_cast<std::uint32_t>(idx));
   }
-  if (req->ComputeChainDataLength() <= conn.pcb->SendWindowRemaining()) {
+  if (req->ComputeChainDataLength() <= conn.Pcb().SendWindowRemaining()) {
     conn.issue_times.push_back(bed_.world().Now());
-    conn.pcb->Send(std::move(req));
+    conn.Pcb().Send(std::move(req));
   }
 }
 
@@ -186,7 +200,7 @@ void MemcachedLoadgen::Finish() {
   finished_ = true;
   for (auto& conn : conns_) {
     conn->stopped = true;
-    conn->pcb->Close();
+    conn->Pcb().Close();
   }
   Result result;
   result.samples = latencies_.size();

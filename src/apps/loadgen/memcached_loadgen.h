@@ -98,8 +98,8 @@ class MemcachedLoadgen {
   Future<Result> Run();
 
  private:
-  struct Conn;
-  void Preload(std::size_t next_key, std::shared_ptr<TcpPcb> pcb);
+  struct Conn;        // measurement connection: a TcpHandler (defined in the .cc)
+  struct Preloader;   // keyspace preloader: a TcpHandler driving pipelined SET batches
   void StartConnections();
   void IssueTick(std::shared_ptr<Conn> conn);
   void IssueRequest(Conn& conn);

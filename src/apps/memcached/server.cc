@@ -25,16 +25,7 @@ std::unique_ptr<IOBuf> BuildResponseHeader(const BinaryHeader& req, Status statu
 MemcachedServer::MemcachedServer(NetworkManager& network, std::uint16_t port)
     : network_(network), store_(network.rcu()) {
   network_.tcp().Listen(port, [this](TcpPcb pcb) {
-    auto conn = std::make_shared<Connection>();
-    conn->pcb = std::move(pcb);
-    conn->server = this;
-    conn->pcb.SetReceiveHandler([conn](std::unique_ptr<IOBuf> data) {
-      // Parsed and answered synchronously, on this core, within the device event.
-      conn->parser.Feed(std::move(data), [&conn](const RequestParser::Request& req) {
-        conn->server->HandleRequest(*conn, req);
-      });
-    });
-    conn->pcb.SetCloseHandler([conn] { conn->pcb.Close(); });
+    pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<Connection>(*this)));
   });
 }
 
@@ -46,7 +37,7 @@ void MemcachedServer::HandleRequest(Connection& conn, const RequestParser::Reque
       bool with_key = static_cast<Opcode>(req.header.opcode) == Opcode::kGetK;
       ItemRef item = store_.Get(req.key);
       if (item == nullptr) {
-        conn.pcb.Send(BuildResponseHeader(req.header, Status::kKeyNotFound, 0, 0, 0));
+        conn.Pcb().Send(BuildResponseHeader(req.header, Status::kKeyNotFound, 0, 0, 0));
         return;
       }
       std::size_t key_len = with_key ? req.key.size() : 0;
@@ -61,43 +52,43 @@ void MemcachedServer::HandleRequest(Connection& conn, const RequestParser::Reque
         response->AppendChain(IOBuf::CopyBuffer(req.key));
       }
       response->AppendChain(MakeValueBuffer(std::move(item)));
-      conn.pcb.Send(std::move(response));
+      conn.Pcb().Send(std::move(response));
       return;
     }
     case Opcode::kSet: {
       store_.Set(req.key, std::string(req.value), 0);
-      conn.pcb.Send(BuildResponseHeader(req.header, Status::kOk, 0, 0, 0));
+      conn.Pcb().Send(BuildResponseHeader(req.header, Status::kOk, 0, 0, 0));
       return;
     }
     case Opcode::kAdd: {
       bool ok = store_.Add(req.key, std::string(req.value), 0);
-      conn.pcb.Send(BuildResponseHeader(
+      conn.Pcb().Send(BuildResponseHeader(
           req.header, ok ? Status::kOk : Status::kKeyExists, 0, 0, 0));
       return;
     }
     case Opcode::kReplace: {
       bool ok = store_.Replace(req.key, std::string(req.value), 0);
-      conn.pcb.Send(BuildResponseHeader(
+      conn.Pcb().Send(BuildResponseHeader(
           req.header, ok ? Status::kOk : Status::kItemNotStored, 0, 0, 0));
       return;
     }
     case Opcode::kDelete: {
       bool ok = store_.Delete(req.key);
-      conn.pcb.Send(BuildResponseHeader(
+      conn.Pcb().Send(BuildResponseHeader(
           req.header, ok ? Status::kOk : Status::kKeyNotFound, 0, 0, 0));
       return;
     }
     case Opcode::kNoop:
     case Opcode::kVersion: {
-      conn.pcb.Send(BuildResponseHeader(req.header, Status::kOk, 0, 0, 0));
+      conn.Pcb().Send(BuildResponseHeader(req.header, Status::kOk, 0, 0, 0));
       return;
     }
     case Opcode::kQuit: {
-      conn.pcb.Close();
+      conn.Pcb().Close();
       return;
     }
     default:
-      conn.pcb.Send(BuildResponseHeader(req.header, Status::kUnknownCommand, 0, 0, 0));
+      conn.Pcb().Send(BuildResponseHeader(req.header, Status::kUnknownCommand, 0, 0, 0));
   }
 }
 

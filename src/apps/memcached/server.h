@@ -2,9 +2,9 @@
 //
 // MemcachedServer (EbbRT): the paper's §4.2 structure — "receives TCP data synchronously from
 // the network card. It is then passed through the network stack and parsed in the application
-// in order to construct a response, which is then sent out synchronously." Request handling
-// runs to completion on the connection's core, straight from the device event; GET responses
-// reference item bytes zero-copy.
+// in order to construct a response, which is then sent out synchronously." Each connection is
+// a TcpHandler: request handling runs to completion on the connection's core, straight from
+// the device event; GET responses reference item bytes zero-copy.
 //
 // BaselineMemcachedServer: the same protocol and store, but written the way a general-purpose
 // OS forces: epoll-style readiness callbacks, read(2) into a connection buffer, responses
@@ -18,71 +18,75 @@
 #include "src/apps/memcached/kvstore.h"
 #include "src/apps/memcached/protocol.h"
 #include "src/baseline/socket.h"
+#include "src/iobuf/iobuf_queue.h"
 #include "src/net/network_manager.h"
 #include "src/net/tcp.h"
 
 namespace ebbrt {
 namespace memcached {
 
-// Accumulates a TCP byte stream and yields complete binary-protocol requests. When a request
-// is fully contained in one segment it is parsed in place (no copy); only requests split
-// across segments are reassembled into the pending buffer.
+// Accumulates the TCP byte stream in an IOBufQueue and yields complete binary-protocol
+// requests. A request fully contained in one segment is parsed in place — the views handed to
+// the callback point into the very buffer the (simulated) DMA engine filled. Only a request
+// that straddles segment boundaries is reassembled, with exactly one bounded copy
+// (IOBufQueue::EnsureContiguous), instead of the copy-per-feed a string accumulator costs.
 class RequestParser {
  public:
   struct Request {
     BinaryHeader header;        // host-copied
-    std::string_view key;       // views into segment or pending buffer
+    std::string_view key;       // views into the segment (or the one-time coalesce buffer)
     std::string_view extras;
     std::string_view value;
   };
 
-  // Feeds `data` and invokes `fn(request)` for each complete request.
+  // Feeds `data` and invokes `fn(request)` for each complete request. The views in `request`
+  // are valid only during the callback.
   template <typename F>
   void Feed(std::unique_ptr<IOBuf> data, F&& fn) {
-    for (IOBuf* seg = data.get(); seg != nullptr; seg = seg->Next()) {
-      FeedBytes(reinterpret_cast<const char*>(seg->Data()), seg->Length(),
-                std::forward<F>(fn));
-    }
+    queue_.Append(std::move(data));
+    Drain(fn);  // deliberately by lvalue reference: `fn` is invoked repeatedly
   }
 
+  // Byte-oriented entry point for consumers without an IOBuf in hand (the baseline socket
+  // server, whose read(2) already copied into a flat buffer).
   template <typename F>
   void FeedBytes(const char* bytes, std::size_t len, F&& fn) {
-    if (pending_.empty()) {
-      std::size_t consumed = ParseFrom(bytes, len, std::forward<F>(fn));
-      if (consumed < len) {
-        pending_.assign(bytes + consumed, len - consumed);
-      }
-      return;
-    }
-    pending_.append(bytes, len);
-    std::size_t consumed = ParseFrom(pending_.data(), pending_.size(), std::forward<F>(fn));
-    pending_.erase(0, consumed);
+    queue_.Append(IOBuf::CopyBuffer(bytes, len));
+    Drain(fn);
   }
 
+  // Bytes buffered awaiting a complete request.
+  std::size_t pending_bytes() const { return queue_.ChainLength(); }
+  // Number of cross-segment reassemblies performed (0 == every request parsed in place).
+  std::size_t coalesce_ops() const { return queue_.coalesce_ops(); }
+
  private:
+  // Takes `fn` by reference: a forwarded rvalue callable must not be re-forwarded inside a
+  // loop (use-after-move); only the top-level entry points accept forwarding references.
   template <typename F>
-  std::size_t ParseFrom(const char* base, std::size_t len, F&& fn) {
-    std::size_t off = 0;
-    while (len - off >= sizeof(BinaryHeader)) {
+  void Drain(F& fn) {
+    while (queue_.ChainLength() >= sizeof(BinaryHeader)) {
+      // Chain-aware peek of the fixed-size header (host-copied regardless): learns the
+      // record length without forcing a coalesce when the header itself straddles segments.
       BinaryHeader header;
-      std::memcpy(&header, base + off, sizeof(header));
-      std::uint32_t body = header.TotalBody();
-      if (len - off < sizeof(header) + body) {
-        break;  // incomplete request
+      queue_.Peek(&header, sizeof(header));
+      std::size_t total = sizeof(header) + header.TotalBody();
+      if (queue_.ChainLength() < total) {
+        return;  // incomplete request: wait for more segments, no copies yet
       }
+      const char* base = reinterpret_cast<const char*>(queue_.EnsureContiguous(total));
       Request req;
       req.header = header;
-      const char* p = base + off + sizeof(header);
+      const char* p = base + sizeof(header);
       req.extras = {p, header.extras_length};
       req.key = {p + header.extras_length, header.KeyLength()};
       req.value = {p + header.extras_length + header.KeyLength(), header.ValueLength()};
       fn(req);
-      off += sizeof(header) + body;
+      queue_.TrimStart(total);
     }
-    return off;
   }
 
-  std::string pending_;
+  IOBufQueue queue_;
 };
 
 // Builds the response header (+extras) buffer with room for an appended value chain.
@@ -98,10 +102,23 @@ class MemcachedServer {
   std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
 
  private:
-  struct Connection {
-    TcpPcb pcb;
-    RequestParser parser;
-    MemcachedServer* server;
+  // One per connection, owned by the connection itself; all four datapath edges (receive,
+  // close, abort, send-ready) land here from the device event.
+  class Connection final : public TcpHandler {
+   public:
+    explicit Connection(MemcachedServer& server) : server_(server) {}
+
+    void Receive(std::unique_ptr<IOBuf> data) override {
+      // Parsed and answered synchronously, on this core, within the device event.
+      parser_.Feed(std::move(data), [this](const RequestParser::Request& req) {
+        server_.HandleRequest(*this, req);
+      });
+    }
+    void Close() override { Pcb().Close(); }
+
+   private:
+    MemcachedServer& server_;
+    RequestParser parser_;
   };
 
   void HandleRequest(Connection& conn, const RequestParser::Request& req);

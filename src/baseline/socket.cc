@@ -35,17 +35,9 @@ void SocketStack::StartTicks() {
 void SocketStack::Listen(std::uint16_t port, AcceptFn accept) {
   net_.tcp().Listen(port, [this, accept](TcpPcb pcb) {
     auto socket = std::make_shared<Socket>(*this, std::move(pcb));
-    // Wire the kernel-side handlers while still in the accept event.
-    auto* raw = socket.get();
-    raw->pcb_.SetReceiveHandler(
-        [socket](std::unique_ptr<IOBuf> data) { socket->OnSegment(std::move(data)); });
-    raw->pcb_.SetSendReadyHandler([socket] { socket->OnAcked(); });
-    raw->pcb_.SetCloseHandler([socket] {
-      socket->peer_closed_ = true;
-      if (socket->closed_) {
-        socket->closed_();
-      }
-    });
+    // Wire the kernel side onto the connection while still in the accept event.
+    socket->pcb_.InstallHandler(
+        std::unique_ptr<TcpHandler>(std::make_unique<Socket::KernelSide>(socket)));
     accept(std::move(socket));
   });
 }
@@ -54,21 +46,20 @@ Future<std::shared_ptr<Socket>> SocketStack::Connect(Ipv4Addr dst, std::uint16_t
   ChargeSyscall();  // connect(2)
   return net_.tcp().Connect(net_.interface(), dst, port).Then([this](Future<TcpPcb> f) {
     auto socket = std::make_shared<Socket>(*this, f.Get());
-    auto* raw = socket.get();
-    raw->pcb_.SetReceiveHandler(
-        [socket](std::unique_ptr<IOBuf> data) { socket->OnSegment(std::move(data)); });
-    raw->pcb_.SetSendReadyHandler([socket] { socket->OnAcked(); });
-    raw->pcb_.SetCloseHandler([socket] {
-      socket->peer_closed_ = true;
-      if (socket->closed_) {
-        socket->closed_();
-      }
-    });
+    socket->pcb_.InstallHandler(
+        std::unique_ptr<TcpHandler>(std::make_unique<Socket::KernelSide>(socket)));
     return socket;
   });
 }
 
 Socket::Socket(SocketStack& stack, TcpPcb pcb) : stack_(stack), pcb_(std::move(pcb)) {}
+
+void Socket::OnPeerClosed() {
+  peer_closed_ = true;
+  if (closed_) {
+    closed_();
+  }
+}
 
 void Socket::OnSegment(std::unique_ptr<IOBuf> data) {
   // Kernel receive path: softirq processing, then queue into the socket buffer and wake the

@@ -65,8 +65,28 @@ class Socket {
 
  private:
   friend class SocketStack;
+
+  // The kernel half of the socket: the connection's TcpHandler. Receives segments and window
+  // openings from the unified datapath and feeds the socket buffers — the buffering/copy
+  // indirection a socket API imposes, expressed over the same handler abstraction the
+  // zero-copy applications use. Holds a shared reference so the socket lives as long as its
+  // connection even if the application drops its handle early.
+  class KernelSide final : public TcpHandler {
+   public:
+    explicit KernelSide(std::shared_ptr<Socket> socket) : socket_(std::move(socket)) {}
+    void Receive(std::unique_ptr<IOBuf> data) override {
+      socket_->OnSegment(std::move(data));
+    }
+    void SendReady() override { socket_->OnAcked(); }
+    void Close() override { socket_->OnPeerClosed(); }
+
+   private:
+    std::shared_ptr<Socket> socket_;
+  };
+
   void OnSegment(std::unique_ptr<IOBuf> data);  // kernel-side rx
   void OnAcked();                               // window opened: pump tx
+  void OnPeerClosed();                          // FIN/RST from the peer
   void PumpTx();                                // send from the kernel buffer as allowed
   void MaybeUpdateWindow();
 

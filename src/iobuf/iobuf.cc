@@ -8,12 +8,37 @@ namespace {
 void FreeHeap(void* buffer, void* /*arg*/) { std::free(buffer); }
 }  // namespace
 
+IOBuf::SharedStorage* IOBuf::MakeHeapStorage(std::uint8_t* buffer) {
+  auto* storage = new SharedStorage;
+  storage->buffer = buffer;
+  storage->free_fn = FreeHeap;
+  storage->free_arg = nullptr;
+  return storage;
+}
+
+void IOBuf::ReleaseStorage() {
+  if (storage_ == nullptr) {
+    return;
+  }
+  if (storage_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (storage_->free_fn != nullptr) {
+      storage_->free_fn(storage_->buffer, storage_->free_arg);
+    }
+    delete storage_;
+  }
+  storage_ = nullptr;
+}
+
+bool IOBuf::Shared() const {
+  return storage_ != nullptr && storage_->refs.load(std::memory_order_acquire) > 1;
+}
+
 std::unique_ptr<IOBuf> IOBuf::Create(std::size_t capacity, bool zero) {
   auto* storage = static_cast<std::uint8_t*>(zero ? std::calloc(1, capacity ? capacity : 1)
                                                   : std::malloc(capacity ? capacity : 1));
   Kbugon(storage == nullptr, "IOBuf::Create: allocation of %zu bytes failed", capacity);
   return std::unique_ptr<IOBuf>(
-      new IOBuf(storage, capacity, storage, capacity, FreeHeap, nullptr));
+      new IOBuf(storage, capacity, storage, capacity, MakeHeapStorage(storage)));
 }
 
 std::unique_ptr<IOBuf> IOBuf::CreateReserve(std::size_t capacity, std::size_t headroom) {
@@ -21,7 +46,7 @@ std::unique_ptr<IOBuf> IOBuf::CreateReserve(std::size_t capacity, std::size_t he
   auto* storage = static_cast<std::uint8_t*>(std::malloc(capacity ? capacity : 1));
   Kbugon(storage == nullptr, "IOBuf::CreateReserve: allocation of %zu bytes failed", capacity);
   return std::unique_ptr<IOBuf>(
-      new IOBuf(storage, capacity, storage + headroom, 0, FreeHeap, nullptr));
+      new IOBuf(storage, capacity, storage + headroom, 0, MakeHeapStorage(storage)));
 }
 
 std::unique_ptr<IOBuf> IOBuf::CopyBuffer(const void* data, std::size_t len,
@@ -34,13 +59,17 @@ std::unique_ptr<IOBuf> IOBuf::CopyBuffer(const void* data, std::size_t len,
 
 std::unique_ptr<IOBuf> IOBuf::WrapBuffer(const void* data, std::size_t len) {
   auto* bytes = static_cast<std::uint8_t*>(const_cast<void*>(data));
-  return std::unique_ptr<IOBuf>(new IOBuf(bytes, len, bytes, len, nullptr, nullptr));
+  return std::unique_ptr<IOBuf>(new IOBuf(bytes, len, bytes, len, nullptr));
 }
 
 std::unique_ptr<IOBuf> IOBuf::TakeOwnership(void* buffer, std::size_t capacity,
                                             std::size_t length, FreeFn free_fn, void* arg) {
   auto* bytes = static_cast<std::uint8_t*>(buffer);
-  return std::unique_ptr<IOBuf>(new IOBuf(bytes, capacity, bytes, length, free_fn, arg));
+  auto* storage = new SharedStorage;
+  storage->buffer = bytes;
+  storage->free_fn = free_fn;
+  storage->free_arg = arg;
+  return std::unique_ptr<IOBuf>(new IOBuf(bytes, capacity, bytes, length, storage));
 }
 
 IOBuf::~IOBuf() {
@@ -51,9 +80,7 @@ IOBuf::~IOBuf() {
     std::unique_ptr<IOBuf> next = std::move(rest->next_);
     rest = std::move(next);
   }
-  if (free_fn_ != nullptr) {
-    free_fn_(buffer_, free_arg_);
-  }
+  ReleaseStorage();
 }
 
 void IOBuf::AppendChain(std::unique_ptr<IOBuf> chain) {
@@ -80,29 +107,75 @@ std::size_t IOBuf::ComputeChainDataLength() const {
   return total;
 }
 
-void IOBuf::CoalesceChain() {
+std::unique_ptr<IOBuf> IOBuf::CloneOne() const {
+  if (storage_ != nullptr) {
+    storage_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::unique_ptr<IOBuf>(new IOBuf(buffer_, capacity_, data_, length_, storage_));
+}
+
+std::unique_ptr<IOBuf> IOBuf::Clone() const {
+  std::unique_ptr<IOBuf> head = CloneOne();
+  IOBuf* tail = head.get();
+  for (const IOBuf* buf = Next(); buf != nullptr; buf = buf->Next()) {
+    tail->next_ = buf->CloneOne();
+    tail = tail->next_.get();
+  }
+  return head;
+}
+
+std::unique_ptr<IOBuf> IOBuf::DeepClone() const {
+  std::size_t total = ComputeChainDataLength();
+  auto copy = Create(total);
+  CopyOut(copy->WritableData(), total);
+  return copy;
+}
+
+std::unique_ptr<IOBuf> IOBuf::Split(std::size_t n) {
+  Kassert(n > 0, "IOBuf::Split: empty head split");
+  IOBuf* buf = this;
+  for (;;) {
+    if (n < buf->length_) {
+      // The boundary falls inside `buf`: share its storage between the two chains.
+      std::unique_ptr<IOBuf> rest = buf->CloneOne();
+      rest->Advance(n);
+      rest->next_ = std::move(buf->next_);
+      buf->TrimEnd(buf->length_ - n);
+      return rest;
+    }
+    n -= buf->length_;
+    if (n == 0 || buf->next_ == nullptr) {
+      Kassert(n == 0, "IOBuf::Split: offset exceeds chain length");
+      return std::move(buf->next_);
+    }
+    buf = buf->next_.get();
+  }
+}
+
+void IOBuf::AdoptHeapStorage(std::uint8_t* storage, std::size_t total) {
+  next_.reset();
+  ReleaseStorage();
+  buffer_ = storage;
+  capacity_ = total;
+  data_ = storage;
+  length_ = total;
+  storage_ = MakeHeapStorage(storage);
+}
+
+void IOBuf::Coalesce() {
   if (next_ == nullptr) {
     return;
   }
   std::size_t total = ComputeChainDataLength();
   auto* storage = static_cast<std::uint8_t*>(std::malloc(total ? total : 1));
-  Kbugon(storage == nullptr, "IOBuf::CoalesceChain: allocation of %zu bytes failed", total);
+  Kbugon(storage == nullptr, "IOBuf::Coalesce: allocation of %zu bytes failed", total);
   std::size_t offset = 0;
   for (const IOBuf* buf = this; buf != nullptr; buf = buf->Next()) {
     std::memcpy(storage + offset, buf->Data(), buf->Length());
     offset += buf->Length();
   }
   // Release old storage and the rest of the chain, then adopt the flat buffer.
-  next_.reset();
-  if (free_fn_ != nullptr) {
-    free_fn_(buffer_, free_arg_);
-  }
-  buffer_ = storage;
-  capacity_ = total;
-  data_ = storage;
-  length_ = total;
-  free_fn_ = FreeHeap;
-  free_arg_ = nullptr;
+  AdoptHeapStorage(storage, total);
 }
 
 void IOBuf::CopyOut(void* dst, std::size_t len, std::size_t offset) const {
@@ -123,13 +196,6 @@ void IOBuf::CopyOut(void* dst, std::size_t len, std::size_t offset) const {
     offset = 0;
     buf = buf->Next();
   }
-}
-
-std::unique_ptr<IOBuf> IOBuf::Clone() const {
-  std::size_t total = ComputeChainDataLength();
-  auto copy = Create(total);
-  CopyOut(copy->WritableData(), total);
-  return copy;
 }
 
 void DataPointer::CopyOut(void* dst, std::size_t len) const {

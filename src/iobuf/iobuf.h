@@ -13,9 +13,15 @@
 //
 // Chains are singly linked through owned `next_` pointers; typical chains are 1–4 elements
 // (header + payload), so tail walks are O(1)-ish and kept simple.
+//
+// Ownership is reference-counted (folly/EbbRT style): owned storage lives behind a shared
+// control block so Clone()/Split() produce additional zero-copy views of the same bytes.
+// Clones therefore observe writes through any sibling view — the datapath treats received
+// buffers as immutable once shared.
 #ifndef EBBRT_SRC_IOBUF_IOBUF_H_
 #define EBBRT_SRC_IOBUF_IOBUF_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -50,7 +56,8 @@ class IOBuf {
   // the IOBuf (e.g. static protocol constants, arena-backed stores).
   static std::unique_ptr<IOBuf> WrapBuffer(const void* data, std::size_t len);
 
-  // Takes ownership of external memory; `free_fn(buffer, arg)` is called on destruction.
+  // Takes ownership of external memory; `free_fn(buffer, arg)` is called when the last view
+  // of the storage is destroyed.
   static std::unique_ptr<IOBuf> TakeOwnership(void* buffer, std::size_t capacity,
                                               std::size_t length, FreeFn free_fn, void* arg);
 
@@ -71,6 +78,9 @@ class IOBuf {
   std::size_t Tailroom() const {
     return static_cast<std::size_t>((buffer_ + capacity_) - Tail());
   }
+
+  // True when other views (clones / splits) reference this element's storage.
+  bool Shared() const;
 
   // Shrinks the view from the front (protocol layers step past their headers).
   void Advance(std::size_t amount) {
@@ -127,37 +137,61 @@ class IOBuf {
   std::size_t CountChainElements() const;
   std::size_t ComputeChainDataLength() const;
 
-  // Flattens the whole chain into this element, reallocating if needed. Returns *this's new
-  // contiguous view. Used sparingly (e.g. reassembling an application record that crossed
-  // segment boundaries); the fast paths never coalesce.
-  void CoalesceChain();
+  // Zero-copy clone: a new chain of views that share (and refcount) this chain's storage.
+  // The cheap path everywhere a second reader needs the same bytes.
+  std::unique_ptr<IOBuf> Clone() const;
+  // Clones only this element (no chain walk), sharing its storage.
+  std::unique_ptr<IOBuf> CloneOne() const;
+
+  // Deep copy of the whole chain into a single new owned buffer — used where the bytes must
+  // be detached from the producer's storage (e.g. the simulated fabric boundary).
+  std::unique_ptr<IOBuf> DeepClone() const;
+
+  // Splits the chain at byte offset `n`: this chain keeps [0, n), the returned chain holds
+  // [n, end). An element straddling the boundary is shared between the two chains via
+  // refcounted views — no bytes are copied.
+  std::unique_ptr<IOBuf> Split(std::size_t n);
+
+  // Flattens the whole chain into this element, reallocating if needed. Used sparingly (e.g.
+  // reassembling an application record that crossed segment boundaries); the fast paths never
+  // coalesce.
+  void Coalesce();
 
   // Copies the first `len` bytes of the chain's data into `dst` (chain-aware memcpy-out).
   void CopyOut(void* dst, std::size_t len, std::size_t offset = 0) const;
-
-  // Deep copy of the whole chain into a single new buffer.
-  std::unique_ptr<IOBuf> Clone() const;
 
   std::string_view AsStringView() const {
     return {reinterpret_cast<const char*>(data_), length_};
   }
 
  private:
+  // Shared control block for owned storage. Non-owning views carry no block. The count is
+  // atomic because clones of a received chain may be retained by another core (e.g. a
+  // response queued on a different connection) and released there.
+  struct SharedStorage {
+    std::uint8_t* buffer;
+    FreeFn free_fn;
+    void* free_arg;
+    std::atomic<std::size_t> refs{1};
+  };
+
   IOBuf(std::uint8_t* buffer, std::size_t capacity, std::uint8_t* data, std::size_t length,
-        FreeFn free_fn, void* free_arg)
+        SharedStorage* storage)
       : buffer_(buffer),
         capacity_(capacity),
         data_(data),
         length_(length),
-        free_fn_(free_fn),
-        free_arg_(free_arg) {}
+        storage_(storage) {}
+
+  static SharedStorage* MakeHeapStorage(std::uint8_t* buffer);
+  void ReleaseStorage();
+  void AdoptHeapStorage(std::uint8_t* storage, std::size_t total);
 
   std::uint8_t* buffer_;
   std::size_t capacity_;
   std::uint8_t* data_;
   std::size_t length_;
-  FreeFn free_fn_;  // nullptr => non-owning
-  void* free_arg_;
+  SharedStorage* storage_;  // nullptr => non-owning view
   std::unique_ptr<IOBuf> next_;
 };
 

@@ -1,0 +1,124 @@
+#include "src/iobuf/iobuf_queue.h"
+
+namespace ebbrt {
+
+void IOBufQueue::Append(std::unique_ptr<IOBuf> buf) {
+  if (buf == nullptr) {
+    return;
+  }
+  length_ += buf->ComputeChainDataLength();
+  IOBuf* new_tail = buf.get();
+  while (new_tail->Next() != nullptr) {
+    new_tail = new_tail->Next();
+  }
+  if (head_ == nullptr) {
+    head_ = std::move(buf);
+  } else {
+    tail_->AppendChain(std::move(buf));  // tail_ has no next: O(1)
+  }
+  tail_ = new_tail;
+}
+
+void IOBufQueue::DropEmptyHead() {
+  while (head_ != nullptr && head_->Length() == 0) {
+    head_ = head_->Pop();
+  }
+  if (head_ == nullptr) {
+    tail_ = nullptr;
+  }
+}
+
+std::size_t IOBufQueue::FrontLength() const {
+  for (const IOBuf* buf = head_.get(); buf != nullptr; buf = buf->Next()) {
+    if (buf->Length() != 0) {
+      return buf->Length();
+    }
+  }
+  return 0;
+}
+
+const std::uint8_t* IOBufQueue::EnsureContiguous(std::size_t n) {
+  if (length_ < n) {
+    return nullptr;
+  }
+  DropEmptyHead();
+  if (n == 0) {
+    return head_ != nullptr ? head_->Data() : nullptr;
+  }
+  if (head_->Length() >= n) {
+    return head_->Data();  // single-segment fast path: no copy
+  }
+  // Reassemble exactly [0, n): detach the remainder zero-copy (Split shares the straddling
+  // element rather than copying it), flatten the n-byte prefix, re-attach. Copies exactly n
+  // bytes — an element the range merely reaches into contributes only its needed prefix.
+  std::unique_ptr<IOBuf> rest = head_->Split(n);
+  head_->Coalesce();
+  if (rest != nullptr) {
+    head_->AppendChain(std::move(rest));
+  }
+  IOBuf* tail = head_.get();
+  while (tail->Next() != nullptr) {
+    tail = tail->Next();
+  }
+  tail_ = tail;
+  ++coalesce_ops_;
+  coalesced_bytes_ += n;
+  return head_->Data();
+}
+
+bool IOBufQueue::Peek(void* dst, std::size_t n) const {
+  if (length_ < n) {
+    return false;
+  }
+  if (n > 0) {
+    head_->CopyOut(dst, n);
+  }
+  return true;
+}
+
+void IOBufQueue::TrimStart(std::size_t n) {
+  Kassert(n <= length_, "IOBufQueue::TrimStart past end");
+  length_ -= n;
+  while (n > 0) {
+    Kassert(head_ != nullptr, "IOBufQueue::TrimStart: chain shorter than length_");
+    std::size_t here = head_->Length();
+    if (here > n) {
+      head_->Advance(n);
+      return;
+    }
+    n -= here;
+    head_ = head_->Pop();
+  }
+  DropEmptyHead();
+}
+
+std::unique_ptr<IOBuf> IOBufQueue::Split(std::size_t n) {
+  Kassert(n <= length_, "IOBufQueue::Split past end");
+  if (n == 0) {
+    return nullptr;
+  }
+  DropEmptyHead();
+  std::unique_ptr<IOBuf> rest = head_->Split(n);
+  std::unique_ptr<IOBuf> result = std::move(head_);
+  head_ = std::move(rest);
+  length_ -= n;
+  if (head_ == nullptr) {
+    tail_ = nullptr;
+  } else {
+    // The split may have replaced the tail element with a shared view; re-resolve.
+    IOBuf* tail = head_.get();
+    while (tail->Next() != nullptr) {
+      tail = tail->Next();
+    }
+    tail_ = tail;
+  }
+  return result;
+}
+
+std::unique_ptr<IOBuf> IOBufQueue::Move() {
+  tail_ = nullptr;
+  length_ = 0;
+  return std::move(head_);
+}
+
+}  // namespace ebbrt

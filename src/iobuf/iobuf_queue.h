@@ -1,0 +1,105 @@
+// IOBufQueue — per-connection accumulator for the zero-copy receive path.
+//
+// TCP hands the application one device-filled IOBuf chain per segment (§3.6). Record-oriented
+// parsers (memcached binary protocol, HTTP) need a byte-stream view of those segments without
+// giving up the zero-copy property for the common case. IOBufQueue accumulates arriving
+// chains and lets a parser:
+//
+//   * peek at the first `n` bytes as a contiguous view (EnsureContiguous) — free when the
+//     front element already holds them (the single-segment fast path), a single bounded
+//     copy only when a record genuinely straddles segment boundaries;
+//   * consume parsed bytes (TrimStart) or carve them off as an owned chain (Split) without
+//     touching the rest of the stream.
+//
+// The coalesce counters make the zero-copy claim testable: a parser that feeds N one-segment
+// records through the queue must observe coalesce_ops() == 0.
+#ifndef EBBRT_SRC_IOBUF_IOBUF_QUEUE_H_
+#define EBBRT_SRC_IOBUF_IOBUF_QUEUE_H_
+
+#include <memory>
+
+#include "src/iobuf/iobuf.h"
+
+namespace ebbrt {
+
+class IOBufQueue {
+ public:
+  IOBufQueue() = default;
+
+  IOBufQueue(const IOBufQueue&) = delete;
+  IOBufQueue& operator=(const IOBufQueue&) = delete;
+
+  // Moves must reset the source: a defaulted move would leave it with a null head but stale
+  // length_ and a dangling tail_, corrupting the first reuse.
+  IOBufQueue(IOBufQueue&& other) noexcept
+      : head_(std::move(other.head_)),
+        tail_(other.tail_),
+        length_(other.length_),
+        coalesce_ops_(other.coalesce_ops_),
+        coalesced_bytes_(other.coalesced_bytes_) {
+    other.tail_ = nullptr;
+    other.length_ = 0;
+    other.coalesce_ops_ = 0;
+    other.coalesced_bytes_ = 0;
+  }
+  IOBufQueue& operator=(IOBufQueue&& other) noexcept {
+    head_ = std::move(other.head_);
+    tail_ = other.tail_;
+    length_ = other.length_;
+    coalesce_ops_ = other.coalesce_ops_;
+    coalesced_bytes_ = other.coalesced_bytes_;
+    other.tail_ = nullptr;
+    other.length_ = 0;
+    other.coalesce_ops_ = 0;
+    other.coalesced_bytes_ = 0;
+    return *this;
+  }
+
+  // Appends a chain at the tail (ownership transferred). O(len of appended chain), not of
+  // the queue: the tail element is cached.
+  void Append(std::unique_ptr<IOBuf> buf);
+
+  std::size_t ChainLength() const { return length_; }
+  bool Empty() const { return length_ == 0; }
+
+  // Front element's contiguous view length (bytes available without any copy).
+  std::size_t FrontLength() const;
+
+  // Returns a pointer to the first `n` bytes as contiguous memory, or nullptr when fewer
+  // than `n` bytes are queued. Zero-copy when the front element already holds `n` bytes;
+  // otherwise coalesces exactly the `n`-byte prefix (counted in coalesce_ops()/
+  // coalesced_bytes()). The pointer is valid until the next mutating call.
+  const std::uint8_t* EnsureContiguous(std::size_t n);
+
+  // Copies the first `n` bytes into `dst` without disturbing the chain — for peeking
+  // fixed-size record headers that may straddle elements, so parsers can learn a record's
+  // length without forcing a coalesce. Returns false when fewer than `n` bytes are queued.
+  bool Peek(void* dst, std::size_t n) const;
+
+  // Drops the first `n` bytes (parsed-and-done path).
+  void TrimStart(std::size_t n);
+
+  // Removes and returns the first `n` bytes as an owned chain (zero-copy: an element
+  // straddling the boundary is shared, not copied).
+  std::unique_ptr<IOBuf> Split(std::size_t n);
+
+  // Takes the whole queue as one chain (nullptr when empty).
+  std::unique_ptr<IOBuf> Move();
+
+  // Observability for the zero-copy invariant (asserted by tests and exported by parsers).
+  std::size_t coalesce_ops() const { return coalesce_ops_; }
+  std::size_t coalesced_bytes() const { return coalesced_bytes_; }
+
+ private:
+  void DropEmptyHead();
+
+  std::unique_ptr<IOBuf> head_;
+  IOBuf* tail_ = nullptr;  // last element of head_'s chain (nullptr iff head_ == nullptr)
+  std::size_t length_ = 0;
+  std::size_t coalesce_ops_ = 0;
+  std::size_t coalesced_bytes_ = 0;
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_IOBUF_IOBUF_QUEUE_H_

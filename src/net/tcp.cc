@@ -68,6 +68,75 @@ TcpEntry::TcpEntry(TcpManager& mgr, Interface& ifc, FourTuple t, std::size_t cor
 
 // --- TcpPcb --------------------------------------------------------------------------------
 
+namespace {
+
+// Releases whatever ownership the entry holds over its current handler — deferred to a
+// fresh event, never synchronously: handlers are routinely replaced or removed from inside
+// their own callbacks, and destroying one under its own frame is use-after-free. (See the
+// matching deferral in RemoveEntry.)
+void DeferHandlerRelease(TcpEntry& entry) {
+  if (entry.owned_handler == nullptr && entry.handler_anchor == nullptr) {
+    return;
+  }
+  // Smart-pointer captures (not a release()'d raw pointer): if the world stops before the
+  // event runs, the lambda's destructor still frees the handler.
+  event::Local().Spawn([owned = std::move(entry.owned_handler),
+                        anchor = std::move(entry.handler_anchor)]() mutable {
+    owned.reset();
+    anchor.reset();
+  });
+}
+
+}  // namespace
+
+void TcpPcb::InstallHandler(TcpHandler* handler) {
+  DeferHandlerRelease(*entry_);
+  entry_->handler = handler;
+  if (handler != nullptr) {
+    handler->pcb_ = *this;
+  }
+}
+
+void TcpPcb::InstallHandler(std::unique_ptr<TcpHandler> handler) {
+  DeferHandlerRelease(*entry_);
+  entry_->handler = handler.get();
+  entry_->owned_handler = std::move(handler);
+  if (entry_->handler != nullptr) {
+    entry_->handler->pcb_ = *this;
+  }
+}
+
+void TcpPcb::InstallHandler(std::shared_ptr<TcpHandler> handler) {
+  DeferHandlerRelease(*entry_);
+  entry_->handler = handler.get();
+  entry_->handler_anchor = std::move(handler);
+  if (entry_->handler != nullptr) {
+    entry_->handler->pcb_ = *this;
+  }
+}
+
+CallbackTcpHandler& TcpPcb::Callbacks() {
+  auto* shim = dynamic_cast<CallbackTcpHandler*>(entry_->handler);
+  if (shim == nullptr) {
+    auto owned = std::make_unique<CallbackTcpHandler>();
+    shim = owned.get();
+    InstallHandler(std::unique_ptr<TcpHandler>(std::move(owned)));
+  }
+  return *shim;
+}
+
+void TcpPcb::SetReceiveHandler(std::function<void(std::unique_ptr<IOBuf>)> fn) {
+  Callbacks().receive_fn = std::move(fn);
+}
+
+void TcpPcb::SetCloseHandler(std::function<void()> fn) {
+  Callbacks().close_fn = std::move(fn);
+}
+
+void TcpPcb::SetSendReadyHandler(std::function<void()> fn) {
+  Callbacks().send_ready_fn = std::move(fn);
+}
+
 std::size_t TcpPcb::SendWindowRemaining() const {
   std::uint32_t inflight = entry_->snd_nxt - entry_->snd_una;
   return inflight >= entry_->snd_wnd ? 0 : entry_->snd_wnd - inflight;
@@ -261,8 +330,8 @@ void TcpManager::RtxTimeout(std::shared_ptr<TcpEntry> entry) {
   if (++entry->rtx_backoff > kMaxRtxBackoff) {
     // Peer unreachable: abort.
     entry->state = TcpState::kClosed;
-    if (entry->close_fn) {
-      entry->close_fn();
+    if (entry->handler != nullptr) {
+      entry->handler->Abort();
     }
     if (entry->connect_pending) {
       entry->connect_pending = false;
@@ -284,6 +353,12 @@ void TcpManager::RtxTimeout(std::shared_ptr<TcpEntry> entry) {
 }
 
 void TcpManager::RemoveEntry(TcpEntry& entry) {
+  // Idempotent: the abort paths reach here twice when a handler's Abort() itself calls
+  // Pcb().Close() (handler -> Close -> RemoveEntry, then the stack's own RemoveEntry).
+  if (entry.removed) {
+    return;
+  }
+  entry.removed = true;
   if (entry.rtx_timer != 0) {
     Timer::Instance()->Stop(entry.rtx_timer);
     entry.rtx_timer = 0;
@@ -292,6 +367,12 @@ void TcpManager::RemoveEntry(TcpEntry& entry) {
     Timer::Instance()->Stop(entry.time_wait_timer);
     entry.time_wait_timer = 0;
   }
+  // Detach the handler now (no callbacks after removal); releasing transferred ownership is
+  // deferred to a fresh event — RemoveEntry is routinely reached from *inside* a handler
+  // callback (an application calling Close() within Receive()). Run-to-completion guarantees
+  // the current event finishes before the release event runs.
+  entry.handler = nullptr;
+  DeferHandlerRelease(entry);
   table_.Erase(entry.tuple);
 }
 
@@ -379,10 +460,10 @@ void TcpManager::DeliverInOrder(TcpEntry& entry, std::unique_ptr<IOBuf> payload,
   if (len > 0) {
     entry.rcv_nxt += static_cast<std::uint32_t>(len);
     entry.pending_ack = true;
-    if (entry.receive_fn) {
+    if (entry.handler != nullptr) {
       // Zero-copy delivery: the application receives the device-filled buffer, header-
       // stripped, synchronously from the driver event (§3.6: no stack buffering).
-      entry.receive_fn(std::move(payload));
+      entry.handler->Receive(std::move(payload));
     }
   }
   // Drain any parked out-of-order segments that are now in order.
@@ -400,8 +481,8 @@ void TcpManager::DeliverInOrder(TcpEntry& entry, std::unique_ptr<IOBuf> payload,
     std::size_t next_len = next->ComputeChainDataLength();
     entry.rcv_nxt += static_cast<std::uint32_t>(next_len);
     entry.pending_ack = true;
-    if (entry.receive_fn) {
-      entry.receive_fn(std::move(next));
+    if (entry.handler != nullptr) {
+      entry.handler->Receive(std::move(next));
     }
   }
   (void)flags;
@@ -442,8 +523,8 @@ void TcpManager::ProcessSegment(std::shared_ptr<TcpEntry> entry, const TcpHeader
       e.connected.SetException(
           std::make_exception_ptr(std::runtime_error("tcp: connection reset")));
     }
-    if (e.close_fn) {
-      e.close_fn();
+    if (e.handler != nullptr) {
+      e.handler->Abort();
     }
     RemoveEntry(e);
     return;
@@ -468,10 +549,10 @@ void TcpManager::ProcessSegment(std::shared_ptr<TcpEntry> entry, const TcpHeader
       }
       ArmRtxTimer(e);
       e.snd_wnd = NetToHost16(tcp.window);
-      if (e.send_ready_fn && (e.snd_nxt - e.snd_una) < e.snd_wnd) {
+      if (e.handler != nullptr && (e.snd_nxt - e.snd_una) < e.snd_wnd) {
         // Acknowledgment progress: give the application (or the baseline kernel pump, which
         // implements Nagle on top of this) a send opportunity.
-        e.send_ready_fn();
+        e.handler->SendReady();
       }
     } else {
       e.snd_wnd = NetToHost16(tcp.window);  // window update on duplicate ACK
@@ -540,8 +621,8 @@ void TcpManager::ProcessSegment(std::shared_ptr<TcpEntry> entry, const TcpHeader
       switch (e.state) {
         case TcpState::kEstablished:
           e.state = TcpState::kCloseWait;
-          if (e.close_fn) {
-            e.close_fn();
+          if (e.handler != nullptr) {
+            e.handler->Close();
           }
           break;
         case TcpState::kFinWait1:

@@ -15,6 +15,12 @@
 //     arranged its flow hash to land). Lookups go through an RCU hash table; the data path
 //     takes no locks and no atomics.
 //
+// Every connection consumer — application, uv layer, baseline socket shim — attaches through
+// ONE abstraction: TcpHandler. The stack invokes its virtuals directly from the device event,
+// so per-connection dispatch costs a vtable load instead of three heap-allocated
+// std::function objects, and the datapath invariants (run-to-completion on the owner core,
+// zero-copy views) are enforced in exactly one place.
+//
 // Reliability machinery kept for correctness (exercised by the packet-loss tests): go-back-N
 // retransmission with exponential backoff, out-of-order segment parking, TIME_WAIT.
 #ifndef EBBRT_SRC_NET_TCP_H_
@@ -36,6 +42,8 @@ class NetworkManager;
 class Interface;
 class TcpManager;
 class TcpPcb;
+class TcpEntry;
+class TcpHandler;
 
 inline constexpr std::size_t kTcpMss = 1460;
 inline constexpr std::uint16_t kTcpDefaultWindow = 65535;
@@ -53,14 +61,110 @@ enum class TcpState : std::uint8_t {
   kClosed,
 };
 
+// Application handle to a connection. Methods must be called on the connection's core.
+class TcpPcb {
+ public:
+  TcpPcb() = default;
+  explicit TcpPcb(std::shared_ptr<TcpEntry> entry) : entry_(std::move(entry)) {}
+
+  bool valid() const { return entry_ != nullptr; }
+  std::size_t core() const;
+  FourTuple tuple() const;
+  TcpState state() const;
+
+  // --- Connection consumer -----------------------------------------------------------------
+  // Installs the connection's handler. Exactly one handler is attached at a time; installing
+  // replaces any previous one. Three ownership flavors:
+  //   * raw pointer     — caller manages the handler's lifetime (it must outlive the pcb);
+  //   * unique_ptr      — the connection owns the handler and destroys it (deferred to its
+  //                       own event) when the connection is removed;
+  //   * shared_ptr      — the connection anchors a reference until removal (for handlers
+  //                       whose lifetime is shared with application code, e.g. uv streams).
+  void InstallHandler(TcpHandler* handler);
+  void InstallHandler(std::unique_ptr<TcpHandler> handler);
+  void InstallHandler(std::shared_ptr<TcpHandler> handler);
+
+  // Transitional shim over InstallHandler for callback-style consumers (tests, prototypes).
+  // New code subclasses TcpHandler; these allocate a CallbackTcpHandler on first use.
+  void SetReceiveHandler(std::function<void(std::unique_ptr<IOBuf>)> fn);
+  void SetCloseHandler(std::function<void()> fn);
+  void SetSendReadyHandler(std::function<void()> fn);
+
+  // Application-controlled advertised window (§3.6: "an application can explicitly set the
+  // window size to prevent further sends from the remote host").
+  void SetReceiveWindow(std::uint16_t window);
+
+  // Bytes the peer+our outstanding data currently allow us to send. The application must
+  // check this before Send (paper contract); Send returns false when violated.
+  std::size_t SendWindowRemaining() const;
+  // Unacknowledged bytes currently in flight (used by the baseline stack's Nagle check).
+  std::size_t BytesInFlight() const;
+  bool Send(std::unique_ptr<IOBuf> chain);
+
+  void Close();
+
+ private:
+  class CallbackTcpHandler& Callbacks();
+
+  std::shared_ptr<TcpEntry> entry_;
+};
+
+// The per-connection consumer interface — the unified zero-copy datapath's application edge.
+// The stack calls these synchronously from the device event on the connection's owner core;
+// implementations run to completion (no blocking, no migration). `Pcb()` is bound at install
+// time, so a handler is a self-contained connection object: state, parsing, and the send
+// side all hang off one vtable.
+class TcpHandler {
+ public:
+  virtual ~TcpHandler() = default;
+
+  // In-order payload, the moment it arrives (ownership transferred). The chain is the very
+  // buffer the (simulated) DMA engine filled, headers already Advance()d past.
+  virtual void Receive(std::unique_ptr<IOBuf> buf) = 0;
+  // Peer closed its side (FIN at the in-order point).
+  virtual void Close() {}
+  // ACKs opened send window that was previously exhausted — resume application pacing.
+  virtual void SendReady() {}
+  // Connection torn down abnormally (RST, retransmission give-up). Defaults to Close().
+  virtual void Abort() { Close(); }
+
+  TcpPcb& Pcb() { return pcb_; }
+  const TcpPcb& Pcb() const { return pcb_; }
+
+ private:
+  friend class TcpPcb;
+  TcpPcb pcb_;
+};
+
+// Transitional adapter: the legacy three-callback registration surface, expressed as a
+// TcpHandler. Kept for tests; scheduled for removal once all callers subclass TcpHandler.
+class CallbackTcpHandler final : public TcpHandler {
+ public:
+  void Receive(std::unique_ptr<IOBuf> buf) override {
+    if (receive_fn) {
+      receive_fn(std::move(buf));
+    }
+  }
+  void Close() override {
+    if (close_fn) {
+      close_fn();
+    }
+  }
+  void SendReady() override {
+    if (send_ready_fn) {
+      send_ready_fn();
+    }
+  }
+
+  std::function<void(std::unique_ptr<IOBuf>)> receive_fn;
+  std::function<void()> close_fn;
+  std::function<void()> send_ready_fn;
+};
+
 // Internal per-connection state. All fields are owned by `owner_core`; only that core touches
 // them (the RSS steering invariant). Applications hold it through TcpPcb.
 class TcpEntry {
  public:
-  using ReceiveFn = std::function<void(std::unique_ptr<IOBuf>)>;
-  using CloseFn = std::function<void()>;
-  using SendReadyFn = std::function<void()>;
-
   TcpEntry(TcpManager& manager, Interface& iface, FourTuple tuple, std::size_t owner_core);
 
   TcpManager& manager;
@@ -77,9 +181,11 @@ class TcpEntry {
   std::uint32_t rcv_nxt = 0;
   std::uint16_t rcv_wnd = kTcpDefaultWindow;  // our advertisement (application-controlled)
 
-  ReceiveFn receive_fn;
-  CloseFn close_fn;
-  SendReadyFn send_ready_fn;
+  // The connection's consumer. `handler` is the dispatch pointer (hot path); the other two
+  // fields carry whatever ownership the installer transferred (see TcpPcb::InstallHandler).
+  TcpHandler* handler = nullptr;
+  std::unique_ptr<TcpHandler> owned_handler;
+  std::shared_ptr<void> handler_anchor;
 
   // Retransmission queue: unacked segments with owning payload copies (retransmit is the rare
   // path; the fast path transmits zero-copy views of application memory).
@@ -101,6 +207,7 @@ class TcpEntry {
   bool pending_ack = false;   // a received segment needs acknowledging
   bool app_closed = false;
   bool fin_sent = false;
+  bool removed = false;       // RemoveEntry already ran (guards re-entry on abort paths)
   std::uint64_t time_wait_timer = 0;
 
   Promise<void> connected;  // fulfilled for active opens
@@ -108,42 +215,12 @@ class TcpEntry {
   std::function<void(TcpPcb)> on_established;  // passive opens: listener's accept callback
 };
 
-// Application handle to a connection. Methods must be called on the connection's core.
-class TcpPcb {
- public:
-  TcpPcb() = default;
-  explicit TcpPcb(std::shared_ptr<TcpEntry> entry) : entry_(std::move(entry)) {}
-
-  bool valid() const { return entry_ != nullptr; }
-  std::size_t core() const { return entry_->owner_core; }
-  FourTuple tuple() const { return entry_->tuple; }
-  TcpState state() const { return entry_->state; }
-
-  // Handler receiving in-order payload the moment it arrives (ownership transferred).
-  void SetReceiveHandler(TcpEntry::ReceiveFn fn) { entry_->receive_fn = std::move(fn); }
-  // Invoked when the peer closes (FIN) or the connection aborts.
-  void SetCloseHandler(TcpEntry::CloseFn fn) { entry_->close_fn = std::move(fn); }
-  // Invoked when ACKs open send window that was previously exhausted.
-  void SetSendReadyHandler(TcpEntry::SendReadyFn fn) {
-    entry_->send_ready_fn = std::move(fn);
-  }
-
-  // Application-controlled advertised window (§3.6: "an application can explicitly set the
-  // window size to prevent further sends from the remote host").
-  void SetReceiveWindow(std::uint16_t window);
-
-  // Bytes the peer+our outstanding data currently allow us to send. The application must
-  // check this before Send (paper contract); Send returns false when violated.
-  std::size_t SendWindowRemaining() const;
-  // Unacknowledged bytes currently in flight (used by the baseline stack's Nagle check).
-  std::size_t BytesInFlight() const { return entry_->snd_nxt - entry_->snd_una; }
-  bool Send(std::unique_ptr<IOBuf> chain);
-
-  void Close();
-
- private:
-  std::shared_ptr<TcpEntry> entry_;
-};
+inline std::size_t TcpPcb::core() const { return entry_->owner_core; }
+inline FourTuple TcpPcb::tuple() const { return entry_->tuple; }
+inline TcpState TcpPcb::state() const { return entry_->state; }
+inline std::size_t TcpPcb::BytesInFlight() const {
+  return entry_->snd_nxt - entry_->snd_una;
+}
 
 class TcpManager {
  public:

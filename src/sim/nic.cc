@@ -97,7 +97,7 @@ void Nic::ServiceQueue(Queue& queue, bool from_interrupt) {
       world_.Charge(config_.hv.rx_copy_fixed_ns +
                     static_cast<std::uint64_t>(config_.hv.rx_copy_ns_per_byte *
                                                static_cast<double>(len)));
-      frame = frame->Clone();
+      frame = frame->DeepClone();
     }
     if (!from_interrupt) {
       ++frames_polled_;

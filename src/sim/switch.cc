@@ -56,7 +56,7 @@ void Switch::Transmit(std::size_t from_port, const IOBuf& frame) {
 void Switch::DeliverTo(std::size_t port, const IOBuf& frame, std::uint64_t at) {
   // Deep copy at the fabric boundary: bytes physically leave the sender's memory. The clone
   // is flattened — receivers see one contiguous DMA buffer, as a real NIC would present.
-  auto copy = frame.Clone();
+  auto copy = frame.DeepClone();
   Nic* nic = ports_[port];
   // Shared-ptr shim: MoveFunction is movable but calendar entries are heap-managed anyway.
   auto shared = std::make_shared<std::unique_ptr<IOBuf>>(std::move(copy));

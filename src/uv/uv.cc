@@ -27,31 +27,45 @@ void TimerHandle::Stop() {
   }
 }
 
-void TcpStream::ReadStart(ReadCallback on_read) {
-  auto self = shared_from_this();
-  pcb_.SetReceiveHandler([self, on_read = std::move(on_read)](std::unique_ptr<IOBuf> data) {
-    on_read(std::move(data));
-  });
+std::size_t TcpStream::SendWindowRemaining() const {
+  return Pcb().SendWindowRemaining();
 }
 
-void TcpStream::ReadStop() {
-  pcb_.SetReceiveHandler([](std::unique_ptr<IOBuf>) {});
+void TcpStream::Close() {
+  // Detach the data/drain callbacks first: they commonly capture this stream, and dropping
+  // them here breaks the reference cycle once the connection releases its anchor.
+  on_read_ = nullptr;
+  on_drain_ = nullptr;
+  CloseCallback cb = std::move(on_close_);
+  on_close_ = nullptr;
+  if (cb) {
+    cb();
+  }
 }
 
-void TcpStream::OnClose(CloseCallback on_close) {
-  auto self = shared_from_this();
-  pcb_.SetCloseHandler([self, on_close = std::move(on_close)] { on_close(); });
+void TcpStream::Shutdown() {
+  Pcb().Close();
+  on_read_ = nullptr;
+  on_drain_ = nullptr;
+  on_close_ = nullptr;
+}
+
+std::shared_ptr<TcpStream> TcpServer::MakeStream(TcpPcb pcb) {
+  auto stream = std::make_shared<TcpStream>();
+  // The stream is the connection's handler; the connection anchors it until teardown.
+  pcb.InstallHandler(std::shared_ptr<TcpHandler>(stream));
+  return stream;
 }
 
 void TcpServer::Listen(std::uint16_t port, ConnectionCallback on_connection) {
   network_.tcp().Listen(port, [on_connection = std::move(on_connection)](TcpPcb pcb) {
-    on_connection(std::make_shared<TcpStream>(std::move(pcb)));
+    on_connection(MakeStream(std::move(pcb)));
   });
 }
 
 Future<std::shared_ptr<TcpStream>> TcpServer::Connect(Ipv4Addr dst, std::uint16_t port) {
   return network_.tcp().Connect(network_.interface(), dst, port).Then([](Future<TcpPcb> f) {
-    return std::make_shared<TcpStream>(f.Get());
+    return MakeStream(f.Get());
   });
 }
 

@@ -6,6 +6,10 @@
 // is that mapping — the surface node-style applications (our webserver) program against.
 // There is no uv_run(): the EbbRT event loop is already the loop; handles simply register
 // callbacks that fire from device events and timers.
+//
+// A TcpStream IS a TcpHandler: the stream object itself is installed on the connection, so
+// uv callbacks dispatch through the unified zero-copy datapath with no intermediate
+// std::function forwarding layer.
 #ifndef EBBRT_SRC_UV_UV_H_
 #define EBBRT_SRC_UV_UV_H_
 
@@ -37,29 +41,56 @@ class TimerHandle {
   Callback cb_;
 };
 
-// uv_stream_t/uv_tcp_t analogue bound to an EbbRT TCP connection.
-class TcpStream : public std::enable_shared_from_this<TcpStream> {
+// uv_stream_t/uv_tcp_t analogue bound to an EbbRT TCP connection. The stream is the
+// connection's TcpHandler; the connection anchors a shared reference until teardown, so a
+// stream stays alive as long as its connection even if the application drops its handle.
+class TcpStream final : public TcpHandler,
+                        public std::enable_shared_from_this<TcpStream> {
  public:
   using ReadCallback = std::function<void(std::unique_ptr<IOBuf>)>;
   using CloseCallback = std::function<void()>;
-
-  explicit TcpStream(TcpPcb pcb) : pcb_(std::move(pcb)) {}
+  using DrainCallback = std::function<void()>;
 
   // uv_read_start: data callbacks fire directly from the driver's event.
-  void ReadStart(ReadCallback on_read);
-  void ReadStop();
-  void OnClose(CloseCallback on_close);
+  void ReadStart(ReadCallback on_read) { on_read_ = std::move(on_read); }
+  void ReadStop() { on_read_ = nullptr; }
+  // Fires when the peer closes or the connection aborts.
+  void OnClose(CloseCallback on_close) { on_close_ = std::move(on_close); }
+  // Fires when previously-exhausted send window reopens (uv_write_cb analogue for the
+  // application-paced send path).
+  void OnDrain(DrainCallback on_drain) { on_drain_ = std::move(on_drain); }
 
   // uv_write (the callback-less common case). Returns false when the peer's window forbids
   // writing `data` right now — callers at this scale (small responses) treat that as fatal.
-  bool Write(std::unique_ptr<IOBuf> data) { return pcb_.Send(std::move(data)); }
+  bool Write(std::unique_ptr<IOBuf> data) { return Pcb().Send(std::move(data)); }
   bool Write(std::string_view s) { return Write(IOBuf::CopyBuffer(s)); }
 
-  void Close() { pcb_.Close(); }
-  TcpPcb& pcb() { return pcb_; }
+  // uv_shutdown analogue: closes our side of the connection. The stack never calls the
+  // handler back on an application-initiated close, so the callbacks (which typically
+  // capture this stream) are dropped here to break the reference cycle.
+  void Shutdown();
+
+  std::size_t SendWindowRemaining() const;
 
  private:
-  TcpPcb pcb_;
+  // --- TcpHandler (invoked by the stack, through the base interface, from the device
+  // event). Private so application code cannot call the peer-close notification by mistake
+  // where it means "close the connection" — that is Shutdown().
+  void Receive(std::unique_ptr<IOBuf> data) override {
+    if (on_read_) {
+      on_read_(std::move(data));
+    }
+  }
+  void Close() override;
+  void SendReady() override {
+    if (on_drain_) {
+      on_drain_();
+    }
+  }
+
+  ReadCallback on_read_;
+  CloseCallback on_close_;
+  DrainCallback on_drain_;
 };
 
 // uv_tcp_t server side.
@@ -73,6 +104,8 @@ class TcpServer {
   Future<std::shared_ptr<TcpStream>> Connect(Ipv4Addr dst, std::uint16_t port);
 
  private:
+  static std::shared_ptr<TcpStream> MakeStream(TcpPcb pcb);
+
   NetworkManager& network_;
 };
 

@@ -189,6 +189,108 @@ TEST(Apps, BaselineHttpServerServes) {
   EXPECT_EQ(response.size(), 148u);
 }
 
+TEST(Apps, MemcachedParserSingleSegmentIsZeroCopy) {
+  // A request fully contained in one segment must be parsed in place: the views handed to
+  // the callback point into the fed buffer itself, and no coalesce (the IOBufQueue successor
+  // to the old `pending_` string copy) may occur.
+  using memcached::RequestParser;
+  RequestParser parser;
+  auto request = BuildSetRequest("key1", "value-bytes");
+  const std::uint8_t* base = request->Data();
+  std::size_t parsed = 0;
+  parser.Feed(std::move(request), [&](const RequestParser::Request& req) {
+    ++parsed;
+    EXPECT_EQ(req.key, "key1");
+    EXPECT_EQ(req.value, "value-bytes");
+    // Zero-copy: the key view aliases the original segment's storage.
+    EXPECT_EQ(static_cast<const void*>(req.key.data()),
+              static_cast<const void*>(base + sizeof(memcached::BinaryHeader) +
+                                       sizeof(memcached::SetExtras)));
+  });
+  EXPECT_EQ(parsed, 1u);
+  EXPECT_EQ(parser.coalesce_ops(), 0u);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+TEST(Apps, MemcachedParserSplitRequestCoalescesExactlyOnce) {
+  using memcached::RequestParser;
+  RequestParser parser;
+  auto request = BuildSetRequest("split-key", std::string(300, 'v'));
+  std::size_t total = request->Length();
+  // Feed the one request as five segments (worse than any real MSS split for this size).
+  std::size_t parsed = 0;
+  auto on_request = [&](const RequestParser::Request& req) {
+    ++parsed;
+    EXPECT_EQ(req.key, "split-key");
+    EXPECT_EQ(req.value, std::string(300, 'v'));
+  };
+  std::size_t chunk = total / 5 + 1;
+  for (std::size_t off = 0; off < total; off += chunk) {
+    std::size_t n = std::min(chunk, total - off);
+    parser.Feed(IOBuf::CopyBuffer(request->Data() + off, n), on_request);
+  }
+  EXPECT_EQ(parsed, 1u);
+  // The old string accumulator appended on EVERY feed; the queue reassembles exactly once.
+  EXPECT_EQ(parser.coalesce_ops(), 1u);
+}
+
+TEST(Apps, MemcachedParserStraddledHeaderStillCoalescesOnce) {
+  // Even when the 24-byte header itself is split across segments (10-byte chunks), the
+  // header is peeked chain-aware and only the completed request is coalesced — once.
+  using memcached::RequestParser;
+  RequestParser parser;
+  auto request = BuildSetRequest("hdr-split-key", std::string(100, 'w'));
+  std::size_t total = request->Length();
+  std::size_t parsed = 0;
+  auto on_request = [&](const RequestParser::Request& req) {
+    ++parsed;
+    EXPECT_EQ(req.key, "hdr-split-key");
+    EXPECT_EQ(req.value, std::string(100, 'w'));
+  };
+  for (std::size_t off = 0; off < total; off += 10) {
+    parser.Feed(IOBuf::CopyBuffer(request->Data() + off, std::min<std::size_t>(10, total - off)),
+                on_request);
+  }
+  EXPECT_EQ(parsed, 1u);
+  EXPECT_EQ(parser.coalesce_ops(), 1u);
+}
+
+TEST(Apps, MemcachedParserPipelinedBatchStaysZeroCopy) {
+  // Several requests arriving in one segment (the loadgen's pipelining) parse in place too.
+  using memcached::RequestParser;
+  RequestParser parser;
+  auto batch = BuildSetRequest("a", "1");
+  batch->AppendChain(BuildGetRequest("a"));
+  batch->AppendChain(BuildGetRequest("b"));
+  batch->Coalesce();  // one wire segment carrying three requests
+  std::size_t parsed = 0;
+  parser.Feed(std::move(batch), [&](const RequestParser::Request&) { ++parsed; });
+  EXPECT_EQ(parsed, 3u);
+  EXPECT_EQ(parser.coalesce_ops(), 0u);
+}
+
+TEST(Apps, MemcachedParserRvalueCallableFedRepeatedly) {
+  // Regression for the forwarding bug: an rvalue callable fed through Feed/FeedBytes must
+  // not be re-forwarded (moved-from) inside the parse loop. A move-sensitive functor parsing
+  // multiple requests per feed exercises exactly that path.
+  using memcached::RequestParser;
+  struct MoveSensitiveCounter {
+    std::shared_ptr<std::size_t> count = std::make_shared<std::size_t>(0);
+    void operator()(const RequestParser::Request&) {
+      ASSERT_NE(count, nullptr) << "callable invoked after being moved from";
+      ++*count;
+    }
+  };
+  RequestParser parser;
+  auto batch = BuildSetRequest("k", "v");
+  batch->AppendChain(BuildGetRequest("k"));
+  batch->Coalesce();
+  MoveSensitiveCounter counter;
+  auto count = counter.count;
+  parser.Feed(std::move(batch), std::move(counter));
+  EXPECT_EQ(*count, 2u);
+}
+
 // The environment must never change kernel *results* — only timing.
 class V8KernelChecksums : public ::testing::TestWithParam<std::size_t> {};
 

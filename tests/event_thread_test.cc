@@ -1,9 +1,21 @@
 // EventManager tests on the thread-per-core executor: spawning, interrupts, idle callbacks,
 // the dispatch-priority protocol, blocking via SaveContext/ActivateContext, timers.
 #include <atomic>
+#include <chrono>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+// Spins RunSync barriers until `cond` holds or a generous wall-clock deadline passes. The
+// executor runs real threads, so "how many barriers until X happens" is load-dependent —
+// iteration-count loops are flaky on fast idle machines.
+#define RUN_SYNC_UNTIL(machine, core, cond)                                        \
+  do {                                                                             \
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);    \
+    while (!(cond) && std::chrono::steady_clock::now() < deadline) {               \
+      (machine).RunSync((core), [] {});                                            \
+    }                                                                              \
+  } while (0)
 
 #include "src/event/block_on.h"
 #include "src/event/event_manager.h"
@@ -64,7 +76,7 @@ TEST(ThreadMachine, InterruptVectorDispatch) {
                  .RepFor(0);
   em.RaiseVector(vector);
   em.RaiseVector(vector);
-  machine.RunSync(0, [] {});
+  RUN_SYNC_UNTIL(machine, 0, fired.load() >= 2);
   EXPECT_EQ(fired.load(), 2);
   machine.Shutdown();
 }
@@ -111,12 +123,14 @@ TEST(ThreadMachine, SyntheticEventsHavePriorityOverIdle) {
     auto* cb = new EventManager::IdleCallback(em, [&idle_runs] { idle_runs.fetch_add(1); });
     cb->Start();
     // Queue several synthetic events; each pass dispatches one synthetic event and only
-    // reaches idle callbacks when no synthetic work ran.
+    // reaches idle callbacks when no synthetic work ran. (RunSync barriers ride the
+    // remote-spawn mailbox, which drains before synthetic events — so barrier completion
+    // does not imply the synthetic queue drained; spin until it has.)
     for (int i = 0; i < 10; ++i) {
       em.Spawn([&events_run] { events_run.fetch_add(1); });
     }
   });
-  machine.RunSync(0, [] {});
+  RUN_SYNC_UNTIL(machine, 0, events_run.load() >= 10);
   EXPECT_EQ(events_run.load(), 10);
   machine.Shutdown();
 }
@@ -213,9 +227,7 @@ TEST(ThreadMachine, TimerFires) {
   machine.RunSync(0, [&] {
     Timer::Instance()->Start(1'000'000 /* 1ms */, [&fired] { fired = true; });
   });
-  for (int i = 0; i < 200 && !fired.load(); ++i) {
-    machine.RunSync(0, [] {});
-  }
+  RUN_SYNC_UNTIL(machine, 0, fired.load());
   EXPECT_TRUE(fired.load());
   machine.Shutdown();
 }
@@ -231,9 +243,7 @@ TEST(ThreadMachine, PeriodicTimerRepeatsUntilStopped) {
         [&ticks] { ticks.fetch_add(1); },
         /*periodic=*/true);
   });
-  for (int i = 0; i < 500 && ticks.load() < 3; ++i) {
-    machine.RunSync(0, [] {});
-  }
+  RUN_SYNC_UNTIL(machine, 0, ticks.load() >= 3);
   EXPECT_GE(ticks.load(), 3);
   machine.RunSync(0, [&] { Timer::Instance()->Stop(handle.load()); });
   int at_stop = ticks.load();

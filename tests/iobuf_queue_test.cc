@@ -1,0 +1,191 @@
+// IOBufQueue tests: the parser-facing accumulator behind the zero-copy receive path.
+//
+// The key invariants: records contained in one segment are viewed in place (no copy, ever);
+// records straddling 2+ segment boundaries are reassembled with exactly one bounded copy.
+#include "src/iobuf/iobuf_queue.h"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ebbrt {
+namespace {
+
+std::string Flatten(const IOBufQueue& q, IOBufQueue& mutable_q) {
+  std::size_t len = q.ChainLength();
+  std::string out(len, '\0');
+  if (len > 0) {
+    const std::uint8_t* p = mutable_q.EnsureContiguous(len);
+    std::memcpy(out.data(), p, len);
+  }
+  return out;
+}
+
+TEST(IOBufQueue, AppendAccumulatesLength) {
+  IOBufQueue q;
+  EXPECT_TRUE(q.Empty());
+  q.Append(IOBuf::CopyBuffer("abc"));
+  q.Append(IOBuf::CopyBuffer("de"));
+  EXPECT_EQ(q.ChainLength(), 5u);
+  EXPECT_EQ(q.FrontLength(), 3u);
+}
+
+TEST(IOBufQueue, AppendChainCountsAllElements) {
+  IOBufQueue q;
+  auto chain = IOBuf::CopyBuffer("ab");
+  chain->AppendChain(IOBuf::CopyBuffer("cd"));
+  q.Append(std::move(chain));
+  q.Append(IOBuf::CopyBuffer("ef"));
+  EXPECT_EQ(q.ChainLength(), 6u);
+  IOBufQueue& mq = q;
+  EXPECT_EQ(Flatten(q, mq), "abcdef");
+}
+
+TEST(IOBufQueue, EnsureContiguousFastPathDoesNotCopy) {
+  IOBufQueue q;
+  q.Append(IOBuf::CopyBuffer("0123456789"));
+  const std::uint8_t* p = q.EnsureContiguous(4);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(std::memcmp(p, "0123", 4), 0);
+  EXPECT_EQ(q.coalesce_ops(), 0u);  // the zero-copy invariant
+}
+
+TEST(IOBufQueue, EnsureContiguousReturnsNullWhenShort) {
+  IOBufQueue q;
+  q.Append(IOBuf::CopyBuffer("abc"));
+  EXPECT_EQ(q.EnsureContiguous(4), nullptr);
+  EXPECT_EQ(q.coalesce_ops(), 0u);
+}
+
+TEST(IOBufQueue, SplitRecordReassemblesAcrossTwoSegments) {
+  IOBufQueue q;
+  q.Append(IOBuf::CopyBuffer("hello "));
+  q.Append(IOBuf::CopyBuffer("world"));
+  const std::uint8_t* p = q.EnsureContiguous(11);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(std::memcmp(p, "hello world", 11), 0);
+  EXPECT_EQ(q.coalesce_ops(), 1u);  // exactly one copy for the straddling record
+  // Subsequent peeks at the now-contiguous front are free.
+  EXPECT_EQ(q.EnsureContiguous(11), p);
+  EXPECT_EQ(q.coalesce_ops(), 1u);
+}
+
+TEST(IOBufQueue, SplitRecordReassemblesAcrossManySegments) {
+  // A record arriving one byte per segment (worst case) still coalesces exactly once.
+  IOBufQueue q;
+  const std::string record = "abcdefghij";
+  for (char c : record) {
+    q.Append(IOBuf::CopyBuffer(&c, 1));
+  }
+  const std::uint8_t* p = q.EnsureContiguous(record.size());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(std::memcmp(p, record.data(), record.size()), 0);
+  EXPECT_EQ(q.coalesce_ops(), 1u);
+  EXPECT_EQ(q.coalesced_bytes(), record.size());
+}
+
+TEST(IOBufQueue, CoalesceCoversOnlyTheNeededPrefix) {
+  IOBufQueue q;
+  q.Append(IOBuf::CopyBuffer("ab"));
+  q.Append(IOBuf::CopyBuffer("cd"));
+  q.Append(IOBuf::CopyBuffer("tail-stays-zero-copy"));
+  const std::uint8_t* p = q.EnsureContiguous(4);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(std::memcmp(p, "abcd", 4), 0);
+  // Only the two leading elements were merged; the third was not touched.
+  EXPECT_EQ(q.coalesced_bytes(), 4u);
+  EXPECT_EQ(q.ChainLength(), 24u);
+}
+
+TEST(IOBufQueue, TrimStartConsumesAcrossBoundaries) {
+  IOBufQueue q;
+  q.Append(IOBuf::CopyBuffer("abc"));
+  q.Append(IOBuf::CopyBuffer("def"));
+  q.TrimStart(4);
+  EXPECT_EQ(q.ChainLength(), 2u);
+  const std::uint8_t* p = q.EnsureContiguous(2);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(std::memcmp(p, "ef", 2), 0);
+  q.TrimStart(2);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(IOBufQueue, InterleavedParseLoopKeepsStreamIntact) {
+  // Simulates a record parser: records of varying size fed in segments whose boundaries do
+  // not line up with records.
+  IOBufQueue q;
+  std::string stream;
+  for (int i = 0; i < 50; ++i) {
+    stream += std::string(1 + static_cast<std::size_t>(i) % 7, static_cast<char>('a' + i % 26));
+  }
+  // Feed in 9-byte segments.
+  for (std::size_t off = 0; off < stream.size(); off += 9) {
+    q.Append(IOBuf::CopyBuffer(stream.data() + off, std::min<std::size_t>(9, stream.size() - off)));
+  }
+  // Consume in 4-byte records.
+  std::string out;
+  while (q.ChainLength() >= 4) {
+    const std::uint8_t* p = q.EnsureContiguous(4);
+    ASSERT_NE(p, nullptr);
+    out.append(reinterpret_cast<const char*>(p), 4);
+    q.TrimStart(4);
+  }
+  const std::uint8_t* p = q.EnsureContiguous(q.ChainLength());
+  if (p != nullptr) {
+    out.append(reinterpret_cast<const char*>(p), q.ChainLength());
+  }
+  EXPECT_EQ(out, stream);
+}
+
+TEST(IOBufQueue, SplitCarvesOwnedChainZeroCopy) {
+  IOBufQueue q;
+  q.Append(IOBuf::CopyBuffer("0123456789"));
+  auto front = q.Split(4);
+  ASSERT_NE(front, nullptr);
+  EXPECT_EQ(front->AsStringView(), "0123");
+  EXPECT_EQ(q.ChainLength(), 6u);
+  EXPECT_EQ(q.coalesce_ops(), 0u);  // split shares the straddled element, never copies
+  const std::uint8_t* p = q.EnsureContiguous(6);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(std::memcmp(p, "456789", 6), 0);
+}
+
+TEST(IOBufQueue, SplitThenAppendKeepsTailValid) {
+  IOBufQueue q;
+  q.Append(IOBuf::CopyBuffer("abcdef"));
+  auto front = q.Split(3);
+  q.Append(IOBuf::CopyBuffer("ghi"));  // exercises the re-resolved tail pointer
+  EXPECT_EQ(q.ChainLength(), 6u);
+  const std::uint8_t* p = q.EnsureContiguous(6);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(std::memcmp(p, "defghi", 6), 0);
+}
+
+TEST(IOBufQueue, MoveTakesEverything) {
+  IOBufQueue q;
+  q.Append(IOBuf::CopyBuffer("abc"));
+  q.Append(IOBuf::CopyBuffer("def"));
+  auto all = q.Move();
+  EXPECT_TRUE(q.Empty());
+  ASSERT_NE(all, nullptr);
+  EXPECT_EQ(all->ComputeChainDataLength(), 6u);
+  // The queue is reusable after Move.
+  q.Append(IOBuf::CopyBuffer("xyz"));
+  EXPECT_EQ(q.ChainLength(), 3u);
+}
+
+TEST(IOBufQueue, ZeroLengthElementsAreSkipped) {
+  IOBufQueue q;
+  q.Append(IOBuf::CreateReserve(16, 0));  // empty view
+  q.Append(IOBuf::CopyBuffer("data"));
+  EXPECT_EQ(q.ChainLength(), 4u);
+  EXPECT_EQ(q.FrontLength(), 4u);
+  const std::uint8_t* p = q.EnsureContiguous(4);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(std::memcmp(p, "data", 4), 0);
+  EXPECT_EQ(q.coalesce_ops(), 0u);  // the empty head must not force a coalesce
+}
+
+}  // namespace
+}  // namespace ebbrt

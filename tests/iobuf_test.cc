@@ -109,13 +109,21 @@ TEST(IOBuf, PopDetachesRest) {
   EXPECT_EQ(rest->AsStringView(), "tail");
 }
 
-TEST(IOBuf, CoalesceChainFlattens) {
+TEST(IOBuf, CoalesceFlattens) {
   auto a = IOBuf::CopyBuffer("one-");
   a->AppendChain(IOBuf::CopyBuffer("two-"));
   a->AppendChain(IOBuf::CopyBuffer("three"));
-  a->CoalesceChain();
+  a->Coalesce();
   EXPECT_FALSE(a->IsChained());
   EXPECT_EQ(a->AsStringView(), "one-two-three");
+}
+
+TEST(IOBuf, CoalesceSingleElementIsNoop) {
+  auto a = IOBuf::CopyBuffer("solo");
+  const std::uint8_t* before = a->Data();
+  a->Coalesce();
+  EXPECT_EQ(a->Data(), before);  // no reallocation, no copy
+  EXPECT_EQ(a->AsStringView(), "solo");
 }
 
 TEST(IOBuf, CopyOutAcrossChain) {
@@ -130,13 +138,107 @@ TEST(IOBuf, CopyOutAcrossChain) {
   EXPECT_EQ(std::string(mid, 4), "3456");
 }
 
-TEST(IOBuf, CloneDeepCopies) {
+TEST(IOBuf, CloneSharesStorage) {
   auto a = IOBuf::CopyBuffer("xy");
   a->AppendChain(IOBuf::CopyBuffer("z"));
   auto clone = a->Clone();
+  EXPECT_EQ(clone->CountChainElements(), 2u);
+  EXPECT_EQ(clone->Data(), a->Data());  // zero-copy: same underlying bytes
+  EXPECT_TRUE(a->Shared());
+  EXPECT_TRUE(clone->Shared());
+  // Shared semantics: writes through one view are visible through the other.
+  a->WritableData()[0] = 'Q';
+  EXPECT_EQ(clone->AsStringView(), "Qy");
+  clone.reset();
+  EXPECT_FALSE(a->Shared());  // last view standing owns the storage alone
+  EXPECT_EQ(a->AsStringView(), "Qy");  // storage not freed under us
+}
+
+TEST(IOBuf, CloneViewsAreIndependent) {
+  // The *views* are independent even though the storage is shared: advancing the clone does
+  // not move the original (how TCP keeps retransmit views while the app consumes its copy).
+  auto a = IOBuf::CopyBuffer("abcdef");
+  auto clone = a->Clone();
+  clone->Advance(3);
+  EXPECT_EQ(a->AsStringView(), "abcdef");
+  EXPECT_EQ(clone->AsStringView(), "def");
+}
+
+TEST(IOBuf, CloneOfWrapBufferStaysNonOwning) {
+  char storage[8] = "wrapped";
+  auto a = IOBuf::WrapBuffer(storage, 7);
+  auto clone = a->Clone();
+  a.reset();
+  EXPECT_EQ(clone->AsStringView(), "wrapped");  // external memory untouched
+  EXPECT_FALSE(clone->Shared());                // no control block to share
+}
+
+TEST(IOBuf, CloneReleasesOwnedStorageExactlyOnce) {
+  static int freed = 0;
+  freed = 0;
+  auto* raw = static_cast<std::uint8_t*>(std::malloc(16));
+  auto a = IOBuf::TakeOwnership(
+      raw, 16, 16, [](void* p, void*) { std::free(p); ++freed; }, nullptr);
+  auto c1 = a->Clone();
+  auto c2 = c1->Clone();
+  a.reset();
+  c1.reset();
+  EXPECT_EQ(freed, 0);  // a view is still alive
+  c2.reset();
+  EXPECT_EQ(freed, 1);
+}
+
+TEST(IOBuf, DeepCloneCopies) {
+  auto a = IOBuf::CopyBuffer("xy");
+  a->AppendChain(IOBuf::CopyBuffer("z"));
+  auto clone = a->DeepClone();
   EXPECT_EQ(clone->AsStringView(), "xyz");
   a->WritableData()[0] = 'Q';
   EXPECT_EQ(clone->AsStringView(), "xyz");  // independent storage
+}
+
+TEST(IOBuf, SplitAtElementBoundary) {
+  auto a = IOBuf::CopyBuffer("0123");
+  a->AppendChain(IOBuf::CopyBuffer("4567"));
+  auto rest = a->Split(4);
+  EXPECT_EQ(a->ComputeChainDataLength(), 4u);
+  EXPECT_EQ(a->AsStringView(), "0123");
+  ASSERT_NE(rest, nullptr);
+  EXPECT_EQ(rest->AsStringView(), "4567");
+}
+
+TEST(IOBuf, SplitMidElementSharesNotCopies) {
+  auto a = IOBuf::CopyBuffer("0123456789");
+  const std::uint8_t* base = a->Data();
+  auto rest = a->Split(3);
+  EXPECT_EQ(a->AsStringView(), "012");
+  ASSERT_NE(rest, nullptr);
+  EXPECT_EQ(rest->AsStringView(), "3456789");
+  EXPECT_EQ(rest->Data(), base + 3);  // a view into the same storage, not a copy
+  EXPECT_TRUE(a->Shared());
+}
+
+TEST(IOBuf, SplitWholeChainReturnsNull) {
+  auto a = IOBuf::CopyBuffer("abc");
+  a->AppendChain(IOBuf::CopyBuffer("de"));
+  auto rest = a->Split(5);
+  EXPECT_EQ(rest, nullptr);
+  EXPECT_EQ(a->ComputeChainDataLength(), 5u);
+}
+
+TEST(IOBuf, SplitAcrossMultipleElements) {
+  auto a = IOBuf::CopyBuffer("aa");
+  a->AppendChain(IOBuf::CopyBuffer("bb"));
+  a->AppendChain(IOBuf::CopyBuffer("cc"));
+  auto rest = a->Split(3);  // boundary inside the second element
+  EXPECT_EQ(a->CountChainElements(), 2u);
+  char head[3];
+  a->CopyOut(head, 3);
+  EXPECT_EQ(std::string(head, 3), "aab");
+  char tail[3];
+  ASSERT_NE(rest, nullptr);
+  rest->CopyOut(tail, 3);
+  EXPECT_EQ(std::string(tail, 3), "bcc");
 }
 
 TEST(IOBuf, LongChainDestructionIsIterative) {

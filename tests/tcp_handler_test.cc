@@ -1,0 +1,267 @@
+// TcpHandler tests: the unified per-connection datapath interface (receive / window
+// exhaustion / SendReady / Close / Abort) and handler lifetime management.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/testbed.h"
+
+namespace ebbrt {
+namespace {
+
+using sim::Testbed;
+using sim::TestbedNode;
+
+constexpr Ipv4Addr kServerIp = Ipv4Addr::Of(10, 0, 0, 2);
+constexpr Ipv4Addr kClientIp = Ipv4Addr::Of(10, 0, 0, 3);
+
+// Echoes everything; closes when the peer closes.
+class EchoHandler final : public TcpHandler {
+ public:
+  void Receive(std::unique_ptr<IOBuf> data) override { Pcb().Send(std::move(data)); }
+  void Close() override { Pcb().Close(); }
+};
+
+TEST(TcpHandler, EchoThroughHandlerSubclasses) {
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  std::string echoed;
+  bool closed = false;
+
+  class ClientHandler final : public TcpHandler {
+   public:
+    ClientHandler(std::string& echoed, bool& closed) : echoed_(echoed), closed_(closed) {}
+    void Receive(std::unique_ptr<IOBuf> data) override {
+      echoed_ += std::string(data->AsStringView());
+      if (echoed_.size() >= 11) {
+        Pcb().Close();
+      }
+    }
+    void Close() override { closed_ = true; }
+
+   private:
+    std::string& echoed_;
+    bool& closed_;
+  };
+
+  server.Spawn(0, [&] {
+    server.net->tcp().Listen(8200, [](TcpPcb pcb) {
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<EchoHandler>()));
+    });
+  });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 8200).Then([&](Future<TcpPcb> f) {
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(
+          std::unique_ptr<TcpHandler>(std::make_unique<ClientHandler>(echoed, closed)));
+      pcb.Send(IOBuf::CopyBuffer("hello "));
+      pcb.Send(IOBuf::CopyBuffer("world"));
+    });
+  });
+  bed.world().Run();
+  EXPECT_EQ(echoed, "hello world");
+}
+
+// The full connection lifecycle on one handler: receive on the server side throttles the
+// sender (application-controlled window), the sender observes window exhaustion, SendReady
+// resumes it when ACKs open the window, and Close fires when the peer finishes.
+TEST(TcpHandler, LifecycleReceiveWindowExhaustSendReadyClose) {
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  constexpr std::size_t kTotal = 200'000;  // several times the 64 KiB advertised window
+
+  struct ServerState {
+    std::size_t received = 0;
+    bool closed_after_all_data = false;
+  } server_state;
+
+  // Server: consume kTotal bytes, then close its side (drives the client's Close()).
+  class SinkHandler final : public TcpHandler {
+   public:
+    SinkHandler(ServerState& state, std::size_t expect) : state_(state), expect_(expect) {}
+    void Receive(std::unique_ptr<IOBuf> data) override {
+      state_.received += data->ComputeChainDataLength();
+      if (state_.received >= expect_) {
+        state_.closed_after_all_data = true;
+        Pcb().Close();
+      }
+    }
+
+   private:
+    ServerState& state_;
+    std::size_t expect_;
+  };
+
+  struct ClientState {
+    std::size_t sent = 0;
+    bool window_exhausted = false;
+    int send_ready_calls = 0;
+    bool peer_closed = false;
+  } client_state;
+
+  // Client: application-paced sender — pumps until the window is exhausted, resumes from
+  // SendReady, and records the peer's close.
+  class SourceHandler final : public TcpHandler {
+   public:
+    SourceHandler(ClientState& state, std::size_t total) : state_(state), total_(total) {}
+    void Receive(std::unique_ptr<IOBuf>) override {}
+    void SendReady() override {
+      ++state_.send_ready_calls;
+      Pump();
+    }
+    void Close() override { state_.peer_closed = true; }
+    void Pump() {
+      while (state_.sent < total_) {
+        std::size_t window = Pcb().SendWindowRemaining();
+        if (window == 0) {
+          state_.window_exhausted = true;  // the contract: wait for SendReady
+          return;
+        }
+        std::size_t chunk = std::min(window, total_ - state_.sent);
+        ASSERT_TRUE(Pcb().Send(IOBuf::Create(chunk)));
+        state_.sent += chunk;
+      }
+    }
+
+   private:
+    ClientState& state_;
+    std::size_t total_;
+  };
+
+  server.Spawn(0, [&] {
+    server.net->tcp().Listen(8201, [&server_state, kTotal](TcpPcb pcb) {
+      pcb.InstallHandler(
+          std::unique_ptr<TcpHandler>(std::make_unique<SinkHandler>(server_state, kTotal)));
+    });
+  });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 8201).Then([&](Future<TcpPcb> f) {
+      TcpPcb pcb = f.Get();
+      auto handler = std::make_unique<SourceHandler>(client_state, kTotal);
+      auto* raw = handler.get();
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::move(handler)));
+      raw->Pump();
+    });
+  });
+  bed.world().Run();
+
+  EXPECT_EQ(server_state.received, kTotal);
+  EXPECT_TRUE(server_state.closed_after_all_data);
+  EXPECT_EQ(client_state.sent, kTotal);
+  // 200'000 bytes cannot fit in the 64 KiB window, so the sender must have hit window == 0
+  // at least once and resumed from SendReady.
+  EXPECT_TRUE(client_state.window_exhausted);
+  EXPECT_GT(client_state.send_ready_calls, 0);
+  EXPECT_TRUE(client_state.peer_closed);
+}
+
+// An owned handler must be destroyed (on a fresh event) once the connection is removed —
+// including when Close() is called from inside the handler's own Receive().
+TEST(TcpHandler, OwnedHandlerDestroyedAfterConnectionRemoval) {
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  bool server_handler_destroyed = false;
+  bool client_handler_destroyed = false;
+
+  // Closes from within Receive — the teardown-under-own-frame case.
+  class CloseOnReceive final : public TcpHandler {
+   public:
+    explicit CloseOnReceive(bool& destroyed) : destroyed_(destroyed) {}
+    ~CloseOnReceive() override { destroyed_ = true; }
+    void Receive(std::unique_ptr<IOBuf>) override { Pcb().Close(); }
+    void Close() override { Pcb().Close(); }
+
+   private:
+    bool& destroyed_;
+  };
+
+  server.Spawn(0, [&] {
+    server.net->tcp().Listen(8202, [&server_handler_destroyed](TcpPcb pcb) {
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(
+          std::make_unique<CloseOnReceive>(server_handler_destroyed)));
+    });
+  });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 8202).Then([&](Future<TcpPcb> f) {
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(
+          std::make_unique<CloseOnReceive>(client_handler_destroyed)));
+      pcb.Send(IOBuf::CopyBuffer("trigger"));
+    });
+  });
+  bed.world().Run();
+  EXPECT_TRUE(server_handler_destroyed);
+  EXPECT_TRUE(client_handler_destroyed);
+}
+
+// Abort() fires (instead of Close()) when retransmission gives up against a dead peer.
+TEST(TcpHandler, AbortFiresWhenPeerUnreachable) {
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  bool aborted = false;
+  bool closed = false;
+
+  class AbortObserver final : public TcpHandler {
+   public:
+    AbortObserver(bool& aborted, bool& closed) : aborted_(aborted), closed_(closed) {}
+    void Receive(std::unique_ptr<IOBuf>) override {}
+    void Close() override { closed_ = true; }
+    void Abort() override { aborted_ = true; }
+
+   private:
+    bool& aborted_;
+    bool& closed_;
+  };
+
+  server.Spawn(0, [&] {
+    server.net->tcp().Listen(8203, [](TcpPcb pcb) {
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<EchoHandler>()));
+    });
+  });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 8203).Then([&](Future<TcpPcb> f) {
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(
+          std::make_unique<AbortObserver>(aborted, closed)));
+      // Cut the fabric, then send: every retransmission is lost and the stack gives up.
+      bed.fabric().SetLossRate(1.0, /*seed=*/3);
+      pcb.Send(IOBuf::CopyBuffer("into the void"));
+    });
+  });
+  bed.world().RunUntil(30ull * 1000 * 1000 * 1000);
+  EXPECT_TRUE(aborted);
+  EXPECT_FALSE(closed);
+}
+
+// The legacy callback shim still works (and coexists with handler-based peers).
+TEST(TcpHandler, CallbackShimStillFunctions) {
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  std::string echoed;
+  server.Spawn(0, [&] {
+    server.net->tcp().Listen(8204, [](TcpPcb pcb) {
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<EchoHandler>()));
+    });
+  });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 8204).Then([&](Future<TcpPcb> f) {
+      auto pcb = std::make_shared<TcpPcb>(f.Get());
+      pcb->SetReceiveHandler([&echoed, pcb](std::unique_ptr<IOBuf> data) {
+        echoed += std::string(data->AsStringView());
+        pcb->Close();
+      });
+      pcb->Send(IOBuf::CopyBuffer("shim"));
+    });
+  });
+  bed.world().Run();
+  EXPECT_EQ(echoed, "shim");
+}
+
+}  // namespace
+}  // namespace ebbrt
