@@ -1,8 +1,40 @@
 // Figure 5 — Memcached single-core performance: mean and 99th-percentile latency as a
 // function of offered throughput, for EbbRT/KVM, Linux/KVM, Linux native, and OSv.
+//
+// Also emits the TX-batching depth sweep (pipeline {1, 8, 32}) as the "memcached_1core"
+// section of BENCH_tx_batching.json — the segments-per-op evidence for event-scoped send
+// aggregation.
+//
+// Modes:
+//   (none)        full figure + depth sweep
+//   --sweep-only  just the depth sweep (fast; used to regenerate BENCH_tx_batching.json)
+//   --smoke       depth-8 single point (CI gate: fails if batching is silently disabled)
+#include <cstring>
+
 #include "bench/memcached_common.h"
 
-int main() {
-  ebbrt::bench::RunFigure("Figure 5", /*server_cores=*/1);
+int main(int argc, char** argv) {
+  using namespace ebbrt::bench;
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool sweep_only = argc > 1 && std::strcmp(argv[1], "--sweep-only") == 0;
+  if (smoke) {
+    DepthPoint p = RunDepthPoint(/*server_cores=*/1, /*depth=*/8, /*total_requests=*/256);
+    std::printf("smoke: pipeline=8 requests=%zu tx_data_segments=%llu sends_coalesced=%llu"
+                " segments_per_op=%.3f\n",
+                p.requests, static_cast<unsigned long long>(p.tx_data_segments),
+                static_cast<unsigned long long>(p.sends_coalesced), p.segments_per_op);
+    WriteJsonSection("BENCH_tx_batching.json", "memcached_1core_smoke",
+                     DepthPointsJson({p}));
+    if (p.requests == 0 || p.sends_coalesced == 0) {
+      std::fprintf(stderr, "FAIL: TX batching silently disabled (sends_coalesced == 0)\n");
+      return 1;
+    }
+    return 0;
+  }
+  if (!sweep_only) {
+    RunFigure("Figure 5", /*server_cores=*/1);
+  }
+  EmitTxBatchingSweep("memcached_1core", /*server_cores=*/1, {1, 8, 32},
+                      /*total_requests=*/512);
   return 0;
 }

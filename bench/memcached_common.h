@@ -8,8 +8,11 @@
 #define EBBRT_BENCH_MEMCACHED_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "bench/bench_json.h"
 #include "src/apps/loadgen/memcached_loadgen.h"
 #include "src/apps/memcached/server.h"
 #include "src/sim/testbed.h"
@@ -111,6 +114,47 @@ inline Point RunPoint(ServerVariant variant, std::size_t server_cores, double ta
   point.mean_us = result.mean_ns / 1000.0;
   point.p99_us = result.p99_ns / 1000.0;
   return point;
+}
+
+// --- TX-batching depth sweep (BENCH_tx_batching.json) -----------------------------------------
+//
+// The segments-per-op story: a pipelined burst client issues the same GET schedule at
+// different depths against the EbbRT server; event-scoped corking turns a depth-N burst's N
+// response segments into ceil(bytes/MSS). Reported per depth from the server's own
+// NetworkManager stats.
+
+inline DepthPoint RunDepthPoint(std::size_t server_cores, std::size_t depth,
+                                std::size_t total_requests) {
+  sim::Testbed bed;
+  sim::TestbedNode server =
+      bed.AddNode("server", server_cores, Ipv4Addr::Of(10, 0, 0, 2));
+  sim::TestbedNode client = bed.AddNode("client", 1, Ipv4Addr::Of(10, 0, 0, 3),
+                                        sim::HypervisorModel::Native());
+  server.Spawn(0, [&] { new memcached::MemcachedServer(*server.net, 11211); });
+  loadgen::MemcachedBurstClient::Config config;
+  config.depth = depth;
+  config.total_requests = total_requests;
+  config.key_space = 64;
+  config.value_size = 100;
+  std::size_t responses = 0;
+  bool done = false;
+  loadgen::MemcachedBurstClient::Run(client, Ipv4Addr::Of(10, 0, 0, 2), 11211, config)
+      .Then([&](Future<loadgen::MemcachedBurstClient::Result> f) {
+        responses = f.Get().responses;
+        done = true;
+      });
+  bed.world().Run();
+  return FillDepthPoint(server.net->stats(), depth, done ? responses : 0,
+                        bed.world().Now());
+}
+
+// Runs the sweep, prints it, and contributes a section to BENCH_tx_batching.json.
+inline void EmitTxBatchingSweep(const char* section, std::size_t server_cores,
+                                const std::vector<std::size_t>& depths,
+                                std::size_t total_requests) {
+  EmitDepthSweep(section, depths, [server_cores, total_requests](std::size_t depth) {
+    return RunDepthPoint(server_cores, depth, total_requests);
+  });
 }
 
 inline void RunFigure(const char* figure, std::size_t server_cores) {

@@ -8,7 +8,11 @@
 // same logic over the baseline socket stack. Both inside the KVM model; wrk-style closed-loop
 // client.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/bench_json.h"
 #include "src/apps/http/http_server.h"
 #include "src/apps/loadgen/http_loadgen.h"
 #include "src/sim/testbed.h"
@@ -56,11 +60,53 @@ Row RunVariant(bool ebbrt_server) {
   return {result.mean_ns / 1000.0, result.p99_ns / 1000.0, result.achieved_rps};
 }
 
+// --- TX-batching depth sweep (webserver section of BENCH_tx_batching.json) ------------------
+// Pipelined GET bursts against the uv-layer (node-style) EbbRT server: depth-N rounds sent
+// as one chain; the auto-corked server answers each round in one chain.
+
+bench::DepthPoint RunWebDepthPoint(std::size_t depth) {
+  sim::Testbed bed;
+  sim::TestbedNode server = bed.AddNode("server", 1, Ipv4Addr::Of(10, 0, 0, 2));
+  sim::TestbedNode client = bed.AddNode("client", 1, Ipv4Addr::Of(10, 0, 0, 3),
+                                        sim::HypervisorModel::Native());
+  http::HttpServer* srv = nullptr;
+  server.Spawn(0, [&] { srv = new http::HttpServer(*server.net, 8080); });
+  loadgen::HttpLoadgen::Config config;
+  config.connections = 1;
+  config.pipeline = depth;
+  config.think_time_ns = 10'000;
+  config.warmup_ns = 5'000'000;
+  config.duration_ns = 100'000'000;
+  loadgen::HttpLoadgen gen(bed, client, Ipv4Addr::Of(10, 0, 0, 2), 8080, config);
+  bool done = false;
+  gen.Run().Then([&](Future<loadgen::HttpLoadgen::Result> f) {
+    f.Get();
+    done = true;
+  });
+  std::uint64_t horizon = 2ull * 1000 * 1000 * 1000;
+  while (!done && bed.world().Now() < horizon) {
+    if (bed.world().RunUntil(bed.world().Now() + 50'000'000)) {
+      break;
+    }
+  }
+  return bench::FillDepthPoint(server.net->stats(), depth,
+                               srv != nullptr ? srv->requests() : 0, bed.world().Now());
+}
+
+void EmitWebserverSweep(const std::vector<std::size_t>& depths) {
+  bench::EmitDepthSweep("webserver", depths, RunWebDepthPoint);
+}
+
 }  // namespace
 }  // namespace ebbrt
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ebbrt;
+  bool sweep_only = argc > 1 && std::strcmp(argv[1], "--sweep-only") == 0;
+  if (sweep_only) {
+    EmitWebserverSweep({1, 8, 32});
+    return 0;
+  }
   std::printf("# Table 2 reproduction: webserver GET -> 148B static response, moderate"
               " load\n");
   std::printf("# paper: EbbRT 90.54us mean / 123us 99th; Linux 112.83us mean / 199us 99th\n");
@@ -74,5 +120,6 @@ int main() {
   std::printf("# Linux/EbbRT: mean %+.1f%%, 99th %+.1f%%\n",
               (linux_row.mean_us / ebbrt_row.mean_us - 1.0) * 100.0,
               (linux_row.p99_us / ebbrt_row.p99_us - 1.0) * 100.0);
+  EmitWebserverSweep({1, 8, 32});
   return 0;
 }

@@ -52,6 +52,9 @@ std::size_t RequestAccumulator::Feed(const IOBuf& chain) {
 HttpServer::HttpServer(NetworkManager& network, std::uint16_t port) : server_(network) {
   server_.Listen(port, [this](std::shared_ptr<uv::TcpStream> stream) {
     auto acc = std::make_shared<RequestAccumulator>();
+    // Event-scoped TX batching: all responses written while handling one device event
+    // (a pipelined request burst) leave as one chain at the event boundary.
+    stream->SetAutoCork(true);
     stream->ReadStart([this, stream, acc](std::unique_ptr<IOBuf> data) {
       // The stream handler fires straight from the device event; the accumulator scans the
       // received chain in place — no copies on any path.

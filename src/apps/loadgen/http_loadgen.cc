@@ -31,8 +31,8 @@ struct HttpLoadgen::Conn final : public TcpHandler,
     bytes_pending = 0;
     std::uint64_t now = gen->bed_.world().Now();
     if (issued_at >= gen->measure_start_ && issued_at < gen->measure_end_) {
-      gen->latencies_.push_back(now - issued_at);
-      ++gen->completed_;
+      gen->latencies_.push_back(now - issued_at);  // per round (== per request at depth 1)
+      gen->completed_ += std::max<std::size_t>(gen->config_.pipeline, 1);
     }
     if (!stopped && now < gen->measure_end_) {
       // Closed loop with light think time ("moderate load").
@@ -81,8 +81,15 @@ void HttpLoadgen::IssueRequest(std::shared_ptr<Conn> conn) {
     return;
   }
   conn->issued_at = bed_.world().Now();
-  conn->bytes_pending = config_.expected_response_bytes;
-  conn->Pcb().Send(IOBuf::CopyBuffer(kRequest));
+  std::size_t depth = std::max<std::size_t>(config_.pipeline, 1);
+  conn->bytes_pending = depth * config_.expected_response_bytes;
+  // The whole round goes out as one chain — one wire segment when it fits — so the server
+  // sees the burst in one event (and, with auto-cork, answers it in one).
+  auto chain = IOBuf::CopyBuffer(kRequest);
+  for (std::size_t i = 1; i < depth; ++i) {
+    chain->AppendChain(IOBuf::CopyBuffer(kRequest));
+  }
+  conn->Pcb().Send(std::move(chain));
 }
 
 void HttpLoadgen::Finish() {

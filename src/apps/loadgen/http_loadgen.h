@@ -19,6 +19,9 @@ class HttpLoadgen {
     std::uint64_t duration_ns = 300'000'000;
     std::size_t expected_response_bytes = 148;
     std::uint64_t think_time_ns = 20'000;  // pacing between a response and the next request
+    // Requests sent back-to-back as one chain per round (closed loop per round). Depth > 1
+    // exercises the server's event-scoped response batching; latency is per round.
+    std::size_t pipeline = 1;
   };
   struct Result {
     double achieved_rps = 0;

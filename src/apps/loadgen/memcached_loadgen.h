@@ -121,6 +121,52 @@ class MemcachedLoadgen {
   std::size_t conns_ready_ = 0;
 };
 
+// Closed-loop pipelined burst client — the measurement harness for the segments-per-op
+// story. Preloads a small keyspace, then issues `total_requests` GETs over one connection in
+// rounds of `depth`, each round sent as ONE chain (one wire segment when it fits, exactly
+// how a pipelining client batches), waiting for the whole round's responses before issuing
+// the next. The request *schedule* (the key sequence) depends only on total_requests, never
+// on depth, so two runs differing only in depth must elicit byte-identical response streams
+// — the invariant the corked-vs-uncorked property test asserts, while the depth sweep reads
+// the server's segments_tx/sends_coalesced deltas.
+class MemcachedBurstClient final : public TcpHandler {
+ public:
+  struct Config {
+    std::size_t depth = 1;            // requests pipelined per round
+    std::size_t total_requests = 64;  // GETs issued across all rounds
+    std::size_t key_space = 16;       // keys preloaded (fixed-size values, all GETs hit)
+    std::size_t value_size = 32;
+  };
+
+  struct Result {
+    std::string response_bytes;  // concatenated GET-phase response byte stream
+    std::size_t responses = 0;
+  };
+
+  // Connects from `client` core 0 and fulfills the returned future when the schedule
+  // completes (drive the world afterwards).
+  static Future<Result> Run(sim::TestbedNode& client, Ipv4Addr server, std::uint16_t port,
+                            Config config);
+
+  void Receive(std::unique_ptr<IOBuf> data) override;
+
+ private:
+  explicit MemcachedBurstClient(Config config) : config_(config) {}
+
+  void SendPreload();
+  void SendNextRound();
+
+  Config config_;
+  memcached::RequestParser parser_;
+  Promise<Result> done_;
+  Result result_;
+  bool preloading_ = true;
+  std::size_t preload_pending_ = 0;
+  std::size_t issued_ = 0;
+  std::size_t round_pending_ = 0;
+  bool finished_ = false;
+};
+
 }  // namespace loadgen
 }  // namespace ebbrt
 

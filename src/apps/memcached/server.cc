@@ -26,6 +26,10 @@ MemcachedServer::MemcachedServer(NetworkManager& network, std::uint16_t port)
     : network_(network), store_(network.rcu()) {
   network_.tcp().Listen(port, [this](TcpPcb pcb) {
     pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<Connection>(*this)));
+    // Event-scoped TX batching (§5: application-level aggregation): every response produced
+    // while parsing one device event's worth of requests goes out as one chain — a pipelined
+    // GET burst costs one wire segment instead of one per response.
+    pcb.SetAutoCork(true);
   });
 }
 

@@ -57,8 +57,10 @@ class RequestParser {
 
   // Bytes buffered awaiting a complete request.
   std::size_t pending_bytes() const { return queue_.ChainLength(); }
-  // Number of cross-segment reassemblies performed (0 == every request parsed in place).
+  // Number of cross-segment reassemblies performed (0 == every request parsed in place),
+  // and the bytes they copied.
   std::size_t coalesce_ops() const { return queue_.coalesce_ops(); }
+  std::size_t coalesced_bytes() const { return queue_.coalesced_bytes(); }
 
  private:
   // Takes `fn` by reference: a forwarded rvalue callable must not be re-forwarded inside a
@@ -109,16 +111,32 @@ class MemcachedServer {
     explicit Connection(MemcachedServer& server) : server_(server) {}
 
     void Receive(std::unique_ptr<IOBuf> data) override {
-      // Parsed and answered synchronously, on this core, within the device event.
+      // Parsed and answered synchronously, on this core, within the device event. Responses
+      // are corked (SetAutoCork at accept) and flushed once at the event boundary.
       parser_.Feed(std::move(data), [this](const RequestParser::Request& req) {
         server_.HandleRequest(*this, req);
       });
+      // Surface the parser's reassembly counters (the receive-side zero-copy hit rate)
+      // through the machine-wide stats benches read.
+      std::size_t ops = parser_.coalesce_ops();
+      if (ops != reported_coalesce_ops_) {
+        auto& stats = server_.network_.stats();
+        stats.rx_coalesce_ops.fetch_add(ops - reported_coalesce_ops_,
+                                        std::memory_order_relaxed);
+        stats.rx_coalesced_bytes.fetch_add(
+            parser_.coalesced_bytes() - reported_coalesced_bytes_,
+            std::memory_order_relaxed);
+        reported_coalesce_ops_ = ops;
+        reported_coalesced_bytes_ = parser_.coalesced_bytes();
+      }
     }
     void Close() override { Pcb().Close(); }
 
    private:
     MemcachedServer& server_;
     RequestParser parser_;
+    std::size_t reported_coalesce_ops_ = 0;
+    std::size_t reported_coalesced_bytes_ = 0;
   };
 
   void HandleRequest(Connection& conn, const RequestParser::Request& req);

@@ -107,6 +107,24 @@ void EventManager::IdleCallback::Stop() {
   }
 }
 
+// --- End-of-event hooks ----------------------------------------------------------------------
+
+void EventManager::QueueEndOfEvent(MoveFunction<void()> fn) {
+  Kassert(HaveContext() && CurrentContext().machine_core == machine_core_,
+          "QueueEndOfEvent: wrong core");
+  end_of_event_queue_.push_back(std::move(fn));
+}
+
+void EventManager::RunEndOfEventHooks() {
+  // Hooks queued by a running hook drain in the same boundary (the while re-checks).
+  while (!end_of_event_queue_.empty()) {
+    MoveFunction<void()> fn = std::move(end_of_event_queue_.front());
+    end_of_event_queue_.pop_front();
+    ++stats_.end_of_event;
+    fn();
+  }
+}
+
 // --- Fiber dispatch --------------------------------------------------------------------------
 
 void EventManager::FiberTrampoline(void* arg) {
@@ -153,6 +171,7 @@ void EventManager::RunOnEventStack(MoveFunction<void()>* fn, bool persistent) {
   } else {
     stack_pool_.Put(std::move(active_stack_));
   }
+  RunEndOfEventHooks();
   executor_.OnHandlerComplete();
 }
 
@@ -169,6 +188,7 @@ void EventManager::ResumeContext(QueueEntry entry) {
   } else {
     stack_pool_.Put(std::move(active_stack_));
   }
+  RunEndOfEventHooks();
   executor_.OnHandlerComplete();
 }
 

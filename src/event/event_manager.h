@@ -119,6 +119,16 @@ class EventManager {
     bool started_ = false;
   };
 
+  // --- End-of-event hooks -------------------------------------------------------------------
+  // Queues `fn` to run once, when the currently-dispatching event hands control back to this
+  // core's loop (on completion or on SaveContext suspension) — after the handler, before the
+  // next event and before any IdleCallback gets a turn. This is the event-boundary flush
+  // point the TX batcher builds on: work accumulated during one event dispatch is emitted
+  // exactly once, at its edge. Hooks run on the loop stack, not on an event stack, so they
+  // must run to completion (no SaveContext). A hook queued by another hook runs in the same
+  // boundary drain. Call from within an event on this core.
+  void QueueEndOfEvent(MoveFunction<void()> fn);
+
   // --- Blocking support ---------------------------------------------------------------------
   // Freezes the current event into `ctx` and resumes the loop. Must be called from within an
   // event handler on this core. Returns when ActivateContext(ctx) runs.
@@ -160,6 +170,7 @@ class EventManager {
   std::uint64_t interrupts_dispatched() const { return stats_.interrupts; }
   std::uint64_t events_dispatched() const { return stats_.synthetic; }
   std::uint64_t idle_passes() const { return stats_.idle_passes; }
+  std::uint64_t end_of_event_hooks_run() const { return stats_.end_of_event; }
 
  private:
   struct QueueEntry {
@@ -174,6 +185,8 @@ class EventManager {
   // (non-persistent) callables are moved onto the fiber stack so they survive suspension.
   void RunOnEventStack(MoveFunction<void()>* fn, bool persistent = false);
   void ResumeContext(QueueEntry entry);
+  // Drains end-of-event hooks on the loop stack after a handler completes or suspends.
+  void RunEndOfEventHooks();
 
   bool DispatchPass();  // one pass of the §3.2 protocol; true if any handler ran
   bool DispatchTimers();
@@ -201,6 +214,9 @@ class EventManager {
 
   std::vector<IdleCallback*> idle_callbacks_;
 
+  // One-shot event-boundary hooks (see QueueEndOfEvent). Core-local: single writer/reader.
+  std::deque<MoveFunction<void()>> end_of_event_queue_;
+
   MoveFunction<TimerPollResult(std::uint64_t)> timer_poll_;
   std::uint64_t timer_deadline_ = kNoWakeup;
 
@@ -222,6 +238,7 @@ class EventManager {
     std::uint64_t synthetic = 0;
     std::uint64_t idle_passes = 0;
     std::uint64_t timers = 0;
+    std::uint64_t end_of_event = 0;
   } stats_;
 };
 

@@ -138,6 +138,33 @@ class NetworkManager {
     std::atomic<std::uint64_t> tcp_rx{0};
     std::atomic<std::uint64_t> arp_rx{0};
     std::atomic<std::uint64_t> checksum_drops{0};
+
+    // --- TX path (event-scoped send aggregation; see docs/ARCHITECTURE.md "TX path") ------
+    std::atomic<std::uint64_t> tcp_tx_segments{0};       // every TCP segment put on the wire
+    std::atomic<std::uint64_t> tcp_tx_data_segments{0};  // segments carrying payload
+    std::atomic<std::uint64_t> tcp_tx_payload_bytes{0};
+    // Send() calls merged into an already-started cork chain: the batching win. A pipelined
+    // burst of N responses flushed as one chain counts N-1 here.
+    std::atomic<std::uint64_t> sends_coalesced{0};
+    std::atomic<std::uint64_t> cork_flushes{0};  // cork chains (or prefixes) put on the wire
+    // Corked chains dropped because the connection was torn down before the event-boundary
+    // flush (the flush-after-close hazard, handled by dropping — never sending — the chain).
+    std::atomic<std::uint64_t> corked_drops{0};
+
+    // --- RX path: IOBufQueue reassembly, reported by parser owners (zero-copy hit rate) ----
+    std::atomic<std::uint64_t> rx_coalesce_ops{0};
+    std::atomic<std::uint64_t> rx_coalesced_bytes{0};
+
+    // Mean payload bytes per data-bearing segment — the per-op cost denominator benches
+    // report. 0 when nothing was transmitted.
+    double bytes_per_segment() const {
+      std::uint64_t segs = tcp_tx_data_segments.load(std::memory_order_relaxed);
+      if (segs == 0) {
+        return 0.0;
+      }
+      return static_cast<double>(tcp_tx_payload_bytes.load(std::memory_order_relaxed)) /
+             static_cast<double>(segs);
+    }
   };
   Stats& stats() { return stats_; }
 

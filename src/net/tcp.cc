@@ -5,6 +5,7 @@
 #include "src/event/event_manager.h"
 #include "src/event/timer.h"
 #include "src/net/network_manager.h"
+#include "src/net/tx_batcher.h"
 
 namespace ebbrt {
 
@@ -115,31 +116,21 @@ void TcpPcb::InstallHandler(std::shared_ptr<TcpHandler> handler) {
   }
 }
 
-CallbackTcpHandler& TcpPcb::Callbacks() {
-  auto* shim = dynamic_cast<CallbackTcpHandler*>(entry_->handler);
-  if (shim == nullptr) {
-    auto owned = std::make_unique<CallbackTcpHandler>();
-    shim = owned.get();
-    InstallHandler(std::unique_ptr<TcpHandler>(std::move(owned)));
-  }
-  return *shim;
+namespace {
+
+// Window space the peer currently grants beyond in-flight data, ignoring corked bytes (the
+// flush path's budget — corked bytes are exactly what it is about to spend the budget on).
+std::size_t RawWindowRemaining(const TcpEntry& e) {
+  std::uint32_t inflight = e.snd_nxt - e.snd_una;
+  return inflight >= e.snd_wnd ? 0 : e.snd_wnd - inflight;
 }
 
-void TcpPcb::SetReceiveHandler(std::function<void(std::unique_ptr<IOBuf>)> fn) {
-  Callbacks().receive_fn = std::move(fn);
-}
-
-void TcpPcb::SetCloseHandler(std::function<void()> fn) {
-  Callbacks().close_fn = std::move(fn);
-}
-
-void TcpPcb::SetSendReadyHandler(std::function<void()> fn) {
-  Callbacks().send_ready_fn = std::move(fn);
-}
+}  // namespace
 
 std::size_t TcpPcb::SendWindowRemaining() const {
-  std::uint32_t inflight = entry_->snd_nxt - entry_->snd_una;
-  return inflight >= entry_->snd_wnd ? 0 : entry_->snd_wnd - inflight;
+  std::size_t raw = RawWindowRemaining(*entry_);
+  std::size_t corked = entry_->cork_queue.ChainLength();
+  return raw > corked ? raw - corked : 0;
 }
 
 void TcpPcb::SetReceiveWindow(std::uint16_t window) {
@@ -157,15 +148,115 @@ bool TcpPcb::Send(std::unique_ptr<IOBuf> chain) {
   if (e.state != TcpState::kEstablished && e.state != TcpState::kCloseWait) {
     return false;
   }
+  if (e.app_closed || e.close_after_flush) {
+    return false;  // the application already closed its side
+  }
   std::size_t len = chain->ComputeChainDataLength();
   if (len == 0) {
     return true;
   }
   // Paper contract: the application checked SendWindowRemaining; the stack has no send
-  // buffer, so an out-of-window Send is refused rather than queued.
+  // buffer, so an out-of-window Send is refused rather than queued. Corked bytes count
+  // against the window (SendWindowRemaining subtracts them), so corking never accumulates
+  // more than one window of data.
   if (len > SendWindowRemaining()) {
     return false;
   }
+  if (e.cork_count > 0 || e.auto_cork) {
+    if (!e.cork_queue.Empty()) {
+      e.manager.network().stats().sends_coalesced.fetch_add(1, std::memory_order_relaxed);
+    }
+    e.cork_queue.Append(std::move(chain));
+    if (e.cork_count == 0) {
+      // Auto-cork without a manual cork: the event-boundary flush drains it.
+      e.manager.EnrollAutoCork(entry_);
+    }
+    return true;
+  }
+  e.manager.SendPayload(e, std::move(chain), len);
+  return true;
+}
+
+void TcpPcb::Cork() {
+  Kassert(CurrentContext().machine_core == entry_->owner_core, "TcpPcb::Cork: wrong core");
+  ++entry_->cork_count;
+}
+
+void TcpPcb::Uncork() {
+  TcpEntry& e = *entry_;
+  Kassert(CurrentContext().machine_core == e.owner_core, "TcpPcb::Uncork: wrong core");
+  if (e.app_closed || e.close_after_flush) {
+    return;  // Close() already terminated the cork scope; a symmetric Uncork is a no-op
+  }
+  Kassert(e.cork_count > 0, "TcpPcb::Uncork: not corked");
+  if (--e.cork_count == 0) {
+    e.manager.FlushCorked(e);
+  }
+}
+
+bool TcpPcb::Corked() const { return entry_->cork_count > 0 || entry_->auto_cork; }
+
+std::size_t TcpPcb::CorkedBytes() const { return entry_->cork_queue.ChainLength(); }
+
+void TcpPcb::SetAutoCork(bool enabled) { entry_->auto_cork = enabled; }
+
+void TcpPcb::Close() {
+  TcpEntry& e = *entry_;
+  if (e.app_closed || e.close_after_flush) {
+    return;
+  }
+  // Close terminates any open cork scope: no further data can be corked (Send refuses once
+  // closing), so an un-matched Cork() must not be able to strand the chain or the FIN.
+  e.cork_count = 0;
+  if (!e.cork_queue.Empty() &&
+      (e.state == TcpState::kEstablished || e.state == TcpState::kCloseWait)) {
+    // Data is corked ahead of the FIN: it must occupy earlier sequence space, so the close
+    // completes when the chain drains (event-boundary or ACK-driven flush).
+    e.close_after_flush = true;
+    e.manager.FlushCorked(e);
+    return;
+  }
+  e.manager.FinishClose(e);
+}
+
+void TcpPcb::Abort() {
+  TcpEntry& e = *entry_;
+  if (e.removed || e.state == TcpState::kClosed) {
+    return;
+  }
+  e.manager.TransmitSegment(e, kTcpRst | kTcpAck, nullptr, e.snd_nxt, /*queue_rtx=*/false);
+  e.state = TcpState::kClosed;
+  // RemoveEntry drops any corked chain (counted in corked_drops) — never flushed.
+  e.manager.RemoveEntry(e);
+}
+
+// --- TcpManager ------------------------------------------------------------------------------
+
+TcpManager::TcpManager(NetworkManager& network)
+    : network_(network), table_(network.rcu(), 10), listeners_(network.rcu(), 4) {
+  // One TX batcher per core, preallocated so the data path indexes without synchronization
+  // (each batcher is only ever touched by its own core).
+  std::size_t cores = network.runtime().num_cores();
+  batchers_.reserve(cores);
+  for (std::size_t i = 0; i < cores; ++i) {
+    batchers_.push_back(std::make_unique<TxBatcher>(*this));
+  }
+}
+
+TcpManager::~TcpManager() = default;
+
+TxBatcher& TcpManager::batcher(std::size_t core) {
+  Kassert(core < batchers_.size(), "TcpManager: no batcher for core");
+  return *batchers_[core];
+}
+
+void TcpManager::EnrollAutoCork(const std::shared_ptr<TcpEntry>& entry) {
+  batcher(entry->owner_core).Enroll(entry);
+}
+
+// The pre-cork TcpPcb::Send body: slice into MSS segments, transmit zero-copy views, retain
+// the chain for retransmission.
+void TcpManager::SendPayload(TcpEntry& e, std::unique_ptr<IOBuf> chain, std::size_t len) {
   std::shared_ptr<IOBuf> owner(std::move(chain));
   std::size_t offset = 0;
   while (offset < len) {
@@ -181,16 +272,45 @@ bool TcpPcb::Send(std::unique_ptr<IOBuf> chain) {
     seg.payload = SliceView(*owner, offset, seg_len);
     seg.owner = owner;
     e.rtx_queue.push_back(std::move(seg));
-    e.manager.TransmitSegment(e, kTcpAck | kTcpPsh, std::move(views), seq,
-                              /*queue_rtx=*/false);
+    TransmitSegment(e, kTcpAck | kTcpPsh, std::move(views), seq, /*queue_rtx=*/false);
     offset += seg_len;
   }
-  e.manager.ArmRtxTimer(e);
-  return true;
+  ArmRtxTimer(e);
 }
 
-void TcpPcb::Close() {
-  TcpEntry& e = *entry_;
+void TcpManager::FlushCorked(TcpEntry& e) {
+  if (e.removed || (e.state != TcpState::kEstablished && e.state != TcpState::kCloseWait)) {
+    // Torn down (or tearing down) before the flush: the corked chain must never reach the
+    // wire — RemoveEntry already dropped and counted it, or drops it when it runs.
+    if (!e.cork_queue.Empty()) {
+      network_.stats().corked_drops.fetch_add(1, std::memory_order_relaxed);
+      e.cork_queue.Move();
+    }
+    return;
+  }
+  if (e.cork_count > 0) {
+    // A manual Cork() is open (possibly spanning an event boundary on an auto-cork
+    // connection): honor it — nothing leaves until Uncork() brings the nesting to zero
+    // (or Close() terminates the cork scope).
+    return;
+  }
+  if (!e.cork_queue.Empty()) {
+    // Window-limited partial flush: emit what the peer allows now; the remainder stays
+    // corked and drains from the ACK path as the window reopens.
+    std::size_t flush_len = std::min(RawWindowRemaining(e), e.cork_queue.ChainLength());
+    if (flush_len > 0) {
+      network_.stats().cork_flushes.fetch_add(1, std::memory_order_relaxed);
+      std::unique_ptr<IOBuf> chain = e.cork_queue.Split(flush_len);
+      SendPayload(e, std::move(chain), flush_len);
+    }
+  }
+  if (e.close_after_flush && e.cork_queue.Empty()) {
+    e.close_after_flush = false;
+    FinishClose(e);
+  }
+}
+
+void TcpManager::FinishClose(TcpEntry& e) {
   if (e.app_closed) {
     return;
   }
@@ -201,7 +321,7 @@ void TcpPcb::Close() {
     e.state = TcpState::kLastAck;
   } else {
     e.state = TcpState::kClosed;
-    e.manager.RemoveEntry(e);
+    RemoveEntry(e);
     return;
   }
   e.fin_sent = true;
@@ -212,16 +332,9 @@ void TcpPcb::Close() {
   seg.len = 1;
   seg.flags = kTcpFin | kTcpAck;
   e.rtx_queue.push_back(std::move(seg));
-  e.manager.TransmitSegment(e, kTcpFin | kTcpAck, nullptr, seq, /*queue_rtx=*/false);
-  e.manager.ArmRtxTimer(e);
+  TransmitSegment(e, kTcpFin | kTcpAck, nullptr, seq, /*queue_rtx=*/false);
+  ArmRtxTimer(e);
 }
-
-// --- TcpManager ------------------------------------------------------------------------------
-
-TcpManager::TcpManager(NetworkManager& network)
-    : network_(network), table_(network.rcu(), 10), listeners_(network.rcu(), 4) {}
-
-TcpManager::~TcpManager() = default;
 
 void TcpManager::Listen(std::uint16_t port, AcceptFn accept) {
   auto listener = std::make_shared<Listener>();
@@ -307,6 +420,12 @@ void TcpManager::TransmitSegment(TcpEntry& entry, std::uint8_t flags,
   if (flags & kTcpAck) {
     entry.pending_ack = false;  // this segment carries the acknowledgment
   }
+  auto& stats = network_.stats();
+  stats.tcp_tx_segments.fetch_add(1, std::memory_order_relaxed);
+  if (payload_len > 0) {
+    stats.tcp_tx_data_segments.fetch_add(1, std::memory_order_relaxed);
+    stats.tcp_tx_payload_bytes.fetch_add(payload_len, std::memory_order_relaxed);
+  }
   entry.iface.EthArpSend(kEthTypeIpv4, std::move(packet));
 }
 
@@ -359,6 +478,14 @@ void TcpManager::RemoveEntry(TcpEntry& entry) {
     return;
   }
   entry.removed = true;
+  // Flush-after-close hazard, handled generically: any corked chain dies with the entry —
+  // the event-boundary / ACK flush paths see removed==true (the batcher's shared_ptr keeps
+  // the entry inspectable) and must never transmit it.
+  if (!entry.cork_queue.Empty()) {
+    network_.stats().corked_drops.fetch_add(1, std::memory_order_relaxed);
+    entry.cork_queue.Move();
+  }
+  entry.close_after_flush = false;
   if (entry.rtx_timer != 0) {
     Timer::Instance()->Stop(entry.rtx_timer);
     entry.rtx_timer = 0;
@@ -549,6 +676,14 @@ void TcpManager::ProcessSegment(std::shared_ptr<TcpEntry> entry, const TcpHeader
       }
       ArmRtxTimer(e);
       e.snd_wnd = NetToHost16(tcp.window);
+      // A window-limited flush left corked data behind: ACK progress is the signal to drain
+      // more of it (ahead of SendReady, so the application observes bytes in flight order).
+      // Skip while the entry awaits its event-boundary flush (batcher_enrolled) — an ACK
+      // carried by a later frame of the SAME event must not flush mid-event — and while a
+      // manual cork is open (FlushCorked also honors that itself).
+      if (!e.cork_queue.Empty() && !e.batcher_enrolled) {
+        FlushCorked(e);
+      }
       if (e.handler != nullptr && (e.snd_nxt - e.snd_una) < e.snd_wnd) {
         // Acknowledgment progress: give the application (or the baseline kernel pump, which
         // implements Nagle on top of this) a send opportunity.
@@ -556,6 +691,9 @@ void TcpManager::ProcessSegment(std::shared_ptr<TcpEntry> entry, const TcpHeader
       }
     } else {
       e.snd_wnd = NetToHost16(tcp.window);  // window update on duplicate ACK
+      if (!e.cork_queue.Empty() && !e.batcher_enrolled) {
+        FlushCorked(e);  // a pure window update can reopen a clamped window
+      }
     }
 
     // Handshake / close-sequence transitions driven by this ACK.

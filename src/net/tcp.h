@@ -8,7 +8,13 @@
 //     queues application data waiting for window (out-of-window sends are rejected).
 //   * NO Nagle. Send() puts segments on the wire immediately; aggregation is an application
 //     decision ("This allows the application to decide whether or not to delay sending to
-//     aggregate multiple sends into a single TCP segment").
+//     aggregate multiple sends into a single TCP segment"). That application-side aggregation
+//     is a first-class mechanism here: Cork()/Uncork() batch explicitly, and SetAutoCork()
+//     opts a connection into event-scoped batching — every Send() issued during one event
+//     dispatch is merged into one chain and flushed once at the event boundary (TxBatcher +
+//     the EventManager end-of-event hook), merging small writes into as few wire segments as
+//     the send window allows. Corked bytes are bounded by the send window (Send still
+//     refuses beyond it), so this is aggregation, not a kernel-style send buffer.
 //   * The application controls the advertised receive window (SetReceiveWindow) — its own
 //     admission control, not a kernel buffer size.
 //   * Connection state lives on exactly one core (where the SYN landed / where the connector
@@ -30,9 +36,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "src/future/future.h"
 #include "src/iobuf/iobuf.h"
+#include "src/iobuf/iobuf_queue.h"
 #include "src/net/net_types.h"
 #include "src/rcu/rcu_hash_table.h"
 
@@ -44,6 +52,7 @@ class TcpManager;
 class TcpPcb;
 class TcpEntry;
 class TcpHandler;
+class TxBatcher;
 
 inline constexpr std::size_t kTcpMss = 1460;
 inline constexpr std::uint16_t kTcpDefaultWindow = 65535;
@@ -84,28 +93,38 @@ class TcpPcb {
   void InstallHandler(std::unique_ptr<TcpHandler> handler);
   void InstallHandler(std::shared_ptr<TcpHandler> handler);
 
-  // Transitional shim over InstallHandler for callback-style consumers (tests, prototypes).
-  // New code subclasses TcpHandler; these allocate a CallbackTcpHandler on first use.
-  void SetReceiveHandler(std::function<void(std::unique_ptr<IOBuf>)> fn);
-  void SetCloseHandler(std::function<void()> fn);
-  void SetSendReadyHandler(std::function<void()> fn);
-
   // Application-controlled advertised window (§3.6: "an application can explicitly set the
   // window size to prevent further sends from the remote host").
   void SetReceiveWindow(std::uint16_t window);
 
-  // Bytes the peer+our outstanding data currently allow us to send. The application must
-  // check this before Send (paper contract); Send returns false when violated.
+  // Bytes the peer+our outstanding data currently allow us to send, net of any corked bytes
+  // awaiting flush. The application must check this before Send (paper contract); Send
+  // returns false when violated — whether corked or not, total buffered+in-flight data never
+  // exceeds one send window.
   std::size_t SendWindowRemaining() const;
   // Unacknowledged bytes currently in flight (used by the baseline stack's Nagle check).
   std::size_t BytesInFlight() const;
   bool Send(std::unique_ptr<IOBuf> chain);
 
+  // --- TX corking (the paper's application-level send aggregation, made a mechanism) -------
+  // While corked, Send() appends to a per-connection chain instead of emitting segments;
+  // Uncork() at nesting depth zero flushes the chain through the normal segmenting path, so
+  // k small writes leave as ceil(bytes/MSS) segments instead of k. Nestable.
+  void Cork();
+  void Uncork();
+  bool Corked() const;
+  std::size_t CorkedBytes() const;
+  // Event-scoped automatic corking: every Send() outside a manual cork is accumulated and
+  // flushed exactly once when the current event dispatch ends (TxBatcher; the flush is also
+  // resumed by ACK-driven window openings when a flush was window-limited).
+  void SetAutoCork(bool enabled);
+
   void Close();
+  // Unilateral teardown: emits RST, drops any corked (unflushed) data, removes the
+  // connection immediately. The local handler is NOT called back.
+  void Abort();
 
  private:
-  class CallbackTcpHandler& Callbacks();
-
   std::shared_ptr<TcpEntry> entry_;
 };
 
@@ -134,31 +153,6 @@ class TcpHandler {
  private:
   friend class TcpPcb;
   TcpPcb pcb_;
-};
-
-// Transitional adapter: the legacy three-callback registration surface, expressed as a
-// TcpHandler. Kept for tests; scheduled for removal once all callers subclass TcpHandler.
-class CallbackTcpHandler final : public TcpHandler {
- public:
-  void Receive(std::unique_ptr<IOBuf> buf) override {
-    if (receive_fn) {
-      receive_fn(std::move(buf));
-    }
-  }
-  void Close() override {
-    if (close_fn) {
-      close_fn();
-    }
-  }
-  void SendReady() override {
-    if (send_ready_fn) {
-      send_ready_fn();
-    }
-  }
-
-  std::function<void(std::unique_ptr<IOBuf>)> receive_fn;
-  std::function<void()> close_fn;
-  std::function<void()> send_ready_fn;
 };
 
 // Internal per-connection state. All fields are owned by `owner_core`; only that core touches
@@ -210,6 +204,13 @@ class TcpEntry {
   bool removed = false;       // RemoveEntry already ran (guards re-entry on abort paths)
   std::uint64_t time_wait_timer = 0;
 
+  // --- TX corking state (see TcpPcb::Cork/SetAutoCork) -------------------------------------
+  IOBufQueue cork_queue;           // corked payload awaiting flush (bounded by the window)
+  std::uint32_t cork_count = 0;    // manual Cork() nesting depth
+  bool auto_cork = false;          // Send() corks automatically, flushed at event boundary
+  bool batcher_enrolled = false;   // registered with the owner core's TxBatcher this event
+  bool close_after_flush = false;  // app Close() with data corked: FIN follows the data
+
   Promise<void> connected;  // fulfilled for active opens
   bool connect_pending = false;
   std::function<void(TcpPcb)> on_established;  // passive opens: listener's accept callback
@@ -242,13 +243,24 @@ class TcpManager {
 
   std::size_t active_connections() const { return table_.size(); }
 
-  // internal (used by TcpPcb/TcpEntry logic)
+  // internal (used by TcpPcb/TcpEntry/TxBatcher logic)
   void TransmitSegment(TcpEntry& entry, std::uint8_t flags, std::unique_ptr<IOBuf> payload,
                        std::uint32_t seq, bool queue_rtx);
   void ArmRtxTimer(TcpEntry& entry);
   void RtxTimeout(std::shared_ptr<TcpEntry> entry);
   void RemoveEntry(TcpEntry& entry);
   NetworkManager& network() { return network_; }
+  // Segments and transmits `len` payload bytes (the pre-cork Send body). Caller has already
+  // verified the window.
+  void SendPayload(TcpEntry& entry, std::unique_ptr<IOBuf> chain, std::size_t len);
+  // Flushes as much of the entry's corked chain as the send window allows (dropping it
+  // instead when the connection is torn down), then completes a pending Close() once the
+  // chain drains. Safe to call with an empty queue or a removed entry.
+  void FlushCorked(TcpEntry& entry);
+  // Registers an auto-cork entry with its owner core's TxBatcher for the event-boundary
+  // flush. Must be called on the owner core.
+  void EnrollAutoCork(const std::shared_ptr<TcpEntry>& entry);
+  TxBatcher& batcher(std::size_t core);
 
  private:
   struct Listener {
@@ -265,10 +277,18 @@ class TcpManager {
   std::uint16_t PickEphemeralPort(Interface& iface, Ipv4Addr dst, std::uint16_t dst_port,
                                   std::size_t desired_core);
 
+  // Completes the FIN half of an application Close() (factored out so a deferred close can
+  // run once the corked chain drains).
+  void FinishClose(TcpEntry& entry);
+
   NetworkManager& network_;
   RcuHashTable<FourTuple, std::shared_ptr<TcpEntry>, FourTupleHash> table_;
   RcuHashTable<std::uint16_t, std::shared_ptr<Listener>> listeners_;
   std::atomic<std::uint16_t> next_ephemeral_{33000};
+  // One TX batcher per core (index = machine core); only the owner core touches its batcher.
+  std::vector<std::unique_ptr<TxBatcher>> batchers_;
+
+  friend class TcpPcb;
 };
 
 }  // namespace ebbrt

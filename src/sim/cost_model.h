@@ -17,8 +17,19 @@ namespace sim {
 // Hypervisor/virtualization overheads applied by the NIC model.
 struct HypervisorModel {
   bool virtualized = true;
-  // Guest->host notification (virtio kick): one VM exit + vhost wakeup.
+  // Guest->host notification (virtio kick): one VM exit + vhost wakeup. Charged per
+  // *doorbell*, not per frame: descriptors queued within one event dispatch share one kick
+  // (virtio drivers ring once for the whole available-ring batch; vhost drains it all).
+  // This is the batched-doorbell behavior the kernel-bypass literature leans on — and what
+  // makes the per-segment cost accounting honest: a workload that emits one small segment
+  // per event (memcached at pipeline depth 1) pays a kick per segment, while an
+  // event-corked burst pays one kick for the whole chain.
   std::uint64_t tx_exit_ns = 1000;
+  // Per-frame TX cost paid on EVERY transmitted frame regardless of virtualization:
+  // descriptor setup + device descriptor/header DMA fetch. The per-segment overhead that
+  // send-side aggregation amortizes (segments-per-op accounting), small enough that bulk
+  // MSS-sized streams stay link-bound at 10GbE (~1190ns serialization per frame).
+  std::uint64_t tx_frame_ns = 150;
   // Interrupt injection into the guest on RX.
   std::uint64_t irq_inject_ns = 800;
   // Hypervisor copies the packet into guest RX buffers (both systems pay this; §4.1.3:
@@ -33,6 +44,11 @@ struct HypervisorModel {
     HypervisorModel hv;
     hv.virtualized = false;
     hv.tx_exit_ns = 0;
+    // Bare metal: the doorbell is a posted MMIO write the core does not wait on — the
+    // native nodes (notably the load generators) keep blasting at wire rate, as the paper's
+    // unvirtualized client machine does. The per-frame TX cost that batching amortizes is a
+    // guest-side phenomenon here (descriptor + kick + vhost), modeled above.
+    hv.tx_frame_ns = 0;
     hv.irq_inject_ns = 300;  // bare-metal MSI-X delivery
     hv.rx_copy = false;
     return hv;

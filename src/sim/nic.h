@@ -80,6 +80,10 @@ class Nic {
   std::uint64_t interrupts_raised() const { return interrupts_raised_; }
   std::uint64_t frames_polled() const { return frames_polled_; }
   std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t frames_transmitted() const { return frames_transmitted_; }
+  std::uint64_t bytes_transmitted() const { return bytes_transmitted_; }
+  // Doorbell batching: kicks <= frames; the gap is the amortization TX batching buys.
+  std::uint64_t tx_kicks() const { return tx_kicks_; }
 
  private:
   struct Queue {
@@ -110,6 +114,12 @@ class Nic {
   std::uint64_t interrupts_raised_ = 0;
   std::uint64_t frames_polled_ = 0;
   std::uint64_t frames_received_ = 0;
+  std::uint64_t frames_transmitted_ = 0;
+  std::uint64_t bytes_transmitted_ = 0;
+  std::uint64_t tx_kicks_ = 0;
+  // Per-core doorbell state: nonzero while this core's current event already kicked (reset
+  // by an end-of-event hook). Single-threaded per core; plain bytes.
+  std::vector<char> kick_charged_;
 };
 
 }  // namespace sim

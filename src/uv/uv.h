@@ -65,6 +65,14 @@ class TcpStream final : public TcpHandler,
   bool Write(std::unique_ptr<IOBuf> data) { return Pcb().Send(std::move(data)); }
   bool Write(std::string_view s) { return Write(IOBuf::CopyBuffer(s)); }
 
+  // The inverse of uv_tcp_nodelay: opt the stream into event-scoped TX batching — all
+  // Writes issued while handling one event leave as a single chain at the event boundary
+  // (merged into as few wire segments as the window allows). Explicit Cork()/Uncork()
+  // batches a specific span instead.
+  void SetAutoCork(bool enabled) { Pcb().SetAutoCork(enabled); }
+  void Cork() { Pcb().Cork(); }
+  void Uncork() { Pcb().Uncork(); }
+
   // uv_shutdown analogue: closes our side of the connection. The stack never calls the
   // handler back on an application-initiated close, so the callbacks (which typically
   // capture this stream) are dropped here to break the reference cycle.

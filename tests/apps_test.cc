@@ -49,18 +49,41 @@ struct ClientState {
   std::vector<std::pair<memcached::Status, std::string>> responses;
 };
 
-void RunMemcachedExchange(TestbedNode& client, std::shared_ptr<TcpPcb> pcb,
-                          std::shared_ptr<ClientState> state) {
-  pcb->SetReceiveHandler([state](std::unique_ptr<IOBuf> data) {
-    state->parser.Feed(std::move(data), [state](const memcached::RequestParser::Request& r) {
-      state->responses.emplace_back(
+// Client-side connection handler: parses responses into the shared ClientState.
+class ResponseCollector final : public TcpHandler {
+ public:
+  explicit ResponseCollector(std::shared_ptr<ClientState> state) : state_(std::move(state)) {}
+  void Receive(std::unique_ptr<IOBuf> data) override {
+    auto& state = *state_;
+    state.parser.Feed(std::move(data), [&state](const memcached::RequestParser::Request& r) {
+      state.responses.emplace_back(
           static_cast<memcached::Status>(NetToHost16(r.header.status_vbucket)),
           std::string(r.value));
     });
-  });
-  pcb->Send(BuildSetRequest("answer", "forty-two"));
-  pcb->Send(BuildGetRequest("answer"));
-  pcb->Send(BuildGetRequest("missing"));
+  }
+
+ private:
+  std::shared_ptr<ClientState> state_;
+};
+
+// Accumulates raw received bytes (the HTTP clients' side).
+class StringSink final : public TcpHandler {
+ public:
+  explicit StringSink(std::string& out) : out_(out) {}
+  void Receive(std::unique_ptr<IOBuf> data) override {
+    out_ += std::string(data->AsStringView());
+  }
+
+ private:
+  std::string& out_;
+};
+
+void RunMemcachedExchange(TcpPcb pcb, std::shared_ptr<ClientState> state) {
+  pcb.InstallHandler(
+      std::unique_ptr<TcpHandler>(std::make_unique<ResponseCollector>(std::move(state))));
+  pcb.Send(BuildSetRequest("answer", "forty-two"));
+  pcb.Send(BuildGetRequest("answer"));
+  pcb.Send(BuildGetRequest("missing"));
 }
 
 TEST(Apps, MemcachedEbbRTSetGet) {
@@ -73,7 +96,7 @@ TEST(Apps, MemcachedEbbRTSetGet) {
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 11211).Then([&, state](
                                                                         Future<TcpPcb> f) {
-      RunMemcachedExchange(client, std::make_shared<TcpPcb>(f.Get()), state);
+      RunMemcachedExchange(f.Get(), state);
     });
   });
   bed.world().Run();
@@ -100,7 +123,7 @@ TEST(Apps, MemcachedBaselineSetGet) {
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 11211).Then([&, state](
                                                                         Future<TcpPcb> f) {
-      RunMemcachedExchange(client, std::make_shared<TcpPcb>(f.Get()), state);
+      RunMemcachedExchange(f.Get(), state);
     });
   });
   // The baseline runs scheduler ticks forever; run to a bounded horizon.
@@ -120,20 +143,13 @@ TEST(Apps, MemcachedValueSurvivesReplacementRace) {
   server.Spawn(0, [&] { new memcached::MemcachedServer(*server.net, 11211); });
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 11211).Then([state](Future<TcpPcb> f) {
-      auto pcb = std::make_shared<TcpPcb>(f.Get());
-      pcb->SetReceiveHandler([state](std::unique_ptr<IOBuf> data) {
-        state->parser.Feed(std::move(data),
-                           [state](const memcached::RequestParser::Request& r) {
-                             state->responses.emplace_back(
-                                 static_cast<memcached::Status>(
-                                     NetToHost16(r.header.status_vbucket)),
-                                 std::string(r.value));
-                           });
-      });
-      pcb->Send(BuildSetRequest("k", std::string(900, 'A')));
-      pcb->Send(BuildGetRequest("k"));
-      pcb->Send(BuildSetRequest("k", std::string(900, 'B')));  // replaces while GET in flight
-      pcb->Send(BuildGetRequest("k"));
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(
+          std::unique_ptr<TcpHandler>(std::make_unique<ResponseCollector>(state)));
+      pcb.Send(BuildSetRequest("k", std::string(900, 'A')));
+      pcb.Send(BuildGetRequest("k"));
+      pcb.Send(BuildSetRequest("k", std::string(900, 'B')));  // replaces while GET in flight
+      pcb.Send(BuildGetRequest("k"));
     });
   });
   bed.world().Run();
@@ -152,12 +168,10 @@ TEST(Apps, HttpServerServes148ByteResponse) {
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 8080).Then([&response](
                                                                        Future<TcpPcb> f) {
-      auto pcb = std::make_shared<TcpPcb>(f.Get());
-      pcb->SetReceiveHandler([&response, pcb](std::unique_ptr<IOBuf> data) {
-        response += std::string(data->AsStringView());
-      });
-      pcb->Send(IOBuf::CopyBuffer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
-      pcb->Send(IOBuf::CopyBuffer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));  // keep-alive
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<StringSink>(response)));
+      pcb.Send(IOBuf::CopyBuffer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+      pcb.Send(IOBuf::CopyBuffer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));  // keep-alive
     });
   });
   bed.world().Run();
@@ -178,11 +192,9 @@ TEST(Apps, BaselineHttpServerServes) {
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 8080).Then([&response](
                                                                        Future<TcpPcb> f) {
-      auto pcb = std::make_shared<TcpPcb>(f.Get());
-      pcb->SetReceiveHandler([&response, pcb](std::unique_ptr<IOBuf> data) {
-        response += std::string(data->AsStringView());
-      });
-      pcb->Send(IOBuf::CopyBuffer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<StringSink>(response)));
+      pcb.Send(IOBuf::CopyBuffer("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
     });
   });
   bed.world().RunUntil(2ull * 1000 * 1000 * 1000);

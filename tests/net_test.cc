@@ -17,6 +17,64 @@ using sim::TestbedNode;
 constexpr Ipv4Addr kServerIp = Ipv4Addr::Of(10, 0, 0, 2);
 constexpr Ipv4Addr kClientIp = Ipv4Addr::Of(10, 0, 0, 3);
 
+// Shared TcpHandler shapes for the TCP suites (everything subclasses TcpHandler — the
+// legacy callback shim is gone).
+
+// Echoes every received chain back; closes when the peer closes.
+class EchoHandler final : public TcpHandler {
+ public:
+  void Receive(std::unique_ptr<IOBuf> data) override { Pcb().Send(std::move(data)); }
+  void Close() override { Pcb().Close(); }
+};
+
+// Accumulates received bytes into an external string; closes when the peer closes.
+class SinkHandler final : public TcpHandler {
+ public:
+  explicit SinkHandler(std::string* out = nullptr) : out_(out) {}
+  void Receive(std::unique_ptr<IOBuf> data) override {
+    if (out_ != nullptr) {
+      *out_ += std::string(data->AsStringView());
+    }
+  }
+  void Close() override { Pcb().Close(); }
+
+ private:
+  std::string* out_;
+};
+
+// Application-paced sender (the paper's pump loop): sends as much of `payload` as the window
+// allows, resumes from SendReady, optionally closes when done.
+class PumpHandler final : public TcpHandler {
+ public:
+  PumpHandler(const std::string& payload, bool close_when_done, std::size_t max_chunk = 0)
+      : payload_(payload), close_when_done_(close_when_done), max_chunk_(max_chunk) {}
+  void Receive(std::unique_ptr<IOBuf>) override {}
+  void SendReady() override { Pump(); }
+  void Pump() {
+    while (offset_ < payload_.size()) {
+      std::size_t window = Pcb().SendWindowRemaining();
+      if (window == 0) {
+        return;  // SendReady re-enters
+      }
+      std::size_t chunk = std::min(window, payload_.size() - offset_);
+      if (max_chunk_ != 0) {
+        chunk = std::min(chunk, max_chunk_);
+      }
+      ASSERT_TRUE(Pcb().Send(IOBuf::CopyBuffer(payload_.data() + offset_, chunk)));
+      offset_ += chunk;
+    }
+    if (close_when_done_) {
+      Pcb().Close();
+    }
+  }
+
+ private:
+  const std::string& payload_;
+  std::size_t offset_ = 0;
+  bool close_when_done_;
+  std::size_t max_chunk_;
+};
+
 TEST(Net, ArpResolvesAcrossMachines) {
   Testbed bed;
   TestbedNode server = bed.AddNode("server", 1, kServerIp);
@@ -114,27 +172,35 @@ TEST(Net, TcpConnectAndEcho) {
   TestbedNode client = bed.AddNode("client", 1, kClientIp);
   std::string echoed;
   bool closed = false;
+
+  class EchoClient final : public TcpHandler {
+   public:
+    EchoClient(std::string& echoed, bool& closed) : echoed_(echoed), closed_(closed) {}
+    void Receive(std::unique_ptr<IOBuf> data) override {
+      echoed_ += std::string(data->AsStringView());
+      if (echoed_.size() >= 11) {
+        Pcb().Close();
+      }
+    }
+    void Close() override { closed_ = true; }
+
+   private:
+    std::string& echoed_;
+    bool& closed_;
+  };
+
   server.Spawn(0, [&] {
     server.net->tcp().Listen(8000, [](TcpPcb pcb) {
-      auto shared = std::make_shared<TcpPcb>(std::move(pcb));
-      shared->SetReceiveHandler([shared](std::unique_ptr<IOBuf> data) {
-        shared->Send(std::move(data));  // echo the exact zero-copy buffer back
-      });
-      shared->SetCloseHandler([shared] { shared->Close(); });
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<EchoHandler>()));
     });
   });
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 8000).Then([&](Future<TcpPcb> f) {
-      auto pcb = std::make_shared<TcpPcb>(f.Get());
-      pcb->SetReceiveHandler([&echoed, pcb](std::unique_ptr<IOBuf> data) {
-        echoed += std::string(data->AsStringView());
-        if (echoed.size() >= 11) {
-          pcb->Close();
-        }
-      });
-      pcb->SetCloseHandler([&closed] { closed = true; });
-      pcb->Send(IOBuf::CopyBuffer("hello "));
-      pcb->Send(IOBuf::CopyBuffer("world"));
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(
+          std::unique_ptr<TcpHandler>(std::make_unique<EchoClient>(echoed, closed)));
+      pcb.Send(IOBuf::CopyBuffer("hello "));
+      pcb.Send(IOBuf::CopyBuffer("world"));
     });
   });
   bed.world().Run();
@@ -153,34 +219,18 @@ TEST(Net, TcpLargeTransferSegmentsAndReassembles) {
   std::string received;
   server.Spawn(0, [&] {
     server.net->tcp().Listen(8001, [&received](TcpPcb pcb) {
-      auto shared = std::make_shared<TcpPcb>(std::move(pcb));
-      shared->SetReceiveHandler([&received, shared](std::unique_ptr<IOBuf> data) {
-        received += std::string(data->AsStringView());
-      });
-      shared->SetCloseHandler([shared] { shared->Close(); });
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<SinkHandler>(&received)));
     });
   });
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 8001).Then([&](Future<TcpPcb> f) {
-      auto pcb = std::make_shared<TcpPcb>(f.Get());
-      auto offset = std::make_shared<std::size_t>(0);
-      auto pump = std::make_shared<std::function<void()>>();
-      *pump = [pcb, offset, &payload, pump] {
-        // The application-owned pacing loop the paper prescribes: send as much as the window
-        // allows, continue when ACKs open it again.
-        while (*offset < payload.size()) {
-          std::size_t window = pcb->SendWindowRemaining();
-          if (window == 0) {
-            return;  // SendReady will re-enter
-          }
-          std::size_t chunk = std::min(window, payload.size() - *offset);
-          ASSERT_TRUE(pcb->Send(IOBuf::CopyBuffer(payload.data() + *offset, chunk)));
-          *offset += chunk;
-        }
-        pcb->Close();
-      };
-      pcb->SetSendReadyHandler([pump] { (*pump)(); });
-      (*pump)();
+      TcpPcb pcb = f.Get();
+      // The application-owned pacing loop the paper prescribes: send as much as the window
+      // allows, continue when ACKs open it again.
+      auto pump = std::make_unique<PumpHandler>(payload, /*close_when_done=*/true);
+      auto* raw = pump.get();
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::move(pump)));
+      raw->Pump();
     });
   });
   bed.world().Run();
@@ -195,17 +245,17 @@ TEST(Net, TcpSendBeyondWindowRefused) {
   bool refused = false;
   server.Spawn(0, [&] {
     server.net->tcp().Listen(8002, [](TcpPcb pcb) {
-      auto shared = std::make_shared<TcpPcb>(std::move(pcb));
-      shared->SetReceiveHandler([shared](std::unique_ptr<IOBuf>) {});
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<SinkHandler>()));
     });
   });
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 8002).Then([&](Future<TcpPcb> f) {
-      auto pcb = std::make_shared<TcpPcb>(f.Get());
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<SinkHandler>()));
       // 100 KiB exceeds the peer's 64 KiB advertised window: the stack must refuse rather
       // than buffer (the paper's no-stack-buffering contract).
       auto big = IOBuf::Create(100'000);
-      refused = !pcb->Send(std::move(big));
+      refused = !pcb.Send(std::move(big));
     });
   });
   bed.world().Run();
@@ -219,14 +269,14 @@ TEST(Net, TcpApplicationControlsReceiveWindow) {
   std::size_t window_seen = 0;
   server.Spawn(0, [&] {
     server.net->tcp().Listen(8003, [](TcpPcb pcb) {
-      auto shared = std::make_shared<TcpPcb>(std::move(pcb));
-      shared->SetReceiveWindow(1024);  // the application throttles the peer
-      shared->SetReceiveHandler([shared](std::unique_ptr<IOBuf>) {});
+      pcb.SetReceiveWindow(1024);  // the application throttles the peer
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<SinkHandler>()));
     });
   });
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 8003).Then([&](Future<TcpPcb> f) {
       auto pcb = std::make_shared<TcpPcb>(f.Get());
+      pcb->InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<SinkHandler>()));
       // Give the window update a round trip, then observe the clamped send window.
       Timer::Instance()->Start(2'000'000, [pcb, &window_seen] {
         window_seen = pcb->SendWindowRemaining();
@@ -252,30 +302,17 @@ TEST(Net, TcpRecoversFromPacketLoss) {
   std::string received;
   server.Spawn(0, [&] {
     server.net->tcp().Listen(8004, [&received](TcpPcb pcb) {
-      auto shared = std::make_shared<TcpPcb>(std::move(pcb));
-      shared->SetReceiveHandler([&received, shared](std::unique_ptr<IOBuf> data) {
-        received += std::string(data->AsStringView());
-      });
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<SinkHandler>(&received)));
     });
   });
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 8004).Then([&](Future<TcpPcb> f) {
-      auto pcb = std::make_shared<TcpPcb>(f.Get());
-      auto offset = std::make_shared<std::size_t>(0);
-      auto pump = std::make_shared<std::function<void()>>();
-      *pump = [pcb, offset, &payload, pump] {
-        while (*offset < payload.size()) {
-          std::size_t window = pcb->SendWindowRemaining();
-          if (window == 0) {
-            return;
-          }
-          std::size_t chunk = std::min({window, payload.size() - *offset, kTcpMss});
-          pcb->Send(IOBuf::CopyBuffer(payload.data() + *offset, chunk));
-          *offset += chunk;
-        }
-      };
-      pcb->SetSendReadyHandler([pump] { (*pump)(); });
-      (*pump)();
+      TcpPcb pcb = f.Get();
+      auto pump = std::make_unique<PumpHandler>(payload, /*close_when_done=*/false,
+                                                /*max_chunk=*/kTcpMss);
+      auto* raw = pump.get();
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::move(pump)));
+      raw->Pump();
     });
   });
   // Loss recovery needs retransmission timeouts: run with a generous virtual horizon.
@@ -291,30 +328,48 @@ TEST(Net, TcpConnectionStateLivesOnRssCore) {
   TestbedNode client = bed.AddNode("client", 1, kClientIp);
   std::vector<std::size_t> accept_cores;
   std::vector<std::size_t> rx_cores;
+
+  class CoreRecordingEcho final : public TcpHandler {
+   public:
+    explicit CoreRecordingEcho(std::vector<std::size_t>& rx_cores) : rx_cores_(rx_cores) {}
+    void Receive(std::unique_ptr<IOBuf> data) override {
+      rx_cores_.push_back(CurrentContext().machine_core);
+      Pcb().Send(std::move(data));
+    }
+
+   private:
+    std::vector<std::size_t>& rx_cores_;
+  };
+
+  class CountingClient final : public TcpHandler {
+   public:
+    explicit CountingClient(int& done) : done_(done) {}
+    void Receive(std::unique_ptr<IOBuf>) override { ++done_; }
+
+   private:
+    int& done_;
+  };
+
   server.Spawn(0, [&] {
     server.net->tcp().Listen(8005, [&](TcpPcb pcb) {
       accept_cores.push_back(CurrentContext().machine_core);
-      auto shared = std::make_shared<TcpPcb>(std::move(pcb));
-      shared->SetReceiveHandler([&rx_cores, shared](std::unique_ptr<IOBuf> data) {
-        rx_cores.push_back(CurrentContext().machine_core);
-        shared->Send(std::move(data));
-      });
+      pcb.InstallHandler(
+          std::unique_ptr<TcpHandler>(std::make_unique<CoreRecordingEcho>(rx_cores)));
     });
   });
   constexpr int kConns = 8;
-  auto done = std::make_shared<int>(0);
+  int done = 0;
   client.Spawn(0, [&] {
     for (int i = 0; i < kConns; ++i) {
-      client.net->tcp().Connect(*client.iface, kServerIp, 8005).Then([&, done](
-                                                                         Future<TcpPcb> f) {
-        auto pcb = std::make_shared<TcpPcb>(f.Get());
-        pcb->SetReceiveHandler([done, pcb](std::unique_ptr<IOBuf>) { ++*done; });
-        pcb->Send(IOBuf::CopyBuffer("affinity"));
+      client.net->tcp().Connect(*client.iface, kServerIp, 8005).Then([&](Future<TcpPcb> f) {
+        TcpPcb pcb = f.Get();
+        pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<CountingClient>(done)));
+        pcb.Send(IOBuf::CopyBuffer("affinity"));
       });
     }
   });
   bed.world().Run();
-  EXPECT_EQ(*done, kConns);
+  EXPECT_EQ(done, kConns);
   ASSERT_EQ(accept_cores.size(), rx_cores.size());
   // Every receive ran on the same core that accepted its connection (RSS affinity), and the
   // 8 connections actually spread over multiple server cores.

@@ -26,6 +26,42 @@ struct TcpSweepParam {
 
 class TcpStreamIntegrity : public ::testing::TestWithParam<TcpSweepParam> {};
 
+// Receiver side of the sweep: accumulate bytes, close when the peer closes.
+class SinkHandler final : public TcpHandler {
+ public:
+  explicit SinkHandler(std::string& out) : out_(out) {}
+  void Receive(std::unique_ptr<IOBuf> data) override {
+    out_ += std::string(data->AsStringView());
+  }
+  void Close() override { Pcb().Close(); }
+
+ private:
+  std::string& out_;
+};
+
+// Sender side: the application-paced pump (window check + SendReady resume).
+class PumpHandler final : public TcpHandler {
+ public:
+  explicit PumpHandler(const std::string& payload) : payload_(payload) {}
+  void Receive(std::unique_ptr<IOBuf>) override {}
+  void SendReady() override { Pump(); }
+  void Pump() {
+    while (offset_ < payload_.size()) {
+      std::size_t window = Pcb().SendWindowRemaining();
+      if (window == 0) {
+        return;
+      }
+      std::size_t chunk = std::min(window, payload_.size() - offset_);
+      Pcb().Send(IOBuf::CopyBuffer(payload_.data() + offset_, chunk));
+      offset_ += chunk;
+    }
+  }
+
+ private:
+  const std::string& payload_;
+  std::size_t offset_ = 0;
+};
+
 TEST_P(TcpStreamIntegrity, ByteExactUnderLossAndSize) {
   const TcpSweepParam param = GetParam();
   sim::Testbed bed;
@@ -42,31 +78,17 @@ TEST_P(TcpStreamIntegrity, ByteExactUnderLossAndSize) {
   std::string received;
   server.Spawn(0, [&] {
     server.net->tcp().Listen(9100, [&received](TcpPcb pcb) {
-      auto conn = std::make_shared<TcpPcb>(std::move(pcb));
-      conn->SetReceiveHandler([&received, conn](std::unique_ptr<IOBuf> data) {
-        received += std::string(data->AsStringView());
-      });
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<SinkHandler>(received)));
     });
   });
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, Ipv4Addr::Of(10, 0, 0, 2), 9100)
         .Then([&](Future<TcpPcb> f) {
-          auto pcb = std::make_shared<TcpPcb>(f.Get());
-          auto offset = std::make_shared<std::size_t>(0);
-          auto pump = std::make_shared<std::function<void()>>();
-          *pump = [pcb, offset, &payload, pump] {
-            while (*offset < payload.size()) {
-              std::size_t window = pcb->SendWindowRemaining();
-              if (window == 0) {
-                return;
-              }
-              std::size_t chunk = std::min(window, payload.size() - *offset);
-              pcb->Send(IOBuf::CopyBuffer(payload.data() + *offset, chunk));
-              *offset += chunk;
-            }
-          };
-          pcb->SetSendReadyHandler([pump] { (*pump)(); });
-          (*pump)();
+          TcpPcb pcb = f.Get();
+          auto pump = std::make_unique<PumpHandler>(payload);
+          auto* raw = pump.get();
+          pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::move(pump)));
+          raw->Pump();
         });
   });
   bed.world().RunUntil(120ull * 1000 * 1000 * 1000);

@@ -238,29 +238,59 @@ TEST(TcpHandler, AbortFiresWhenPeerUnreachable) {
   EXPECT_FALSE(closed);
 }
 
-// The legacy callback shim still works (and coexists with handler-based peers).
-TEST(TcpHandler, CallbackShimStillFunctions) {
+// Flush-after-close hazard (regression): a PCB torn down mid-event with responses still
+// corked must DROP the corked chain at the event-boundary flush — never transmit into (or
+// touch) a removed connection. The handler corks a response (auto-cork), then Abort()s the
+// connection within the same Receive event; the TxBatcher's flush runs after teardown.
+TEST(TcpHandler, TeardownMidEventDropsCorkedChain) {
   Testbed bed;
   TestbedNode server = bed.AddNode("server", 1, kServerIp);
   TestbedNode client = bed.AddNode("client", 1, kClientIp);
-  std::string echoed;
+  bool client_aborted = false;
+
+  class CorkThenAbort final : public TcpHandler {
+   public:
+    void Receive(std::unique_ptr<IOBuf>) override {
+      // Auto-cork is enabled: this Send is corked, awaiting the event-boundary flush...
+      ASSERT_TRUE(Pcb().Send(IOBuf::CopyBuffer("response that must never hit the wire")));
+      ASSERT_GT(Pcb().CorkedBytes(), 0u);
+      // ...but the connection dies first, inside the same event.
+      Pcb().Abort();
+    }
+  };
+
+  class AbortObserver final : public TcpHandler {
+   public:
+    explicit AbortObserver(bool& aborted) : aborted_(aborted) {}
+    void Receive(std::unique_ptr<IOBuf>) override {
+      FAIL() << "client received data from an aborted connection";
+    }
+    void Abort() override { aborted_ = true; }
+
+   private:
+    bool& aborted_;
+  };
+
   server.Spawn(0, [&] {
     server.net->tcp().Listen(8204, [](TcpPcb pcb) {
-      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<EchoHandler>()));
+      pcb.InstallHandler(std::unique_ptr<TcpHandler>(std::make_unique<CorkThenAbort>()));
+      pcb.SetAutoCork(true);
     });
   });
   client.Spawn(0, [&] {
     client.net->tcp().Connect(*client.iface, kServerIp, 8204).Then([&](Future<TcpPcb> f) {
-      auto pcb = std::make_shared<TcpPcb>(f.Get());
-      pcb->SetReceiveHandler([&echoed, pcb](std::unique_ptr<IOBuf> data) {
-        echoed += std::string(data->AsStringView());
-        pcb->Close();
-      });
-      pcb->Send(IOBuf::CopyBuffer("shim"));
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(
+          std::unique_ptr<TcpHandler>(std::make_unique<AbortObserver>(client_aborted)));
+      pcb.Send(IOBuf::CopyBuffer("trigger"));
     });
   });
   bed.world().Run();
-  EXPECT_EQ(echoed, "shim");
+  // The corked response was dropped, not flushed: no data segment ever left the server.
+  EXPECT_EQ(server.net->stats().corked_drops.load(), 1u);
+  EXPECT_EQ(server.net->stats().tcp_tx_data_segments.load(), 0u);
+  EXPECT_TRUE(client_aborted);  // the RST reached the peer
+  EXPECT_EQ(server.net->tcp().active_connections(), 0u);
 }
 
 }  // namespace
