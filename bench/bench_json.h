@@ -20,7 +20,10 @@ namespace bench {
 
 // One pipeline-depth measurement of the TX-batching story — the record format of every
 // BENCH_tx_batching.json section (the CI schema validator checks these keys, so all benches
-// share this single definition).
+// share this single definition). The alloc_* fields carry the zero-malloc-datapath story
+// alongside (emitted to BENCH_alloc_pool.json by AllocPointsJson): counters are measured
+// from the bench's steady-state mark (MarkAllocBaseline at end of preload), so startup
+// carving is excluded — exactly the "per request in steady state" claim.
 struct DepthPoint {
   std::size_t pipeline = 0;
   std::size_t requests = 0;
@@ -29,6 +32,14 @@ struct DepthPoint {
   double bytes_per_segment = 0;
   double segments_per_op = 0;
   std::uint64_t virtual_ns = 0;  // virtual time to serve the whole schedule
+
+  // --- allocation datapath (BENCH_alloc_pool.json) ---
+  std::uint64_t iobuf_allocs = 0;   // IOBuf storage blocks allocated (slab or heap)
+  std::uint64_t heap_allocs = 0;    // std::malloc fallbacks — the number that must be ~0
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  double allocs_per_op = 0;         // heap_allocs / requests
+  double pool_hit_rate = 0;
 };
 
 // Fills a DepthPoint from a server's NetworkManager::Stats (templated to keep this header
@@ -47,6 +58,12 @@ inline DepthPoint FillDepthPoint(const Stats& stats, std::size_t pipeline,
           ? static_cast<double>(point.tx_data_segments) / static_cast<double>(requests)
           : 0.0;
   point.virtual_ns = virtual_ns;
+  point.iobuf_allocs = stats.iobuf_allocs_since_mark();
+  point.heap_allocs = stats.heap_allocs_since_mark();
+  point.pool_hits = stats.pool_hits_since_mark();
+  point.pool_misses = stats.pool_misses_since_mark();
+  point.allocs_per_op = stats.allocs_per_op(requests);
+  point.pool_hit_rate = stats.pool_hit_rate_since_mark();
   return point;
 }
 
@@ -69,27 +86,52 @@ inline std::string DepthPointsJson(const std::vector<DepthPoint>& points) {
   return out;
 }
 
+// BENCH_alloc_pool.json record: the zero-malloc-datapath evidence per depth point.
+inline std::string AllocPointsJson(const std::vector<DepthPoint>& points) {
+  std::string out = "[";
+  char buf[256];
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DepthPoint& p = points[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"pipeline\": %zu, \"requests\": %zu, \"iobuf_allocs\": %llu, "
+                  "\"heap_allocs\": %llu, \"pool_hits\": %llu, \"pool_misses\": %llu, "
+                  "\"allocs_per_op\": %.4f, \"pool_hit_rate\": %.4f}",
+                  i == 0 ? "" : ", ", p.pipeline, p.requests,
+                  static_cast<unsigned long long>(p.iobuf_allocs),
+                  static_cast<unsigned long long>(p.heap_allocs),
+                  static_cast<unsigned long long>(p.pool_hits),
+                  static_cast<unsigned long long>(p.pool_misses), p.allocs_per_op,
+                  p.pool_hit_rate);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
 inline void WriteJsonSection(const std::string& path, const std::string& name,
                              const std::string& value);
 
 // Runs `run_point` per depth, prints the table, and contributes section `section` to
-// BENCH_tx_batching.json.
+// BENCH_tx_batching.json (segments story) and BENCH_alloc_pool.json (allocation story).
 inline void EmitDepthSweep(const char* section, const std::vector<std::size_t>& depths,
                            const std::function<DepthPoint(std::size_t)>& run_point) {
   std::printf("# TX-batching depth sweep (%s)\n", section);
-  std::printf("%-10s %10s %18s %16s %18s %16s\n", "pipeline", "requests", "tx_data_segments",
-              "sends_coalesced", "bytes_per_segment", "segments_per_op");
+  std::printf("%-10s %10s %18s %16s %18s %16s %14s %14s\n", "pipeline", "requests",
+              "tx_data_segments", "sends_coalesced", "bytes_per_segment", "segments_per_op",
+              "allocs_per_op", "pool_hit_rate");
   std::vector<DepthPoint> points;
   for (std::size_t depth : depths) {
     DepthPoint p = run_point(depth);
-    std::printf("%-10zu %10zu %18llu %16llu %18.1f %16.3f\n", p.pipeline, p.requests,
-                static_cast<unsigned long long>(p.tx_data_segments),
+    std::printf("%-10zu %10zu %18llu %16llu %18.1f %16.3f %14.4f %14.4f\n", p.pipeline,
+                p.requests, static_cast<unsigned long long>(p.tx_data_segments),
                 static_cast<unsigned long long>(p.sends_coalesced), p.bytes_per_segment,
-                p.segments_per_op);
+                p.segments_per_op, p.allocs_per_op, p.pool_hit_rate);
     points.push_back(p);
   }
   WriteJsonSection("BENCH_tx_batching.json", section, DepthPointsJson(points));
-  std::printf("# wrote section \"%s\" to BENCH_tx_batching.json\n", section);
+  WriteJsonSection("BENCH_alloc_pool.json", section, AllocPointsJson(points));
+  std::printf("# wrote section \"%s\" to BENCH_tx_batching.json and BENCH_alloc_pool.json\n",
+              section);
 }
 
 namespace json_detail {

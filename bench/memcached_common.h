@@ -128,7 +128,10 @@ inline DepthPoint RunDepthPoint(std::size_t server_cores, std::size_t depth,
   sim::Testbed bed;
   sim::TestbedNode server =
       bed.AddNode("server", server_cores, Ipv4Addr::Of(10, 0, 0, 2));
-  sim::TestbedNode client = bed.AddNode("client", 1, Ipv4Addr::Of(10, 0, 0, 3),
+  // The client mirrors the server's core count: the burst client opens one connection per
+  // core, and symmetric RSS steers each flow to the matching server core — the 4-core sweep
+  // genuinely exercises all 4 server cores (a single flow would collapse onto one).
+  sim::TestbedNode client = bed.AddNode("client", server_cores, Ipv4Addr::Of(10, 0, 0, 3),
                                         sim::HypervisorModel::Native());
   server.Spawn(0, [&] { new memcached::MemcachedServer(*server.net, 11211); });
   loadgen::MemcachedBurstClient::Config config;
@@ -136,6 +139,11 @@ inline DepthPoint RunDepthPoint(std::size_t server_cores, std::size_t depth,
   config.total_requests = total_requests;
   config.key_space = 64;
   config.value_size = 100;
+  config.connections = server_cores;
+  // Steady state begins when the preload completes: snapshot the allocation counters there,
+  // so the committed allocs-per-op excludes one-time pool/slab warmup carving.
+  NetworkManager::Stats& stats = server.net->stats();
+  config.on_steady = [&stats] { stats.MarkAllocBaseline(); };
   std::size_t responses = 0;
   bool done = false;
   loadgen::MemcachedBurstClient::Run(client, Ipv4Addr::Of(10, 0, 0, 2), 11211, config)
@@ -148,7 +156,8 @@ inline DepthPoint RunDepthPoint(std::size_t server_cores, std::size_t depth,
                         bed.world().Now());
 }
 
-// Runs the sweep, prints it, and contributes a section to BENCH_tx_batching.json.
+// Runs the sweep, prints it, and contributes a section to BENCH_tx_batching.json and
+// BENCH_alloc_pool.json.
 inline void EmitTxBatchingSweep(const char* section, std::size_t server_cores,
                                 const std::vector<std::size_t>& depths,
                                 std::size_t total_requests) {

@@ -83,6 +83,12 @@ bench::DepthPoint RunWebDepthPoint(std::size_t depth) {
     f.Get();
     done = true;
   });
+  // Steady-state allocation baseline, matching fig5's end-of-preload mark: run through the
+  // warmup window first so one-time pool/slab carving is excluded from the alloc fields
+  // (the request denominator stays the server's total, the same approximation
+  // segments_per_op makes).
+  bed.world().RunUntil(bed.world().Now() + config.warmup_ns);
+  server.net->stats().MarkAllocBaseline();
   std::uint64_t horizon = 2ull * 1000 * 1000 * 1000;
   while (!done && bed.world().Now() < horizon) {
     if (bed.world().RunUntil(bed.world().Now() + 50'000'000)) {

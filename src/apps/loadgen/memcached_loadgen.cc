@@ -231,25 +231,54 @@ Future<MemcachedBurstClient::Result> MemcachedBurstClient::Run(sim::TestbedNode&
                                                                Ipv4Addr server,
                                                                std::uint16_t port,
                                                                Config config) {
-  auto self = std::shared_ptr<MemcachedBurstClient>(new MemcachedBurstClient(config));
-  Future<Result> result = self->done_.GetFuture();
-  sim::TestbedNode node = client;  // plain pointer bundle, safe to copy into the closure
-  client.Spawn(0, [node, server, port, self]() mutable {
-    node.net->tcp().Connect(*node.iface, server, port).Then([self](Future<TcpPcb> f) {
-      TcpPcb pcb = f.Get();
-      pcb.InstallHandler(std::shared_ptr<TcpHandler>(self));
-      self->SendPreload();
+  Kassert(config.connections >= 1, "MemcachedBurstClient: need at least one connection");
+  auto fleet = std::make_shared<Fleet>();
+  fleet->config = std::move(config);
+  fleet->node = client;  // plain pointer bundle, safe to copy into closures
+  fleet->server = server;
+  fleet->port = port;
+  Future<Result> result = fleet->done.GetFuture();
+  std::size_t cores = client.runtime->num_cores();
+  for (std::size_t i = 0; i < fleet->config.connections; ++i) {
+    auto conn = std::shared_ptr<MemcachedBurstClient>(new MemcachedBurstClient(fleet, i));
+    fleet->conns.push_back(conn);
+    // Connection i opens from client core i % cores; Connect picks a source port whose flow
+    // hash lands there, and symmetric RSS steers the server side to the matching core —
+    // `connections` distinct flows, one per core pair.
+    client.Spawn(i % cores, [fleet, conn]() mutable {
+      fleet->node.net->tcp()
+          .Connect(*fleet->node.iface, fleet->server, fleet->port)
+          .Then([conn](Future<TcpPcb> f) {
+            TcpPcb pcb = f.Get();
+            pcb.InstallHandler(std::shared_ptr<TcpHandler>(conn));
+            if (conn->index_ == 0) {
+              conn->SendPreload();  // one connection preloads the shared key space
+            } else if (conn->fleet_->preloaded) {
+              conn->preloading_ = false;
+              conn->SendNextRound();  // late connect: preload already done
+            }
+          });
     });
-  });
+  }
   return result;
 }
 
+std::size_t MemcachedBurstClient::TotalForThisConnection() const {
+  const Config& cfg = fleet_->config;
+  // Request k belongs to connection k % connections.
+  if (index_ >= cfg.total_requests) {
+    return 0;
+  }
+  return (cfg.total_requests - index_ - 1) / cfg.connections + 1;
+}
+
 void MemcachedBurstClient::SendPreload() {
+  const Config& cfg = fleet_->config;
   // All SETs as one chain: the preload is identical across depths, so it contributes the
   // same segment counts to every run of a sweep.
   std::unique_ptr<IOBuf> chain;
-  for (std::size_t i = 0; i < config_.key_space; ++i) {
-    auto req = BuildSet("bk" + std::to_string(i), config_.value_size,
+  for (std::size_t i = 0; i < cfg.key_space; ++i) {
+    auto req = BuildSet("bk" + std::to_string(i), cfg.value_size,
                         static_cast<std::uint32_t>(i));
     if (chain == nullptr) {
       chain = std::move(req);
@@ -257,7 +286,7 @@ void MemcachedBurstClient::SendPreload() {
       chain->AppendChain(std::move(req));
     }
   }
-  preload_pending_ = config_.key_space;
+  preload_pending_ = cfg.key_space;
   std::size_t bytes = chain->ComputeChainDataLength();
   Kbugon(!Pcb().Send(std::move(chain)),
          "MemcachedBurstClient: preload chain (%zu B) exceeds the send window — shrink "
@@ -266,20 +295,19 @@ void MemcachedBurstClient::SendPreload() {
 }
 
 void MemcachedBurstClient::SendNextRound() {
-  if (issued_ >= config_.total_requests) {
-    if (!finished_) {
-      finished_ = true;
-      done_.SetValue(std::move(result_));
-      Pcb().Close();
-    }
+  const Config& cfg = fleet_->config;
+  std::size_t total = TotalForThisConnection();
+  if (issued_ >= total) {
+    FinishConnection();
     return;
   }
-  std::size_t n = std::min(config_.depth, config_.total_requests - issued_);
+  std::size_t n = std::min(cfg.depth, total - issued_);
   std::unique_ptr<IOBuf> chain;
   for (std::size_t i = 0; i < n; ++i) {
-    std::size_t idx = (issued_ + i) % config_.key_space;
-    auto req = BuildGet("bk" + std::to_string(idx),
-                        static_cast<std::uint32_t>(issued_ + i));
+    // This connection's (issued_ + i)-th request is global request index_ + k*connections.
+    std::size_t global = index_ + (issued_ + i) * cfg.connections;
+    std::size_t idx = global % cfg.key_space;
+    auto req = BuildGet("bk" + std::to_string(idx), static_cast<std::uint32_t>(global));
     if (chain == nullptr) {
       chain = std::move(req);
     } else {
@@ -295,13 +323,37 @@ void MemcachedBurstClient::SendNextRound() {
          bytes, n);
 }
 
+void MemcachedBurstClient::FinishConnection() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  Pcb().Close();
+  Fleet& fleet = *fleet_;
+  if (++fleet.finished == fleet.config.connections) {
+    Result result;
+    result.responses = fleet.responses;
+    for (auto& conn : fleet.conns) {
+      if (result.response_bytes.empty()) {
+        result.response_bytes = std::move(conn->response_bytes_);
+      } else {
+        result.response_bytes += conn->response_bytes_;
+      }
+      conn->response_bytes_.clear();
+    }
+    fleet.done.SetValue(std::move(result));
+    // Break the fleet<->connection shared_ptr cycle (each connection stays alive through
+    // its TcpEntry's handler anchor until the close sequence removes the entry).
+    fleet.conns.clear();
+  }
+}
+
 void MemcachedBurstClient::Receive(std::unique_ptr<IOBuf> data) {
   if (!preloading_) {
-    // Raw byte-stream capture: rounds never overlap (closed loop), so the GET phase's
-    // stream is exactly the concatenation of these chains.
+    // Raw byte-stream capture: a connection's rounds never overlap (closed loop), so its
+    // GET-phase stream is exactly the concatenation of these chains.
     for (const IOBuf* seg = data.get(); seg != nullptr; seg = seg->Next()) {
-      result_.response_bytes.append(reinterpret_cast<const char*>(seg->Data()),
-                                    seg->Length());
+      response_bytes_.append(reinterpret_cast<const char*>(seg->Data()), seg->Length());
     }
   }
   std::size_t completed = 0;
@@ -310,11 +362,29 @@ void MemcachedBurstClient::Receive(std::unique_ptr<IOBuf> data) {
     preload_pending_ -= completed;
     if (preload_pending_ == 0) {
       preloading_ = false;
+      Fleet& fleet = *fleet_;
+      fleet.preloaded = true;
+      // Steady state begins here: let benches snapshot their baselines, then unleash every
+      // connected sibling on its own core (Send must run on the connection's owner core).
+      if (fleet.config.on_steady) {
+        fleet.config.on_steady();
+      }
+      std::size_t cores = fleet.node.runtime->num_cores();
+      for (std::size_t i = 1; i < fleet.conns.size(); ++i) {
+        std::shared_ptr<MemcachedBurstClient> sibling = fleet.conns[i];
+        if (!sibling->Pcb().valid()) {
+          continue;  // still connecting: the connect continuation starts it
+        }
+        fleet.node.Spawn(i % cores, [sibling] {
+          sibling->preloading_ = false;
+          sibling->SendNextRound();
+        });
+      }
       SendNextRound();
     }
     return;
   }
-  result_.responses += completed;
+  fleet_->responses += completed;
   round_pending_ -= completed;
   if (round_pending_ == 0) {
     SendNextRound();

@@ -121,48 +121,76 @@ class MemcachedLoadgen {
   std::size_t conns_ready_ = 0;
 };
 
-// Closed-loop pipelined burst client — the measurement harness for the segments-per-op
-// story. Preloads a small keyspace, then issues `total_requests` GETs over one connection in
-// rounds of `depth`, each round sent as ONE chain (one wire segment when it fits, exactly
-// how a pipelining client batches), waiting for the whole round's responses before issuing
-// the next. The request *schedule* (the key sequence) depends only on total_requests, never
-// on depth, so two runs differing only in depth must elicit byte-identical response streams
-// — the invariant the corked-vs-uncorked property test asserts, while the depth sweep reads
-// the server's segments_tx/sends_coalesced deltas.
+// Closed-loop pipelined burst client — the measurement harness for the segments-per-op and
+// allocs-per-op stories. Preloads a small keyspace, then issues `total_requests` GETs over
+// `connections` connections in rounds of `depth` per connection, each round sent as ONE
+// chain (one wire segment when it fits, exactly how a pipelining client batches), waiting
+// for the whole round's responses before issuing the next. The request *schedule* (request
+// k goes to connection k % connections, keys striped over the key space) depends only on
+// total_requests and connections, never on depth, so two runs differing only in depth must
+// elicit byte-identical response streams — the invariant the corked-vs-uncorked property
+// test asserts, while the depth sweep reads the server's segments_tx/sends_coalesced deltas.
+//
+// Multicore: connection i is opened from client core i % cores; with symmetric RSS and
+// matching queue counts the same flow hash steers the server side to the same core index,
+// so `connections >= server_cores` distinct flows put work on EVERY server core (the fig6
+// requirement — a single flow would collapse the 4-core sweep onto one core).
 class MemcachedBurstClient final : public TcpHandler {
  public:
   struct Config {
-    std::size_t depth = 1;            // requests pipelined per round
-    std::size_t total_requests = 64;  // GETs issued across all rounds
+    std::size_t depth = 1;            // requests pipelined per round, per connection
+    std::size_t total_requests = 64;  // GETs issued across all rounds and connections
     std::size_t key_space = 16;       // keys preloaded (fixed-size values, all GETs hit)
     std::size_t value_size = 32;
+    std::size_t connections = 1;      // parallel connections (distinct RSS flows)
+    // Invoked once, on the client, when the preload phase completes and the measured GET
+    // phase begins — benches snapshot steady-state baselines (MarkAllocBaseline) here.
+    std::function<void()> on_steady;
   };
 
   struct Result {
-    std::string response_bytes;  // concatenated GET-phase response byte stream
+    // Concatenated GET-phase response streams, per connection in connection order (for
+    // connections == 1 this is exactly the wire byte stream — the property-test invariant).
+    std::string response_bytes;
     std::size_t responses = 0;
   };
 
-  // Connects from `client` core 0 and fulfills the returned future when the schedule
-  // completes (drive the world afterwards).
+  // Connects from `client` (connection i on core i % cores) and fulfills the returned
+  // future when the whole schedule completes (drive the world afterwards).
   static Future<Result> Run(sim::TestbedNode& client, Ipv4Addr server, std::uint16_t port,
                             Config config);
 
   void Receive(std::unique_ptr<IOBuf> data) override;
 
  private:
-  explicit MemcachedBurstClient(Config config) : config_(config) {}
+  // Shared fleet state: schedule bookkeeping and result aggregation across connections.
+  struct Fleet {
+    Config config;
+    sim::TestbedNode node;
+    Ipv4Addr server;
+    std::uint16_t port = 0;
+    Promise<Result> done;
+    std::vector<std::shared_ptr<MemcachedBurstClient>> conns;
+    bool preloaded = false;
+    std::size_t finished = 0;
+    std::size_t responses = 0;
+  };
+
+  MemcachedBurstClient(std::shared_ptr<Fleet> fleet, std::size_t index)
+      : fleet_(std::move(fleet)), index_(index) {}
 
   void SendPreload();
   void SendNextRound();
+  void FinishConnection();
+  std::size_t TotalForThisConnection() const;
 
-  Config config_;
+  std::shared_ptr<Fleet> fleet_;
+  std::size_t index_ = 0;            // this connection's slot (request k iff k % conns == index)
   memcached::RequestParser parser_;
-  Promise<Result> done_;
-  Result result_;
-  bool preloading_ = true;
+  std::string response_bytes_;       // this connection's GET-phase stream
+  bool preloading_ = true;           // only connection 0 actually preloads
   std::size_t preload_pending_ = 0;
-  std::size_t issued_ = 0;
+  std::size_t issued_ = 0;           // requests this connection has issued
   std::size_t round_pending_ = 0;
   bool finished_ = false;
 };

@@ -59,6 +59,11 @@ Runtime::Runtime(RuntimeKind kind, std::string name)
     : kind_(kind), name_(std::move(name)), id_(next_runtime_id.fetch_add(1)) {}
 
 Runtime::~Runtime() {
+  // Adopted subsystems die before the core slots are released, in reverse adoption order
+  // (allocator roots before the arena they carve from).
+  while (!adopted_.empty()) {
+    adopted_.pop_back();
+  }
   // Clear any representatives this machine's cores cached in the global translation tables so
   // a later test constructing a new Runtime does not see stale pointers.
   for (std::size_t core : cores_) {

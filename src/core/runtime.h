@@ -44,6 +44,7 @@ enum class Subsystem : std::size_t {
   kVMemAllocator,
   kRcuManager,
   kNic,
+  kBufferPool,
   kNetworkManager,
   kMessenger,
   kGlobalIdMap,
@@ -102,6 +103,11 @@ class Runtime {
   void InstallRoot(EbbId id, void* root);
   void EraseRoot(EbbId id);
 
+  // Adopts ownership of a subsystem object so it dies with this machine (in reverse adoption
+  // order — installers adopt foundations first). Benches build and tear down many short-lived
+  // machines; without this, per-machine arenas and allocator roots would accumulate.
+  void Adopt(std::shared_ptr<void> obj) { adopted_.push_back(std::move(obj)); }
+
   // --- Hosted translation cache -------------------------------------------
   // Hosted runtimes cache representatives in a per-core hash map (the paper's Linux userspace
   // cannot use per-core virtual memory regions). Returns nullptr on miss.
@@ -153,6 +159,8 @@ class Runtime {
 
   std::mutex id_mu_;
   EbbId next_local_id_ = kFirstFreeId;
+
+  std::vector<std::shared_ptr<void>> adopted_;  // destroyed in reverse order by ~Runtime
 };
 
 // Global core-slot bookkeeping (which runtime owns which global core).

@@ -18,6 +18,19 @@
 // control block so Clone()/Split() produce additional zero-copy views of the same bytes.
 // Clones therefore observe writes through any sibling view — the datapath treats received
 // buffers as immutable once shared.
+//
+// Allocation (§3.4): owned storage is ONE block — the SharedStorage control header and the
+// bytes co-allocated — taken from the current machine's per-core GeneralPurposeAllocator
+// (slab fast path, no atomics) whenever a machine context is installed, falling back to
+// std::malloc only outside any machine (unit tests, world actions). The IOBuf descriptor
+// itself is slab-backed the same way via class operator new. Release routes the block home
+// from wherever the last view dies (mem::FindOwningRoot), so the steady-state datapath does
+// zero malloc/free calls; mem::stats() counts every allocation and each heap fallback.
+//
+// Lifetime invariant: storage allocated under a machine context lives in that machine's
+// arena — exactly like the DMA-able memory it models, it dies with the machine. Release
+// every owned buffer before tearing the machine down (tests: before the SimWorld is
+// destroyed); a view that outlives its machine dangles into an unmapped arena.
 #ifndef EBBRT_SRC_IOBUF_IOBUF_H_
 #define EBBRT_SRC_IOBUF_IOBUF_H_
 
@@ -28,9 +41,12 @@
 #include <string_view>
 #include <utility>
 
+#include "src/mem/gp_allocator.h"
 #include "src/platform/debug.h"
 
 namespace ebbrt {
+
+class BufferPool;
 
 class IOBuf {
  public:
@@ -44,6 +60,17 @@ class IOBuf {
   // A buffer of `capacity` bytes with an *empty* view positioned `headroom` bytes in; callers
   // extend with Append()/Prepend(). Useful for building headers in front of payload.
   static std::unique_ptr<IOBuf> CreateReserve(std::size_t capacity, std::size_t headroom);
+
+  // Compile-time-capacity variant of CreateReserve for buffers whose size is static (protocol
+  // header reserves): the GP size-class computation constant-folds (AllocFor<N>), leaving
+  // only the per-core slab freelist pop — the property the paper observed the compiler give
+  // sized malloc calls (§3.4).
+  template <std::size_t Capacity>
+  static std::unique_ptr<IOBuf> CreateReserveFor(std::size_t headroom) {
+    constexpr std::size_t kBlock = kStorageHeaderBytes + (Capacity != 0 ? Capacity : 1);
+    return FromStorageBlock(TryGpBlockFor<kBlock>(), Capacity, headroom, /*length=*/0,
+                            /*zero=*/false);
+  }
 
   // Copies [data, data+len) into a new owned buffer (with optional headroom).
   static std::unique_ptr<IOBuf> CopyBuffer(const void* data, std::size_t len,
@@ -164,16 +191,57 @@ class IOBuf {
     return {reinterpret_cast<const char*>(data_), length_};
   }
 
+  // The descriptor itself is slab-backed (AllocFor<sizeof(IOBuf)> constant-folds to the
+  // per-core freelist pop); delete routes the block home by pointer, so a descriptor may be
+  // destroyed on a different core/machine/context than allocated it.
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p);
+  static void operator delete(void* p, std::size_t) { operator delete(p); }
+
+  // True when this element's owned storage control block is embedded in the same allocation
+  // as the bytes (the one-slab-allocation layout; asserted by tests).
+  bool StorageEmbedded() const;
+
+  // The compile-time-size slab attempt: nullptr when no machine context / no memory
+  // subsystem / arena exhausted — callers fall back to the generic block path. The single
+  // place the context->GP-root lookup lives for static sizes (AllocBlock in iobuf.cc is its
+  // runtime-size twin).
+  template <std::size_t N>
+  static void* TryGpBlockFor() {
+    if (!HaveContext()) {
+      return nullptr;
+    }
+    auto* root = CurrentRuntime().TryGetSubsystem<GeneralPurposeAllocatorRoot>(
+        Subsystem::kGeneralPurposeAllocator);
+    if (root == nullptr) {
+      return nullptr;
+    }
+    return GeneralPurposeAllocator::Instance()->AllocFor<N>();
+  }
+
+  // Co-allocated block layout: [SharedStorage][bytes]; the header is padded so the data area
+  // keeps max_align.
+  static constexpr std::size_t kStorageHeaderBytes = 64;
+
  private:
+  friend class BufferPool;
+  friend class BufferPoolRoot;
+
   // Shared control block for owned storage. Non-owning views carry no block. The count is
   // atomic because clones of a received chain may be retained by another core (e.g. a
-  // response queued on a different connection) and released there.
+  // response queued on a different connection) and released there. `dispose` releases the
+  // buffer AND the control block when the last view dies — each allocation flavor
+  // (co-allocated slab/heap block, external TakeOwnership, pooled frame) installs its own.
   struct SharedStorage {
     std::uint8_t* buffer;
-    FreeFn free_fn;
-    void* free_arg;
+    void (*dispose)(SharedStorage*);
+    FreeFn free_fn;    // TakeOwnership's user callback (nullptr otherwise)
+    void* free_arg;    // TakeOwnership arg, or the owning BufferPoolRoot for pooled frames
+    std::uint32_t origin_core;  // machine core a pooled frame belongs to
     std::atomic<std::size_t> refs{1};
   };
+  static_assert(sizeof(SharedStorage) <= kStorageHeaderBytes,
+                "SharedStorage must fit the co-allocated header");
 
   IOBuf(std::uint8_t* buffer, std::size_t capacity, std::uint8_t* data, std::size_t length,
         SharedStorage* storage)
@@ -183,9 +251,20 @@ class IOBuf {
         length_(length),
         storage_(storage) {}
 
-  static SharedStorage* MakeHeapStorage(std::uint8_t* buffer);
+  // Finishes a Create/CreateReserve: `block` is a kStorageHeaderBytes+capacity co-allocated
+  // slab block, or nullptr to take the heap-fallback path. Defined out of line so the
+  // compile-time CreateReserveFor fast path stays small at call sites.
+  static std::unique_ptr<IOBuf> FromStorageBlock(void* block, std::size_t capacity,
+                                                 std::size_t headroom, std::size_t length,
+                                                 bool zero);
+  static SharedStorage* AllocateStorage(std::size_t capacity, bool zero);
+  // Initializes the SharedStorage header of a co-allocated [header|bytes] block and counts
+  // the allocation (`slab` = the block came from the GP/slab path, not a malloc fallback).
+  static SharedStorage* InitCoAllocatedBlock(void* block, std::size_t bytes, bool zero,
+                                             bool slab);
+  static void DisposeCoAllocated(SharedStorage* storage);
+  static void DisposeExternal(SharedStorage* storage);
   void ReleaseStorage();
-  void AdoptHeapStorage(std::uint8_t* storage, std::size_t total);
 
   std::uint8_t* buffer_;
   std::size_t capacity_;

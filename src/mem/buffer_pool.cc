@@ -1,0 +1,175 @@
+#include "src/mem/buffer_pool.h"
+
+#include <new>
+
+#include "src/event/event_manager.h"
+#include "src/mem/gp_allocator.h"
+
+namespace ebbrt {
+
+// Storage dispose hook for pooled blocks: the last view died — snap the block back to its
+// owner core instead of the slab. free_arg carries the root, origin_core the owner.
+void BufferPool::PoolDispose(IOBuf::SharedStorage* storage) {
+  static_cast<BufferPoolRoot*>(storage->free_arg)->Release(storage);
+}
+
+BufferPoolRoot::BufferPoolRoot(Runtime& runtime, std::size_t num_cores, Config config)
+    : runtime_(runtime), config_(config) {
+  Kassert(config_.block_bytes > IOBuf::kStorageHeaderBytes + config_.headroom,
+          "BufferPoolRoot: block too small for header + headroom");
+  reps_.reserve(num_cores);
+  for (std::size_t i = 0; i < num_cores; ++i) {
+    reps_.push_back(std::unique_ptr<BufferPool>(new BufferPool(*this, i)));
+  }
+}
+
+BufferPoolRoot::BufferPoolRoot(Runtime& runtime, std::size_t num_cores)
+    : BufferPoolRoot(runtime, num_cores, Config{}) {}
+
+BufferPoolRoot::~BufferPoolRoot() = default;
+
+BufferPool& BufferPoolRoot::RepFor(std::size_t machine_core) {
+  Kassert(machine_core < reps_.size(), "BufferPoolRoot: bad core");
+  return *reps_[machine_core];
+}
+
+void BufferPoolRoot::Install(Runtime& runtime, std::size_t num_cores) {
+  Install(runtime, num_cores, Config{});
+}
+
+void BufferPoolRoot::Install(Runtime& runtime, std::size_t num_cores, Config config) {
+  Kassert(runtime.TryGetSubsystem<GeneralPurposeAllocatorRoot>(
+              Subsystem::kGeneralPurposeAllocator) != nullptr,
+          "BufferPoolRoot::Install: memory subsystem must be installed first");
+  auto root = std::make_shared<BufferPoolRoot>(runtime, num_cores, config);
+  runtime.SetSubsystem(Subsystem::kBufferPool, root.get());
+  runtime.Adopt(std::move(root));
+}
+
+void BufferPoolRoot::Release(IOBuf::SharedStorage* storage) {
+  BufferPool& rep = RepFor(storage->origin_core);
+  if (HaveContext() && &CurrentRuntime() == &runtime_ &&
+      CurrentContext().machine_core == storage->origin_core) {
+    rep.FreeLocal(storage);
+    return;
+  }
+  mem::stats().remote_frees.fetch_add(1, std::memory_order_relaxed);
+  rep.FreeRemote(storage);
+}
+
+BufferPool* BufferPool::Local() {
+  if (!HaveContext()) {
+    return nullptr;
+  }
+  auto* root = CurrentRuntime().TryGetSubsystem<BufferPoolRoot>(Subsystem::kBufferPool);
+  if (root == nullptr) {
+    return nullptr;
+  }
+  return &root->RepFor(CurrentContext().machine_core);
+}
+
+BufferPool::BufferPool(BufferPoolRoot& root, std::size_t machine_core)
+    : root_(root), machine_core_(machine_core) {}
+
+std::unique_ptr<IOBuf> BufferPool::Alloc() {
+  Kassert(HaveContext() && &CurrentRuntime() == &root_.runtime() &&
+              CurrentContext().machine_core == machine_core_,
+          "BufferPool::Alloc: wrong core");
+  const BufferPoolRoot::Config& cfg = root_.config();
+  std::size_t data_bytes = cfg.block_bytes - IOBuf::kStorageHeaderBytes;
+  void* block = nullptr;
+  if (freelist_ != nullptr || DrainMagazine()) {
+    block = freelist_;
+    freelist_ = freelist_->next;
+    --free_count_;
+    mem::stats().pool_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    mem::stats().pool_misses.fetch_add(1, std::memory_order_relaxed);
+    if (outstanding_ < cfg.per_core_cap) {
+      block = GeneralPurposeAllocator::Instance()->Alloc(cfg.block_bytes);
+      if (block != nullptr) {
+        ++outstanding_;
+        // A carve is an IOBuf storage block taken from the slab — count it like every
+        // other owned-storage allocation (the at-cap fallback below counts through
+        // CreateReserve), so iobuf_allocs stays consistent across both miss paths.
+        mem::stats().iobuf_allocs.fetch_add(1, std::memory_order_relaxed);
+        mem::stats().iobuf_slab_allocs.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (block == nullptr) {
+      // Pool at cap (or arena exhausted): an ordinary slab-backed buffer — it returns to
+      // the slab, not the pool, when released. No failure surface.
+      return IOBuf::CreateReserve(data_bytes, cfg.headroom);
+    }
+  }
+  MaybeQueueDrainHook();
+  auto* storage = new (block) IOBuf::SharedStorage;
+  storage->buffer = static_cast<std::uint8_t*>(block) + IOBuf::kStorageHeaderBytes;
+  storage->dispose = &PoolDispose;
+  storage->free_fn = nullptr;
+  storage->free_arg = &root_;
+  storage->origin_core = static_cast<std::uint32_t>(machine_core_);
+  return std::unique_ptr<IOBuf>(
+      new IOBuf(storage->buffer, data_bytes, storage->buffer + cfg.headroom, 0, storage));
+}
+
+void BufferPool::FreeLocal(void* block) {
+  if (free_count_ >= root_.config().per_core_cap) {
+    // The pool is full: hand the block back to the slab path.
+    --outstanding_;
+    GeneralPurposeAllocator::Instance()->Free(block);
+    return;
+  }
+  auto* link = static_cast<FreeLink*>(block);
+  link->next = freelist_;
+  freelist_ = link;
+  ++free_count_;
+}
+
+void BufferPool::FreeRemote(void* block) {
+  auto* link = static_cast<FreeLink*>(block);
+  std::lock_guard<Spinlock> lock(magazine_.mu);
+  link->next = magazine_.head;
+  magazine_.head = link;
+  ++magazine_.count;
+}
+
+bool BufferPool::DrainMagazine() {
+  FreeLink* head;
+  std::size_t count;
+  {
+    std::lock_guard<Spinlock> lock(magazine_.mu);
+    head = magazine_.head;
+    count = magazine_.count;
+    magazine_.head = nullptr;
+    magazine_.count = 0;
+  }
+  if (head == nullptr) {
+    return false;
+  }
+  // Splice onto the local list (walk to the magazine tail; remote frees are rare and the
+  // batch is small by construction — bounded by the per-core cap).
+  FreeLink* tail = head;
+  while (tail->next != nullptr) {
+    tail = tail->next;
+  }
+  tail->next = freelist_;
+  freelist_ = head;
+  free_count_ += count;
+  return true;
+}
+
+void BufferPool::MaybeQueueDrainHook() {
+  if (drain_hook_queued_) {
+    return;
+  }
+  drain_hook_queued_ = true;
+  // Drain whatever other cores freed during this event at its boundary, so a burst's worth
+  // of cross-core releases is recycled before the next event needs buffers.
+  event::Local().QueueEndOfEvent([this] {
+    drain_hook_queued_ = false;
+    DrainMagazine();
+  });
+}
+
+}  // namespace ebbrt

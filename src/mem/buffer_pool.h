@@ -1,0 +1,125 @@
+// BufferPool — per-core recycling pool of fixed MTU-class network buffers (§3.4 applied to
+// the datapath).
+//
+// The slab allocator already makes a short-lived buffer cheap (a per-core freelist pop); the
+// pool makes the *hottest* buffers — RX frames posted to the NIC ring and TX segment
+// head buffers — cost literally nothing in steady state: a frame is allocated once, rides
+// the datapath as a refcounted IOBuf, and when its last view dies it snaps back onto the
+// freelist of the core that owns it, headroom re-reserved, ready to be posted or filled
+// again. No size-class lookup, no slab bookkeeping, no atomics.
+//
+// Cross-core lifecycle: a frame is normally freed on the core that allocated it (RSS pins a
+// connection's processing to one core), so the common path is lock-free. When a view does
+// die elsewhere — a response retained by a connection on another core, a world action, late
+// teardown — the block is pushed onto the owner core's *remote-free magazine* (a
+// spinlock-protected stack). The owner drains the magazine when its local list runs dry and,
+// opportunistically, at the end-of-event hook (PR 2's flush point), so remote frees are
+// recycled within one event boundary without ever blocking the fast path.
+//
+// Exhaustion is not an error: when a core holds no recycled block and the pool is at its
+// cap, Alloc falls back to an ordinary slab-backed IOBuf (mem::stats().pool_misses ticks and
+// that buffer simply returns to the slab when released).
+#ifndef EBBRT_SRC_MEM_BUFFER_POOL_H_
+#define EBBRT_SRC_MEM_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/iobuf/iobuf.h"
+#include "src/platform/spinlock.h"
+
+namespace ebbrt {
+
+class BufferPool;
+
+class BufferPoolRoot {
+ public:
+  struct Config {
+    // Whole-block size, chosen to land exactly on a GP size class: the data area is
+    // block_bytes - IOBuf::kStorageHeaderBytes (3008 B — an MTU frame plus headroom).
+    std::size_t block_bytes = 3072;
+    std::size_t headroom = 64;        // pre-reserved for Ethernet/IP/TCP header prepends
+    std::size_t per_core_cap = 256;   // recycled blocks a core may retain
+  };
+
+  BufferPoolRoot(Runtime& runtime, std::size_t num_cores, Config config);
+  BufferPoolRoot(Runtime& runtime, std::size_t num_cores);
+  ~BufferPoolRoot();
+
+  BufferPool& RepFor(std::size_t machine_core);
+  Runtime& runtime() { return runtime_; }
+  const Config& config() const { return config_; }
+
+  // Installs a pool on `runtime` (requires mem::Install to have run) and adopts its
+  // lifetime. The pool becomes reachable as Subsystem::kBufferPool.
+  static void Install(Runtime& runtime, std::size_t num_cores, Config config);
+  static void Install(Runtime& runtime, std::size_t num_cores);
+
+  // Routes a released block back to its owner core — called by the IOBuf storage dispose
+  // hook from ANY context. Same-core frees take the lock-free local path; everything else
+  // lands in the owner's remote-free magazine.
+  void Release(IOBuf::SharedStorage* storage);
+
+ private:
+  Runtime& runtime_;
+  Config config_;
+  std::vector<std::unique_ptr<BufferPool>> reps_;
+};
+
+class alignas(kCacheLineSize) BufferPool {
+ public:
+  BufferPool(BufferPoolRoot& root, std::size_t machine_core);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // A recycled (or freshly carved) buffer with `headroom` pre-reserved and an empty view —
+  // CreateReserve semantics. Never fails: pool exhaustion falls back to the ordinary
+  // slab-backed IOBuf path (pool_misses). Must run on this rep's core.
+  std::unique_ptr<IOBuf> Alloc();
+
+  // The current core's pool rep (nullptr when no pool subsystem is installed).
+  static BufferPool* Local();
+
+  // Observability.
+  std::size_t free_blocks() const { return free_count_; }
+  std::size_t outstanding() const { return outstanding_; }
+
+ private:
+  friend class BufferPoolRoot;
+
+  // A released block, linked through the first word of its (dead) SharedStorage header.
+  struct FreeLink {
+    FreeLink* next;
+  };
+
+  static void PoolDispose(IOBuf::SharedStorage* storage);
+
+  void FreeLocal(void* block);    // owner core only: lock-free push
+  void FreeRemote(void* block);   // any context: magazine push under its spinlock
+  bool DrainMagazine();           // owner core: splice the magazine into the local list
+  void MaybeQueueDrainHook();     // owner core: drain again at this event's boundary
+
+  BufferPoolRoot& root_;
+  std::size_t machine_core_;
+  FreeLink* freelist_ = nullptr;
+  std::size_t free_count_ = 0;
+  std::size_t outstanding_ = 0;  // pooled blocks currently alive (bounds carving at the cap)
+  bool drain_hook_queued_ = false;
+
+  // Remote-free magazine: other cores/contexts push, only the owner pops (by splicing the
+  // whole stack). Padded onto its own line — remote frees must not bounce the owner's
+  // freelist head.
+  struct alignas(kCacheLineSize) Magazine {
+    Spinlock mu;
+    FreeLink* head = nullptr;
+    std::size_t count = 0;
+  };
+  Magazine magazine_;
+};
+
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_MEM_BUFFER_POOL_H_

@@ -2,9 +2,59 @@
 
 namespace ebbrt {
 
+namespace {
+
+// Append-on-install registry of live GP roots, used to route any arena pointer back to its
+// owning machine's allocator (mem::FindOwningRoot). Fixed-capacity array of atomics so the
+// lookup — which sits on IOBuf release paths — takes no lock; slots are recycled when a
+// machine is torn down.
+constexpr std::size_t kMaxLiveRoots = 64;
+std::atomic<GeneralPurposeAllocatorRoot*> g_live_roots[kMaxLiveRoots] = {};
+
+void RegisterRoot(GeneralPurposeAllocatorRoot* root) {
+  for (auto& slot : g_live_roots) {
+    GeneralPurposeAllocatorRoot* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, root, std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+  Kabort("gp_allocator: more than %zu live machine arenas", kMaxLiveRoots);
+}
+
+void UnregisterRoot(GeneralPurposeAllocatorRoot* root) {
+  for (auto& slot : g_live_roots) {
+    GeneralPurposeAllocatorRoot* expected = root;
+    if (slot.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+namespace mem {
+
+Stats& stats() {
+  static Stats instance;
+  return instance;
+}
+
+GeneralPurposeAllocatorRoot* FindOwningRoot(const void* p) {
+  for (auto& slot : g_live_roots) {
+    GeneralPurposeAllocatorRoot* root = slot.load(std::memory_order_acquire);
+    if (root != nullptr && root->pages().arena().Contains(p)) {
+      return root;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mem
+
 GeneralPurposeAllocatorRoot::GeneralPurposeAllocatorRoot(PageAllocatorRoot& pages,
-                                                         std::size_t num_cores)
-    : pages_(pages), num_cores_(num_cores) {
+                                                         std::size_t num_cores,
+                                                         Runtime* runtime)
+    : pages_(pages), num_cores_(num_cores), runtime_(runtime) {
   // One slab cache Ebb per size class. Ids are taken from the machine-local dynamic range so
   // the class caches are themselves replaceable/invocable Ebbs.
   for (std::size_t i = 0; i < gp_internal::kSizeClasses.size(); ++i) {
@@ -14,9 +64,31 @@ GeneralPurposeAllocatorRoot::GeneralPurposeAllocatorRoot(PageAllocatorRoot& page
     CurrentRuntime().InstallRoot(id, class_roots_[i].get());
   }
   reps_.resize(num_cores);
+  RegisterRoot(this);
 }
 
-GeneralPurposeAllocatorRoot::~GeneralPurposeAllocatorRoot() = default;
+GeneralPurposeAllocatorRoot::~GeneralPurposeAllocatorRoot() { UnregisterRoot(this); }
+
+void GeneralPurposeAllocatorRoot::FreeAnywhere(void* p) {
+  PhysArena& arena = pages_.arena();
+  Kassert(arena.Contains(p), "GeneralPurposeAllocatorRoot::FreeAnywhere: foreign pointer");
+  // Running as a core of this machine: the ordinary per-core fast path applies.
+  if (HaveContext() && runtime_ != nullptr && &CurrentRuntime() == runtime_) {
+    RepFor(CurrentContext().machine_core).Free(p);
+    return;
+  }
+  // Anything else — world actions, another machine's core, post-loop teardown — may not
+  // touch a per-core freelist. Route slab objects to the owning node depot and large blocks
+  // to the node buddy, both of which are lock-protected.
+  mem::stats().remote_frees.fetch_add(1, std::memory_order_relaxed);
+  PageInfo& info = arena.InfoForAddr(p);
+  if (info.kind == PageKind::kSlab) {
+    static_cast<SlabCacheRoot*>(info.owner)->RemoteFree(p, info.node);
+    return;
+  }
+  Kassert(info.kind == PageKind::kLarge, "FreeAnywhere: free of non-allocated page");
+  pages_.RepForNode(info.node).FreePages(p);
+}
 
 GeneralPurposeAllocator& GeneralPurposeAllocatorRoot::RepFor(std::size_t machine_core) {
   Kassert(machine_core < reps_.size(), "GeneralPurposeAllocatorRoot: bad core");
@@ -93,19 +165,24 @@ void GeneralPurposeAllocator::FreeLarge(void* p, PageInfo& info) {
 namespace mem {
 
 void Install(Runtime& runtime, std::size_t num_cores, Config config) {
-  auto* arena = new PhysArena(config.arena_bytes, config.numa_nodes);
+  auto arena = std::make_shared<PhysArena>(config.arena_bytes, config.numa_nodes);
   std::size_t cores_per_node = config.cores_per_node != 0
                                    ? config.cores_per_node
                                    : (num_cores + config.numa_nodes - 1) / config.numa_nodes;
-  auto* page_root = new PageAllocatorRoot(*arena, cores_per_node);
-  runtime.InstallRoot(kPageAllocatorId, page_root);
-  runtime.SetSubsystem(Subsystem::kPageAllocator, page_root);
+  auto page_root = std::make_shared<PageAllocatorRoot>(*arena, cores_per_node);
+  runtime.InstallRoot(kPageAllocatorId, page_root.get());
+  runtime.SetSubsystem(Subsystem::kPageAllocator, page_root.get());
   // GP root construction allocates Ebb ids, which needs a current-runtime context; callers
   // install memory before the loops run, so borrow core 0's identity.
   ScopedContext ctx(runtime, runtime.global_core(0), 0, runtime.hosted());
-  auto* gp_root = new GeneralPurposeAllocatorRoot(*page_root, num_cores);
-  runtime.InstallRoot(kGeneralPurposeAllocatorId, gp_root);
-  runtime.SetSubsystem(Subsystem::kGeneralPurposeAllocator, gp_root);
+  auto gp_root = std::make_shared<GeneralPurposeAllocatorRoot>(*page_root, num_cores, &runtime);
+  runtime.InstallRoot(kGeneralPurposeAllocatorId, gp_root.get());
+  runtime.SetSubsystem(Subsystem::kGeneralPurposeAllocator, gp_root.get());
+  // Adoption order = destruction constraints reversed: the GP root (adopted last) dies
+  // first, unregistering its arena from the routed-free registry before the arena unmaps.
+  runtime.Adopt(std::move(arena));
+  runtime.Adopt(std::move(page_root));
+  runtime.Adopt(std::move(gp_root));
 }
 
 }  // namespace mem

@@ -14,6 +14,7 @@
 #define EBBRT_SRC_MEM_GP_ALLOCATOR_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -43,17 +44,27 @@ class GeneralPurposeAllocator;
 
 class GeneralPurposeAllocatorRoot {
  public:
-  GeneralPurposeAllocatorRoot(PageAllocatorRoot& pages, std::size_t num_cores);
+  GeneralPurposeAllocatorRoot(PageAllocatorRoot& pages, std::size_t num_cores,
+                              Runtime* runtime = nullptr);
   ~GeneralPurposeAllocatorRoot();
 
   GeneralPurposeAllocator& RepFor(std::size_t machine_core);
   SlabCacheRoot& class_root(std::size_t idx) { return *class_roots_[idx]; }
   PageAllocatorRoot& pages() { return pages_; }
   std::size_t num_cores() const { return num_cores_; }
+  Runtime* runtime() const { return runtime_; }
+
+  // Frees `p` (which must belong to this machine's arena) from ANY execution context. When
+  // the caller is running as a core of this machine, this is the normal per-core slab/page
+  // fast path; otherwise slab objects are pushed to the owning node's depot and large blocks
+  // to the node buddy — both spinlock-protected, so a world action or a foreign machine can
+  // safely release buffers it was handed (counted in mem::stats().remote_frees).
+  void FreeAnywhere(void* p);
 
  private:
   PageAllocatorRoot& pages_;
   std::size_t num_cores_;
+  Runtime* runtime_;  // machine this root is installed on (nullptr for bare test roots)
   std::array<std::unique_ptr<SlabCacheRoot>, gp_internal::kSizeClasses.size()> class_roots_;
   std::vector<std::unique_ptr<GeneralPurposeAllocator>> reps_;
   Spinlock rep_mu_;
@@ -98,6 +109,8 @@ class alignas(kCacheLineSize) GeneralPurposeAllocator {
 
 namespace mem {
 // Installs the memory subsystem (arena + page allocator + GP allocator Ebbs) on a machine.
+// The installed objects are adopted by the runtime: they die with the machine, and the GP
+// root unregisters itself from the global arena registry (see FindOwningRoot).
 struct Config {
   std::size_t arena_bytes = 256ull << 20;  // 256 MiB
   std::size_t numa_nodes = 1;
@@ -108,6 +121,24 @@ void Install(Runtime& runtime, std::size_t num_cores, Config config = {});
 // Convenience facades over the current core's representative.
 inline void* Alloc(std::size_t size) { return GeneralPurposeAllocator::Instance()->Alloc(size); }
 inline void Free(void* p) { GeneralPurposeAllocator::Instance()->Free(p); }
+
+// Resolves a pointer to the GP root whose arena contains it (nullptr for ordinary heap
+// memory). Backed by a small append-on-install registry of live arenas, so buffer release
+// paths (IOBuf storage, pooled frames) can route a block home from any context — the piece
+// that makes "allocate on the owner core, free wherever the last view dies" safe.
+GeneralPurposeAllocatorRoot* FindOwningRoot(const void* p);
+
+// Datapath allocation counters (process-global; benches snapshot deltas around a run).
+struct Stats {
+  std::atomic<std::uint64_t> iobuf_allocs{0};      // IOBuf owned-storage blocks allocated
+  std::atomic<std::uint64_t> iobuf_slab_allocs{0}; // ...served by the per-core GP/slab path
+  std::atomic<std::uint64_t> heap_fallback_allocs{0};  // std::malloc fallbacks on IOBuf paths
+                                                       // (no machine context, or arena full)
+  std::atomic<std::uint64_t> pool_hits{0};     // BufferPool allocs served from recycled blocks
+  std::atomic<std::uint64_t> pool_misses{0};   // ...that had to carve from the slab path
+  std::atomic<std::uint64_t> remote_frees{0};  // frees routed home via magazine/depot locks
+};
+Stats& stats();
 }  // namespace mem
 
 }  // namespace ebbrt

@@ -28,6 +28,15 @@ SlabCacheRoot::~SlabCacheRoot() {
   }
 }
 
+void SlabCacheRoot::RemoteFree(void* p, std::size_t node) {
+  Kassert(node < depots_.size(), "SlabCacheRoot::RemoteFree: bad node");
+  Depot& depot = depots_[node];
+  std::lock_guard<Spinlock> lock(depot.mu);
+  NextOf(p) = depot.head;
+  depot.head = p;
+  ++depot.count;
+}
+
 SlabCache& SlabCacheRoot::RepFor(std::size_t machine_core) {
   Kassert(machine_core < reps_.size(), "SlabCacheRoot: bad core");
   SlabCache* rep = reps_[machine_core].load(std::memory_order_acquire);

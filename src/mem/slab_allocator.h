@@ -48,6 +48,11 @@ class SlabCacheRoot {
   };
   Depot& depot_for(std::size_t node) { return depots_[node]; }
 
+  // Returns an object to node `node`'s depot directly — the remote-free path for callers
+  // that are NOT running as a core of this machine (world actions, foreign machines, late
+  // teardown). Spinlock-protected; the next core to refill from the depot recycles it.
+  void RemoteFree(void* p, std::size_t node);
+
   // Pages a slab of this size occupies (larger objects use multi-page slabs).
   std::size_t slab_order() const { return slab_order_; }
   std::size_t objects_per_slab() const { return objects_per_slab_; }

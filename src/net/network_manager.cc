@@ -66,12 +66,10 @@ void AddPseudoHeader(ChecksumAccumulator& acc, Ipv4Addr src, Ipv4Addr dst, std::
 
 namespace net_internal {
 
-std::unique_ptr<IOBuf> BuildIpv4(Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
-                                 std::size_t l4_header_len, std::size_t payload_len) {
+void FillIpv4(IOBuf& buf, Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
+              std::size_t l4_header_len, std::size_t payload_len) {
   std::size_t headers = sizeof(Ipv4Header) + l4_header_len;
-  auto buf = IOBuf::CreateReserve(sizeof(EthernetHeader) + headers, sizeof(EthernetHeader));
-  buf->Append(headers);
-  auto& ip = buf->Get<Ipv4Header>();
+  auto& ip = buf.Get<Ipv4Header>();
   ip.version_ihl = 0x45;
   ip.dscp_ecn = 0;
   ip.total_length = HostToNet16(static_cast<std::uint16_t>(headers + payload_len));
@@ -83,10 +81,49 @@ std::unique_ptr<IOBuf> BuildIpv4(Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
   ip.src = HostToNet32(src.raw);
   ip.dst = HostToNet32(dst.raw);
   ip.checksum = InternetChecksum(&ip, sizeof(Ipv4Header));
-  return buf;
 }
 
 }  // namespace net_internal
+
+// --- Stats: datapath allocation accounting ------------------------------------------------------
+
+void NetworkManager::Stats::MarkAllocBaseline() {
+  const mem::Stats& m = mem::stats();
+  alloc_mark_heap = m.heap_fallback_allocs.load(std::memory_order_relaxed);
+  alloc_mark_iobuf = m.iobuf_allocs.load(std::memory_order_relaxed);
+  alloc_mark_pool_hits = m.pool_hits.load(std::memory_order_relaxed);
+  alloc_mark_pool_misses = m.pool_misses.load(std::memory_order_relaxed);
+}
+
+std::uint64_t NetworkManager::Stats::heap_allocs_since_mark() const {
+  return mem::stats().heap_fallback_allocs.load(std::memory_order_relaxed) - alloc_mark_heap;
+}
+
+std::uint64_t NetworkManager::Stats::iobuf_allocs_since_mark() const {
+  return mem::stats().iobuf_allocs.load(std::memory_order_relaxed) - alloc_mark_iobuf;
+}
+
+double NetworkManager::Stats::allocs_per_op(std::uint64_t requests) const {
+  if (requests == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(heap_allocs_since_mark()) / static_cast<double>(requests);
+}
+
+std::uint64_t NetworkManager::Stats::pool_hits_since_mark() const {
+  return mem::stats().pool_hits.load(std::memory_order_relaxed) - alloc_mark_pool_hits;
+}
+
+std::uint64_t NetworkManager::Stats::pool_misses_since_mark() const {
+  return mem::stats().pool_misses.load(std::memory_order_relaxed) - alloc_mark_pool_misses;
+}
+
+double NetworkManager::Stats::pool_hit_rate_since_mark() const {
+  std::uint64_t hits = pool_hits_since_mark();
+  std::uint64_t misses = pool_misses_since_mark();
+  return hits + misses == 0 ? 0.0
+                            : static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
 
 // --- NetworkManager ----------------------------------------------------------------------------
 
@@ -124,8 +161,8 @@ Future<void> NetworkManager::SendUdp(Ipv4Addr dst, std::uint16_t src_port,
                                      std::uint16_t dst_port, std::unique_ptr<IOBuf> data) {
   Interface& iface = interface();
   std::size_t payload_len = data->ComputeChainDataLength();
-  auto packet = net_internal::BuildIpv4(iface.addr(), dst, kIpProtoUdp, sizeof(UdpHeader),
-                                        payload_len);
+  auto packet =
+      net_internal::BuildIpv4<sizeof(UdpHeader)>(iface.addr(), dst, kIpProtoUdp, payload_len);
   auto& udp = packet->Get<UdpHeader>(sizeof(Ipv4Header));
   std::uint16_t udp_len = static_cast<std::uint16_t>(sizeof(UdpHeader) + payload_len);
   udp.src_port = HostToNet16(src_port);

@@ -165,6 +165,24 @@ class NetworkManager {
       return static_cast<double>(tcp_tx_payload_bytes.load(std::memory_order_relaxed)) /
              static_cast<double>(segs);
     }
+
+    // --- Datapath allocation accounting (zero-malloc datapath; docs "Buffer lifecycle") --
+    // Snapshot of the process-wide mem::stats() counters taken at the start of a bench's
+    // measured (steady-state) window; the derived metrics report the allocation cost per
+    // request SINCE the mark. allocs_per_op counts actual std::malloc events — the number
+    // the slab/pool datapath collapses to ~0.
+    void MarkAllocBaseline();
+    std::uint64_t heap_allocs_since_mark() const;
+    std::uint64_t iobuf_allocs_since_mark() const;
+    std::uint64_t pool_hits_since_mark() const;
+    std::uint64_t pool_misses_since_mark() const;
+    double allocs_per_op(std::uint64_t requests) const;
+    double pool_hit_rate_since_mark() const;
+
+    std::uint64_t alloc_mark_heap = 0;
+    std::uint64_t alloc_mark_iobuf = 0;
+    std::uint64_t alloc_mark_pool_hits = 0;
+    std::uint64_t alloc_mark_pool_misses = 0;
   };
   Stats& stats() { return stats_; }
 
@@ -184,9 +202,24 @@ class NetworkManager {
 };
 
 namespace net_internal {
-// Builds an IPv4 packet: header buffer with Ethernet headroom + payload chain appended.
+// Writes an IPv4 header at the front of `buf`'s view, which must already cover the IP + L4
+// header bytes (with Ethernet headroom reserved behind it).
+void FillIpv4(IOBuf& buf, Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
+              std::size_t l4_header_len, std::size_t payload_len);
+
+// Builds an IPv4 packet head buffer (Ethernet headroom reserved, IPv4 header filled, L4
+// header space appended; payload chain appended by the caller). The L4 header length is a
+// template parameter so the whole buffer size is compile-time known: allocation is the
+// constant-folded AllocFor<> slab fast path (§3.4).
+template <std::size_t L4HeaderLen>
 std::unique_ptr<IOBuf> BuildIpv4(Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
-                                 std::size_t l4_header_len, std::size_t payload_len);
+                                 std::size_t payload_len) {
+  constexpr std::size_t kCapacity = sizeof(EthernetHeader) + sizeof(Ipv4Header) + L4HeaderLen;
+  auto buf = IOBuf::CreateReserveFor<kCapacity>(sizeof(EthernetHeader));
+  buf->Append(sizeof(Ipv4Header) + L4HeaderLen);
+  FillIpv4(*buf, src, dst, proto, L4HeaderLen, payload_len);
+  return buf;
+}
 }  // namespace net_internal
 
 }  // namespace ebbrt

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/mem/buffer_pool.h"
+
 namespace ebbrt {
 namespace sim {
 
@@ -76,8 +78,40 @@ std::size_t Nic::SteerFrame(const IOBuf& frame) const {
   return QueueForFlow(ip.SrcAddr(), src_port, ip.DstAddr(), dst_port);
 }
 
-void Nic::DeliverFrame(std::unique_ptr<IOBuf> frame) {
-  Queue& queue = *queues_[SteerFrame(*frame)];
+std::unique_ptr<IOBuf> Nic::CopyForDelivery(const IOBuf& frame, std::size_t queue_index) {
+  Queue& queue = *queues_[queue_index];
+  if (!queue.posted_rx.empty()) {
+    std::unique_ptr<IOBuf> buf = std::move(queue.posted_rx.front());
+    queue.posted_rx.pop_front();
+    std::size_t len = frame.ComputeChainDataLength();
+    if (len <= buf->Tailroom()) {
+      frame.CopyOut(buf->WritableTail(), len);
+      buf->Append(len);
+      ++rx_posted_fills_;
+      return buf;
+    }
+    // Frame larger than a posted buffer (not reachable with MTU-bounded traffic): repost and
+    // take the clone path rather than dropping.
+    queue.posted_rx.push_front(std::move(buf));
+  }
+  ++rx_clone_fallbacks_;
+  return frame.DeepClone();
+}
+
+void Nic::ReplenishPostedRx(Queue& queue) {
+  // Runs on the queue's target core (interrupt or poll context): the pool rep is this
+  // core's, so replenishing is the per-core lock-free path.
+  BufferPool* pool = BufferPool::Local();
+  if (pool == nullptr) {
+    return;
+  }
+  while (queue.posted_rx.size() < kPostedRxDepth) {
+    queue.posted_rx.push_back(pool->Alloc());
+  }
+}
+
+void Nic::DeliverFrame(std::unique_ptr<IOBuf> frame, std::size_t queue_index) {
+  Queue& queue = *queues_[queue_index];
   queue.ring.push_back(std::move(frame));
   if (queue.interrupts_enabled && !queue.irq_pending) {
     queue.irq_pending = true;
@@ -106,12 +140,21 @@ void Nic::ServiceQueue(Queue& queue, bool from_interrupt) {
     ++frames_received_;
     if (config_.hv.virtualized && config_.hv.rx_copy) {
       // The hypervisor copies the packet into guest receive buffers: a real copy, plus the
-      // modeled per-byte cost for fixed-time determinism.
+      // modeled per-byte cost for fixed-time determinism. The guest buffer comes from this
+      // core's pool, so the copy lands in recycled memory (zero-alloc steady state).
       std::size_t len = frame->ComputeChainDataLength();
       world_.Charge(config_.hv.rx_copy_fixed_ns +
                     static_cast<std::uint64_t>(config_.hv.rx_copy_ns_per_byte *
                                                static_cast<double>(len)));
-      frame = frame->DeepClone();
+      BufferPool* pool = BufferPool::Local();
+      std::unique_ptr<IOBuf> guest = pool != nullptr ? pool->Alloc() : nullptr;
+      if (guest != nullptr && len <= guest->Tailroom()) {
+        frame->CopyOut(guest->WritableTail(), len);
+        guest->Append(len);
+        frame = std::move(guest);
+      } else {
+        frame = frame->DeepClone();
+      }
     }
     if (!from_interrupt) {
       ++frames_polled_;
@@ -120,6 +163,9 @@ void Nic::ServiceQueue(Queue& queue, bool from_interrupt) {
       rx_handler_(std::move(frame));
     }
   }
+  // Re-post RX descriptors for the buffers this pass consumed (the driver half of the
+  // posted-ring lifecycle; frames freed by the application this event recycle right back).
+  ReplenishPostedRx(queue);
   if (from_interrupt) {
     // Adaptive policy: a big batch behind one interrupt means the rate is high — switch to
     // polling (§3.2's driver example).

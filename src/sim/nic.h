@@ -14,6 +14,14 @@
 // notification; the receiving core is charged interrupt injection and, under virtualization,
 // the hypervisor's RX copy (a real memcpy into a fresh buffer, plus modeled per-byte cost in
 // fixed mode).
+//
+// RX buffers come from the driver's per-core BufferPool, exactly like a real driver posting
+// receive descriptors: ServiceQueue (on the queue's target core) keeps a ring of
+// pre-allocated MTU-class buffers posted per queue; the "DMA engine" (the switch's delivery
+// copy) fills the next posted buffer, so in steady state every received frame lives in
+// recycled memory and the RX path performs zero allocations. The hypervisor's RX copy also
+// lands in a pool buffer. When no buffer is posted (startup, pool not installed), delivery
+// falls back to a DeepClone — correct, just not recycled.
 #ifndef EBBRT_SRC_SIM_NIC_H_
 #define EBBRT_SRC_SIM_NIC_H_
 
@@ -74,7 +82,16 @@ class Nic {
   }
 
   // --- Device side (called by the switch in world-action context) ----------------------------
-  void DeliverFrame(std::unique_ptr<IOBuf> frame);
+  // RSS steering for an incoming frame (non-IP traffic lands on queue 0). The switch
+  // computes this once per frame and passes it to both calls below.
+  std::size_t QueueForFrame(const IOBuf& frame) const { return SteerFrame(frame); }
+
+  void DeliverFrame(std::unique_ptr<IOBuf> frame, std::size_t queue);
+
+  // Copies `frame` into this NIC's next posted RX buffer for `queue` (the DMA write into a
+  // driver-posted descriptor), falling back to a DeepClone when none is posted.
+  // Single-threaded SimWorld: touching the posted ring from the sender's slice is safe.
+  std::unique_ptr<IOBuf> CopyForDelivery(const IOBuf& frame, std::size_t queue);
 
   // --- Stats ----------------------------------------------------------------------------------
   std::uint64_t interrupts_raised() const { return interrupts_raised_; }
@@ -84,6 +101,9 @@ class Nic {
   std::uint64_t bytes_transmitted() const { return bytes_transmitted_; }
   // Doorbell batching: kicks <= frames; the gap is the amortization TX batching buys.
   std::uint64_t tx_kicks() const { return tx_kicks_; }
+  // RX frames delivered into a driver-posted pool buffer vs. heap-cloned (posted ring empty).
+  std::uint64_t rx_posted_fills() const { return rx_posted_fills_; }
+  std::uint64_t rx_clone_fallbacks() const { return rx_clone_fallbacks_; }
 
  private:
   struct Queue {
@@ -91,14 +111,20 @@ class Nic {
     std::size_t target_core = 0;
     std::uint32_t vector = 0;
     std::deque<std::unique_ptr<IOBuf>> ring;
+    // Driver-posted RX buffers (pool-backed), filled by the device side in FIFO order and
+    // replenished by ServiceQueue on the target core.
+    std::deque<std::unique_ptr<IOBuf>> posted_rx;
     bool interrupts_enabled = true;
     bool irq_pending = false;  // raised but not yet serviced
     std::unique_ptr<EventManager::IdleCallback> poll_callback;
     std::uint32_t empty_polls = 0;
   };
 
+  static constexpr std::size_t kPostedRxDepth = 32;  // descriptors kept posted per queue
+
   std::size_t SteerFrame(const IOBuf& frame) const;
   void ServiceQueue(Queue& queue, bool from_interrupt);
+  void ReplenishPostedRx(Queue& queue);
   void EnterPolling(Queue& queue);
   void LeavePolling(Queue& queue);
 
@@ -117,6 +143,8 @@ class Nic {
   std::uint64_t frames_transmitted_ = 0;
   std::uint64_t bytes_transmitted_ = 0;
   std::uint64_t tx_kicks_ = 0;
+  std::uint64_t rx_posted_fills_ = 0;
+  std::uint64_t rx_clone_fallbacks_ = 0;
   // Per-core doorbell state: nonzero while this core's current event already kicked (reset
   // by an end-of-event hook). Single-threaded per core; plain bytes.
   std::vector<char> kick_charged_;

@@ -54,13 +54,17 @@ void Switch::Transmit(std::size_t from_port, const IOBuf& frame) {
 }
 
 void Switch::DeliverTo(std::size_t port, const IOBuf& frame, std::uint64_t at) {
-  // Deep copy at the fabric boundary: bytes physically leave the sender's memory. The clone
-  // is flattened — receivers see one contiguous DMA buffer, as a real NIC would present.
-  auto copy = frame.DeepClone();
+  // Copy at the fabric boundary: bytes physically leave the sender's memory. The destination
+  // NIC writes them into its next driver-posted RX buffer (recycled pool memory, flattened —
+  // receivers see one contiguous DMA buffer, as a real NIC would present), falling back to a
+  // fresh DeepClone when nothing is posted yet. RSS steering is computed once and shared by
+  // the copy (posted ring) and the delivery.
   Nic* nic = ports_[port];
+  std::size_t queue = nic->QueueForFrame(frame);
+  auto copy = nic->CopyForDelivery(frame, queue);
   // Shared-ptr shim: MoveFunction is movable but calendar entries are heap-managed anyway.
   auto shared = std::make_shared<std::unique_ptr<IOBuf>>(std::move(copy));
-  world_.At(at, [nic, shared] { nic->DeliverFrame(std::move(*shared)); });
+  world_.At(at, [nic, queue, shared] { nic->DeliverFrame(std::move(*shared), queue); });
 }
 
 }  // namespace sim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/apps/http/http_server.h"
+#include "src/apps/loadgen/memcached_loadgen.h"
 #include "src/apps/memcached/server.h"
 #include "src/apps/v8bench/kernels.h"
 #include "src/sim/testbed.h"
@@ -106,6 +107,34 @@ TEST(Apps, MemcachedEbbRTSetGet) {
   EXPECT_EQ(state->responses[1].second, "forty-two");
   EXPECT_EQ(state->responses[2].first, memcached::Status::kKeyNotFound); // GET miss
   EXPECT_EQ(srv->requests(), 3u);
+}
+
+TEST(Apps, BurstClientSpreadsFlowsAcrossAllServerCores) {
+  // The fig6 requirement: one connection per client core, each with a distinct flow hash,
+  // so symmetric RSS puts work on EVERY server core (a single flow collapses onto one).
+  constexpr std::size_t kCores = 4;
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", kCores, kServerIp);
+  TestbedNode client = bed.AddNode("client", kCores, kClientIp,
+                                   sim::HypervisorModel::Native());
+  server.Spawn(0, [&] { new memcached::MemcachedServer(*server.net, 11211); });
+  loadgen::MemcachedBurstClient::Config config;
+  config.depth = 8;
+  config.total_requests = 128;
+  config.key_space = 32;
+  config.connections = kCores;
+  std::size_t responses = 0;
+  loadgen::MemcachedBurstClient::Run(client, kServerIp, 11211, config)
+      .Then([&](Future<loadgen::MemcachedBurstClient::Result> f) {
+        responses = f.Get().responses;
+      });
+  bed.world().Run();
+  EXPECT_EQ(responses, config.total_requests);
+  auto& em = server.runtime->GetSubsystem<EventManagerRoot>(Subsystem::kEventManager);
+  for (std::size_t core = 0; core < kCores; ++core) {
+    EXPECT_GT(em.RepFor(core).interrupts_dispatched(), 0u)
+        << "server core " << core << " received no device events";
+  }
 }
 
 TEST(Apps, MemcachedBaselineSetGet) {

@@ -1,0 +1,166 @@
+// Baseline TX accounting symmetry (ROADMAP item): the "Linux" socket stack's send path —
+// kernel buffering, Nagle, ACK-driven pumping — must be charged through exactly the same
+// TransmitSegment/tcp_tx_* accounting and the same per-frame NIC costs as the EbbRT
+// zero-copy path, or the fig5/fig6 comparison would hand one stack free wire segments.
+//
+// Both stacks share TcpManager::TransmitSegment (baseline::Socket sends through a TcpPcb),
+// so the audit is expressible as invariants over the shared stats:
+//   * the same byte stream costs the same tcp_tx_data_segments / payload bytes on either
+//     stack (Nagle changes WHEN segments leave, not how many MSS-bounded segments a bulk
+//     stream needs),
+//   * every TCP segment (data and ACK alike) is one NIC frame — per-frame tx_frame_ns is
+//     charged identically because it is charged in one place, Nic::Transmit.
+#include <cstring>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/socket.h"
+#include "src/net/network_manager.h"
+#include "src/net/tcp.h"
+#include "src/sim/testbed.h"
+
+namespace ebbrt {
+namespace {
+
+constexpr auto kServerIp = Ipv4Addr::Of(10, 0, 0, 2);
+constexpr auto kClientIp = Ipv4Addr::Of(10, 0, 0, 3);
+
+// Receive-side sink: counts delivered payload bytes.
+struct ByteSink final : public TcpHandler {
+  std::size_t bytes = 0;
+  void Receive(std::unique_ptr<IOBuf> data) override {
+    bytes += data->ComputeChainDataLength();
+  }
+};
+
+struct TxAccount {
+  std::uint64_t data_segments;
+  std::uint64_t payload_bytes;
+  std::uint64_t segments;
+  std::uint64_t nic_frames;
+};
+
+// Streams `len` bytes from client to server over the baseline socket API; returns the
+// client (sender) side's accounting.
+TxAccount RunBaselineSender(std::size_t len) {
+  sim::Testbed bed;
+  sim::TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  sim::TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  auto sink = std::make_shared<ByteSink>();
+  server.Spawn(0, [&] {
+    server.net->tcp().Listen(7000, [sink](TcpPcb pcb) {
+      pcb.InstallHandler(std::shared_ptr<TcpHandler>(sink));
+    });
+  });
+  auto socket_keeper = std::make_shared<std::shared_ptr<baseline::Socket>>();
+  client.Spawn(0, [&, socket_keeper] {
+    auto* stack = new baseline::SocketStack(bed.world(), *client.net,
+                                            baseline::SocketStack::LinuxModel());
+    stack->Connect(kServerIp, 7000).Then([len, socket_keeper](
+                                             Future<std::shared_ptr<baseline::Socket>> f) {
+      std::shared_ptr<baseline::Socket> socket = f.Get();
+      *socket_keeper = socket;
+      std::string payload(len, 'b');
+      // One big write: the kernel buffer accepts it all and paces it out (window + Nagle).
+      ASSERT_EQ(socket->Write(payload.data(), payload.size()), payload.size());
+    });
+  });
+  // Baseline scheduler ticks run forever; bound the run.
+  bed.world().RunUntil(500'000'000);
+  EXPECT_EQ(sink->bytes, len);
+  const NetworkManager::Stats& s = client.net->stats();
+  return {s.tcp_tx_data_segments.load(), s.tcp_tx_payload_bytes.load(),
+          s.tcp_tx_segments.load(), client.nic->frames_transmitted()};
+}
+
+// The same byte stream pushed through the EbbRT path (direct TcpPcb::Send, no kernel
+// buffer); returns the client side's accounting.
+TxAccount RunEbbrtSender(std::size_t len) {
+  sim::Testbed bed;
+  sim::TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  sim::TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  auto sink = std::make_shared<ByteSink>();
+  server.Spawn(0, [&] {
+    server.net->tcp().Listen(7000, [sink](TcpPcb pcb) {
+      pcb.InstallHandler(std::shared_ptr<TcpHandler>(sink));
+    });
+  });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 7000).Then([len](Future<TcpPcb> f) {
+      TcpPcb pcb = f.Get();
+      auto payload = IOBuf::Create(len);
+      std::memset(payload->WritableData(), 'b', len);
+      ASSERT_TRUE(pcb.Send(std::move(payload)));
+    });
+  });
+  bed.world().Run();
+  EXPECT_EQ(sink->bytes, len);
+  const NetworkManager::Stats& s = client.net->stats();
+  return {s.tcp_tx_data_segments.load(), s.tcp_tx_payload_bytes.load(),
+          s.tcp_tx_segments.load(), client.nic->frames_transmitted()};
+}
+
+TEST(BaselineTxAccounting, BulkStreamCostsTheSameSegmentsOnBothStacks) {
+  constexpr std::size_t kLen = 8000;  // 5 full MSS segments + a Nagle-held tail
+  TxAccount baseline = RunBaselineSender(kLen);
+  TxAccount ebbrt = RunEbbrtSender(kLen);
+  // Same payload, same MSS slicing, same counters — the comparison charges both stacks
+  // identically per data segment.
+  EXPECT_EQ(baseline.payload_bytes, kLen);
+  EXPECT_EQ(ebbrt.payload_bytes, kLen);
+  EXPECT_EQ(baseline.data_segments, ebbrt.data_segments);
+  EXPECT_EQ(baseline.data_segments, (kLen + kTcpMss - 1) / kTcpMss);
+}
+
+TEST(BaselineTxAccounting, EveryTcpSegmentIsOneChargedNicFrame) {
+  // tx_frame_ns is charged in Nic::Transmit — once per frame, for both stacks. A stack
+  // could only dodge per-frame cost if it put segments on the wire without a NIC frame;
+  // assert the books balance: frames == TCP segments + the (tiny) ARP exchange.
+  TxAccount baseline = RunBaselineSender(4000);
+  TxAccount ebbrt = RunEbbrtSender(4000);
+  for (const TxAccount& account : {baseline, ebbrt}) {
+    EXPECT_GE(account.nic_frames, account.segments);
+    EXPECT_LE(account.nic_frames - account.segments, 2u);  // ARP request (+ retry slack)
+  }
+}
+
+TEST(BaselineTxAccounting, NagleAggregatesButNeverChangesPayloadAccounting) {
+  // Ten sub-MSS writes: Nagle may merge them into fewer segments, but every payload byte
+  // and every emitted segment still flows through the shared stats.
+  sim::Testbed bed;
+  sim::TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  sim::TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  auto sink = std::make_shared<ByteSink>();
+  server.Spawn(0, [&] {
+    server.net->tcp().Listen(7000, [sink](TcpPcb pcb) {
+      pcb.InstallHandler(std::shared_ptr<TcpHandler>(sink));
+    });
+  });
+  auto socket_keeper = std::make_shared<std::shared_ptr<baseline::Socket>>();
+  client.Spawn(0, [&, socket_keeper] {
+    auto* stack = new baseline::SocketStack(bed.world(), *client.net,
+                                            baseline::SocketStack::LinuxModel());
+    stack->Connect(kServerIp, 7000).Then([socket_keeper](
+                                             Future<std::shared_ptr<baseline::Socket>> f) {
+      std::shared_ptr<baseline::Socket> socket = f.Get();
+      *socket_keeper = socket;
+      char chunk[100];
+      std::memset(chunk, 'n', sizeof(chunk));
+      for (int i = 0; i < 10; ++i) {
+        ASSERT_EQ(socket->Write(chunk, sizeof(chunk)), sizeof(chunk));
+      }
+    });
+  });
+  bed.world().RunUntil(500'000'000);
+  EXPECT_EQ(sink->bytes, 1000u);
+  const NetworkManager::Stats& s = client.net->stats();
+  EXPECT_EQ(s.tcp_tx_payload_bytes.load(), 1000u);
+  // Nagle: first write leaves immediately, the rest coalesce behind the in-flight data —
+  // strictly fewer data segments than writes, never more.
+  EXPECT_LT(s.tcp_tx_data_segments.load(), 10u);
+  EXPECT_GE(s.tcp_tx_data_segments.load(), 2u);
+}
+
+}  // namespace
+}  // namespace ebbrt

@@ -1,29 +1,27 @@
-// EventManager tests on the thread-per-core executor: spawning, interrupts, idle callbacks,
-// the dispatch-priority protocol, blocking via SaveContext/ActivateContext, timers.
+// EventManager tests.
+//
+// The thread-per-core executor (ThreadMachine) keeps only a minimal real-threads smoke
+// section: cross-thread spawn targeting and the remote mailbox — the properties that
+// genuinely require threads. Everything that used to spin against wall-clock deadlines
+// (interrupt dispatch, dispatch priority, timers, SaveContext blocking, mass cross-core
+// spawns) runs on the discrete-event SimWorld instead, where the same EventManager code
+// executes under virtual time and every assertion is deterministic (ROADMAP flaky-test
+// item).
 #include <atomic>
-#include <chrono>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-// Spins RunSync barriers until `cond` holds or a generous wall-clock deadline passes. The
-// executor runs real threads, so "how many barriers until X happens" is load-dependent —
-// iteration-count loops are flaky on fast idle machines.
-#define RUN_SYNC_UNTIL(machine, core, cond)                                        \
-  do {                                                                             \
-    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);    \
-    while (!(cond) && std::chrono::steady_clock::now() < deadline) {               \
-      (machine).RunSync((core), [] {});                                            \
-    }                                                                              \
-  } while (0)
-
 #include "src/event/block_on.h"
 #include "src/event/event_manager.h"
+#include "src/event/sim_world.h"
 #include "src/event/thread_machine.h"
 #include "src/event/timer.h"
 
 namespace ebbrt {
 namespace {
+
+// --- Real-threads smoke (the executor's reason to exist) --------------------------------------
 
 TEST(ThreadMachine, SpawnRunsOnTargetCore) {
   ThreadMachine machine(2);
@@ -62,155 +60,6 @@ TEST(ThreadMachine, SpawnRemoteCrossCore) {
   machine.Shutdown();
 }
 
-TEST(ThreadMachine, InterruptVectorDispatch) {
-  ThreadMachine machine(1);
-  machine.Start();
-  std::atomic<int> fired{0};
-  std::uint32_t vector = 0;
-  machine.RunSync(0, [&] {
-    vector = event::Local().AllocateVector([&fired] { fired.fetch_add(1); });
-  });
-  // Devices raise vectors from arbitrary threads.
-  auto& em = machine.runtime()
-                 .GetSubsystem<EventManagerRoot>(Subsystem::kEventManager)
-                 .RepFor(0);
-  em.RaiseVector(vector);
-  em.RaiseVector(vector);
-  RUN_SYNC_UNTIL(machine, 0, fired.load() >= 2);
-  EXPECT_EQ(fired.load(), 2);
-  machine.Shutdown();
-}
-
-TEST(ThreadMachine, IdleCallbackRunsWhenIdleAndStops) {
-  ThreadMachine machine(1);
-  machine.Start();
-  std::atomic<int> polls{0};
-  machine.RunSync(0, [&] {
-    auto& em = event::Local();
-    // Self-stopping idle callback: polls the "device" 5 times then disables itself,
-    // mirroring the adaptive-polling driver pattern from §3.2.
-    auto* cb = new EventManager::IdleCallback(em, [&polls, &em] {
-      if (polls.fetch_add(1) + 1 >= 5) {
-        // Look up our own registration through a spawned stop to keep lifetime simple.
-      }
-    });
-    cb->Start();
-    // Stop it from a timer-ish spawned event after it has had a chance to run.
-    em.Spawn([cb, &polls, &em] {
-      while (polls.load() < 5) {
-        // Busy spin inside an event is normally forbidden; here the idle callback cannot run
-        // until we yield, so instead re-spawn ourselves until the count is reached.
-        break;
-      }
-    });
-  });
-  // Give the idle loop some real time to run.
-  for (int i = 0; i < 100 && polls.load() < 5; ++i) {
-    machine.RunSync(0, [] {});
-  }
-  EXPECT_GE(polls.load(), 5);
-  machine.Shutdown();
-}
-
-TEST(ThreadMachine, SyntheticEventsHavePriorityOverIdle) {
-  ThreadMachine machine(1);
-  machine.Start();
-  std::atomic<int> idle_runs{0};
-  std::atomic<int> events_run{0};
-  std::vector<int> order;
-  machine.RunSync(0, [&] {
-    auto& em = event::Local();
-    auto* cb = new EventManager::IdleCallback(em, [&idle_runs] { idle_runs.fetch_add(1); });
-    cb->Start();
-    // Queue several synthetic events; each pass dispatches one synthetic event and only
-    // reaches idle callbacks when no synthetic work ran. (RunSync barriers ride the
-    // remote-spawn mailbox, which drains before synthetic events — so barrier completion
-    // does not imply the synthetic queue drained; spin until it has.)
-    for (int i = 0; i < 10; ++i) {
-      em.Spawn([&events_run] { events_run.fetch_add(1); });
-    }
-  });
-  RUN_SYNC_UNTIL(machine, 0, events_run.load() >= 10);
-  EXPECT_EQ(events_run.load(), 10);
-  machine.Shutdown();
-}
-
-TEST(ThreadMachine, SaveAndActivateContext) {
-  ThreadMachine machine(2);
-  machine.Start();
-  std::atomic<bool> resumed{false};
-  std::atomic<int> progress{0};
-  machine.RunSync(0, [&] {
-    auto& em = event::Local();
-    em.Spawn([&] {
-      progress = 1;
-      EventContext ctx;
-      // Hand the context to core 1, which activates it back on core 0.
-      em.Spawn([&em, &ctx] { em.ActivateContext(std::move(ctx)); });
-      em.SaveContext(ctx);
-      progress = 2;
-      resumed = true;
-    });
-  });
-  for (int i = 0; i < 100 && !resumed.load(); ++i) {
-    machine.RunSync(0, [] {});
-  }
-  EXPECT_TRUE(resumed.load());
-  EXPECT_EQ(progress.load(), 2);
-  machine.Shutdown();
-}
-
-TEST(ThreadMachine, EventsContinueWhileContextBlocked) {
-  // A blocked event must not block the core: later events run while it is frozen.
-  ThreadMachine machine(1);
-  machine.Start();
-  std::atomic<int> side_events{0};
-  std::atomic<bool> resumed{false};
-  machine.RunSync(0, [&] {
-    auto& em = event::Local();
-    auto ctx = std::make_shared<EventContext>();
-    em.Spawn([&, ctx] {
-      em.SaveContext(*ctx);  // freeze immediately
-      resumed = true;
-    });
-    for (int i = 0; i < 5; ++i) {
-      em.Spawn([&side_events] { side_events.fetch_add(1); });
-    }
-    // Resume the frozen event after the side events.
-    em.Spawn([ctx, &em, &side_events] {
-      EXPECT_EQ(side_events.load(), 5);
-      em.ActivateContext(std::move(*ctx));
-    });
-  });
-  for (int i = 0; i < 100 && !resumed.load(); ++i) {
-    machine.RunSync(0, [] {});
-  }
-  EXPECT_TRUE(resumed.load());
-  EXPECT_EQ(side_events.load(), 5);
-  machine.Shutdown();
-}
-
-TEST(ThreadMachine, BlockOnFutureCrossCore) {
-  ThreadMachine machine(2);
-  machine.Start();
-  std::atomic<int> result{0};
-  machine.RunSync(0, [&] {
-    auto& em = event::Local();
-    em.Spawn([&result, &em] {
-      Promise<int> p;
-      auto f = p.GetFuture();
-      // Fulfill from core 1 while core 0's event blocks.
-      em.SpawnRemote([p]() mutable { p.SetValue(77); }, 1);
-      result = event::BlockOn(std::move(f));
-    });
-  });
-  for (int i = 0; i < 200 && result.load() == 0; ++i) {
-    machine.RunSync(0, [] {});
-  }
-  EXPECT_EQ(result.load(), 77);
-  machine.Shutdown();
-}
-
 TEST(ThreadMachine, BlockOnReadyFutureFastPath) {
   ThreadMachine machine(1);
   machine.Start();
@@ -220,70 +69,161 @@ TEST(ThreadMachine, BlockOnReadyFutureFastPath) {
   machine.Shutdown();
 }
 
-TEST(ThreadMachine, TimerFires) {
-  ThreadMachine machine(1);
-  machine.Start();
-  std::atomic<bool> fired{false};
-  machine.RunSync(0, [&] {
-    Timer::Instance()->Start(1'000'000 /* 1ms */, [&fired] { fired = true; });
+// --- Deterministic ports (discrete-event SimWorld, virtual time) ------------------------------
+
+TEST(SimEvents, InterruptVectorDispatch) {
+  SimWorld world;
+  Runtime& rt = world.AddMachine("irq", 1);
+  int fired = 0;
+  std::uint32_t vector = 0;
+  EventManager& em = rt.GetSubsystem<EventManagerRoot>(Subsystem::kEventManager).RepFor(0);
+  SimWorld::SpawnOn(rt, 0, [&] {
+    vector = event::Local().AllocateVector([&fired] { ++fired; });
   });
-  RUN_SYNC_UNTIL(machine, 0, fired.load());
-  EXPECT_TRUE(fired.load());
-  machine.Shutdown();
+  // Devices raise vectors from device/world context (the NIC does exactly this).
+  world.After(1000, [&] { em.RaiseVector(vector); });
+  world.After(2000, [&] { em.RaiseVector(vector); });
+  world.Run();
+  EXPECT_EQ(fired, 2);
 }
 
-TEST(ThreadMachine, PeriodicTimerRepeatsUntilStopped) {
-  ThreadMachine machine(1);
-  machine.Start();
-  std::atomic<int> ticks{0};
-  std::atomic<std::uint64_t> handle{0};
-  machine.RunSync(0, [&] {
-    handle = Timer::Instance()->Start(
-        200'000 /* 0.2ms */,
-        [&ticks] { ticks.fetch_add(1); },
-        /*periodic=*/true);
+TEST(SimEvents, SyntheticEventsHavePriorityOverIdle) {
+  SimWorld world;
+  Runtime& rt = world.AddMachine("prio", 1);
+  int idle_runs_during_events = -1;
+  int events_run = 0;
+  auto idle_runs = std::make_shared<int>(0);
+  auto cb_holder = std::make_shared<std::unique_ptr<EventManager::IdleCallback>>();
+  SimWorld::SpawnOn(rt, 0, [&, idle_runs, cb_holder] {
+    auto& em = event::Local();
+    *cb_holder = std::make_unique<EventManager::IdleCallback>(em, [idle_runs, cb_holder] {
+      if (++*idle_runs >= 3) {
+        (*cb_holder)->Stop();  // self-stopping poller, so the world can quiesce
+      }
+    });
+    (*cb_holder)->Start();
+    // Each dispatch pass runs ONE synthetic event and only reaches idle callbacks when no
+    // synthetic work ran: when the last event executes, the idle callback must not have
+    // run at all.
+    for (int i = 0; i < 10; ++i) {
+      em.Spawn([&, idle_runs] {
+        ++events_run;
+        if (events_run == 10) {
+          idle_runs_during_events = *idle_runs;
+        }
+      });
+    }
   });
-  RUN_SYNC_UNTIL(machine, 0, ticks.load() >= 3);
-  EXPECT_GE(ticks.load(), 3);
-  machine.RunSync(0, [&] { Timer::Instance()->Stop(handle.load()); });
-  int at_stop = ticks.load();
-  machine.RunSync(0, [] {});
-  // Allow at most one in-flight tick after Stop.
-  EXPECT_LE(ticks.load(), at_stop + 1);
-  machine.Shutdown();
+  world.Run();
+  EXPECT_EQ(events_run, 10);
+  EXPECT_EQ(idle_runs_during_events, 0);  // idle never preempted pending synthetic events
+  cb_holder->reset();  // break the callback<->holder reference cycle
 }
 
-TEST(ThreadMachine, StoppedTimerNeverFires) {
-  ThreadMachine machine(1);
-  machine.Start();
-  std::atomic<bool> fired{false};
-  machine.RunSync(0, [&] {
+TEST(SimEvents, SaveAndActivateContext) {
+  SimWorld world;
+  Runtime& rt = world.AddMachine("ctx", 1);
+  bool resumed = false;
+  int progress = 0;
+  SimWorld::SpawnOn(rt, 0, [&] {
+    auto& em = event::Local();
+    em.Spawn([&] {
+      progress = 1;
+      EventContext ctx;
+      // A sibling event re-activates the frozen context on this core.
+      em.Spawn([&em, &ctx] { em.ActivateContext(std::move(ctx)); });
+      em.SaveContext(ctx);
+      progress = 2;
+      resumed = true;
+    });
+  });
+  world.Run();
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(progress, 2);
+}
+
+TEST(SimEvents, EventsContinueWhileContextBlocked) {
+  // A blocked event must not block the core: later events run while it is frozen, and the
+  // exact interleaving is deterministic under the DES.
+  SimWorld world;
+  Runtime& rt = world.AddMachine("blocked", 1);
+  int side_events = 0;
+  int side_events_at_resume = -1;
+  bool resumed = false;
+  SimWorld::SpawnOn(rt, 0, [&] {
+    auto& em = event::Local();
+    auto ctx = std::make_shared<EventContext>();
+    em.Spawn([&, ctx] {
+      em.SaveContext(*ctx);  // freeze immediately
+      side_events_at_resume = side_events;
+      resumed = true;
+    });
+    for (int i = 0; i < 5; ++i) {
+      em.Spawn([&side_events] { ++side_events; });
+    }
+    em.Spawn([ctx, &em] { em.ActivateContext(std::move(*ctx)); });
+  });
+  world.Run();
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(side_events_at_resume, 5);  // every earlier event ran before the resume
+}
+
+TEST(SimEvents, BlockOnFutureCrossCore) {
+  SimWorld world;
+  Runtime& rt = world.AddMachine("blockon", 2);
+  int result = 0;
+  SimWorld::SpawnOn(rt, 0, [&] {
+    auto& em = event::Local();
+    Promise<int> p;
+    auto f = p.GetFuture();
+    // Fulfill from core 1 while core 0's event blocks.
+    em.SpawnRemote([p]() mutable { p.SetValue(77); }, 1);
+    result = event::BlockOn(std::move(f));
+  });
+  world.Run();
+  EXPECT_EQ(result, 77);
+}
+
+TEST(SimEvents, StoppedTimerNeverFires) {
+  SimWorld world;
+  Runtime& rt = world.AddMachine("timer", 1);
+  bool fired = false;
+  SimWorld::SpawnOn(rt, 0, [&] {
     auto handle = Timer::Instance()->Start(500'000, [&fired] { fired = true; });
     Timer::Instance()->Stop(handle);
   });
-  for (int i = 0; i < 50; ++i) {
-    machine.RunSync(0, [] {});
-  }
-  EXPECT_FALSE(fired.load());
-  machine.Shutdown();
+  world.Run();  // quiesces past the would-be deadline
+  EXPECT_FALSE(fired);
 }
 
-TEST(ThreadMachine, ManyCrossCoreSpawnsAllArrive) {
-  ThreadMachine machine(2);
-  machine.Start();
+TEST(SimEvents, PeriodicTimerStopsAfterStop) {
+  SimWorld world;
+  Runtime& rt = world.AddMachine("periodic", 1);
+  int ticks = 0;
+  std::uint64_t handle = 0;
+  SimWorld::SpawnOn(rt, 0, [&] {
+    handle = Timer::Instance()->Start(
+        200'000, [&ticks] { ++ticks; }, /*periodic=*/true);
+    // Stop deterministically after the third tick's deadline has passed.
+    Timer::Instance()->Start(650'000, [&] { Timer::Instance()->Stop(handle); });
+  });
+  world.Run();
+  EXPECT_EQ(ticks, 3);  // exactly three periods fit before the stop — no slack needed
+}
+
+TEST(SimEvents, ManyCrossCoreSpawnsAllArrive) {
+  SimWorld world;
+  Runtime& rt = world.AddMachine("mass", 2);
   constexpr int kCount = 5000;
-  std::atomic<int> received{0};
-  machine.RunSync(0, [&] {
+  int received = 0;
+  SimWorld::SpawnOn(rt, 0, [&] {
     auto& em = event::Local();
     for (int i = 0; i < kCount; ++i) {
-      em.SpawnRemote([&received] { received.fetch_add(1, std::memory_order_relaxed); }, 1);
+      em.SpawnRemote([&received] { ++received; }, 1);
     }
   });
-  for (int i = 0; i < 1000 && received.load() < kCount; ++i) {
-    machine.RunSync(1, [] {});
-  }
-  EXPECT_EQ(received.load(), kCount);
-  machine.Shutdown();
+  world.Run();
+  EXPECT_EQ(received, kCount);
 }
 
 }  // namespace

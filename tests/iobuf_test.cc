@@ -292,5 +292,24 @@ TEST(DataPointer, RemainingTracksChain) {
   EXPECT_EQ(dp.Remaining(), 1u);
 }
 
+TEST(IOBuf, OwnedStorageEmbedsControlBlock) {
+  // One-allocation layout: the SharedStorage header and the bytes are one block — for the
+  // heap-fallback path here, and (asserted in buffer_pool_test with a machine installed)
+  // for the slab path identically.
+  EXPECT_TRUE(IOBuf::Create(128)->StorageEmbedded());
+  EXPECT_TRUE(IOBuf::CreateReserve(256, 64)->StorageEmbedded());
+  EXPECT_TRUE(IOBuf::CopyBuffer("payload")->StorageEmbedded());
+  auto coalesced = IOBuf::CopyBuffer("one-");
+  coalesced->AppendChain(IOBuf::CopyBuffer("two"));
+  coalesced->Coalesce();
+  EXPECT_TRUE(coalesced->StorageEmbedded());
+  // Views over memory the IOBuf does not own carry no embedded block.
+  char external[8] = "outside";
+  EXPECT_FALSE(IOBuf::WrapBuffer(external, 7)->StorageEmbedded());
+  auto owned = IOBuf::TakeOwnership(
+      std::malloc(16), 16, 16, [](void* p, void*) { std::free(p); }, nullptr);
+  EXPECT_FALSE(owned->StorageEmbedded());
+}
+
 }  // namespace
 }  // namespace ebbrt
