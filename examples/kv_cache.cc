@@ -1,42 +1,117 @@
 // A memcached-protocol key/value cache served by the EbbRT stack, driven by the ETC load
-// generator — the paper's flagship application (§4.2) in miniature.
+// generator — the paper's flagship application (§4.2) in miniature, wired together the way
+// the hybrid structure intends (§2.1): the server publishes its address under a
+// "service/..." key in the GlobalIdMap served by the hosted frontend, and the client
+// discovers it by name instead of a hard-coded IP.
 //
 // Run: ./examples/kv_cache
 #include <cstdio>
+#include <memory>
 
 #include "src/apps/loadgen/memcached_loadgen.h"
 #include "src/apps/memcached/server.h"
+#include "src/dist/global_id_map.h"
+#include "src/event/timer.h"
 #include "src/sim/testbed.h"
+
+namespace {
+
+// Parses "a.b.c.d:port" (the GlobalIdMap service-record convention).
+bool ParseEndpoint(const std::string& record, ebbrt::Ipv4Addr* addr, std::uint16_t* port) {
+  unsigned a, b, c, d, p;
+  if (std::sscanf(record.c_str(), "%u.%u.%u.%u:%u", &a, &b, &c, &d, &p) != 5 || a > 255 ||
+      b > 255 || c > 255 || d > 255 || p > 65535) {
+    return false;
+  }
+  *addr = ebbrt::Ipv4Addr::Of(a, b, c, d);
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace ebbrt;
   sim::Testbed bed;
+  constexpr Ipv4Addr kFrontendIp = Ipv4Addr::Of(10, 0, 0, 4);
+  // The hosted frontend inside "Linux": serves the name map the other instances share.
+  sim::TestbedNode frontend = bed.AddNode("frontend", 1, kFrontendIp,
+                                          sim::HypervisorModel::Native(),
+                                          RuntimeKind::kHosted);
   sim::TestbedNode server = bed.AddNode("server", 2, Ipv4Addr::Of(10, 0, 0, 2));
   sim::TestbedNode client = bed.AddNode("client", 2, Ipv4Addr::Of(10, 0, 0, 3),
                                         sim::HypervisorModel::Native());
 
+  frontend.Spawn(0, [&] { dist::GlobalIdMap::ServeOn(*frontend.runtime); });
+
+  // The server binds, then registers itself by name.
   memcached::MemcachedServer* srv = nullptr;
-  server.Spawn(0, [&] { srv = new memcached::MemcachedServer(*server.net, 11211); });
-
-  loadgen::MemcachedLoadgen::Config config;
-  config.connections = 8;
-  config.key_space = 500;
-  config.target_qps = 50'000;
-  config.warmup_ns = 5'000'000;
-  config.duration_ns = 50'000'000;
-  loadgen::MemcachedLoadgen gen(bed, client, Ipv4Addr::Of(10, 0, 0, 2), 11211, config);
-
-  bool done = false;
-  gen.Run().Then([&](Future<loadgen::MemcachedLoadgen::Result> f) {
-    auto result = f.Get();
-    std::printf("ETC workload results (50 ms measured window):\n");
-    std::printf("  achieved   %.0f requests/sec\n", result.achieved_qps);
-    std::printf("  mean       %.1f us\n", result.mean_ns / 1000.0);
-    std::printf("  p50        %.1f us\n", result.p50_ns / 1000.0);
-    std::printf("  p99        %.1f us\n", result.p99_ns / 1000.0);
-    std::printf("  samples    %zu\n", result.samples);
-    done = true;
+  server.Spawn(0, [&] {
+    srv = new memcached::MemcachedServer(*server.net, 11211);
+    dist::GlobalIdMap::For(*server.runtime, kFrontendIp)
+        .Set("service/memcached", server.iface->addr().ToString() + ":11211")
+        .Then([](Future<void> f) {
+          f.Get();
+          std::printf("[server] registered service/memcached with the frontend\n");
+        });
   });
+
+  // The client knows only the service NAME; the address comes from the frontend. The first
+  // lookup can race the server's registration, and a missing key surfaces as an exception
+  // through the Future (§3.5) — so the client simply retries until the name appears, the
+  // way real service discovery behaves.
+  std::unique_ptr<loadgen::MemcachedLoadgen> gen;
+  bool done = false;
+  // `lookup` lives in main's frame, which outlives bed.world().Run() — the recursing
+  // closures just capture it by reference (no shared-ownership ceremony needed).
+  std::function<void(int)> lookup;
+  client.Spawn(0, [&] {
+    lookup = [&](int attempts_left) {
+      dist::GlobalIdMap::For(*client.runtime, kFrontendIp)
+          .Get("service/memcached")
+          .Then([&, attempts_left](Future<std::string> f) {
+            std::string record;
+            try {
+              record = f.Get();
+            } catch (const std::runtime_error&) {
+              if (attempts_left <= 0) {
+                std::printf("[client] service/memcached never registered\n");
+                return;
+              }
+              Timer::Instance()->Start(1'000'000,
+                                       [&, attempts_left] { lookup(attempts_left - 1); });
+              return;
+            }
+            Ipv4Addr addr;
+            std::uint16_t port = 0;
+            if (!ParseEndpoint(record, &addr, &port)) {
+              std::printf("[client] bad service record: %s\n", record.c_str());
+              return;
+            }
+            std::printf("[client] discovered service/memcached at %s\n", record.c_str());
+            loadgen::MemcachedLoadgen::Config config;
+            config.connections = 8;
+            config.key_space = 500;
+            config.target_qps = 50'000;
+            config.warmup_ns = 5'000'000;
+            config.duration_ns = 50'000'000;
+            gen =
+                std::make_unique<loadgen::MemcachedLoadgen>(bed, client, addr, port, config);
+            gen->Run().Then([&](Future<loadgen::MemcachedLoadgen::Result> rf) {
+              auto result = rf.Get();
+              std::printf("ETC workload results (50 ms measured window):\n");
+              std::printf("  achieved   %.0f requests/sec\n", result.achieved_qps);
+              std::printf("  mean       %.1f us\n", result.mean_ns / 1000.0);
+              std::printf("  p50        %.1f us\n", result.p50_ns / 1000.0);
+              std::printf("  p99        %.1f us\n", result.p99_ns / 1000.0);
+              std::printf("  samples    %zu\n", result.samples);
+              done = true;
+            });
+          });
+    };
+    lookup(/*attempts_left=*/10);
+  });
+
   bed.world().Run();
   if (srv != nullptr) {
     std::printf("server handled %llu requests; store holds %zu items\n",

@@ -14,10 +14,27 @@ EbbId EbbAllocator::Allocate() {
   return CurrentRuntime().AllocateLocalId();
 }
 
-void EbbAllocator::SetGlobalBlock(EbbId first, EbbId count) {
+bool EbbAllocator::SetGlobalBlock(EbbId first, EbbId count) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (global_first_ != kNullEbbId) {
+    if (first == global_first_ && count == global_count_) {
+      return true;  // idempotent re-install: keep the allocation cursor where it is
+    }
+    if (global_next_ < global_end_) {
+      return false;  // a different block while this one is live: rejected
+    }
+  }
+  for (const auto& [issued_first, issued_end] : issued_) {
+    if (first < issued_end && issued_first < first + count) {
+      return false;  // overlaps a drained block: those ids were already handed out
+    }
+  }
+  global_first_ = first;
+  global_count_ = count;
   global_next_ = first;
   global_end_ = first + count;
+  issued_.emplace_back(first, first + count);
+  return true;
 }
 
 }  // namespace ebbrt

@@ -9,6 +9,8 @@
 #define EBBRT_SRC_CORE_EBB_ALLOCATOR_H_
 
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "src/core/ebb_id.h"
 #include "src/core/multicore_ebb.h"
@@ -29,13 +31,24 @@ class EbbAllocator : public SharedEbb<EbbAllocator> {
   // machine runs standalone.
   EbbId Allocate();
 
-  // Installs a [first, first+count) block of globally-unique ids for this machine.
-  void SetGlobalBlock(EbbId first, EbbId count);
+  // Installs a [first, first+count) block of globally-unique ids for this machine. Returns
+  // true when the block is installed. Re-installing the *same* block is an idempotent no-op
+  // (bring-up may retry; already-handed-out ids are not re-issued), and a *different* block
+  // is rejected (returns false) while the current one still has unallocated ids — a machine
+  // must drain its block before adopting a new one. Once the block is exhausted a new
+  // install is accepted, unless it overlaps the drained block (those ids were issued).
+  bool SetGlobalBlock(EbbId first, EbbId count);
 
  private:
   std::mutex mu_;
+  EbbId global_first_ = kNullEbbId;  // installed block (for idempotence checks)
+  EbbId global_count_ = 0;
   EbbId global_next_ = kNullEbbId;
   EbbId global_end_ = kNullEbbId;
+  // Every block ever installed, so a new install can be checked against ALL ranges whose
+  // ids may be in the world — not just the latest. Installs are rare bring-up events; the
+  // list stays tiny.
+  std::vector<std::pair<EbbId, EbbId>> issued_;  // [first, end) per installed block
 };
 
 }  // namespace ebbrt

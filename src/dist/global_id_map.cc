@@ -1,0 +1,135 @@
+#include "src/dist/global_id_map.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace ebbrt {
+namespace dist {
+
+namespace {
+
+// The hosted representative: the map and the id-block authority.
+class GlobalIdMapServer final : public RpcServer {
+ public:
+  explicit GlobalIdMapServer(Runtime& runtime) : RpcServer(runtime, kGlobalIdMapId) {}
+
+ private:
+  void HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint16_t opcode,
+                  std::uint32_t aux, std::unique_ptr<IOBuf> body) override {
+    switch (static_cast<GlobalIdMap::Opcode>(opcode)) {
+      case GlobalIdMap::kSet: {
+        std::string key;
+        std::string value;
+        if (!ParseLenPrefixedBody(ChainToString(body.get()), &key, &value)) {
+          ReplyError(from, request_id, "GlobalIdMap::Set: malformed request");
+          return;
+        }
+        {
+          // HandleCall runs on whichever core owns the inbound connection; two clients'
+          // connections RSS-steer to different frontend cores, so the authority state is
+          // locked (a name lookup is not a datapath).
+          std::lock_guard<std::mutex> lock(mu_);
+          map_[std::move(key)] = std::move(value);
+        }
+        Reply(from, request_id, 0, nullptr);
+        return;
+      }
+      case GlobalIdMap::kGet: {
+        std::string key = ChainToString(body.get());
+        bool found = false;
+        std::string value;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = map_.find(key);
+          if (it != map_.end()) {
+            found = true;
+            value = it->second;
+          }
+        }
+        if (!found) {
+          ReplyError(from, request_id, "GlobalIdMap::Get: no such key: " + key);
+          return;
+        }
+        Reply(from, request_id, 0, IOBuf::CopyBuffer(value));
+        return;
+      }
+      case GlobalIdMap::kAllocateIdBlock: {
+        EbbId count = aux;
+        if (count == 0) {
+          ReplyError(from, request_id, "GlobalIdMap::AllocateIdBlock: zero count");
+          return;
+        }
+        EbbId first;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          // Blocks must stay below the fast-path translation bound (the promise in the
+          // header): a block crossing kMaxFastEbbIds would install ids the per-core flat
+          // tables cannot hold, aborting the installing machine on first use. `count` is
+          // a remote input — bound it, don't trust it.
+          if (count > kMaxFastEbbIds - next_block_) {
+            first = kNullEbbId;
+          } else {
+            first = next_block_;
+            next_block_ += count;
+          }
+        }
+        if (first == kNullEbbId) {
+          ReplyError(from, request_id,
+                     "GlobalIdMap::AllocateIdBlock: global id space exhausted");
+          return;
+        }
+        Reply(from, request_id, first, nullptr);
+        return;
+      }
+    }
+    ReplyError(from, request_id, "GlobalIdMap: unknown opcode");
+  }
+
+  std::mutex mu_;  // serializes the authority state across the frontend's cores
+  std::unordered_map<std::string, std::string> map_;
+  EbbId next_block_ = kGlobalIdBlockBase;
+};
+
+}  // namespace
+
+GlobalIdMap::GlobalIdMap(Runtime& runtime, Ipv4Addr frontend)
+    : client_(runtime, kGlobalIdMapId, frontend) {}
+
+GlobalIdMap& GlobalIdMap::For(Runtime& runtime, Ipv4Addr frontend) {
+  auto* map = runtime.TryGetSubsystem<GlobalIdMap>(Subsystem::kGlobalIdMap);
+  if (map == nullptr) {
+    auto owned = std::make_shared<GlobalIdMap>(runtime, frontend);
+    map = owned.get();
+    runtime.SetSubsystem(Subsystem::kGlobalIdMap, map);
+    runtime.InstallRoot(kGlobalIdMapId, map);
+    runtime.Adopt(std::move(owned));
+  }
+  // The frontend binding is fixed at first use; a different address later would silently
+  // resolve names against the wrong authority — fail fast instead.
+  Kassert(map->client_.server() == frontend, "GlobalIdMap::For: frontend already bound");
+  return *map;
+}
+
+void GlobalIdMap::ServeOn(Runtime& runtime) {
+  Kassert(runtime.hosted(),
+          "GlobalIdMap::ServeOn: the naming authority runs on the hosted frontend");
+  runtime.Adopt(std::make_shared<GlobalIdMapServer>(runtime));
+}
+
+Future<void> GlobalIdMap::Set(std::string key, std::string value) {
+  return client_.Call(kSet, 0, BuildLenPrefixedBody(key, value))
+      .Then([](Future<RpcClient::Response> f) { f.Get(); });
+}
+
+Future<std::string> GlobalIdMap::Get(std::string key) {
+  return client_.Call(kGet, 0, IOBuf::CopyBuffer(key))
+      .Then([](Future<RpcClient::Response> f) { return ChainToString(f.Get().body.get()); });
+}
+
+Future<EbbId> GlobalIdMap::AllocateIdBlock(EbbId count) {
+  return client_.Call(kAllocateIdBlock, count, nullptr)
+      .Then([](Future<RpcClient::Response> f) { return f.Get().aux; });
+}
+
+}  // namespace dist
+}  // namespace ebbrt

@@ -1,0 +1,65 @@
+// GlobalIdMap — distributed naming and global EbbId allocation, served by the hosted
+// frontend (paper §2.1, §4.3).
+//
+// The hybrid structure keeps the native library OS lean by letting the hosted EbbRT instance
+// inside Linux own the application's *global* coordination state:
+//
+//   * a key -> value name service (service discovery: "service/memcached" -> "10.0.0.2:11211"),
+//   * the authority for system-wide-unique EbbId blocks. A machine asks for a block once at
+//     bring-up and installs it into its EbbAllocator (SetGlobalBlock), after which ids that
+//     must resolve on every machine are allocated locally with no further round trips.
+//
+// The native representative is an RpcClient that ships each call to the frontend; the hosted
+// representative (ServeOn) executes against an in-memory map. All results come back through
+// Futures, so lookup chains compose with the rest of the runtime (§3.5) and remote failures
+// surface as exceptions in the final continuation.
+#ifndef EBBRT_SRC_DIST_GLOBAL_ID_MAP_H_
+#define EBBRT_SRC_DIST_GLOBAL_ID_MAP_H_
+
+#include <string>
+
+#include "src/dist/rpc.h"
+
+namespace ebbrt {
+namespace dist {
+
+// First id the frontend hands out in blocks. Global ids live above every machine's local
+// range (kFirstFreeId upward) and below the fast-path translation bound, so an installed
+// block's ids still resolve through the flat per-core tables.
+inline constexpr EbbId kGlobalIdBlockBase = 0x2000;
+
+class GlobalIdMap {
+ public:
+  enum Opcode : std::uint16_t {
+    kSet = 1,
+    kGet = 2,
+    kAllocateIdBlock = 3,
+  };
+
+  // The machine's client representative, created on first use (Subsystem::kGlobalIdMap);
+  // calls are shipped to the frontend at `frontend`. Later calls return the same rep (the
+  // frontend address is fixed at first use).
+  static GlobalIdMap& For(Runtime& runtime, Ipv4Addr frontend);
+
+  // Brings up the hosted representative that executes the calls. `runtime` must be a hosted
+  // instance — this is exactly the generality the native library OS offloads.
+  static void ServeOn(Runtime& runtime);
+
+  // Naming. Get fails (std::runtime_error through the Future) for an absent key.
+  Future<void> Set(std::string key, std::string value);
+  Future<std::string> Get(std::string key);
+
+  // Allocates a [first, first+count) block of globally-unique EbbIds; install the result
+  // into the machine's EbbAllocator with SetGlobalBlock.
+  Future<EbbId> AllocateIdBlock(EbbId count);
+
+  GlobalIdMap(Runtime& runtime, Ipv4Addr frontend);
+
+ private:
+  RpcClient client_;
+};
+
+}  // namespace dist
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_DIST_GLOBAL_ID_MAP_H_

@@ -1,0 +1,243 @@
+#include "src/dist/messenger.h"
+
+#include <utility>
+
+#include "src/event/event_manager.h"
+#include "src/platform/context.h"
+
+namespace ebbrt {
+namespace dist {
+
+Messenger& Messenger::For(Runtime& runtime) {
+  auto* messenger = runtime.TryGetSubsystem<Messenger>(Subsystem::kMessenger);
+  if (messenger == nullptr) {
+    auto owned = std::make_shared<Messenger>(runtime);
+    messenger = owned.get();
+    runtime.SetSubsystem(Subsystem::kMessenger, messenger);
+    runtime.InstallRoot(kMessengerId, messenger);
+    runtime.Adopt(std::move(owned));
+  }
+  return *messenger;
+}
+
+Messenger::Messenger(Runtime& runtime)
+    : runtime_(runtime), net_(NetworkManager::For(runtime)) {
+  // Inbound connections: the peer object is the connection's handler, owned by the
+  // connection (shared anchor), and cached under the peer's address so replies ride the
+  // same connection instead of dialing back.
+  net_.tcp().Listen(kMessengerPort, [this](TcpPcb pcb) {
+    Ipv4Addr addr = pcb.tuple().remote_ip;
+    auto peer = std::make_shared<Peer>(*this, addr, CurrentContext().machine_core);
+    pcb.InstallHandler(std::shared_ptr<TcpHandler>(peer));
+    pcb.SetAutoCork(true);
+    peer->Established(pcb);
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.accepts++;
+    // Simultaneous open: if a dialed connection already owns the cache slot, keep it for
+    // sending — this accepted connection still receives until the remote closes it.
+    peers_.emplace(addr.raw, std::move(peer));
+  });
+}
+
+// No Unlisten here: the Messenger is adopted by its Runtime and destroyed during machine
+// teardown, after the event loops (and the RCU machinery a listener erase would ride) are
+// already gone. The listen socket dies with the machine's network stack.
+Messenger::~Messenger() = default;
+
+void Messenger::RegisterReceiver(EbbId target, Receiver receiver) {
+  std::lock_guard<std::mutex> lock(mu_);
+  receivers_[target] = std::make_shared<Receiver>(std::move(receiver));
+}
+
+void Messenger::UnregisterReceiver(EbbId target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  receivers_.erase(target);
+}
+
+void Messenger::Send(Ipv4Addr dst, EbbId target, std::unique_ptr<IOBuf> payload) {
+  std::shared_ptr<Peer> peer = PeerFor(dst);
+  if (CurrentContext().machine_core == peer->core()) {
+    peer->Deliver(target, std::move(payload));
+    return;
+  }
+  // The connection's state lives on its owner core; forward the message there.
+  event::Local().SpawnRemote(
+      [peer, target, payload = std::move(payload)]() mutable {
+        peer->Deliver(target, std::move(payload));
+      },
+      peer->core());
+}
+
+std::shared_ptr<Messenger::Peer> Messenger::PeerFor(Ipv4Addr addr) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = peers_.find(addr.raw);
+    if (it != peers_.end()) {
+      return it->second;
+    }
+  }
+  // Lazily dial from this core; messages queue on the peer until the handshake completes.
+  auto peer = std::make_shared<Peer>(*this, addr, CurrentContext().machine_core);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = peers_.emplace(addr.raw, peer);
+    if (!inserted) {
+      return it->second;  // another core raced the dial; use theirs
+    }
+    stats_.dials++;
+  }
+  net_.tcp().Connect(net_.interface(), addr, kMessengerPort).Then([peer](Future<TcpPcb> f) {
+    try {
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(std::shared_ptr<TcpHandler>(peer));
+      pcb.SetAutoCork(true);
+      peer->Established(pcb);
+    } catch (...) {
+      peer->DialFailed();
+    }
+  });
+  return peer;
+}
+
+void Messenger::DropPeer(Peer& peer, bool was_established) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(peer.addr().raw);
+  if (it != peers_.end() && it->second.get() == &peer) {
+    peers_.erase(it);
+    if (was_established) {
+      stats_.reconnects++;  // the next Send to this address re-dials
+    }
+  }
+}
+
+void Messenger::Dispatch(Ipv4Addr from, EbbId target, std::unique_ptr<IOBuf> payload) {
+  stats_.messages_received++;
+  stats_.payload_bytes_received += payload->ComputeChainDataLength();
+  std::shared_ptr<Receiver> receiver;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = receivers_.find(target);
+    if (it != receivers_.end()) {
+      receiver = it->second;
+    }
+  }
+  if (receiver) {
+    (*receiver)(from, std::move(payload));
+  } else {
+    stats_.dropped++;
+  }
+}
+
+// --- Peer -------------------------------------------------------------------------------------
+
+void Messenger::Peer::Deliver(EbbId target, std::unique_ptr<IOBuf> payload) {
+  if (dead_) {
+    messenger_.stats_.dropped++;
+    return;
+  }
+  std::size_t len = payload != nullptr ? payload->ComputeChainDataLength() : 0;
+  auto frame = IOBuf::CreateReserveFor<sizeof(MsgHeader)>(0);
+  frame->Append(sizeof(MsgHeader));
+  auto& header = frame->Get<MsgHeader>();
+  header.length = HostToNet32(static_cast<std::uint32_t>(len));
+  header.target = HostToNet32(target);
+  if (len != 0) {
+    frame->AppendChain(std::move(payload));
+  }
+  messenger_.stats_.messages_sent++;
+  messenger_.stats_.payload_bytes_sent += len;
+  backlog_lens_.push_back(sizeof(MsgHeader) + len);
+  backlog_.Append(std::move(frame));
+  Drain();
+}
+
+void Messenger::Peer::Drain() {
+  if (!established_ || dead_) {
+    return;
+  }
+  while (!backlog_.Empty()) {
+    // Sendability is checked BEFORE splitting bytes out of the backlog: Send() consumes
+    // its chain even when it refuses, so a split-then-fail would silently drop bytes from
+    // the middle of the length-prefixed stream and desynchronize the peer's framing.
+    TcpState state = Pcb().state();
+    if (state != TcpState::kEstablished && state != TcpState::kCloseWait) {
+      return;  // teardown in progress: the Close/Abort edge drops the backlog intact
+    }
+    std::size_t window = Pcb().SendWindowRemaining();
+    if (window == 0) {
+      return;  // SendReady resumes when ACKs open the window
+    }
+    std::size_t n = std::min(window, backlog_.ChainLength());
+    bool sent = Pcb().Send(backlog_.Split(n));
+    // With the state verified, !dead_ (so our side never closed first), and n bounded by
+    // the window, Send cannot refuse — anything else would lose the split bytes.
+    Kassert(sent, "Messenger::Peer::Drain: Send refused after state/window check");
+    // Advance the per-message ledger past every message boundary the sent bytes crossed,
+    // so only messages that never fully reached TCP count as dropped on teardown.
+    while (n > 0) {
+      std::size_t need = backlog_lens_.front() - front_sent_;
+      if (n < need) {
+        front_sent_ += n;
+        break;
+      }
+      n -= need;
+      front_sent_ = 0;
+      backlog_lens_.pop_front();
+    }
+  }
+}
+
+void Messenger::Peer::Established(TcpPcb) {
+  established_ = true;
+  Drain();
+}
+
+void Messenger::Peer::DropBacklog() {
+  // A partially-sent front message counts as dropped too: the peer cannot reassemble it.
+  messenger_.stats_.dropped += backlog_lens_.size();
+  backlog_ = IOBufQueue();
+  backlog_lens_.clear();
+  front_sent_ = 0;
+}
+
+void Messenger::Peer::DialFailed() {
+  dead_ = true;
+  DropBacklog();
+  messenger_.DropPeer(*this, /*was_established=*/false);
+}
+
+void Messenger::Peer::Receive(std::unique_ptr<IOBuf> buf) {
+  rx_.Append(std::move(buf));
+  for (;;) {
+    MsgHeader header;
+    if (!rx_.Peek(&header, sizeof(header))) {
+      return;  // incomplete header
+    }
+    std::size_t len = NetToHost32(header.length);
+    if (rx_.ChainLength() < sizeof(header) + len) {
+      return;  // incomplete payload: wait for more segments
+    }
+    rx_.TrimStart(sizeof(header));
+    std::unique_ptr<IOBuf> payload =
+        len != 0 ? rx_.Split(len) : IOBuf::Create(0);
+    messenger_.Dispatch(addr_, NetToHost32(header.target), std::move(payload));
+  }
+}
+
+void Messenger::Peer::Close() {
+  messenger_.DropPeer(*this, established_);
+  dead_ = true;
+  DropBacklog();
+  Pcb().Close();
+}
+
+void Messenger::Peer::SendReady() { Drain(); }
+
+void Messenger::Peer::Abort() {
+  messenger_.DropPeer(*this, established_);
+  dead_ = true;
+  DropBacklog();
+}
+
+}  // namespace dist
+}  // namespace ebbrt

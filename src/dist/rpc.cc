@@ -1,0 +1,300 @@
+#include "src/dist/rpc.h"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace ebbrt {
+namespace dist {
+
+namespace {
+
+// A machine may run the client half, the server half, or both for one service id, but the
+// Messenger has one receiver slot per id. This registry is the demultiplexer: the receiver
+// routes response frames to the client and request frames to the server.
+struct Endpoint {
+  RpcClient* client = nullptr;
+  RpcServer* server = nullptr;
+};
+
+std::mutex endpoint_mu;
+std::map<std::pair<const Runtime*, EbbId>, Endpoint>& Endpoints() {
+  static std::map<std::pair<const Runtime*, EbbId>, Endpoint> endpoints;
+  return endpoints;
+}
+
+// Splits a received message into (header, body chain). The header may straddle chain
+// elements (a message that crossed segment boundaries), so it is chain-copied out.
+bool ParseFrame(std::unique_ptr<IOBuf> message, RpcHeader* header,
+                std::unique_ptr<IOBuf>* body) {
+  IOBufQueue queue;
+  queue.Append(std::move(message));
+  if (queue.ChainLength() < sizeof(RpcHeader)) {
+    return false;
+  }
+  queue.Peek(header, sizeof(RpcHeader));
+  queue.TrimStart(sizeof(RpcHeader));
+  *body = queue.Move();
+  header->request_id = NetToHost64(header->request_id);
+  header->opcode = NetToHost16(header->opcode);
+  header->aux = NetToHost32(header->aux);
+  return true;
+}
+
+void InstallEndpoint(Runtime& runtime, EbbId service, RpcClient* client, RpcServer* server);
+void RemoveEndpoint(Runtime& runtime, EbbId service, RpcClient* client, RpcServer* server);
+
+void DispatchFrame(Runtime* runtime, EbbId service, Ipv4Addr from,
+                   std::unique_ptr<IOBuf> message);
+
+void InstallEndpoint(Runtime& runtime, EbbId service, RpcClient* client, RpcServer* server) {
+  bool first;
+  {
+    std::lock_guard<std::mutex> lock(endpoint_mu);
+    Endpoint& endpoint = Endpoints()[{&runtime, service}];
+    first = endpoint.client == nullptr && endpoint.server == nullptr;
+    if (client != nullptr) {
+      Kassert(endpoint.client == nullptr, "RpcClient: service already has a client here");
+      endpoint.client = client;
+    }
+    if (server != nullptr) {
+      Kassert(endpoint.server == nullptr, "RpcServer: service already has a server here");
+      endpoint.server = server;
+    }
+  }
+  if (first) {
+    Runtime* rt = &runtime;
+    Messenger::For(runtime).RegisterReceiver(
+        service, [rt, service](Ipv4Addr from, std::unique_ptr<IOBuf> message) {
+          DispatchFrame(rt, service, from, std::move(message));
+        });
+  }
+}
+
+void RemoveEndpoint(Runtime& runtime, EbbId service, RpcClient* client, RpcServer* server) {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(endpoint_mu);
+    auto it = Endpoints().find({&runtime, service});
+    if (it == Endpoints().end()) {
+      return;
+    }
+    if (client != nullptr && it->second.client == client) {
+      it->second.client = nullptr;
+    }
+    if (server != nullptr && it->second.server == server) {
+      it->second.server = nullptr;
+    }
+    if (it->second.client == nullptr && it->second.server == nullptr) {
+      Endpoints().erase(it);
+      last = true;
+    }
+  }
+  if (last) {
+    auto* messenger = runtime.TryGetSubsystem<Messenger>(Subsystem::kMessenger);
+    if (messenger != nullptr) {
+      messenger->UnregisterReceiver(service);
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<IOBuf> BuildRpcFrame(std::uint64_t request_id, std::uint16_t opcode,
+                                     std::uint8_t flags, std::uint32_t aux,
+                                     std::unique_ptr<IOBuf> body) {
+  auto frame = IOBuf::CreateReserveFor<sizeof(RpcHeader)>(0);
+  frame->Append(sizeof(RpcHeader));
+  auto& header = frame->Get<RpcHeader>();
+  header.request_id = HostToNet64(request_id);
+  header.opcode = HostToNet16(opcode);
+  header.flags = flags;
+  header.reserved = 0;
+  header.aux = HostToNet32(aux);
+  if (body != nullptr) {
+    frame->AppendChain(std::move(body));
+  }
+  return frame;
+}
+
+std::string ChainToString(const IOBuf* chain) {
+  std::string out;
+  if (chain == nullptr) {
+    return out;
+  }
+  out.reserve(chain->ComputeChainDataLength());
+  for (const IOBuf* buf = chain; buf != nullptr; buf = buf->Next()) {
+    out.append(reinterpret_cast<const char*>(buf->Data()), buf->Length());
+  }
+  return out;
+}
+
+std::unique_ptr<IOBuf> BuildLenPrefixedBody(std::string_view head, std::string_view rest) {
+  std::uint32_t head_len = HostToNet32(static_cast<std::uint32_t>(head.size()));
+  auto body = IOBuf::Create(sizeof(head_len) + head.size());
+  std::uint8_t* p = body->WritableData();
+  std::memcpy(p, &head_len, sizeof(head_len));
+  std::memcpy(p + sizeof(head_len), head.data(), head.size());
+  if (!rest.empty()) {
+    body->AppendChain(IOBuf::CopyBuffer(rest));
+  }
+  return body;
+}
+
+bool ParseLenPrefixedBody(const std::string& raw, std::string* head, std::string* rest) {
+  std::uint32_t head_len = 0;
+  if (raw.size() < sizeof(head_len)) {
+    return false;
+  }
+  std::memcpy(&head_len, raw.data(), sizeof(head_len));
+  head_len = NetToHost32(head_len);
+  if (raw.size() - sizeof(head_len) < head_len) {
+    return false;
+  }
+  *head = raw.substr(sizeof(head_len), head_len);
+  *rest = raw.substr(sizeof(head_len) + head_len);
+  return true;
+}
+
+// --- RpcClient --------------------------------------------------------------------------------
+
+RpcClient::RpcClient(Runtime& runtime, EbbId service, Ipv4Addr server)
+    : messenger_(Messenger::For(runtime)), service_(service), server_(server) {
+  InstallEndpoint(runtime, service, this, nullptr);
+}
+
+RpcClient::~RpcClient() {
+  RemoveEndpoint(messenger_.runtime(), service_, this, nullptr);
+  std::unordered_map<std::uint64_t, Promise<Response>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphaned = std::move(pending_);
+    pending_.clear();
+  }
+  for (auto& [id, promise] : orphaned) {
+    promise.SetException(
+        std::make_exception_ptr(std::runtime_error("rpc: client torn down")));
+  }
+}
+
+std::size_t RpcClient::pending_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+Future<RpcClient::Response> RpcClient::Call(std::uint16_t opcode, std::uint32_t aux,
+                                            std::unique_ptr<IOBuf> body) {
+  std::uint64_t request_id;
+  Promise<Response> promise;
+  Future<Response> result = promise.GetFuture();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    request_id = next_request_++;
+    pending_.emplace(request_id, std::move(promise));
+  }
+  messenger_.Send(server_, service_,
+                  BuildRpcFrame(request_id, opcode, /*flags=*/0, aux, std::move(body)));
+  return result;
+}
+
+void RpcClient::HandleFrame(Ipv4Addr, std::unique_ptr<IOBuf> message) {
+  RpcHeader header;
+  std::unique_ptr<IOBuf> body;
+  if (!ParseFrame(std::move(message), &header, &body)) {
+    return;  // runt frame: drop (transport corruption cannot happen in-sim; belt and braces)
+  }
+  Promise<Response> promise;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(header.request_id);
+    if (it == pending_.end()) {
+      return;  // duplicate or stale response
+    }
+    promise = std::move(it->second);
+    pending_.erase(it);
+  }
+  if (header.flags & kRpcError) {
+    promise.SetException(
+        std::make_exception_ptr(std::runtime_error(ChainToString(body.get()))));
+    return;
+  }
+  Response response;
+  response.aux = header.aux;
+  response.body = std::move(body);
+  promise.SetValue(std::move(response));
+}
+
+// --- RpcServer --------------------------------------------------------------------------------
+
+RpcServer::RpcServer(Runtime& runtime, EbbId service)
+    : messenger_(Messenger::For(runtime)), service_(service) {
+  InstallEndpoint(runtime, service, nullptr, this);
+}
+
+RpcServer::~RpcServer() { RemoveEndpoint(messenger_.runtime(), service_, nullptr, this); }
+
+void RpcServer::Reply(Ipv4Addr to, std::uint64_t request_id, std::uint32_t aux,
+                      std::unique_ptr<IOBuf> body) {
+  messenger_.Send(to, service_,
+                  BuildRpcFrame(request_id, /*opcode=*/0, kRpcResponse, aux, std::move(body)));
+}
+
+void RpcServer::ReplyError(Ipv4Addr to, std::uint64_t request_id, std::string_view message) {
+  messenger_.Send(to, service_,
+                  BuildRpcFrame(request_id, /*opcode=*/0, kRpcResponse | kRpcError,
+                                /*aux=*/0, IOBuf::CopyBuffer(message)));
+}
+
+void RpcServer::HandleFrame(Ipv4Addr from, std::unique_ptr<IOBuf> message) {
+  RpcHeader header;
+  std::unique_ptr<IOBuf> body;
+  if (!ParseFrame(std::move(message), &header, &body)) {
+    return;
+  }
+  HandleCall(from, header.request_id, header.opcode, header.aux, std::move(body));
+}
+
+// Named (friended) trampoline: the anonymous-namespace dispatcher cannot befriend the
+// classes directly.
+struct RpcDispatch {
+  static void ToClient(RpcClient* client, Ipv4Addr from, std::unique_ptr<IOBuf> message) {
+    client->HandleFrame(from, std::move(message));
+  }
+  static void ToServer(RpcServer* server, Ipv4Addr from, std::unique_ptr<IOBuf> message) {
+    server->HandleFrame(from, std::move(message));
+  }
+};
+
+namespace {
+void DispatchFrame(Runtime* runtime, EbbId service, Ipv4Addr from,
+                   std::unique_ptr<IOBuf> message) {
+  // Peek the flags byte (chain-aware: offset 10 can straddle) to pick a direction, then
+  // hand the whole frame to that half.
+  RpcHeader header;
+  if (message == nullptr || message->ComputeChainDataLength() < sizeof(RpcHeader)) {
+    return;
+  }
+  message->CopyOut(&header, sizeof(header));
+  RpcClient* client = nullptr;
+  RpcServer* server = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(endpoint_mu);
+    auto it = Endpoints().find({runtime, service});
+    if (it == Endpoints().end()) {
+      return;
+    }
+    client = it->second.client;
+    server = it->second.server;
+  }
+  if (header.flags & kRpcResponse) {
+    if (client != nullptr) {
+      RpcDispatch::ToClient(client, from, std::move(message));
+    }
+  } else if (server != nullptr) {
+    RpcDispatch::ToServer(server, from, std::move(message));
+  }
+}
+}  // namespace
+
+}  // namespace dist
+}  // namespace ebbrt

@@ -1,0 +1,135 @@
+// Function-shipping RPC on top of dist::Messenger (paper §4.3).
+//
+// A distributed Ebb's native representative doesn't execute generality locally — it marshals
+// the call and ships it to the hosted frontend's representative, which executes it for real
+// and ships the result back. This header is the one place the call/return machinery lives:
+//
+//   * RpcHeader — 16-byte request/response frame rode inside a Messenger message.
+//   * RpcClient — the caller side: request-id -> Promise table; Call() returns a Future that
+//     fulfills with the response (or throws the server's error — errors cross the wire as
+//     flagged responses and surface as std::runtime_error through Future::Get, so a caller's
+//     continuation chain handles remote failures exactly like local exceptions, §3.5).
+//   * RpcServer — the callee side: dispatches requests to a subclass's HandleCall and sends
+//     Reply/ReplyError back to the requesting machine.
+//
+// The response body is carried as an IOBuf chain end-to-end: the server appends its result
+// chain behind the header buffer, and the client receives the chain that Messenger carved
+// straight out of the TCP segment stream. Small scalar arguments/results ride the header's
+// `aux` field and cost no body at all.
+//
+// One client and/or one server per (machine, service id): both ends register the service id
+// with the machine's Messenger, and the flags field says which direction a frame travels, so
+// a machine may be client and server of the same service simultaneously.
+#ifndef EBBRT_SRC_DIST_RPC_H_
+#define EBBRT_SRC_DIST_RPC_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/dist/messenger.h"
+#include "src/future/future.h"
+
+namespace ebbrt {
+namespace dist {
+
+inline constexpr std::uint8_t kRpcResponse = 0x1;  // frame is a response, not a request
+inline constexpr std::uint8_t kRpcError = 0x2;     // response body is an error message
+
+struct RpcHeader {
+  std::uint64_t request_id;  // pairs a response to its caller's promise (network order)
+  std::uint16_t opcode;      // service-defined operation (network order)
+  std::uint8_t flags;        // kRpcResponse / kRpcError
+  std::uint8_t reserved;
+  std::uint32_t aux;         // service-defined scalar argument/result (network order)
+} __attribute__((packed));
+static_assert(sizeof(RpcHeader) == 16);
+
+inline std::uint64_t HostToNet64(std::uint64_t v) { return __builtin_bswap64(v); }
+inline std::uint64_t NetToHost64(std::uint64_t v) { return __builtin_bswap64(v); }
+
+// Builds [RpcHeader | body...] with the body chained zero-copy behind the header buffer.
+std::unique_ptr<IOBuf> BuildRpcFrame(std::uint64_t request_id, std::uint16_t opcode,
+                                     std::uint8_t flags, std::uint32_t aux,
+                                     std::unique_ptr<IOBuf> body);
+
+// Flattens an IOBuf chain into a std::string (marshalling convenience for string-valued
+// results; the zero-copy representation stays available to callers that keep the chain).
+std::string ChainToString(const IOBuf* chain);
+
+// The services' shared two-string body marshal: [u32 head_len][head][rest...], network
+// order. `rest` rides as its own chain element (never flattened into the head buffer).
+std::unique_ptr<IOBuf> BuildLenPrefixedBody(std::string_view head, std::string_view rest);
+// Splits a received body back into (head, rest). False on a malformed (truncated) body.
+bool ParseLenPrefixedBody(const std::string& raw, std::string* head, std::string* rest);
+
+class RpcClient {
+ public:
+  struct Response {
+    std::uint32_t aux = 0;          // scalar result from the header
+    std::unique_ptr<IOBuf> body;    // result bytes (chain; may be empty)
+  };
+
+  // Registers this machine's client half of `service` with its Messenger. `server` is the
+  // machine whose representative executes the calls (the hosted frontend).
+  RpcClient(Runtime& runtime, EbbId service, Ipv4Addr server);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // Ships opcode(aux, body) to the server; the future fulfills with the response or throws
+  // the server's error as std::runtime_error. Requests issued in one event are auto-corked
+  // into as few wire segments as fit (the Messenger's batching).
+  Future<Response> Call(std::uint16_t opcode, std::uint32_t aux, std::unique_ptr<IOBuf> body);
+
+  Ipv4Addr server() const { return server_; }
+  std::size_t pending_calls() const;
+
+ private:
+  friend struct RpcDispatch;
+  void HandleFrame(Ipv4Addr from, std::unique_ptr<IOBuf> message);
+
+  Messenger& messenger_;
+  EbbId service_;
+  Ipv4Addr server_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_request_ = 1;
+  std::unordered_map<std::uint64_t, Promise<Response>> pending_;
+};
+
+class RpcServer {
+ public:
+  // Registers this machine's server half of `service` with its Messenger.
+  RpcServer(Runtime& runtime, EbbId service);
+  virtual ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+ protected:
+  // Executes one shipped call; implementations answer with Reply or ReplyError (exactly one,
+  // synchronously or from a later event). Runs on the core the request's connection owns.
+  virtual void HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint16_t opcode,
+                          std::uint32_t aux, std::unique_ptr<IOBuf> body) = 0;
+
+  void Reply(Ipv4Addr to, std::uint64_t request_id, std::uint32_t aux,
+             std::unique_ptr<IOBuf> body);
+  void ReplyError(Ipv4Addr to, std::uint64_t request_id, std::string_view message);
+
+  Messenger& messenger_;
+  EbbId service_;
+
+ private:
+  friend struct RpcDispatch;
+  void HandleFrame(Ipv4Addr from, std::unique_ptr<IOBuf> message);
+};
+
+}  // namespace dist
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_DIST_RPC_H_

@@ -48,6 +48,7 @@ void BufferPoolRoot::Install(Runtime& runtime, std::size_t num_cores, Config con
 
 void BufferPoolRoot::Release(IOBuf::SharedStorage* storage) {
   BufferPool& rep = RepFor(storage->origin_core);
+  rep.NoteReleased();  // the block leaves the datapath here, whichever route it takes home
   if (HaveContext() && &CurrentRuntime() == &runtime_ &&
       CurrentContext().machine_core == storage->origin_core) {
     rep.FreeLocal(storage);
@@ -103,6 +104,7 @@ std::unique_ptr<IOBuf> BufferPool::Alloc() {
     }
   }
   MaybeQueueDrainHook();
+  NoteCheckedOut();
   auto* storage = new (block) IOBuf::SharedStorage;
   storage->buffer = static_cast<std::uint8_t*>(block) + IOBuf::kStorageHeaderBytes;
   storage->dispose = &PoolDispose;
@@ -111,6 +113,30 @@ std::unique_ptr<IOBuf> BufferPool::Alloc() {
   storage->origin_core = static_cast<std::uint32_t>(machine_core_);
   return std::unique_ptr<IOBuf>(
       new IOBuf(storage->buffer, data_bytes, storage->buffer + cfg.headroom, 0, storage));
+}
+
+void BufferPool::NoteCheckedOut() {
+  std::size_t now = in_use_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Per-core high-water mark: only this core checks blocks out, so a plain load/store pair
+  // cannot lose an update.
+  if (now > in_use_hwm_.load(std::memory_order_relaxed)) {
+    in_use_hwm_.store(now, std::memory_order_relaxed);
+  }
+  // Cost note: the global occupancy tick is one relaxed RMW beside the pool_hits/misses
+  // tick every Alloc already pays on this same stats line, and the hwm CAS only runs while
+  // a new process-wide peak is being set (ramp/burst) — steady state takes the cheap load.
+  mem::Stats& stats = mem::stats();
+  std::uint64_t global = stats.pool_in_use.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t hwm = stats.pool_in_use_hwm.load(std::memory_order_relaxed);
+  while (global > hwm &&
+         !stats.pool_in_use_hwm.compare_exchange_weak(hwm, global,
+                                                      std::memory_order_relaxed)) {
+  }
+}
+
+void BufferPool::NoteReleased() {
+  in_use_.fetch_sub(1, std::memory_order_relaxed);
+  mem::stats().pool_in_use.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void BufferPool::FreeLocal(void* block) {

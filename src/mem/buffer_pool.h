@@ -86,6 +86,11 @@ class alignas(kCacheLineSize) BufferPool {
   // Observability.
   std::size_t free_blocks() const { return free_count_; }
   std::size_t outstanding() const { return outstanding_; }
+  // Occupancy telemetry (ROADMAP "descriptor-cache sizing"): pooled blocks of THIS core
+  // currently checked out, and the most that has ever been at once. Atomic because a block
+  // may be released from another core/context (the magazine path).
+  std::size_t in_use() const { return in_use_.load(std::memory_order_relaxed); }
+  std::size_t in_use_hwm() const { return in_use_hwm_.load(std::memory_order_relaxed); }
 
  private:
   friend class BufferPoolRoot;
@@ -97,6 +102,8 @@ class alignas(kCacheLineSize) BufferPool {
 
   static void PoolDispose(IOBuf::SharedStorage* storage);
 
+  void NoteCheckedOut();          // occupancy accounting around Alloc/Release
+  void NoteReleased();
   void FreeLocal(void* block);    // owner core only: lock-free push
   void FreeRemote(void* block);   // any context: magazine push under its spinlock
   bool DrainMagazine();           // owner core: splice the magazine into the local list
@@ -108,6 +115,8 @@ class alignas(kCacheLineSize) BufferPool {
   std::size_t free_count_ = 0;
   std::size_t outstanding_ = 0;  // pooled blocks currently alive (bounds carving at the cap)
   bool drain_hook_queued_ = false;
+  std::atomic<std::size_t> in_use_{0};      // pooled blocks currently checked out
+  std::atomic<std::size_t> in_use_hwm_{0};  // high-water mark of in_use_
 
   // Remote-free magazine: other cores/contexts push, only the owner pops (by splicing the
   // whole stack). Padded onto its own line — remote frees must not bounce the owner's

@@ -137,6 +137,15 @@ struct Stats {
   std::atomic<std::uint64_t> pool_hits{0};     // BufferPool allocs served from recycled blocks
   std::atomic<std::uint64_t> pool_misses{0};   // ...that had to carve from the slab path
   std::atomic<std::uint64_t> remote_frees{0};  // frees routed home via magazine/depot locks
+
+  // --- BufferPool occupancy (descriptor-cache sizing input) --------------------------------
+  // Pooled blocks currently checked out of any pool (in flight on a datapath), and the
+  // high-water mark that value has reached. The per-core view lives on each BufferPool rep
+  // (in_use()/in_use_hwm()); these are the process-wide aggregates an adaptive sizing policy
+  // would watch: hwm >> steady occupancy means the static per-core cap is oversized, hwm
+  // pinned at the cap means it is throttling bursts.
+  std::atomic<std::uint64_t> pool_in_use{0};
+  std::atomic<std::uint64_t> pool_in_use_hwm{0};
 };
 Stats& stats();
 }  // namespace mem

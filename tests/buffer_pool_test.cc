@@ -159,6 +159,56 @@ TEST(BufferPool, ExhaustionFallsBackToSlabWithoutFailure) {
   EXPECT_TRUE(checked);
 }
 
+TEST(BufferPool, OccupancyTelemetryTracksCheckedOutBlocks) {
+  SimWorld world;
+  Runtime& rt = world.AddMachine("occupancy", 1);
+  bool checked = false;
+  SimWorld::SpawnOn(rt, 0, [&] {
+    BufferPool* pool = BufferPool::Local();
+    ASSERT_NE(pool, nullptr);
+    // Fresh machine: nothing checked out yet, high-water untouched.
+    EXPECT_EQ(pool->in_use(), 0u);
+    EXPECT_EQ(pool->in_use_hwm(), 0u);
+    std::uint64_t global_base = mem::stats().pool_in_use.load();
+    auto a = pool->Alloc();
+    auto b = pool->Alloc();
+    auto c = pool->Alloc();
+    EXPECT_EQ(pool->in_use(), 3u);
+    EXPECT_EQ(pool->in_use_hwm(), 3u);
+    EXPECT_EQ(mem::stats().pool_in_use.load(), global_base + 3);
+    EXPECT_GE(mem::stats().pool_in_use_hwm.load(), global_base + 3);
+    // Releases bring occupancy down; the high-water mark stays at the burst's peak.
+    a.reset();
+    b.reset();
+    EXPECT_EQ(pool->in_use(), 1u);
+    EXPECT_EQ(pool->in_use_hwm(), 3u);
+    EXPECT_EQ(mem::stats().pool_in_use.load(), global_base + 1);
+    // A recycled re-alloc counts as checked out again but does not move the peak.
+    auto d = pool->Alloc();
+    EXPECT_EQ(pool->in_use(), 2u);
+    EXPECT_EQ(pool->in_use_hwm(), 3u);
+    c.reset();
+    d.reset();
+    EXPECT_EQ(pool->in_use(), 0u);
+    EXPECT_EQ(mem::stats().pool_in_use.load(), global_base);
+    // The at-cap slab fallback is NOT a pooled block and must not count as occupancy.
+    BufferPoolRoot::Config tiny;
+    tiny.per_core_cap = 1;
+    BufferPoolRoot::Install(rt, 1, tiny);
+    BufferPool* small = BufferPool::Local();
+    auto e = small->Alloc();  // the one pooled block
+    auto f = small->Alloc();  // beyond the cap: slab fallback
+    EXPECT_EQ(small->in_use(), 1u);
+    EXPECT_EQ(small->in_use_hwm(), 1u);
+    e.reset();
+    f.reset();
+    EXPECT_EQ(small->in_use(), 0u);
+    checked = true;
+  });
+  world.Run();
+  EXPECT_TRUE(checked);
+}
+
 TEST(BufferPool, CloneKeepsRecycledBufferAlivePastOriginatingEvent) {
   SimWorld world;
   Runtime& rt = world.AddMachine("clone", 1);

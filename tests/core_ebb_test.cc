@@ -190,6 +190,65 @@ TEST_F(EbbTest, EbbAllocatorGlobalBlock) {
   EXPECT_GE(allocator->Allocate(), kFirstFreeId);
 }
 
+TEST_F(EbbTest, GlobalBlockDoubleInstallRejectedWhileLive) {
+  ScopedContext ctx(*runtime_, first_core_, 0, false);
+  auto allocator = EbbAllocator::Instance();
+  EXPECT_TRUE(allocator->SetGlobalBlock(0x1000, 4));
+  EXPECT_EQ(allocator->Allocate(), 0x1000u);
+  EXPECT_EQ(allocator->Allocate(), 0x1001u);
+  // Re-installing the SAME block is an idempotent no-op: the cursor does not rewind, so
+  // already-issued ids are never handed out twice.
+  EXPECT_TRUE(allocator->SetGlobalBlock(0x1000, 4));
+  EXPECT_EQ(allocator->Allocate(), 0x1002u);
+  // A DIFFERENT block while this one still has ids: rejected, allocation unaffected.
+  EXPECT_FALSE(allocator->SetGlobalBlock(0x2000, 64));
+  EXPECT_EQ(allocator->Allocate(), 0x1003u);
+  // Drained, but overlapping the issued range: rejected — those ids are out in the world.
+  EXPECT_FALSE(allocator->SetGlobalBlock(0x1000, 64));
+  EXPECT_FALSE(allocator->SetGlobalBlock(0x0fff, 2));
+  // Block drained: a disjoint new install is accepted and allocation continues from it.
+  EXPECT_TRUE(allocator->SetGlobalBlock(0x2000, 64));
+  EXPECT_EQ(allocator->Allocate(), 0x2000u);
+  // The overlap check covers ALL previously installed blocks, not just the latest: after
+  // draining 0x2000's block too, re-installing over the FIRST block is still rejected.
+  for (int i = 0; i < 63; ++i) {
+    allocator->Allocate();
+  }
+  EXPECT_FALSE(allocator->SetGlobalBlock(0x1000, 4));
+  EXPECT_TRUE(allocator->SetGlobalBlock(0x4000 - 8, 8));
+}
+
+TEST_F(EbbTest, GlobalBlockExhaustionFallsBackToLocalIds) {
+  ScopedContext ctx(*runtime_, first_core_, 0, false);
+  auto allocator = EbbAllocator::Instance();
+  EXPECT_TRUE(allocator->SetGlobalBlock(0x1800, 2));
+  EXPECT_EQ(allocator->Allocate(), 0x1800u);
+  EXPECT_EQ(allocator->Allocate(), 0x1801u);
+  // Exhausted: machine-local ids take over; the machine keeps working standalone.
+  EbbId local = allocator->Allocate();
+  EXPECT_GE(local, kFirstFreeId);
+  EXPECT_LT(local, 0x1800u);
+}
+
+TEST_F(EbbTest, IdsFromInstalledBlockResolve) {
+  ScopedContext ctx(*runtime_, first_core_, 0, false);
+  auto allocator = EbbAllocator::Instance();
+  ASSERT_TRUE(allocator->SetGlobalBlock(0x3000, 8));
+  // An id from the installed global block behaves exactly like any other EbbId: reps are
+  // constructed per core through the ordinary fault path and cached for the fast path.
+  EbbId id = allocator->Allocate();
+  ASSERT_EQ(id, 0x3000u);
+  EbbRef<Counter> counter(id);
+  counter->Add(11);
+  EXPECT_EQ(counter->Get(), 11);
+  Counter* rep = &counter.GetRep();
+  EXPECT_EQ(rep, &counter.GetRep());  // cached: the fast path resolves it now
+  {
+    ScopedContext other(*runtime_, first_core_ + 1, 1, false);
+    EXPECT_EQ(counter->Get(), 0);  // still a per-core Ebb on its new id
+  }
+}
+
 TEST_F(EbbTest, ConcurrentFaultsOneRootManyReps) {
   EbbRef<Tally> tally(kFirstStaticUserId + 9);
   std::vector<std::thread> threads;
