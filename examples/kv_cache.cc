@@ -11,7 +11,6 @@
 #include "src/apps/loadgen/memcached_loadgen.h"
 #include "src/apps/memcached/server.h"
 #include "src/dist/global_id_map.h"
-#include "src/event/timer.h"
 #include "src/sim/testbed.h"
 
 namespace {
@@ -58,58 +57,50 @@ int main() {
 
   // The client knows only the service NAME; the address comes from the frontend. The first
   // lookup can race the server's registration, and a missing key surfaces as an exception
-  // through the Future (§3.5) — so the client simply retries until the name appears, the
-  // way real service discovery behaves.
+  // through the Future (§3.5) — GetWithRetry absorbs the race with bounded exponential
+  // backoff, the way real service discovery behaves, and gives up with a diagnosable error
+  // instead of polling forever against a frontend that will never have the name.
   std::unique_ptr<loadgen::MemcachedLoadgen> gen;
   bool done = false;
-  // `lookup` lives in main's frame, which outlives bed.world().Run() — the recursing
-  // closures just capture it by reference (no shared-ownership ceremony needed).
-  std::function<void(int)> lookup;
   client.Spawn(0, [&] {
-    lookup = [&](int attempts_left) {
-      dist::GlobalIdMap::For(*client.runtime, kFrontendIp)
-          .Get("service/memcached")
-          .Then([&, attempts_left](Future<std::string> f) {
-            std::string record;
-            try {
-              record = f.Get();
-            } catch (const std::runtime_error&) {
-              if (attempts_left <= 0) {
-                std::printf("[client] service/memcached never registered\n");
-                return;
-              }
-              Timer::Instance()->Start(1'000'000,
-                                       [&, attempts_left] { lookup(attempts_left - 1); });
-              return;
-            }
-            Ipv4Addr addr;
-            std::uint16_t port = 0;
-            if (!ParseEndpoint(record, &addr, &port)) {
-              std::printf("[client] bad service record: %s\n", record.c_str());
-              return;
-            }
-            std::printf("[client] discovered service/memcached at %s\n", record.c_str());
-            loadgen::MemcachedLoadgen::Config config;
-            config.connections = 8;
-            config.key_space = 500;
-            config.target_qps = 50'000;
-            config.warmup_ns = 5'000'000;
-            config.duration_ns = 50'000'000;
-            gen =
-                std::make_unique<loadgen::MemcachedLoadgen>(bed, client, addr, port, config);
-            gen->Run().Then([&](Future<loadgen::MemcachedLoadgen::Result> rf) {
-              auto result = rf.Get();
-              std::printf("ETC workload results (50 ms measured window):\n");
-              std::printf("  achieved   %.0f requests/sec\n", result.achieved_qps);
-              std::printf("  mean       %.1f us\n", result.mean_ns / 1000.0);
-              std::printf("  p50        %.1f us\n", result.p50_ns / 1000.0);
-              std::printf("  p99        %.1f us\n", result.p99_ns / 1000.0);
-              std::printf("  samples    %zu\n", result.samples);
-              done = true;
-            });
+    dist::GlobalIdMap::For(*client.runtime, kFrontendIp)
+        .GetWithRetry("service/memcached")
+        .Then([&](Future<std::string> f) {
+          std::string record;
+          try {
+            record = f.Get();
+          } catch (const std::runtime_error& e) {
+            std::printf("[client] giving up: %s — is the memcached server announcing"
+                        " itself to the frontend's GlobalIdMap?\n",
+                        e.what());
+            return;
+          }
+          Ipv4Addr addr;
+          std::uint16_t port = 0;
+          if (!ParseEndpoint(record, &addr, &port)) {
+            std::printf("[client] bad service record: %s\n", record.c_str());
+            return;
+          }
+          std::printf("[client] discovered service/memcached at %s\n", record.c_str());
+          loadgen::MemcachedLoadgen::Config config;
+          config.connections = 8;
+          config.key_space = 500;
+          config.target_qps = 50'000;
+          config.warmup_ns = 5'000'000;
+          config.duration_ns = 50'000'000;
+          gen =
+              std::make_unique<loadgen::MemcachedLoadgen>(bed, client, addr, port, config);
+          gen->Run().Then([&](Future<loadgen::MemcachedLoadgen::Result> rf) {
+            auto result = rf.Get();
+            std::printf("ETC workload results (50 ms measured window):\n");
+            std::printf("  achieved   %.0f requests/sec\n", result.achieved_qps);
+            std::printf("  mean       %.1f us\n", result.mean_ns / 1000.0);
+            std::printf("  p50        %.1f us\n", result.p50_ns / 1000.0);
+            std::printf("  p99        %.1f us\n", result.p99_ns / 1000.0);
+            std::printf("  samples    %zu\n", result.samples);
+            done = true;
           });
-    };
-    lookup(/*attempts_left=*/10);
+        });
   });
 
   bed.world().Run();

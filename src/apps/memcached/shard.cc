@@ -1,0 +1,206 @@
+#include "src/apps/memcached/shard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "src/rcu/rcu.h"
+
+namespace ebbrt {
+namespace memcached {
+
+std::string ShardRecordKey(std::size_t shard_index) {
+  return "service/memcached/" + std::to_string(shard_index);
+}
+
+std::string EncodeShardRecord(Ipv4Addr addr, EbbId service) {
+  return addr.ToString() + "#" + std::to_string(service);
+}
+
+bool ParseShardRecord(const std::string& record, ShardEndpoint* out) {
+  unsigned a, b, c, d;
+  unsigned long service = 0;
+  if (std::sscanf(record.c_str(), "%u.%u.%u.%u#%lu", &a, &b, &c, &d, &service) != 5 ||
+      a > 255 || b > 255 || c > 255 || d > 255 || service == 0 ||
+      service > 0xffffffffull) {
+    return false;
+  }
+  out->addr = Ipv4Addr::Of(a, b, c, d);
+  out->service = static_cast<EbbId>(service);
+  return true;
+}
+
+// --- ShardService -----------------------------------------------------------------------------
+
+ShardService::ShardService(Runtime& runtime, std::size_t shard_index, Config config)
+    : dist::RpcServer(runtime, kShardServiceBase + static_cast<EbbId>(shard_index)),
+      shard_index_(shard_index), config_(std::move(config)),
+      store_(RcuManagerRoot::For(runtime)) {
+  Kassert(shard_index < kMaxShards, "ShardService: shard index out of range");
+}
+
+void ShardService::HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint16_t opcode,
+                              std::uint32_t /*aux*/, std::unique_ptr<IOBuf> body) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.on_request) {
+    config_.on_request();
+  }
+  switch (opcode) {
+    case kShardOpGet: {
+      std::string key = dist::ChainToString(body.get());
+      ItemRef item = store_.Get(key);
+      if (item == nullptr) {
+        Reply(from, request_id, /*aux=*/0, nullptr);
+        return;
+      }
+      // The reply body is a refcounted view of the stored item — no copy between the
+      // store and the wire, exactly like the single-node GET path.
+      Reply(from, request_id, /*aux=*/1, MakeValueBuffer(std::move(item)));
+      return;
+    }
+    case kShardOpSet: {
+      std::string key;
+      std::string value;
+      if (!dist::ParseLenPrefixedBody(dist::ChainToString(body.get()), &key, &value)) {
+        ReplyError(from, request_id, "shard: malformed SET body");
+        return;
+      }
+      store_.Set(key, std::move(value), 0);
+      Reply(from, request_id, /*aux=*/1, nullptr);
+      return;
+    }
+  }
+  ReplyError(from, request_id, "shard: unknown opcode");
+}
+
+// --- Discovery --------------------------------------------------------------------------------
+
+Future<void> AnnounceShard(Runtime& runtime, Ipv4Addr frontend, std::size_t shard_index,
+                           Ipv4Addr self) {
+  EbbId service = kShardServiceBase + static_cast<EbbId>(shard_index);
+  return dist::GlobalIdMap::For(runtime, frontend)
+      .Set(ShardRecordKey(shard_index), EncodeShardRecord(self, service));
+}
+
+Future<std::vector<ShardEndpoint>> DiscoverShards(Runtime& runtime, Ipv4Addr frontend,
+                                                  std::size_t num_shards) {
+  // Shards announce concurrently with clients discovering, so a missing record is the
+  // normal bring-up race: GetWithRetry absorbs it with bounded backoff (a shard that never
+  // announces surfaces as a clean error through the future). A record that exists but
+  // fails to parse never heals, so it fails immediately.
+  struct Discovery {
+    dist::GlobalIdMap* map = nullptr;
+    std::size_t num_shards = 0;
+    std::vector<ShardEndpoint> endpoints;
+    Promise<std::vector<ShardEndpoint>> done;
+    std::function<void(std::size_t)> next;
+  };
+  auto state = std::make_shared<Discovery>();
+  state->map = &dist::GlobalIdMap::For(runtime, frontend);
+  state->num_shards = num_shards;
+  state->endpoints.resize(num_shards);
+  Future<std::vector<ShardEndpoint>> result = state->done.GetFuture();
+  // Resolve sequentially (N is small and this runs once at bring-up).
+  state->next = [state](std::size_t index) {
+    if (index == state->num_shards) {
+      state->done.SetValue(std::move(state->endpoints));
+      state->next = nullptr;  // break the self-capture cycle
+      return;
+    }
+    dist::GlobalIdMap::RetryPolicy policy;
+    policy.initial_backoff_ns = 100'000;  // announces land within a handful of RTTs
+    policy.max_backoff_ns = 4'000'000;
+    state->map->GetWithRetry(ShardRecordKey(index), policy)
+        .Then([state, index](Future<std::string> f) {
+          std::string record;
+          try {
+            record = f.Get();
+            if (!ParseShardRecord(record, &state->endpoints[index])) {
+              throw std::runtime_error("DiscoverShards: malformed record for " +
+                                       ShardRecordKey(index) + ": " + record);
+            }
+          } catch (...) {
+            state->done.SetException(std::current_exception());
+            state->next = nullptr;
+            return;
+          }
+          state->next(index + 1);
+        });
+  };
+  state->next(0);
+  return result;
+}
+
+// --- ShardRouter ------------------------------------------------------------------------------
+
+ShardRouter::ShardRouter(Runtime& runtime, std::vector<ShardEndpoint> shards,
+                         std::size_t vnodes_per_shard)
+    : shards_(std::move(shards)), per_shard_ops_(shards_.size(), 0) {
+  Kassert(!shards_.empty(), "ShardRouter: no shards");
+  clients_.reserve(shards_.size());
+  ring_.reserve(shards_.size() * vnodes_per_shard);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    clients_.push_back(std::make_unique<dist::RpcClient>(runtime, shards_[i].service,
+                                                         shards_[i].addr));
+    for (std::size_t v = 0; v < vnodes_per_shard; ++v) {
+      // Ring points are named by shard INDEX, not address: the same shard count always
+      // yields the same placement, so rebuilding a router (or a second client machine
+      // building its own) routes identically.
+      std::uint64_t point =
+          ShardHash("shard/" + std::to_string(i) + "/vnode/" + std::to_string(v));
+      ring_.emplace_back(point, static_cast<std::uint32_t>(i));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t ShardRouter::ShardFor(std::string_view key) const {
+  std::uint64_t h = ShardHash(key);
+  // First ring point clockwise from the key's hash (wrapping past the top).
+  auto it = std::upper_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(h, std::uint32_t{0xffffffff}));
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+Future<ShardRouter::GetResult> ShardRouter::Get(std::string_view key) {
+  std::size_t shard = ShardFor(key);
+  per_shard_ops_[shard]++;
+  return clients_[shard]
+      ->Call(kShardOpGet, 0, IOBuf::CopyBuffer(key))
+      .Then([](Future<dist::RpcClient::Response> f) {
+        dist::RpcClient::Response response = f.Get();
+        GetResult result;
+        result.found = response.aux != 0;
+        result.value = std::move(response.body);
+        return result;
+      });
+}
+
+Future<void> ShardRouter::Set(std::string_view key, std::string_view value) {
+  std::size_t shard = ShardFor(key);
+  per_shard_ops_[shard]++;
+  return clients_[shard]
+      ->Call(kShardOpSet, 0, dist::BuildLenPrefixedBody(key, value))
+      .Then([](Future<dist::RpcClient::Response> f) { f.Get(); });
+}
+
+double ShardRouter::Imbalance() const {
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (std::uint64_t ops : per_shard_ops_) {
+    total += ops;
+    max = std::max(max, ops);
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  double mean = static_cast<double>(total) / static_cast<double>(per_shard_ops_.size());
+  return static_cast<double>(max) / mean - 1.0;
+}
+
+}  // namespace memcached
+}  // namespace ebbrt

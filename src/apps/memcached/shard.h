@@ -1,0 +1,152 @@
+// Sharded memcached over the hybrid structure (paper §2.1 scaled out).
+//
+// One memcached instance per machine is where the paper stops; the natural next step for a
+// production deployment is to consistent-hash the key space across N backend shards and let
+// clients route per key. Everything here rides the distributed dispatch plane:
+//
+//   * ShardService — a backend shard: an RpcServer wrapping the same RCU-backed KvStore the
+//     single-node server uses. GET replies reference stored bytes zero-copy
+//     (MakeValueBuffer), so a shard's response chain is views over its store, shipped
+//     through the Messenger's corked, pooled TCP datapath.
+//   * ShardRouter — the client-side router Ebb: a consistent-hash ring over the shard set
+//     and one RpcClient per shard. Each shard has its OWN service id (kShardServiceBase +
+//     index), so concurrent responses from different shards demultiplex through distinct
+//     RCU demux entries and per-core pending tables — fan-IN from N shards never meets a
+//     shared lock.
+//   * Discovery — shard i registers itself in the hosted frontend's GlobalIdMap under
+//     "service/memcached/<i>" (AnnounceShard); routers resolve the records by name
+//     (DiscoverShards), exactly how kv_cache discovers its single server.
+//
+// The ring hashes with FNV-1a (implemented here, NOT std::hash) so shard placement is
+// deterministic across standard libraries — the per-shard balance gates in CI depend on it.
+#ifndef EBBRT_SRC_APPS_MEMCACHED_SHARD_H_
+#define EBBRT_SRC_APPS_MEMCACHED_SHARD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/apps/memcached/kvstore.h"
+#include "src/dist/global_id_map.h"
+#include "src/dist/rpc.h"
+
+namespace ebbrt {
+namespace memcached {
+
+// One service id per shard: responses from different shards resolve through different
+// demux entries (see header comment). 24 shard slots above the test/example static range.
+inline constexpr EbbId kShardServiceBase = kFirstStaticUserId + 8;
+inline constexpr std::size_t kMaxShards = 24;
+
+// Shard RPC opcodes; `aux` carries the found flag on GET responses.
+inline constexpr std::uint16_t kShardOpGet = 1;
+inline constexpr std::uint16_t kShardOpSet = 2;
+
+// FNV-1a 64-bit with a murmur-style finalizer: small and deterministic everywhere. The
+// finalizer matters — raw FNV-1a of short strings differing only in their final digits
+// ("user:0", "user:1", ...) leaves the HIGH bits nearly untouched, which collapses a
+// consistent-hash ring (keyed on full 64-bit order) into one arc. fmix64 avalanches every
+// input bit across the word.
+inline std::uint64_t ShardHash(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+struct ShardEndpoint {
+  Ipv4Addr addr;
+  EbbId service = kNullEbbId;
+};
+
+// GlobalIdMap record plumbing: key "service/memcached/<i>", value "<a.b.c.d>#<service-id>".
+std::string ShardRecordKey(std::size_t shard_index);
+std::string EncodeShardRecord(Ipv4Addr addr, EbbId service);
+bool ParseShardRecord(const std::string& record, ShardEndpoint* out);
+
+class ShardService final : public dist::RpcServer {
+ public:
+  struct Config {
+    // Invoked once per request before it executes — benches charge modeled per-op service
+    // time here (the store lookup itself is real work but simulated time only under
+    // measured-cost mode). Leave empty for none.
+    std::function<void()> on_request;
+  };
+
+  ShardService(Runtime& runtime, std::size_t shard_index, Config config = {});
+
+  KvStore& store() { return store_; }
+  std::size_t shard_index() const { return shard_index_; }
+  std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint16_t opcode,
+                  std::uint32_t aux, std::unique_ptr<IOBuf> body) override;
+
+  std::size_t shard_index_;
+  Config config_;
+  KvStore store_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+// Publishes this machine's shard under its GlobalIdMap record (the frontend at `frontend`
+// must be serving GlobalIdMap). The future resolves when the name is durable.
+Future<void> AnnounceShard(Runtime& runtime, Ipv4Addr frontend, std::size_t shard_index,
+                           Ipv4Addr self);
+
+// Resolves shard records 0..num_shards-1 from the frontend. Fails (through the future) if
+// any record is missing or malformed — discovery is all-or-nothing.
+Future<std::vector<ShardEndpoint>> DiscoverShards(Runtime& runtime, Ipv4Addr frontend,
+                                                  std::size_t num_shards);
+
+class ShardRouter {
+ public:
+  struct GetResult {
+    bool found = false;
+    std::unique_ptr<IOBuf> value;  // zero-copy chain straight off the wire
+  };
+
+  // `vnodes_per_shard` virtual points per shard smooth the ring (more points, better
+  // balance, slower build — lookups stay O(log points)).
+  ShardRouter(Runtime& runtime, std::vector<ShardEndpoint> shards,
+              std::size_t vnodes_per_shard = 128);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // Key-routed operations: hash the key onto the ring, ship the op to that shard's service
+  // over the Messenger. Ops issued inside one event cork per shard (a fanned-out round
+  // leaves as at most one wire segment per shard touched).
+  Future<GetResult> Get(std::string_view key);
+  Future<void> Set(std::string_view key, std::string_view value);
+
+  std::size_t ShardFor(std::string_view key) const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+  // Per-shard request counters (routing balance). The router is per-core client state like
+  // the rest of the dispatch plane: one core issues through one router, so these are plain
+  // counters — give each issuing core its own router to fan out from many cores.
+  const std::vector<std::uint64_t>& per_shard_ops() const { return per_shard_ops_; }
+  // max/mean - 1 over per_shard_ops (0 == perfectly balanced).
+  double Imbalance() const;
+
+ private:
+  std::vector<ShardEndpoint> shards_;
+  std::vector<std::unique_ptr<dist::RpcClient>> clients_;  // one per shard
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;  // (point, shard), sorted
+  std::vector<std::uint64_t> per_shard_ops_;
+};
+
+}  // namespace memcached
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_APPS_MEMCACHED_SHARD_H_

@@ -48,6 +48,7 @@ enum class Subsystem : std::size_t {
   kNetworkManager,
   kMessenger,
   kGlobalIdMap,
+  kRpcDemux,  // per-machine RPC service demultiplexer (dist::rpc)
   kMachine,  // simulated machine this runtime is attached to (if any)
   kNumSubsystems,
 };

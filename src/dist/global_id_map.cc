@@ -1,7 +1,11 @@
 #include "src/dist/global_id_map.h"
 
+#include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
+
+#include "src/event/timer.h"
 
 namespace ebbrt {
 namespace dist {
@@ -124,6 +128,58 @@ Future<void> GlobalIdMap::Set(std::string key, std::string value) {
 Future<std::string> GlobalIdMap::Get(std::string key) {
   return client_.Call(kGet, 0, IOBuf::CopyBuffer(key))
       .Then([](Future<RpcClient::Response> f) { return ChainToString(f.Get().body.get()); });
+}
+
+Future<std::string> GlobalIdMap::GetWithRetry(std::string key, RetryPolicy policy) {
+  struct Retry {
+    GlobalIdMap* map = nullptr;
+    std::string key;
+    RetryPolicy policy;
+    Promise<std::string> done;
+    std::function<void(int, std::uint64_t)> attempt_fn;
+  };
+  auto state = std::make_shared<Retry>();
+  state->map = this;
+  state->key = std::move(key);
+  state->policy = policy;
+  Future<std::string> result = state->done.GetFuture();
+  state->attempt_fn = [state](int attempt, std::uint64_t backoff_ns) {
+    state->map->Get(state->key).Then([state, attempt, backoff_ns](Future<std::string> f) {
+      std::string value;
+      try {
+        value = f.Get();
+      } catch (const std::runtime_error& e) {
+        // Retry ONLY the lookup-miss error, and only while event machinery exists. Any
+        // other failure — notably "rpc: client torn down", which the client destructor
+        // raises INLINE through this continuation during machine teardown — must
+        // propagate immediately: arming a Timer from a dying machine (or for an error
+        // that will never heal) would crash or spin instead of failing cleanly.
+        bool missing_key = std::string_view(e.what()).find("no such key") !=
+                           std::string_view::npos;
+        if (!missing_key || !HaveContext() || attempt >= state->policy.max_attempts) {
+          state->done.SetException(
+              !missing_key
+                  ? std::current_exception()
+                  : std::make_exception_ptr(std::runtime_error(
+                        "GlobalIdMap::GetWithRetry: " + state->key +
+                        " not registered after " + std::to_string(attempt) +
+                        " lookups (last error: " + e.what() + ")")));
+          state->attempt_fn = nullptr;  // break the self-capture cycle
+          return;
+        }
+        std::uint64_t next_backoff =
+            std::min(backoff_ns * 2, state->policy.max_backoff_ns);
+        Timer::Instance()->Start(backoff_ns, [state, attempt, next_backoff] {
+          state->attempt_fn(attempt + 1, next_backoff);
+        });
+        return;
+      }
+      state->done.SetValue(std::move(value));
+      state->attempt_fn = nullptr;
+    });
+  };
+  state->attempt_fn(1, policy.initial_backoff_ns);
+  return result;
 }
 
 Future<EbbId> GlobalIdMap::AllocateIdBlock(EbbId count) {

@@ -49,6 +49,20 @@ class GlobalIdMap {
   Future<void> Set(std::string key, std::string value);
   Future<std::string> Get(std::string key);
 
+  // Get with the bounded-backoff retry every discovery consumer wants: an absent key is
+  // the normal bring-up race (the service has not announced yet), so it is retried with
+  // exponentially-doubling delays; after max_attempts the future fails with a diagnosable
+  // error naming the key and attempt count — never an infinite poll.
+  struct RetryPolicy {
+    int max_attempts = 10;
+    std::uint64_t initial_backoff_ns = 250'000;  // doubling per retry
+    std::uint64_t max_backoff_ns = 8'000'000;
+  };
+  Future<std::string> GetWithRetry(std::string key, RetryPolicy policy);
+  Future<std::string> GetWithRetry(std::string key) {
+    return GetWithRetry(std::move(key), RetryPolicy());
+  }
+
   // Allocates a [first, first+count) block of globally-unique EbbIds; install the result
   // into the machine's EbbAllocator with SetGlobalBlock.
   Future<EbbId> AllocateIdBlock(EbbId count);

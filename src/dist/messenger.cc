@@ -4,6 +4,7 @@
 
 #include "src/event/event_manager.h"
 #include "src/platform/context.h"
+#include "src/rcu/rcu.h"
 
 namespace ebbrt {
 namespace dist {
@@ -21,7 +22,9 @@ Messenger& Messenger::For(Runtime& runtime) {
 }
 
 Messenger::Messenger(Runtime& runtime)
-    : runtime_(runtime), net_(NetworkManager::For(runtime)) {
+    : runtime_(runtime), net_(NetworkManager::For(runtime)),
+      peers_(RcuManagerRoot::For(runtime), /*bucket_bits=*/6),
+      receivers_(RcuManagerRoot::For(runtime), /*bucket_bits=*/6) {
   // Inbound connections: the peer object is the connection's handler, owned by the
   // connection (shared anchor), and cached under the peer's address so replies ride the
   // same connection instead of dialing back.
@@ -31,27 +34,32 @@ Messenger::Messenger(Runtime& runtime)
     pcb.InstallHandler(std::shared_ptr<TcpHandler>(peer));
     pcb.SetAutoCork(true);
     peer->Established(pcb);
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(control_mu_);
+    stats_.control_locks++;
     stats_.accepts++;
-    // Simultaneous open: if a dialed connection already owns the cache slot, keep it for
-    // sending — this accepted connection still receives until the remote closes it.
-    peers_.emplace(addr.raw, std::move(peer));
+    // Simultaneous open: if a dialed connection already owns the cache slot, Insert keeps
+    // it for sending — this accepted connection still receives until the remote closes it.
+    peers_.Insert(addr.raw, std::move(peer));
   });
 }
 
 // No Unlisten here: the Messenger is adopted by its Runtime and destroyed during machine
 // teardown, after the event loops (and the RCU machinery a listener erase would ride) are
-// already gone. The listen socket dies with the machine's network stack.
+// already gone. The listen socket dies with the machine's network stack, and the two RCU
+// tables free their remaining nodes directly (their destructors never defer — by teardown
+// there are no event-borne readers left to wait for).
 Messenger::~Messenger() = default;
 
 void Messenger::RegisterReceiver(EbbId target, Receiver receiver) {
-  std::lock_guard<std::mutex> lock(mu_);
-  receivers_[target] = std::make_shared<Receiver>(std::move(receiver));
+  std::lock_guard<std::mutex> lock(control_mu_);
+  stats_.control_locks++;
+  receivers_.InsertOrReplace(target, std::make_shared<Receiver>(std::move(receiver)));
 }
 
 void Messenger::UnregisterReceiver(EbbId target) {
-  std::lock_guard<std::mutex> lock(mu_);
-  receivers_.erase(target);
+  std::lock_guard<std::mutex> lock(control_mu_);
+  stats_.control_locks++;
+  receivers_.Erase(target);
 }
 
 void Messenger::Send(Ipv4Addr dst, EbbId target, std::unique_ptr<IOBuf> payload) {
@@ -69,21 +77,23 @@ void Messenger::Send(Ipv4Addr dst, EbbId target, std::unique_ptr<IOBuf> payload)
 }
 
 std::shared_ptr<Messenger::Peer> Messenger::PeerFor(Ipv4Addr addr) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = peers_.find(addr.raw);
-    if (it != peers_.end()) {
-      return it->second;
-    }
+  // Steady state: one lock-free table read per message. The shared_ptr copy is safe against
+  // a concurrent erase — the node a reader observes is not reclaimed until every core
+  // passes an event boundary, and this whole function runs inside one event.
+  if (std::shared_ptr<Peer>* cached = peers_.Find(addr.raw)) {
+    return *cached;
   }
-  // Lazily dial from this core; messages queue on the peer until the handshake completes.
+  // Slow path: create the peer under the control mutex (the insert must be paired with the
+  // dial exactly once). The dial itself happens after the lock is released — Connect can
+  // run a fair amount of stack synchronously and must not nest under control_mu_.
   auto peer = std::make_shared<Peer>(*this, addr, CurrentContext().machine_core);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = peers_.emplace(addr.raw, peer);
-    if (!inserted) {
-      return it->second;  // another core raced the dial; use theirs
+    std::lock_guard<std::mutex> lock(control_mu_);
+    stats_.control_locks++;
+    if (std::shared_ptr<Peer>* raced = peers_.Find(addr.raw)) {
+      return *raced;  // another core raced the dial; use theirs
     }
+    peers_.Insert(addr.raw, peer);
     stats_.dials++;
   }
   net_.tcp().Connect(net_.interface(), addr, kMessengerPort).Then([peer](Future<TcpPcb> f) {
@@ -100,32 +110,31 @@ std::shared_ptr<Messenger::Peer> Messenger::PeerFor(Ipv4Addr addr) {
 }
 
 void Messenger::DropPeer(Peer& peer, bool was_established) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = peers_.find(peer.addr().raw);
-  if (it != peers_.end() && it->second.get() == &peer) {
-    peers_.erase(it);
+  std::lock_guard<std::mutex> lock(control_mu_);
+  stats_.control_locks++;
+  std::shared_ptr<Peer>* cached = peers_.Find(peer.addr().raw);
+  if (cached != nullptr && cached->get() == &peer) {
+    peers_.Erase(peer.addr().raw);
     if (was_established) {
       stats_.reconnects++;  // the next Send to this address re-dials
     }
   }
 }
 
-void Messenger::Dispatch(Ipv4Addr from, EbbId target, std::unique_ptr<IOBuf> payload) {
+bool Messenger::Dispatch(Ipv4Addr from, EbbId target, std::unique_ptr<IOBuf> payload) {
+  // Lock-free receiver lookup: the hot half of the receive path. The copied shared_ptr
+  // keeps the receiver alive through the callback even against a concurrent Unregister.
+  std::shared_ptr<Receiver> receiver;
+  if (std::shared_ptr<Receiver>* found = receivers_.Find(target)) {
+    receiver = *found;
+  }
+  if (receiver == nullptr) {
+    return false;  // unregistered target: the caller counts it and drops the peer
+  }
   stats_.messages_received++;
   stats_.payload_bytes_received += payload->ComputeChainDataLength();
-  std::shared_ptr<Receiver> receiver;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = receivers_.find(target);
-    if (it != receivers_.end()) {
-      receiver = it->second;
-    }
-  }
-  if (receiver) {
-    (*receiver)(from, std::move(payload));
-  } else {
-    stats_.dropped++;
-  }
+  (*receiver)(from, std::move(payload));
+  return true;
 }
 
 // --- Peer -------------------------------------------------------------------------------------
@@ -206,21 +215,52 @@ void Messenger::Peer::DialFailed() {
   messenger_.DropPeer(*this, /*was_established=*/false);
 }
 
+void Messenger::Peer::FailFraming() {
+  messenger_.DropPeer(*this, established_);
+  dead_ = true;
+  DropBacklog();
+  rx_ = IOBufQueue();  // whatever else is queued is unframeable by definition
+  Pcb().Close();
+}
+
 void Messenger::Peer::Receive(std::unique_ptr<IOBuf> buf) {
+  if (dead_) {
+    return;  // already failed validation; late segments from the dying connection
+  }
   rx_.Append(std::move(buf));
+  // Header validation (the length word and target id are remote input — never trust
+  // them). An oversize length means the framing itself is garbage: fail immediately,
+  // nothing behind it can be parsed. An unknown target means the peer is talking to a
+  // service this machine does not run: the frame is dropped and the peer closed too, but
+  // the framing is still intact — so the rest of the already-received bytes are delivered
+  // first (a stale frame corked into a segment must not discard its well-formed
+  // neighbors). Both paths are a stat and a close, never an assert: a remote machine's
+  // bytes must never be able to bring this one down.
+  bool unknown_target = false;
   for (;;) {
     MsgHeader header;
     if (!rx_.Peek(&header, sizeof(header))) {
-      return;  // incomplete header
+      break;  // incomplete header
     }
     std::size_t len = NetToHost32(header.length);
+    if (len > kMaxMessageBytes) {
+      messenger_.stats_.bad_frames++;
+      FailFraming();
+      return;
+    }
     if (rx_.ChainLength() < sizeof(header) + len) {
-      return;  // incomplete payload: wait for more segments
+      break;  // incomplete payload: wait for more segments
     }
     rx_.TrimStart(sizeof(header));
     std::unique_ptr<IOBuf> payload =
         len != 0 ? rx_.Split(len) : IOBuf::Create(0);
-    messenger_.Dispatch(addr_, NetToHost32(header.target), std::move(payload));
+    if (!messenger_.Dispatch(addr_, NetToHost32(header.target), std::move(payload))) {
+      messenger_.stats_.bad_frames++;
+      unknown_target = true;  // keep carving: later frames in this queue still deliver
+    }
+  }
+  if (unknown_target) {
+    FailFraming();
   }
 }
 

@@ -24,6 +24,12 @@
 //   * Flow control: sends beyond the TCP window are queued per-peer and drained from
 //     SendReady (the stack never buffers; the Messenger is the application here and does its
 //     own pacing, exactly as §3.6 prescribes).
+//   * Lock-free dispatch plane: the per-message lookups — peer connection on Send, receiver
+//     on Dispatch — read RcuHashTables, the same structure (and the same read-side rules) as
+//     the TCP connection table (§3.6). Every core demultiplexes concurrently without a
+//     single atomic on the steady-state path; only control-plane transitions
+//     (connect/accept/register/drop) serialize, on `control_mu_`, and retired entries are
+//     reclaimed after an epoch grace period (every core past an event boundary).
 //
 // Delivery is at-most-once and unordered across peers (ordered per peer, as TCP is); RPC
 // semantics (request ids, response matching, error propagation) live one layer up in
@@ -36,7 +42,6 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/ebb_id.h"
@@ -45,12 +50,19 @@
 #include "src/iobuf/iobuf_queue.h"
 #include "src/net/network_manager.h"
 #include "src/net/tcp.h"
+#include "src/rcu/rcu_hash_table.h"
 
 namespace ebbrt {
 namespace dist {
 
 // The well-known port every machine's Messenger listens on (0xebb, naturally).
 inline constexpr std::uint16_t kMessengerPort = 0x0ebb;
+
+// Hard ceiling on one message's payload. The length word is remote input: without a bound, a
+// corrupt or hostile peer could park the receiver waiting for gigabytes that never come (and
+// pin the reassembly queue while it waits). A frame claiming more is invalid by definition —
+// the connection's framing can no longer be trusted, so the peer is dropped.
+inline constexpr std::size_t kMaxMessageBytes = 16 * 1024 * 1024;
 
 // Wire framing: one header per message, network byte order, payload chained behind.
 struct MsgHeader {
@@ -102,6 +114,15 @@ class Messenger {
     std::atomic<std::uint64_t> accepts{0};     // inbound connections cached
     std::atomic<std::uint64_t> reconnects{0};  // cache drops after an established conn died
     std::atomic<std::uint64_t> dropped{0};     // undeliverable messages (see Send)
+    // Frames failing header validation: length above kMaxMessageBytes, or a target EbbId
+    // with no registered receiver. Both tick here and drop the offending peer connection
+    // (an unframeable stream cannot be resynchronized; an unknown target means the two
+    // sides disagree about what this machine serves).
+    std::atomic<std::uint64_t> bad_frames{0};
+    // Control-plane mutex acquisitions (connect/accept/register/drop). The steady-state
+    // receive and send paths take ZERO locks — tests pin that by asserting this counter
+    // stays flat while message counters climb.
+    std::atomic<std::uint64_t> control_locks{0};
   };
   const Stats& stats() const { return stats_; }
 
@@ -132,6 +153,9 @@ class Messenger {
    private:
     void Drain();          // push backlog into the window
     void DropBacklog();    // teardown: count undelivered (incl. partially-sent) messages
+    // Invalid frame: drop this peer (bad_frames already ticked by the caller). The
+    // connection closes, the cache entry is erased, and the next Send re-dials fresh.
+    void FailFraming();
 
     Messenger& messenger_;
     Ipv4Addr addr_;
@@ -149,18 +173,22 @@ class Messenger {
   // Returns (creating + dialing if absent) the cached peer for `addr`.
   std::shared_ptr<Peer> PeerFor(Ipv4Addr addr);
   void DropPeer(Peer& peer, bool was_established);
-  void Dispatch(Ipv4Addr from, EbbId target, std::unique_ptr<IOBuf> payload);
+  // Delivers one received message to its registered receiver. Returns false when `target`
+  // has no receiver — the caller treats the frame as invalid.
+  bool Dispatch(Ipv4Addr from, EbbId target, std::unique_ptr<IOBuf> payload);
 
   Runtime& runtime_;
   NetworkManager& net_;
 
-  // Guards peers_ and receivers_. The maps are looked up once per message (never per
-  // byte); multi-core RPC fan-in would want the lookups moved to an RCU table or per-core
-  // cache like the TCP connection table — noted in ROADMAP, irrelevant to the
-  // single-core-per-peer pattern the hybrid structure uses today.
-  std::mutex mu_;
-  std::unordered_map<std::uint32_t, std::shared_ptr<Peer>> peers_;
-  std::unordered_map<EbbId, std::shared_ptr<Receiver>> receivers_;
+  // The dispatch plane. Per-message lookups (PeerFor's fast path, Dispatch) are lock-free
+  // RcuHashTable::Find on every core; an entry observed by a reader stays valid until that
+  // reader's event ends (epoch reclamation, shared with the TCP connection table). Writers
+  // — dial/accept inserts, teardown erases, receiver (un)registration — serialize on
+  // `control_mu_` so compound read-modify-write transitions (e.g. "erase only if the cached
+  // peer is still me") stay atomic; each acquisition ticks stats_.control_locks.
+  std::mutex control_mu_;
+  RcuHashTable<std::uint32_t, std::shared_ptr<Peer>> peers_;
+  RcuHashTable<EbbId, std::shared_ptr<Receiver>> receivers_;
 
   Stats stats_;
 };

@@ -1,27 +1,15 @@
 #include "src/dist/rpc.h"
 
-#include <map>
 #include <stdexcept>
 #include <utility>
+
+#include "src/platform/context.h"
+#include "src/rcu/rcu.h"
 
 namespace ebbrt {
 namespace dist {
 
 namespace {
-
-// A machine may run the client half, the server half, or both for one service id, but the
-// Messenger has one receiver slot per id. This registry is the demultiplexer: the receiver
-// routes response frames to the client and request frames to the server.
-struct Endpoint {
-  RpcClient* client = nullptr;
-  RpcServer* server = nullptr;
-};
-
-std::mutex endpoint_mu;
-std::map<std::pair<const Runtime*, EbbId>, Endpoint>& Endpoints() {
-  static std::map<std::pair<const Runtime*, EbbId>, Endpoint> endpoints;
-  return endpoints;
-}
 
 // Splits a received message into (header, body chain). The header may straddle chain
 // elements (a message that crossed segment boundaries), so it is chain-copied out.
@@ -39,63 +27,6 @@ bool ParseFrame(std::unique_ptr<IOBuf> message, RpcHeader* header,
   header->opcode = NetToHost16(header->opcode);
   header->aux = NetToHost32(header->aux);
   return true;
-}
-
-void InstallEndpoint(Runtime& runtime, EbbId service, RpcClient* client, RpcServer* server);
-void RemoveEndpoint(Runtime& runtime, EbbId service, RpcClient* client, RpcServer* server);
-
-void DispatchFrame(Runtime* runtime, EbbId service, Ipv4Addr from,
-                   std::unique_ptr<IOBuf> message);
-
-void InstallEndpoint(Runtime& runtime, EbbId service, RpcClient* client, RpcServer* server) {
-  bool first;
-  {
-    std::lock_guard<std::mutex> lock(endpoint_mu);
-    Endpoint& endpoint = Endpoints()[{&runtime, service}];
-    first = endpoint.client == nullptr && endpoint.server == nullptr;
-    if (client != nullptr) {
-      Kassert(endpoint.client == nullptr, "RpcClient: service already has a client here");
-      endpoint.client = client;
-    }
-    if (server != nullptr) {
-      Kassert(endpoint.server == nullptr, "RpcServer: service already has a server here");
-      endpoint.server = server;
-    }
-  }
-  if (first) {
-    Runtime* rt = &runtime;
-    Messenger::For(runtime).RegisterReceiver(
-        service, [rt, service](Ipv4Addr from, std::unique_ptr<IOBuf> message) {
-          DispatchFrame(rt, service, from, std::move(message));
-        });
-  }
-}
-
-void RemoveEndpoint(Runtime& runtime, EbbId service, RpcClient* client, RpcServer* server) {
-  bool last = false;
-  {
-    std::lock_guard<std::mutex> lock(endpoint_mu);
-    auto it = Endpoints().find({&runtime, service});
-    if (it == Endpoints().end()) {
-      return;
-    }
-    if (client != nullptr && it->second.client == client) {
-      it->second.client = nullptr;
-    }
-    if (server != nullptr && it->second.server == server) {
-      it->second.server = nullptr;
-    }
-    if (it->second.client == nullptr && it->second.server == nullptr) {
-      Endpoints().erase(it);
-      last = true;
-    }
-  }
-  if (last) {
-    auto* messenger = runtime.TryGetSubsystem<Messenger>(Subsystem::kMessenger);
-    if (messenger != nullptr) {
-      messenger->UnregisterReceiver(service);
-    }
-  }
 }
 
 }  // namespace
@@ -156,42 +87,166 @@ bool ParseLenPrefixedBody(const std::string& raw, std::string* head, std::string
   return true;
 }
 
+// --- RpcDemuxRoot -----------------------------------------------------------------------------
+
+RpcDemuxRoot& RpcDemuxRoot::For(Runtime& runtime) {
+  auto* root = runtime.TryGetSubsystem<RpcDemuxRoot>(Subsystem::kRpcDemux);
+  if (root == nullptr) {
+    auto owned = std::make_shared<RpcDemuxRoot>(runtime);
+    root = owned.get();
+    runtime.SetSubsystem(Subsystem::kRpcDemux, root);
+    runtime.Adopt(std::move(owned));
+  }
+  return *root;
+}
+
+RpcDemuxRoot::RpcDemuxRoot(Runtime& runtime)
+    : runtime_(runtime), services_(RcuManagerRoot::For(runtime), /*bucket_bits=*/5) {}
+
+void RpcDemuxRoot::Install(EbbId service, RpcClient* client, RpcServer* server) {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    Endpoint endpoint;
+    if (Endpoint* existing = services_.Find(service)) {
+      endpoint = *existing;  // writers serialize on control_mu_: this read is current
+    } else {
+      first = true;
+    }
+    if (client != nullptr) {
+      Kassert(endpoint.client == nullptr, "RpcClient: service already has a client here");
+      endpoint.client = client;
+    }
+    if (server != nullptr) {
+      Kassert(endpoint.server == nullptr, "RpcServer: service already has a server here");
+      endpoint.server = server;
+    }
+    services_.InsertOrReplace(service, endpoint);
+  }
+  if (first) {
+    RpcDemuxRoot* self = this;
+    Messenger::For(runtime_).RegisterReceiver(
+        service, [self, service](Ipv4Addr from, std::unique_ptr<IOBuf> message) {
+          self->DispatchFrame(service, from, std::move(message));
+        });
+  }
+}
+
+void RpcDemuxRoot::Remove(EbbId service, RpcClient* client, RpcServer* server) {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    Endpoint* existing = services_.Find(service);
+    if (existing == nullptr) {
+      return;
+    }
+    Endpoint endpoint = *existing;
+    if (client != nullptr && endpoint.client == client) {
+      endpoint.client = nullptr;
+    }
+    if (server != nullptr && endpoint.server == server) {
+      endpoint.server = nullptr;
+    }
+    if (endpoint.client == nullptr && endpoint.server == nullptr) {
+      services_.Erase(service);
+      last = true;
+    } else {
+      services_.InsertOrReplace(service, endpoint);
+    }
+  }
+  if (last) {
+    auto* messenger = runtime_.TryGetSubsystem<Messenger>(Subsystem::kMessenger);
+    if (messenger != nullptr) {
+      messenger->UnregisterReceiver(service);
+    }
+  }
+}
+
+void RpcDemuxRoot::DispatchFrame(EbbId service, Ipv4Addr from,
+                                 std::unique_ptr<IOBuf> message) {
+  // Peek the flags byte (chain-aware: offset 10 can straddle) to pick a direction, then
+  // hand the whole frame to that half. The endpoint lookup is the lock-free read side:
+  // frames fanning in on every core resolve their (client, server) pair concurrently, and
+  // the Endpoint NODE observed here stays allocated for the rest of this event even
+  // against a racing Remove (epoch-deferred reclamation). The pointed-to client/server
+  // OBJECTS are the owner's concern, exactly as before this table existed: destroying one
+  // while its machine's event loops may still be dispatching frames to it is a
+  // use-after-free — tear endpoints down only from quiesced machines (every current
+  // caller does; SimWorld teardown runs after Shutdown).
+  RpcHeader header;
+  if (message == nullptr || message->ComputeChainDataLength() < sizeof(RpcHeader)) {
+    return;
+  }
+  message->CopyOut(&header, sizeof(header));
+  Endpoint* endpoint = services_.Find(service);
+  if (endpoint == nullptr) {
+    return;
+  }
+  if (header.flags & kRpcResponse) {
+    if (endpoint->client != nullptr) {
+      endpoint->client->HandleFrame(from, std::move(message));
+    }
+  } else if (endpoint->server != nullptr) {
+    endpoint->server->HandleFrame(from, std::move(message));
+  }
+}
+
 // --- RpcClient --------------------------------------------------------------------------------
 
 RpcClient::RpcClient(Runtime& runtime, EbbId service, Ipv4Addr server)
-    : messenger_(Messenger::For(runtime)), service_(service), server_(server) {
-  InstallEndpoint(runtime, service, this, nullptr);
+    : messenger_(Messenger::For(runtime)), service_(service), server_(server),
+      cores_(std::max<std::size_t>(1, runtime.num_cores())) {
+  RcuManagerRoot& rcu = RcuManagerRoot::For(runtime);
+  for (CoreState& core : cores_) {
+    // Per-core pending windows are small (a pipeline's worth); 32 buckets keeps chains
+    // short without bloating per-client footprint across many services.
+    core.pending = std::make_unique<RcuHashTable<std::uint64_t, std::shared_ptr<PendingCall>>>(
+        rcu, /*bucket_bits=*/5);
+  }
+  RpcDemuxRoot::For(runtime).Install(service, this, nullptr);
 }
 
 RpcClient::~RpcClient() {
-  RemoveEndpoint(messenger_.runtime(), service_, this, nullptr);
-  std::unordered_map<std::uint64_t, Promise<Response>> orphaned;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    orphaned = std::move(pending_);
-    pending_.clear();
+  RpcDemuxRoot::For(messenger_.runtime()).Remove(service_, this, nullptr);
+  // Orphan every still-pending call. Collect first (ForEach is read-side iteration), then
+  // fail the promises; the tables and their nodes die with this object — no deferred
+  // erases are needed because no NEW dispatch can resolve this client after Remove (and
+  // destruction on a machine whose loops are still dispatching was never legal; see
+  // DispatchFrame's lifetime note).
+  std::vector<std::shared_ptr<PendingCall>> orphaned;
+  for (CoreState& core : cores_) {
+    core.pending->ForEach([&orphaned](const std::uint64_t&,
+                                      const std::shared_ptr<PendingCall>& call) {
+      orphaned.push_back(call);
+    });
   }
-  for (auto& [id, promise] : orphaned) {
-    promise.SetException(
+  for (auto& call : orphaned) {
+    call->promise.SetException(
         std::make_exception_ptr(std::runtime_error("rpc: client torn down")));
   }
 }
 
 std::size_t RpcClient::pending_calls() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pending_.size();
+  std::size_t total = 0;
+  for (const CoreState& core : cores_) {
+    total += core.pending->size();
+  }
+  return total;
 }
 
 Future<RpcClient::Response> RpcClient::Call(std::uint16_t opcode, std::uint32_t aux,
                                             std::unique_ptr<IOBuf> body) {
-  std::uint64_t request_id;
-  Promise<Response> promise;
-  Future<Response> result = promise.GetFuture();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    request_id = next_request_++;
-    pending_.emplace(request_id, std::move(promise));
-  }
+  // The pending entry lives in the ISSUING core's table, and the request id carries the
+  // core so the response (arriving on whichever core owns the server connection) can find
+  // it. Same-core issue/complete is the steady state — symmetric RSS brings the reply back
+  // to the dialing core — so the bucket spinlocks below are uncontended in practice.
+  std::size_t core = CurrentContext().machine_core;
+  CoreState& state = cores_[core];
+  std::uint64_t request_id =
+      (static_cast<std::uint64_t>(core) << kCoreShift) | state.next_seq++;
+  auto call = std::make_shared<PendingCall>();
+  Future<Response> result = call->promise.GetFuture();
+  state.pending->Insert(request_id, std::move(call));
   messenger_.Send(server_, service_,
                   BuildRpcFrame(request_id, opcode, /*flags=*/0, aux, std::move(body)));
   return result;
@@ -203,35 +258,37 @@ void RpcClient::HandleFrame(Ipv4Addr, std::unique_ptr<IOBuf> message) {
   if (!ParseFrame(std::move(message), &header, &body)) {
     return;  // runt frame: drop (transport corruption cannot happen in-sim; belt and braces)
   }
-  Promise<Response> promise;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = pending_.find(header.request_id);
-    if (it == pending_.end()) {
-      return;  // duplicate or stale response
-    }
-    promise = std::move(it->second);
-    pending_.erase(it);
+  std::size_t core = static_cast<std::size_t>(header.request_id >> kCoreShift);
+  if (core >= cores_.size()) {
+    return;  // id from a core this client never had: stale or corrupt
+  }
+  // Extract claims the promise exactly once: a duplicate or stale response finds the entry
+  // already gone and is dropped here.
+  std::shared_ptr<PendingCall> call;
+  if (!cores_[core].pending->Extract(header.request_id, &call)) {
+    return;
   }
   if (header.flags & kRpcError) {
-    promise.SetException(
+    call->promise.SetException(
         std::make_exception_ptr(std::runtime_error(ChainToString(body.get()))));
     return;
   }
   Response response;
   response.aux = header.aux;
   response.body = std::move(body);
-  promise.SetValue(std::move(response));
+  call->promise.SetValue(std::move(response));
 }
 
 // --- RpcServer --------------------------------------------------------------------------------
 
 RpcServer::RpcServer(Runtime& runtime, EbbId service)
     : messenger_(Messenger::For(runtime)), service_(service) {
-  InstallEndpoint(runtime, service, nullptr, this);
+  RpcDemuxRoot::For(runtime).Install(service, nullptr, this);
 }
 
-RpcServer::~RpcServer() { RemoveEndpoint(messenger_.runtime(), service_, nullptr, this); }
+RpcServer::~RpcServer() {
+  RpcDemuxRoot::For(messenger_.runtime()).Remove(service_, nullptr, this);
+}
 
 void RpcServer::Reply(Ipv4Addr to, std::uint64_t request_id, std::uint32_t aux,
                       std::unique_ptr<IOBuf> body) {
@@ -253,48 +310,6 @@ void RpcServer::HandleFrame(Ipv4Addr from, std::unique_ptr<IOBuf> message) {
   }
   HandleCall(from, header.request_id, header.opcode, header.aux, std::move(body));
 }
-
-// Named (friended) trampoline: the anonymous-namespace dispatcher cannot befriend the
-// classes directly.
-struct RpcDispatch {
-  static void ToClient(RpcClient* client, Ipv4Addr from, std::unique_ptr<IOBuf> message) {
-    client->HandleFrame(from, std::move(message));
-  }
-  static void ToServer(RpcServer* server, Ipv4Addr from, std::unique_ptr<IOBuf> message) {
-    server->HandleFrame(from, std::move(message));
-  }
-};
-
-namespace {
-void DispatchFrame(Runtime* runtime, EbbId service, Ipv4Addr from,
-                   std::unique_ptr<IOBuf> message) {
-  // Peek the flags byte (chain-aware: offset 10 can straddle) to pick a direction, then
-  // hand the whole frame to that half.
-  RpcHeader header;
-  if (message == nullptr || message->ComputeChainDataLength() < sizeof(RpcHeader)) {
-    return;
-  }
-  message->CopyOut(&header, sizeof(header));
-  RpcClient* client = nullptr;
-  RpcServer* server = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(endpoint_mu);
-    auto it = Endpoints().find({runtime, service});
-    if (it == Endpoints().end()) {
-      return;
-    }
-    client = it->second.client;
-    server = it->second.server;
-  }
-  if (header.flags & kRpcResponse) {
-    if (client != nullptr) {
-      RpcDispatch::ToClient(client, from, std::move(message));
-    }
-  } else if (server != nullptr) {
-    RpcDispatch::ToServer(server, from, std::move(message));
-  }
-}
-}  // namespace
 
 }  // namespace dist
 }  // namespace ebbrt

@@ -5,12 +5,25 @@
 // and ships the result back. This header is the one place the call/return machinery lives:
 //
 //   * RpcHeader — 16-byte request/response frame rode inside a Messenger message.
-//   * RpcClient — the caller side: request-id -> Promise table; Call() returns a Future that
-//     fulfills with the response (or throws the server's error — errors cross the wire as
-//     flagged responses and surface as std::runtime_error through Future::Get, so a caller's
-//     continuation chain handles remote failures exactly like local exceptions, §3.5).
+//   * RpcClient — the caller side: per-core request-id -> Promise tables; Call() returns a
+//     Future that fulfills with the response (or throws the server's error — errors cross
+//     the wire as flagged responses and surface as std::runtime_error through Future::Get,
+//     so a caller's continuation chain handles remote failures exactly like local
+//     exceptions, §3.5).
 //   * RpcServer — the callee side: dispatches requests to a subclass's HandleCall and sends
 //     Reply/ReplyError back to the requesting machine.
+//   * RpcDemuxRoot — the per-machine service table: service id -> (client, server) endpoint
+//     pair, an RcuHashTable read lock-free on every received frame. Concurrent RPC fan-in
+//     from many cores/machines demultiplexes without a shared lock; only endpoint
+//     install/remove (object construction/destruction) serializes.
+//
+// Request-id plumbing is per-core: ids carry the issuing core in their top bits and each
+// core owns its own id counter and RcuHashTable of pending promises, so two cores issuing
+// calls on the same client never touch the same cache line, and a response (which arrives
+// on the core whose connection carried it — normally the issuing core, by symmetric RSS)
+// claims its promise with one uncontended bucket operation. Exactly-once completion comes
+// from RcuHashTable::Extract: whoever unlinks the entry fulfills it; a duplicate or stale
+// response finds nothing.
 //
 // The response body is carried as an IOBuf chain end-to-end: the server appends its result
 // chain behind the header buffer, and the client receives the chain that Messenger carved
@@ -28,10 +41,11 @@
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 #include "src/dist/messenger.h"
 #include "src/future/future.h"
+#include "src/rcu/rcu_hash_table.h"
 
 namespace ebbrt {
 namespace dist {
@@ -66,6 +80,42 @@ std::unique_ptr<IOBuf> BuildLenPrefixedBody(std::string_view head, std::string_v
 // Splits a received body back into (head, rest). False on a malformed (truncated) body.
 bool ParseLenPrefixedBody(const std::string& raw, std::string* head, std::string* rest);
 
+class RpcClient;
+class RpcServer;
+
+// Per-machine service demultiplexer (Subsystem::kRpcDemux). One Messenger receiver per live
+// service routes each frame here; the service -> endpoints lookup is a lock-free
+// RcuHashTable read on the frame's arrival core. Values are tiny POD pairs replaced whole
+// (InsertOrReplace) so readers always see a consistent (client, server) snapshot.
+class RpcDemuxRoot {
+ public:
+  struct Endpoint {
+    RpcClient* client = nullptr;
+    RpcServer* server = nullptr;
+  };
+
+  static RpcDemuxRoot& For(Runtime& runtime);
+
+  explicit RpcDemuxRoot(Runtime& runtime);
+
+  RpcDemuxRoot(const RpcDemuxRoot&) = delete;
+  RpcDemuxRoot& operator=(const RpcDemuxRoot&) = delete;
+
+  // Endpoint registration (object construction/destruction — the control plane). The first
+  // endpoint of a service registers the Messenger receiver; the last removal unregisters
+  // it. Asserts on duplicate halves.
+  void Install(EbbId service, RpcClient* client, RpcServer* server);
+  void Remove(EbbId service, RpcClient* client, RpcServer* server);
+
+  // Per-frame dispatch (lock-free read side; runs on the frame's arrival core).
+  void DispatchFrame(EbbId service, Ipv4Addr from, std::unique_ptr<IOBuf> message);
+
+ private:
+  Runtime& runtime_;
+  std::mutex control_mu_;  // serializes Install/Remove only; DispatchFrame never takes it
+  RcuHashTable<EbbId, Endpoint> services_;
+};
+
 class RpcClient {
  public:
   struct Response {
@@ -83,23 +133,35 @@ class RpcClient {
 
   // Ships opcode(aux, body) to the server; the future fulfills with the response or throws
   // the server's error as std::runtime_error. Requests issued in one event are auto-corked
-  // into as few wire segments as fit (the Messenger's batching).
+  // into as few wire segments as fit (the Messenger's batching). Callable from any core;
+  // the pending entry lands in the calling core's table.
   Future<Response> Call(std::uint16_t opcode, std::uint32_t aux, std::unique_ptr<IOBuf> body);
 
   Ipv4Addr server() const { return server_; }
   std::size_t pending_calls() const;
 
  private:
-  friend struct RpcDispatch;
+  friend class RpcDemuxRoot;
   void HandleFrame(Ipv4Addr from, std::unique_ptr<IOBuf> message);
+
+  // A pending call, owned by the per-core table from issue to completion. Held by
+  // shared_ptr so Extract's winner can fulfill it after the node is unlinked.
+  struct PendingCall {
+    Promise<Response> promise;
+  };
+  // How many id bits the issuing core occupies. 16 bits of core leaves 48 bits of per-core
+  // sequence — enough to never wrap in any run we could simulate.
+  static constexpr unsigned kCoreShift = 48;
+
+  struct alignas(kCacheLineSize) CoreState {
+    std::uint64_t next_seq = 1;  // only this core's events advance it: no atomics
+    std::unique_ptr<RcuHashTable<std::uint64_t, std::shared_ptr<PendingCall>>> pending;
+  };
 
   Messenger& messenger_;
   EbbId service_;
   Ipv4Addr server_;
-
-  mutable std::mutex mu_;
-  std::uint64_t next_request_ = 1;
-  std::unordered_map<std::uint64_t, Promise<Response>> pending_;
+  std::vector<CoreState> cores_;
 };
 
 class RpcServer {
@@ -125,7 +187,7 @@ class RpcServer {
   EbbId service_;
 
  private:
-  friend struct RpcDispatch;
+  friend class RpcDemuxRoot;
   void HandleFrame(Ipv4Addr from, std::unique_ptr<IOBuf> message);
 };
 

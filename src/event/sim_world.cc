@@ -265,6 +265,15 @@ void SimWorld::Shutdown() {
     }
   }
   calendar_.clear();
+  // The event loops are gone, but the EventManagerRoots die BEFORE the runtimes (member
+  // order), so each runtime's kEventManager slot is about to dangle. Clear it now: teardown
+  // paths that consult it — RCU grace periods issued from adopted destructors, e.g. an
+  // RpcClient unregistering its Messenger receiver — then take CallRcu's no-event-loops
+  // immediate path instead of spawning onto a freed root.
+  for (auto& runtime : runtimes_) {
+    runtime->SetSubsystem(Subsystem::kEventManager,
+                          static_cast<EventManagerRoot*>(nullptr));
+  }
 }
 
 }  // namespace ebbrt

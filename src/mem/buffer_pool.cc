@@ -70,7 +70,7 @@ BufferPool* BufferPool::Local() {
 }
 
 BufferPool::BufferPool(BufferPoolRoot& root, std::size_t machine_core)
-    : root_(root), machine_core_(machine_core) {}
+    : root_(root), machine_core_(machine_core), cap_(root.config().per_core_cap) {}
 
 std::unique_ptr<IOBuf> BufferPool::Alloc() {
   Kassert(HaveContext() && &CurrentRuntime() == &root_.runtime() &&
@@ -83,10 +83,11 @@ std::unique_ptr<IOBuf> BufferPool::Alloc() {
     block = freelist_;
     freelist_ = freelist_->next;
     --free_count_;
+    at_cap_miss_streak_ = 0;  // a hit breaks any "sustained misses" run (plain store: cheap)
     mem::stats().pool_hits.fetch_add(1, std::memory_order_relaxed);
   } else {
     mem::stats().pool_misses.fetch_add(1, std::memory_order_relaxed);
-    if (outstanding_ < cfg.per_core_cap) {
+    if (outstanding_ < cap_) {
       block = GeneralPurposeAllocator::Instance()->Alloc(cfg.block_bytes);
       if (block != nullptr) {
         ++outstanding_;
@@ -96,10 +97,13 @@ std::unique_ptr<IOBuf> BufferPool::Alloc() {
         mem::stats().iobuf_allocs.fetch_add(1, std::memory_order_relaxed);
         mem::stats().iobuf_slab_allocs.fetch_add(1, std::memory_order_relaxed);
       }
+    } else {
+      NoteAtCapMiss();  // demand the cap throttled: feed the adaptive policy
     }
     if (block == nullptr) {
       // Pool at cap (or arena exhausted): an ordinary slab-backed buffer — it returns to
       // the slab, not the pool, when released. No failure surface.
+      MaybeQueueDrainHook();
       return IOBuf::CreateReserve(data_bytes, cfg.headroom);
     }
   }
@@ -140,8 +144,9 @@ void BufferPool::NoteReleased() {
 }
 
 void BufferPool::FreeLocal(void* block) {
-  if (free_count_ >= root_.config().per_core_cap) {
-    // The pool is full: hand the block back to the slab path.
+  if (free_count_ >= cap_) {
+    // The pool is full (or the cap decayed below what is coming home): hand the block back
+    // to the slab path.
     --outstanding_;
     GeneralPurposeAllocator::Instance()->Free(block);
     return;
@@ -150,6 +155,11 @@ void BufferPool::FreeLocal(void* block) {
   link->next = freelist_;
   freelist_ = link;
   ++free_count_;
+  // Releases arm the boundary hook too: after a burst, a core that only sees its buffers
+  // trickle home (no further Allocs) still gets decay ticks, so a grown cap shrinks back
+  // and surplus blocks return to the slab. (A core with no pool activity at all keeps its
+  // cached blocks — there is no event to hang the policy on.)
+  MaybeQueueDrainHook();
 }
 
 void BufferPool::FreeRemote(void* block) {
@@ -191,11 +201,69 @@ void BufferPool::MaybeQueueDrainHook() {
   }
   drain_hook_queued_ = true;
   // Drain whatever other cores freed during this event at its boundary, so a burst's worth
-  // of cross-core releases is recycled before the next event needs buffers.
+  // of cross-core releases is recycled before the next event needs buffers — and give the
+  // adaptive cap its decay tick while we are already at the boundary.
   event::Local().QueueEndOfEvent([this] {
     drain_hook_queued_ = false;
     DrainMagazine();
+    MaybeDecayCap();
   });
+}
+
+// --- Adaptive cap (ROADMAP "descriptor-cache sizing") -----------------------------------------
+//
+// The cap self-tunes on the two signals PR 4's telemetry introduced: at-cap misses (the pool
+// bounced real demand to the slab) and the in_use high-water mark (how much demand there
+// actually was). Growth is demand-driven and bounded; decay is time-driven (event
+// boundaries, the machine's natural clock) and returns surplus blocks to the slab so an
+// idle core's pool genuinely shrinks.
+
+void BufferPool::NoteAtCapMiss() {
+  pressured_this_event_ = true;
+  quiet_events_ = 0;
+  const BufferPoolRoot::Config& cfg = root_.config();
+  if (++at_cap_miss_streak_ < cfg.grow_miss_streak || cap_ >= cfg.per_core_cap_max) {
+    return;
+  }
+  at_cap_miss_streak_ = 0;
+  // Grow toward observed demand: at least double, and never below the high-water mark the
+  // occupancy telemetry recorded (in_use_hwm includes the blocks whose absence caused
+  // these misses only once the cap admits them — hence the geometric floor).
+  std::size_t target = std::max(cap_ * 2, in_use_hwm());
+  cap_ = std::min(cfg.per_core_cap_max, target);
+  mem::stats().pool_cap_grows.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BufferPool::MaybeDecayCap() {
+  const BufferPoolRoot::Config& cfg = root_.config();
+  if (pressured_this_event_) {
+    pressured_this_event_ = false;
+    quiet_events_ = 0;
+    return;
+  }
+  if (cap_ <= cfg.per_core_cap) {
+    return;  // already at the floor
+  }
+  if (++quiet_events_ < cfg.decay_quiet_events) {
+    return;
+  }
+  quiet_events_ = 0;
+  // Halve the excess above the floor (reaching the floor itself on the last step), then
+  // hand surplus recycled blocks back to the slab so the decay frees real memory.
+  std::size_t excess = cap_ - cfg.per_core_cap;
+  cap_ = cfg.per_core_cap + excess / 2;
+  mem::stats().pool_cap_decays.fetch_add(1, std::memory_order_relaxed);
+  TrimFreelistToCap();
+}
+
+void BufferPool::TrimFreelistToCap() {
+  while (outstanding_ > cap_ && freelist_ != nullptr) {
+    FreeLink* link = freelist_;
+    freelist_ = link->next;
+    --free_count_;
+    --outstanding_;
+    GeneralPurposeAllocator::Instance()->Free(link);
+  }
 }
 
 }  // namespace ebbrt

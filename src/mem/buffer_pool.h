@@ -41,7 +41,18 @@ class BufferPoolRoot {
     // block_bytes - IOBuf::kStorageHeaderBytes (3008 B — an MTU frame plus headroom).
     std::size_t block_bytes = 3072;
     std::size_t headroom = 64;        // pre-reserved for Ethernet/IP/TCP header prepends
-    std::size_t per_core_cap = 256;   // recycled blocks a core may retain
+    std::size_t per_core_cap = 256;   // initial pooled blocks per core; the adaptive FLOOR
+
+    // --- Adaptive cap (ROADMAP "descriptor-cache sizing") ----------------------------------
+    // The effective per-core cap starts at per_core_cap and self-tunes between it and
+    // per_core_cap_max: `grow_miss_streak` consecutive at-cap misses (demand the pool had
+    // to bounce to the slab) grow it toward the observed in_use high-water mark; once
+    // `decay_quiet_events` consecutive pool-touching event boundaries (an Alloc or a
+    // same-core release arms the hook) pass with no at-cap pressure, the excess halves
+    // back toward the floor and surplus recycled blocks return to the slab.
+    std::size_t per_core_cap_max = 1024;
+    std::size_t grow_miss_streak = 8;
+    std::size_t decay_quiet_events = 16;
   };
 
   BufferPoolRoot(Runtime& runtime, std::size_t num_cores, Config config);
@@ -86,6 +97,9 @@ class alignas(kCacheLineSize) BufferPool {
   // Observability.
   std::size_t free_blocks() const { return free_count_; }
   std::size_t outstanding() const { return outstanding_; }
+  // The adaptive per-core cap currently in force (see Config): floor per_core_cap, ceiling
+  // per_core_cap_max, moved by at-cap pressure and event-boundary quiet.
+  std::size_t cap() const { return cap_; }
   // Occupancy telemetry (ROADMAP "descriptor-cache sizing"): pooled blocks of THIS core
   // currently checked out, and the most that has ever been at once. Atomic because a block
   // may be released from another core/context (the magazine path).
@@ -108,6 +122,9 @@ class alignas(kCacheLineSize) BufferPool {
   void FreeRemote(void* block);   // any context: magazine push under its spinlock
   bool DrainMagazine();           // owner core: splice the magazine into the local list
   void MaybeQueueDrainHook();     // owner core: drain again at this event's boundary
+  void NoteAtCapMiss();           // adaptive policy: grow after a sustained miss streak
+  void MaybeDecayCap();           // adaptive policy: event-boundary decay when quiet
+  void TrimFreelistToCap();       // return surplus recycled blocks to the slab
 
   BufferPoolRoot& root_;
   std::size_t machine_core_;
@@ -115,6 +132,12 @@ class alignas(kCacheLineSize) BufferPool {
   std::size_t free_count_ = 0;
   std::size_t outstanding_ = 0;  // pooled blocks currently alive (bounds carving at the cap)
   bool drain_hook_queued_ = false;
+
+  // Adaptive cap state (owner core only, like the freelist).
+  std::size_t cap_;                    // effective cap: [per_core_cap, per_core_cap_max]
+  std::size_t at_cap_miss_streak_ = 0; // consecutive at-cap misses (reset by any hit)
+  std::size_t quiet_events_ = 0;       // event boundaries since the last at-cap miss
+  bool pressured_this_event_ = false;  // an at-cap miss happened since the last boundary
   std::atomic<std::size_t> in_use_{0};      // pooled blocks currently checked out
   std::atomic<std::size_t> in_use_hwm_{0};  // high-water mark of in_use_
 

@@ -146,6 +146,11 @@ struct Stats {
   // pinned at the cap means it is throttling bursts.
   std::atomic<std::uint64_t> pool_in_use{0};
   std::atomic<std::uint64_t> pool_in_use_hwm{0};
+  // Adaptive-cap transitions (the policy that consumes the occupancy signal above): caps
+  // grown after sustained at-cap misses, and caps decayed back toward the floor after
+  // pressure-free event boundaries.
+  std::atomic<std::uint64_t> pool_cap_grows{0};
+  std::atomic<std::uint64_t> pool_cap_decays{0};
 };
 Stats& stats();
 }  // namespace mem

@@ -110,31 +110,15 @@ class RcuHashTable {
   }
 
   // Unlinks `key`; deletion is deferred past a grace period. Returns false if absent.
-  bool Erase(const K& key) {
-    Bucket& bucket = BucketFor(key);
-    Node* victim = nullptr;
-    {
-      std::lock_guard<Spinlock> lock(bucket.mu);
-      std::atomic<Node*>* link = &bucket.head;
-      Node* cursor = link->load(std::memory_order_relaxed);
-      while (cursor != nullptr) {
-        if (cursor->key == key) {
-          victim = cursor;
-          link->store(cursor->next.load(std::memory_order_relaxed),
-                      std::memory_order_release);
-          break;
-        }
-        link = &cursor->next;
-        cursor = link->load(std::memory_order_relaxed);
-      }
-    }
-    if (victim == nullptr) {
-      return false;
-    }
-    size_.fetch_sub(1, std::memory_order_relaxed);
-    rcu_.CallRcu([victim] { delete victim; });
-    return true;
-  }
+  bool Erase(const K& key) { return Retire(Unlink(key, nullptr)); }
+
+  // Unlinks `key` like Erase, but first COPIES its value into `*out` (under the bucket
+  // lock, so exactly one concurrent Extract wins). The value is copied, never moved:
+  // readers that found the node before the unlink may still be dereferencing it until the
+  // grace period ends, so the node's contents must stay intact. This is the
+  // claim-completion primitive the RPC pending tables use — whoever extracts the promise
+  // fulfills it; a duplicate response finds nothing and is dropped.
+  bool Extract(const K& key, V* out) { return Retire(Unlink(key, out)); }
 
   // Read-side iteration (same validity rules as Find).
   template <typename F>
@@ -162,6 +146,39 @@ class RcuHashTable {
   };
 
   Bucket& BucketFor(const K& key) { return buckets_[Hash{}(key)&mask_]; }
+
+  // Locked unlink of `key`'s node, copying its value into *out when non-null. Returns the
+  // unlinked (not yet reclaimed) node, or nullptr when absent — the one traversal Erase
+  // and Extract share.
+  Node* Unlink(const K& key, V* out) {
+    Bucket& bucket = BucketFor(key);
+    std::lock_guard<Spinlock> lock(bucket.mu);
+    std::atomic<Node*>* link = &bucket.head;
+    Node* cursor = link->load(std::memory_order_relaxed);
+    while (cursor != nullptr) {
+      if (cursor->key == key) {
+        if (out != nullptr) {
+          *out = cursor->value;
+        }
+        link->store(cursor->next.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+        return cursor;
+      }
+      link = &cursor->next;
+      cursor = link->load(std::memory_order_relaxed);
+    }
+    return nullptr;
+  }
+
+  // Accounts for and RCU-defers an unlinked node. False when there was none.
+  bool Retire(Node* victim) {
+    if (victim == nullptr) {
+      return false;
+    }
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    rcu_.CallRcu([victim] { delete victim; });
+    return true;
+  }
 
   RcuManagerRoot& rcu_;
   std::size_t mask_;

@@ -209,6 +209,69 @@ TEST(BufferPool, OccupancyTelemetryTracksCheckedOutBlocks) {
   EXPECT_TRUE(checked);
 }
 
+TEST(BufferPool, AdaptiveCapGrowsUnderPressureAndDecaysWhenIdle) {
+  // The adaptive-cap policy (ROADMAP "descriptor-cache sizing"): sustained at-cap misses
+  // grow the effective per-core cap toward demand; pressure-free event boundaries decay it
+  // back to the floor and return surplus blocks to the slab.
+  SimWorld world;
+  Runtime& rt = world.AddMachine("adaptive", 1);
+  BufferPoolRoot::Config cfg;
+  cfg.per_core_cap = 2;        // floor
+  cfg.per_core_cap_max = 8;    // ceiling
+  cfg.grow_miss_streak = 3;    // grow after 3 consecutive at-cap misses
+  cfg.decay_quiet_events = 2;  // decay after 2 pressure-free event boundaries
+  BufferPoolRoot::Install(rt, 1, cfg);
+  bool grew = false;
+  bool decayed = false;
+  bool done = false;
+  SimWorld::SpawnOn(rt, 0, [&] {
+    BufferPool* pool = BufferPool::Local();
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(pool->cap(), 2u);
+    std::uint64_t grows_before = mem::stats().pool_cap_grows.load();
+
+    // Event 1: demand far above the cap. The first 2 allocs carve; the next ones are
+    // at-cap misses — after `grow_miss_streak` of them the cap must grow (geometric:
+    // max(2*cap, hwm) = 4), letting subsequent allocs carve again.
+    std::vector<std::unique_ptr<IOBuf>> burst;
+    for (int i = 0; i < 7; ++i) {
+      burst.push_back(pool->Alloc());
+    }
+    EXPECT_GT(pool->cap(), 2u);
+    EXPECT_EQ(pool->cap(), 4u);  // one grow step: 3 misses -> cap 2*2
+    EXPECT_GT(mem::stats().pool_cap_grows.load(), grows_before);
+    grew = true;
+    burst.clear();  // everything recycles (freelist_ holds up to cap_ blocks)
+
+    // Quiet events: each does one in-cap alloc (queues the boundary hook) and no at-cap
+    // miss. After `decay_quiet_events` boundaries the cap halves its excess toward the
+    // floor, and surplus recycled blocks go back to the slab.
+    std::uint64_t decays_before = mem::stats().pool_cap_decays.load();
+    auto quiet = std::make_shared<std::function<void(int)>>();
+    *quiet = [&, quiet](int remaining) {
+      BufferPool* p = BufferPool::Local();
+      auto buf = p->Alloc();  // pool hit: no pressure, but arms the end-of-event hook
+      buf.reset();
+      if (remaining > 0) {
+        event::Local().Spawn([&, quiet, remaining] { (*quiet)(remaining - 1); });
+        return;
+      }
+      EXPECT_EQ(p->cap(), 2u);  // 4 -> 3 -> 2 over two decay steps
+      EXPECT_GE(mem::stats().pool_cap_decays.load(), decays_before + 2);
+      EXPECT_LE(p->free_blocks(), p->cap());
+      EXPECT_LE(p->outstanding(), p->cap());  // trim returned the surplus to the slab
+      decayed = true;
+      done = true;
+      *quiet = nullptr;
+    };
+    (*quiet)(6);
+  });
+  world.Run();
+  EXPECT_TRUE(grew);
+  EXPECT_TRUE(decayed);
+  EXPECT_TRUE(done);
+}
+
 TEST(BufferPool, CloneKeepsRecycledBufferAlivePastOriginatingEvent) {
   SimWorld world;
   Runtime& rt = world.AddMachine("clone", 1);

@@ -57,6 +57,134 @@ TEST_F(DistTest, MessengerRoundTrip) {
   EXPECT_EQ(received_at_native, "pong from frontend");
 }
 
+namespace {
+// Raw TCP sender for the framing-hardening tests: connects to a Messenger port and writes
+// whatever bytes it is given, bypassing the Messenger's own (well-formed) framing.
+class RawFrameSender final : public TcpHandler {
+ public:
+  void Receive(std::unique_ptr<IOBuf>) override {}
+  void Close() override {
+    closed_by_peer = true;
+    Pcb().Close();
+  }
+  bool closed_by_peer = false;
+};
+}  // namespace
+
+TEST_F(DistTest, MessengerRejectsOversizeFrameAndClosesPeer) {
+  // A hand-crafted header claiming a 512 MiB payload: the receiver must tick bad_frames,
+  // close the connection, and keep serving well-formed peers — never assert or wedge.
+  auto sender = std::make_shared<RawFrameSender>();
+  std::string frontend_got;
+  frontend_.Spawn(0, [&] {
+    dist::Messenger::For(*frontend_.runtime)
+        .RegisterReceiver(kFirstStaticUserId,
+                          [&](Ipv4Addr, std::unique_ptr<IOBuf> payload) {
+                            frontend_got = std::string(payload->AsStringView());
+                          });
+  });
+  native_.Spawn(0, [&] {
+    native_.net->tcp()
+        .Connect(*native_.iface, kFrontendIp, dist::kMessengerPort)
+        .Then([sender](Future<TcpPcb> f) {
+          TcpPcb pcb = f.Get();
+          pcb.InstallHandler(std::shared_ptr<TcpHandler>(sender));
+          dist::MsgHeader header;
+          header.length = HostToNet32(512u * 1024 * 1024);  // > kMaxMessageBytes
+          header.target = HostToNet32(kFirstStaticUserId);
+          auto frame = IOBuf::Create(sizeof(header));
+          std::memcpy(frame->WritableData(), &header, sizeof(header));
+          pcb.Send(std::move(frame));
+        });
+  });
+  bed_.world().Run();
+  const dist::Messenger::Stats& stats = dist::Messenger::For(*frontend_.runtime).stats();
+  EXPECT_EQ(stats.bad_frames.load(), 1u);
+  EXPECT_EQ(stats.messages_received.load(), 0u);
+  EXPECT_TRUE(sender->closed_by_peer);  // the receiver dropped the unframeable connection
+
+  // The messenger is still healthy: a well-formed peer delivers normally afterwards.
+  native_.Spawn(0, [&] {
+    dist::Messenger::For(*native_.runtime)
+        .Send(kFrontendIp, kFirstStaticUserId, IOBuf::CopyBuffer("after the bad peer"));
+  });
+  bed_.world().Run();
+  EXPECT_EQ(frontend_got, "after the bad peer");
+  EXPECT_EQ(stats.bad_frames.load(), 1u);
+}
+
+TEST_F(DistTest, MessengerRejectsUnknownTargetFrame) {
+  // A well-framed message to an EbbId nobody registered: same treatment — counted, peer
+  // dropped — because the two machines disagree about what this one serves.
+  frontend_.Spawn(0, [&] { dist::Messenger::For(*frontend_.runtime); });
+  native_.Spawn(0, [&] {
+    dist::Messenger::For(*native_.runtime)
+        .Send(kFrontendIp, kFirstStaticUserId + 7, IOBuf::CopyBuffer("to nowhere"));
+  });
+  bed_.world().Run();
+  const dist::Messenger::Stats& stats = dist::Messenger::For(*frontend_.runtime).stats();
+  EXPECT_EQ(stats.bad_frames.load(), 1u);
+  EXPECT_EQ(stats.messages_received.load(), 0u);
+}
+
+TEST_F(DistTest, MessengerSteadyStateFanInTakesNoControlLocks) {
+  // The lock-free dispatch-plane claim, asserted: once connections exist and receivers are
+  // registered, a second wave of cross-core fan-in traffic must not acquire the Messenger
+  // control mutex even once — every per-message peer/receiver lookup rides the RCU read
+  // side. (stats().control_locks counts every control_mu_ acquisition.)
+  constexpr std::size_t kWave = 24;
+  std::size_t received = 0;
+  frontend_.Spawn(0, [&] {
+    dist::Messenger::For(*frontend_.runtime)
+        .RegisterReceiver(kFirstStaticUserId, [&](Ipv4Addr from,
+                                                  std::unique_ptr<IOBuf> payload) {
+          received++;
+          // Reply to exercise the reverse path's peer lookup too.
+          dist::Messenger::For(*frontend_.runtime)
+              .Send(from, kFirstStaticUserId, std::move(payload));
+        });
+  });
+  std::size_t replies = 0;
+  native_.Spawn(0, [&] {
+    dist::Messenger::For(*native_.runtime)
+        .RegisterReceiver(kFirstStaticUserId,
+                          [&](Ipv4Addr, std::unique_ptr<IOBuf>) { replies++; });
+    // First wave: dials, accepts, registrations — the control plane is allowed to lock.
+    for (std::size_t i = 0; i < kWave; ++i) {
+      dist::Messenger::For(*native_.runtime)
+          .Send(kFrontendIp, kFirstStaticUserId, IOBuf::CopyBuffer("warm"));
+    }
+  });
+  bed_.world().Run();
+  ASSERT_EQ(received, kWave);
+  ASSERT_EQ(replies, kWave);
+
+  const dist::Messenger::Stats& frontend_stats =
+      dist::Messenger::For(*frontend_.runtime).stats();
+  const dist::Messenger::Stats& native_stats =
+      dist::Messenger::For(*native_.runtime).stats();
+  std::uint64_t frontend_locks = frontend_stats.control_locks.load();
+  std::uint64_t native_locks = native_stats.control_locks.load();
+
+  // Second wave: steady state, fanned in from BOTH of the native machine's cores (the
+  // cross-core Send forwards through the peer's owner core — still no control lock).
+  for (std::size_t core = 0; core < 2; ++core) {
+    native_.Spawn(core, [&] {
+      for (std::size_t i = 0; i < kWave; ++i) {
+        dist::Messenger::For(*native_.runtime)
+            .Send(kFrontendIp, kFirstStaticUserId, IOBuf::CopyBuffer("steady"));
+      }
+    });
+  }
+  bed_.world().Run();
+  EXPECT_EQ(received, 3 * kWave);
+  EXPECT_EQ(replies, 3 * kWave);
+  EXPECT_EQ(frontend_stats.control_locks.load(), frontend_locks);
+  EXPECT_EQ(native_stats.control_locks.load(), native_locks);
+  EXPECT_EQ(frontend_stats.bad_frames.load(), 0u);
+  EXPECT_EQ(native_stats.bad_frames.load(), 0u);
+}
+
 TEST_F(DistTest, FileSystemOffloadsToHostedPosix) {
   std::string read_back;
   std::uint64_t size = 0;

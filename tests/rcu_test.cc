@@ -126,6 +126,149 @@ TEST_F(RcuTableTest, ForEachVisitsAll) {
   });
 }
 
+TEST_F(RcuTableTest, ExtractClaimsValueExactlyOnce) {
+  machine_.RunSync(0, [&] {
+    RcuHashTable<int, std::shared_ptr<int>> table(RcuManagerRoot::For(machine_.runtime()),
+                                                  4);
+    table.Insert(5, std::make_shared<int>(50));
+    std::shared_ptr<int> claimed;
+    EXPECT_TRUE(table.Extract(5, &claimed));
+    ASSERT_NE(claimed, nullptr);
+    EXPECT_EQ(*claimed, 50);
+    EXPECT_EQ(table.Find(5), nullptr);
+    EXPECT_EQ(table.size(), 0u);
+    // Second extract (a duplicate response, in RPC terms) finds nothing.
+    std::shared_ptr<int> second;
+    EXPECT_FALSE(table.Extract(5, &second));
+    EXPECT_EQ(second, nullptr);
+  });
+}
+
+TEST(RcuSim, EraseDefersReclamationPastTheReadersEvent) {
+  // The epoch-reclamation ordering contract: a pointer obtained by Find stays valid for the
+  // remainder of the observing event even when the node is erased underneath it, and the
+  // node's storage is reclaimed only after every core passes an event boundary.
+  SimWorld world;
+  Runtime& m = world.AddMachine("epoch", 4);
+  auto sentinel = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = sentinel;
+  auto table = std::make_shared<RcuHashTable<int, std::shared_ptr<int>>>(
+      RcuManagerRoot::For(m), 4);
+  table->Insert(1, std::move(sentinel));
+  bool checked_in_event = false;
+  bool checked_after_grace = false;
+  SimWorld::SpawnOn(m, 0, [&] {
+    std::shared_ptr<int>* p = table->Find(1);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(table->Erase(1));
+    // Still inside the read-side section (this event): the erased node — and the value the
+    // earlier Find returned — must be intact. The table no longer serves the key, but the
+    // in-hand pointer does.
+    EXPECT_EQ(table->Find(1), nullptr);
+    EXPECT_FALSE(alive.expired());
+    EXPECT_EQ(**p, 7);
+    checked_in_event = true;
+    // Order the post-grace check behind the erase's own reclamation: a second CallRcu's
+    // markers queue behind the first's on every core, so by the time this callback runs,
+    // the erased node has been deleted.
+    rcu::Call([&] {
+      EXPECT_TRUE(alive.expired());
+      checked_after_grace = true;
+    });
+  });
+  world.Run();
+  EXPECT_TRUE(checked_in_event);
+  EXPECT_TRUE(checked_after_grace);
+}
+
+TEST(RcuSim, StressReadersOnEveryCoreRaceInsertErase) {
+  // Deterministic SimWorld stress: reader events on cores 1..3 scan the whole key range and
+  // re-spawn themselves; core 0 churns erase/insert (and InsertOrReplace) between their
+  // events. Invariants: a found value always matches its key (no torn node is ever visible),
+  // and every deferred reclamation eventually runs (tracked via shared_ptr use counts).
+  SimWorld world;
+  Runtime& m = world.AddMachine("stress", 4);
+  auto table = std::make_shared<RcuHashTable<int, std::shared_ptr<int>>>(
+      RcuManagerRoot::For(m), 3);  // 8 buckets for 48 keys: heavy chains on purpose
+  constexpr int kKeys = 48;
+  constexpr int kWriterRounds = 40;
+  auto live_values = std::make_shared<std::vector<std::weak_ptr<int>>>();
+  for (int i = 0; i < kKeys; ++i) {
+    auto value = std::make_shared<int>(i);
+    live_values->push_back(value);
+    table->Insert(i, std::move(value));
+  }
+  auto bad = std::make_shared<std::atomic<int>>(0);
+  auto reads = std::make_shared<std::atomic<int>>(0);
+  auto writer_done = std::make_shared<bool>(false);
+
+  struct Reader {
+    static void Run(std::shared_ptr<RcuHashTable<int, std::shared_ptr<int>>> t,
+                    std::shared_ptr<std::atomic<int>> bad,
+                    std::shared_ptr<std::atomic<int>> reads,
+                    std::shared_ptr<bool> writer_done) {
+      for (int i = 0; i < kKeys; ++i) {
+        std::shared_ptr<int>* v = t->Find(i);
+        if (v != nullptr && **v % kKeys != i) {
+          bad->fetch_add(1);
+        }
+      }
+      reads->fetch_add(1);
+      if (!*writer_done) {
+        event::Local().Spawn([t, bad, reads, writer_done] {
+          Run(t, bad, reads, writer_done);
+        });
+      }
+    }
+  };
+  for (std::size_t core = 1; core < 4; ++core) {
+    SimWorld::SpawnOn(m, core, [table, bad, reads, writer_done] {
+      Reader::Run(table, bad, reads, writer_done);
+    });
+  }
+
+  struct Writer {
+    static void Run(int round, std::shared_ptr<RcuHashTable<int, std::shared_ptr<int>>> t,
+                    std::shared_ptr<std::vector<std::weak_ptr<int>>> live,
+                    std::shared_ptr<bool> done) {
+      if (round == kWriterRounds) {
+        *done = true;
+        return;
+      }
+      for (int i = round % 3; i < kKeys; i += 3) {
+        t->Erase(i);
+        auto value = std::make_shared<int>(i + kKeys * (round + 1));  // % kKeys == i
+        live->push_back(value);
+        t->Insert(i, std::move(value));
+      }
+      for (int i = (round + 1) % 5; i < kKeys; i += 5) {
+        auto value = std::make_shared<int>(i + kKeys * (round + 7));
+        live->push_back(value);
+        t->InsertOrReplace(i, std::move(value));
+      }
+      event::Local().Spawn([round, t, live, done] { Run(round + 1, t, live, done); });
+    }
+  };
+  SimWorld::SpawnOn(m, 0, [table, live_values, writer_done] {
+    Writer::Run(0, table, live_values, writer_done);
+  });
+
+  world.Run();
+  EXPECT_EQ(bad->load(), 0);
+  EXPECT_GT(reads->load(), kWriterRounds);  // readers genuinely interleaved with the churn
+  EXPECT_EQ(table->size(), static_cast<std::size_t>(kKeys));
+  // Epoch-reclamation accounting: when the world quiesces, every value ever displaced by
+  // Erase/InsertOrReplace has been reclaimed (its node deleted after a grace period); only
+  // the final table contents survive.
+  std::size_t alive = 0;
+  for (const std::weak_ptr<int>& w : *live_values) {
+    if (!w.expired()) {
+      ++alive;
+    }
+  }
+  EXPECT_EQ(alive, static_cast<std::size_t>(kKeys));
+}
+
 TEST_F(RcuTableTest, ConcurrentReadersDuringWrites) {
   // Readers on three cores hammer Find while core 0 churns insert/erase. RCU must keep every
   // observed pointer valid (we copy the value immediately — validity within the event).

@@ -1,0 +1,212 @@
+// Sharded memcached tests: the consistent-hash ring's determinism and balance, GlobalIdMap
+// discovery plumbing, and the end-to-end router -> shard datapath (values round-trip, keys
+// land on the ring-chosen shard, misses surface as found=false).
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/memcached/shard.h"
+#include "src/sim/testbed.h"
+
+namespace ebbrt {
+namespace {
+
+using memcached::ShardEndpoint;
+using memcached::ShardHash;
+
+TEST(ShardRecord, EncodeParseRoundTrip) {
+  std::string record = memcached::EncodeShardRecord(Ipv4Addr::Of(10, 0, 0, 21),
+                                                    memcached::kShardServiceBase + 1);
+  ShardEndpoint endpoint;
+  ASSERT_TRUE(memcached::ParseShardRecord(record, &endpoint));
+  EXPECT_EQ(endpoint.addr.raw, Ipv4Addr::Of(10, 0, 0, 21).raw);
+  EXPECT_EQ(endpoint.service, memcached::kShardServiceBase + 1);
+
+  EXPECT_FALSE(memcached::ParseShardRecord("not-a-record", &endpoint));
+  EXPECT_FALSE(memcached::ParseShardRecord("10.0.0.1", &endpoint));       // no service id
+  EXPECT_FALSE(memcached::ParseShardRecord("999.0.0.1#40", &endpoint));   // bad octet
+  EXPECT_FALSE(memcached::ParseShardRecord("10.0.0.1#0", &endpoint));     // null service
+}
+
+TEST(ShardHashTest, Fnv1aFmixIsDeterministic) {
+  // The ring must place identically on every platform/stdlib — pin the function itself.
+  EXPECT_EQ(ShardHash(""), 17280346270528514342ull);
+  EXPECT_EQ(ShardHash("a"), 9413272369427828315ull);
+  EXPECT_EQ(ShardHash("user:0"), ShardHash(std::string("user:0")));
+  EXPECT_NE(ShardHash("user:0"), ShardHash("user:1"));
+  // The finalizer property the ring depends on: near-identical short keys must differ in
+  // the high bits, not just the low ones.
+  EXPECT_NE(ShardHash("user:0") >> 48, ShardHash("user:1") >> 48);
+}
+
+class ShardWorldTest : public ::testing::Test {
+ protected:
+  static constexpr Ipv4Addr kFrontendIp = Ipv4Addr::Of(10, 0, 0, 10);
+
+  // Brings up frontend + `n` shard machines with announced services, and a client node.
+  void BuildWorld(std::size_t n) {
+    frontend_ = std::make_unique<sim::TestbedNode>(
+        bed_.AddNode("frontend", 1, kFrontendIp, sim::HypervisorModel::Native(),
+                     RuntimeKind::kHosted));
+    for (std::size_t i = 0; i < n; ++i) {
+      shard_nodes_.push_back(bed_.AddNode("shard" + std::to_string(i), 1,
+                                          Ipv4Addr::Of(10, 0, 0, 20 + (unsigned)i)));
+    }
+    client_ = std::make_unique<sim::TestbedNode>(
+        bed_.AddNode("client", 1, Ipv4Addr::Of(10, 0, 0, 3),
+                     sim::HypervisorModel::Native()));
+    frontend_->Spawn(0, [this] { dist::GlobalIdMap::ServeOn(*frontend_->runtime); });
+    services_.resize(n, nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      sim::TestbedNode node = shard_nodes_[i];
+      node.Spawn(0, [this, node, i] {
+        auto service = std::make_shared<memcached::ShardService>(*node.runtime, i);
+        services_[i] = service.get();
+        node.runtime->Adopt(std::move(service));  // dies with the machine, not never
+        memcached::AnnounceShard(*node.runtime, kFrontendIp, i, node.iface->addr())
+            .Then([](Future<void> f) { f.Get(); });
+      });
+    }
+  }
+
+  sim::Testbed bed_;
+  std::unique_ptr<sim::TestbedNode> frontend_;
+  std::vector<sim::TestbedNode> shard_nodes_;
+  std::unique_ptr<sim::TestbedNode> client_;
+  std::vector<memcached::ShardService*> services_;
+};
+
+TEST_F(ShardWorldTest, DiscoverRouteAndRoundTrip) {
+  constexpr std::size_t kShards = 3;
+  constexpr std::size_t kKeys = 48;
+  BuildWorld(kShards);
+  std::unique_ptr<memcached::ShardRouter> router;
+  std::size_t verified = 0;
+  bool missing_found = false;
+  bool done = false;
+  client_->Spawn(0, [&] {
+    memcached::DiscoverShards(*client_->runtime, kFrontendIp, kShards)
+        .Then([&](Future<std::vector<ShardEndpoint>> f) {
+          std::vector<ShardEndpoint> endpoints = f.Get();
+          ASSERT_EQ(endpoints.size(), kShards);
+          router = std::make_unique<memcached::ShardRouter>(*client_->runtime,
+                                                            std::move(endpoints));
+          auto step = std::make_shared<std::function<void(std::size_t, int)>>();
+          *step = [&, step](std::size_t index, int phase) {
+            if (index == kKeys) {
+              if (phase == 0) {
+                (*step)(0, 1);
+                return;
+              }
+              // Phase 2: a key nobody wrote comes back found=false, not an error.
+              router->Get("never-written").Then(
+                  [&, step](Future<memcached::ShardRouter::GetResult> gf) {
+                    memcached::ShardRouter::GetResult result = gf.Get();
+                    missing_found = result.found;
+                    done = true;
+                    *step = nullptr;
+                  });
+              return;
+            }
+            std::string key = "k" + std::to_string(index);
+            if (phase == 0) {
+              router->Set(key, "v" + std::to_string(index)).Then([&, step, index](
+                                                                     Future<void> sf) {
+                sf.Get();
+                (*step)(index + 1, 0);
+              });
+            } else {
+              router->Get(key).Then([&, step, index](
+                                        Future<memcached::ShardRouter::GetResult> gf) {
+                memcached::ShardRouter::GetResult result = gf.Get();
+                if (result.found &&
+                    dist::ChainToString(result.value.get()) ==
+                        "v" + std::to_string(index)) {
+                  ++verified;
+                }
+                (*step)(index + 1, 1);
+              });
+            }
+          };
+          (*step)(0, 0);
+        });
+  });
+  bed_.world().Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(verified, kKeys);
+  EXPECT_FALSE(missing_found);
+
+  // Every key landed on exactly the shard the ring names, and every shard took part.
+  std::map<std::size_t, std::size_t> expected_per_shard;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    expected_per_shard[router->ShardFor("k" + std::to_string(i))]++;
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(services_[s]->store().size(), expected_per_shard[s]) << "shard " << s;
+    EXPECT_GT(services_[s]->requests(), 0u) << "shard " << s;
+  }
+}
+
+TEST_F(ShardWorldTest, DiscoveryFailsCleanlyWhenShardMissing) {
+  // Only 2 shards announce; asking for 3 must fail through the future (no infinite retry).
+  BuildWorld(2);
+  bool failed = false;
+  client_->Spawn(0, [&] {
+    memcached::DiscoverShards(*client_->runtime, kFrontendIp, 3)
+        .Then([&](Future<std::vector<ShardEndpoint>> f) {
+          try {
+            f.Get();
+          } catch (const std::runtime_error&) {
+            failed = true;
+          }
+        });
+  });
+  bed_.world().Run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(ShardRing, BalanceAndDeterminismWithoutAWorld) {
+  // The ring is pure computation: check placement balance for the bench's key schedule at 4
+  // shards (the CI gate's shape) without bringing up machines. Build a router against a
+  // throwaway runtime? No — ring placement is a free function of (shards, vnodes), so
+  // recompute it the way ShardRouter does and assert the distribution.
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kVnodes = 128;
+  constexpr std::size_t kKeys = 256;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    for (std::size_t v = 0; v < kVnodes; ++v) {
+      ring.emplace_back(
+          ShardHash("shard/" + std::to_string(i) + "/vnode/" + std::to_string(v)),
+          static_cast<std::uint32_t>(i));
+    }
+  }
+  std::sort(ring.begin(), ring.end());
+  std::vector<std::size_t> counts(kShards, 0);
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    std::uint64_t h = ShardHash("user:" + std::to_string(k));
+    auto it = std::upper_bound(ring.begin(), ring.end(),
+                               std::make_pair(h, std::uint32_t{0xffffffff}));
+    if (it == ring.end()) {
+      it = ring.begin();
+    }
+    counts[it->second]++;
+  }
+  std::size_t total = 0;
+  std::size_t max = 0;
+  for (std::size_t c : counts) {
+    total += c;
+    max = std::max(max, c);
+    EXPECT_GT(c, 0u);  // no shard starves
+  }
+  EXPECT_EQ(total, kKeys);
+  double imbalance = static_cast<double>(max) / (static_cast<double>(total) / kShards) - 1.0;
+  // The CI smoke gate allows 25%; the pinned schedule must clear it with margin.
+  EXPECT_LE(imbalance, 0.25);
+}
+
+}  // namespace
+}  // namespace ebbrt
