@@ -68,7 +68,10 @@ void Messenger::Send(Ipv4Addr dst, EbbId target, std::unique_ptr<IOBuf> payload)
     peer->Deliver(target, std::move(payload));
     return;
   }
-  // The connection's state lives on its owner core; forward the message there.
+  // The connection's state lives on its owner core; forward the message there. SpawnRemote
+  // rides the lock-free interconnect: one slab-carved continuation node, one CAS onto the
+  // owner core's exchange list, and a WakeCore only if that core had actually halted — the
+  // per-message forward takes no lock anywhere.
   event::Local().SpawnRemote(
       [peer, target, payload = std::move(payload)]() mutable {
         peer->Deliver(target, std::move(payload));

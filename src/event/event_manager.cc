@@ -7,7 +7,7 @@ namespace ebbrt {
 // --- Root -----------------------------------------------------------------------------------
 
 EventManagerRoot::EventManagerRoot(Executor& executor, std::size_t num_cores)
-    : executor_(executor) {
+    : executor_(executor), interconnect_(executor, num_cores) {
   reps_.reserve(num_cores);
   for (std::size_t i = 0; i < num_cores; ++i) {
     reps_.push_back(std::make_unique<EventManager>(*this, executor, i));
@@ -31,27 +31,79 @@ EventManager& EventManager::HandleFault(EbbId id) {
   return rep;
 }
 
+// --- Cross-core message nodes ----------------------------------------------------------------
+
+// A remote Spawn. Fire moves the closure out, frees the node (the slab slot is available
+// again before the handler even runs), then dispatches a normal synthetic event.
+struct EventManager::SpawnNode final : InterconnectNode {
+  explicit SpawnNode(MoveFunction<void()> f) : fn(std::move(f)) {}
+  void Fire(EventManager& em) override {
+    MoveFunction<void()> f = std::move(fn);
+    Interconnect::Delete(this);
+    ++em.stats_.xcore_spawns;
+    ++em.stats_.synthetic;
+    // Safe: RunOnEventStack moves one-shot closures onto the fiber stack before any
+    // suspension, and this loop-stack frame outlives the dispatch either way.
+    em.RunOnEventStack(&f);
+  }
+  void Discard() override { Interconnect::Delete(this); }  // closure dropped unrun
+  MoveFunction<void()> fn;
+};
+
+// A remote ActivateContext: re-adopts the frozen fiber on its home core.
+struct EventManager::ActivateNode final : InterconnectNode {
+  ActivateNode(void* sp, std::unique_ptr<FiberStack> s) : resume_sp(sp), stack(std::move(s)) {}
+  void Fire(EventManager& em) override {
+    QueueEntry entry;
+    entry.resume_sp = resume_sp;
+    entry.resume_stack = std::move(stack);
+    Interconnect::Delete(this);
+    ++em.stats_.xcore_spawns;
+    em.ResumeContext(std::move(entry));
+  }
+  void Discard() override {
+    // The frozen event never resumes; its stack unwinds with the pool. (Teardown only.)
+    Interconnect::Delete(this);
+  }
+  void* resume_sp;
+  std::unique_ptr<FiberStack> stack;
+};
+
+void EventManager::VectorEntry::Fire(EventManager& em) {
+  // Coalesced redelivery: every raise since the last Fire runs the handler once. The
+  // exchange closes the race with a concurrent raiser — a raise that lands after it sees
+  // pending==0 and re-publishes this node for the next pass.
+  std::uint32_t raises = pending.exchange(0, std::memory_order_acq_rel);
+  for (std::uint32_t i = 0; i < raises; ++i) {
+    ++em.stats_.interrupts;
+    em.RunOnEventStack(&handler, /*persistent=*/true);
+  }
+}
+
 // --- Rep ------------------------------------------------------------------------------------
 
 EventManager::EventManager(EventManagerRoot& root, Executor& executor,
                            std::size_t machine_core)
     : root_(root), executor_(executor), machine_core_(machine_core) {}
 
-EventManager::~EventManager() = default;
+EventManager::~EventManager() {
+  // The root's interconnect (destroyed before the reps) has already discarded any pending
+  // nodes, so the embedded vector entries are no longer reachable from any list.
+  for (auto& slot : vector_table_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
 
 void EventManager::Spawn(MoveFunction<void()> fn) {
-  QueueEntry entry;
-  entry.fn = std::move(fn);
   if (HaveContext() && CurrentContext().machine_core == machine_core_ && in_loop_) {
+    QueueEntry entry;
+    entry.fn = std::move(fn);
     local_queue_.push_back(std::move(entry));
     return;
   }
-  // Not on this core's loop (bring-up, another core, or a device thread): use the mailbox.
-  {
-    std::lock_guard<Spinlock> lock(remote_mu_);
-    remote_queue_.push_back(std::move(entry));
-  }
-  executor_.WakeCore(machine_core_);
+  // Not on this core's loop (bring-up, another core, or a device thread): publish a
+  // continuation node on the interconnect. Lock-free; wakes the core only if it halted.
+  root_.interconnect().Push(machine_core_, Interconnect::New<SpawnNode>(std::move(fn)));
 }
 
 void EventManager::SpawnRemote(MoveFunction<void()> fn, std::size_t machine_core) {
@@ -60,20 +112,36 @@ void EventManager::SpawnRemote(MoveFunction<void()> fn, std::size_t machine_core
 
 std::uint32_t EventManager::AllocateVector(MoveFunction<void()> handler) {
   std::uint32_t vector = next_vector_++;
-  vector_table_[vector] = std::move(handler);
+  Kbugon(vector >= kNumVectors, "EventManager: interrupt vectors exhausted");
+  // Release-publish so a device thread that learns the vector number afterward reads a
+  // fully-constructed entry.
+  vector_table_[vector].store(new VectorEntry(std::move(handler)),
+                              std::memory_order_release);
   return vector;
 }
 
 void EventManager::SetVectorHandler(std::uint32_t vector, MoveFunction<void()> handler) {
-  vector_table_[vector] = std::move(handler);
+  Kbugon(vector >= kNumVectors, "EventManager: bad vector %u", vector);
+  VectorEntry* entry = vector_table_[vector].load(std::memory_order_acquire);
+  if (entry == nullptr) {
+    vector_table_[vector].store(new VectorEntry(std::move(handler)),
+                                std::memory_order_release);
+    return;
+  }
+  // Handler replacement happens on the owner core (where Fire also runs), so the swap
+  // cannot race an invocation; raisers only touch `pending`.
+  entry->handler = std::move(handler);
 }
 
 void EventManager::RaiseVector(std::uint32_t vector) {
-  {
-    std::lock_guard<Spinlock> lock(irq_mu_);
-    pending_vectors_.push_back(vector);
+  Kbugon(vector >= kNumVectors, "EventManager: bad vector %u", vector);
+  VectorEntry* entry = vector_table_[vector].load(std::memory_order_acquire);
+  Kbugon(entry == nullptr, "EventManager: spurious vector %u", vector);
+  // Only the 0->1 transition publishes the embedded node; further raises before the owner
+  // drains just bump the count (coalesced, allocation-free, lock-free).
+  if (entry->pending.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    root_.interconnect().Push(machine_core_, entry);
   }
-  executor_.WakeCore(machine_core_);
 }
 
 // --- Idle callbacks --------------------------------------------------------------------------
@@ -89,6 +157,7 @@ void EventManager::IdleCallback::Start() {
     return;
   }
   started_ = true;
+  index_ = em_.idle_callbacks_.size();
   em_.idle_callbacks_.push_back(this);
   em_.executor_.WakeCore(em_.machine_core_);
 }
@@ -98,13 +167,13 @@ void EventManager::IdleCallback::Stop() {
     return;
   }
   started_ = false;
+  // O(1) swap-and-pop: each callback remembers its slot, the displaced tail is re-indexed.
   auto& cbs = em_.idle_callbacks_;
-  for (auto it = cbs.begin(); it != cbs.end(); ++it) {
-    if (*it == this) {
-      cbs.erase(it);
-      break;
-    }
-  }
+  Kassert(index_ < cbs.size() && cbs[index_] == this, "IdleCallback: index out of sync");
+  IdleCallback* tail = cbs.back();
+  cbs[index_] = tail;
+  tail->index_ = index_;
+  cbs.pop_back();
 }
 
 // --- End-of-event hooks ----------------------------------------------------------------------
@@ -203,19 +272,18 @@ void EventManager::SaveContext(EventContext& ctx) {
 
 void EventManager::ActivateContext(EventContext&& ctx) {
   Kassert(ctx.valid(), "ActivateContext: invalid context");
-  QueueEntry entry;
-  entry.resume_sp = ctx.sp_;
-  entry.resume_stack = std::move(ctx.stack_);
+  void* sp = ctx.sp_;
+  std::unique_ptr<FiberStack> stack = std::move(ctx.stack_);
   ctx.sp_ = nullptr;
   if (HaveContext() && CurrentContext().machine_core == machine_core_ && in_loop_) {
+    QueueEntry entry;
+    entry.resume_sp = sp;
+    entry.resume_stack = std::move(stack);
     local_queue_.push_back(std::move(entry));
     return;
   }
-  {
-    std::lock_guard<Spinlock> lock(remote_mu_);
-    remote_queue_.push_back(std::move(entry));
-  }
-  executor_.WakeCore(machine_core_);
+  root_.interconnect().Push(machine_core_,
+                            Interconnect::New<ActivateNode>(sp, std::move(stack)));
 }
 
 // --- Dispatch protocol (§3.2) ----------------------------------------------------------------
@@ -232,49 +300,20 @@ bool EventManager::DispatchTimers() {
   return result.dispatched != 0;
 }
 
-bool EventManager::DispatchInterrupts() {
-  bool any = false;
-  for (;;) {
-    std::uint32_t vector;
-    {
-      std::lock_guard<Spinlock> lock(irq_mu_);
-      if (pending_vectors_.empty()) {
-        break;
-      }
-      vector = pending_vectors_.front();
-      pending_vectors_.pop_front();
-    }
-    auto it = vector_table_.find(vector);
-    Kbugon(it == vector_table_.end(), "EventManager: spurious vector %u", vector);
-    ++stats_.interrupts;
-    any = true;
-    // The persistent handler runs on an event stack with interrupts conceptually masked.
-    RunOnEventStack(&it->second, /*persistent=*/true);
+bool EventManager::DispatchInterconnect() {
+  InterconnectNode* node = root_.interconnect().TakeBatch(machine_core_);
+  if (node == nullptr) {
+    return false;
   }
-  return any;
-}
-
-bool EventManager::DispatchRemote() {
-  bool any = false;
-  for (;;) {
-    QueueEntry entry;
-    {
-      std::lock_guard<Spinlock> lock(remote_mu_);
-      if (remote_queue_.empty()) {
-        break;
-      }
-      entry = std::move(remote_queue_.front());
-      remote_queue_.pop_front();
-    }
-    any = true;
-    if (entry.resume_sp != nullptr) {
-      ResumeContext(std::move(entry));
-    } else {
-      ++stats_.synthetic;
-      RunOnEventStack(&entry.fn);
-    }
+  ++stats_.xcore_batches;
+  while (node != nullptr) {
+    // Read the link BEFORE firing: Fire disposes the node (and an embedded node may be
+    // re-published by a concurrent raiser the moment its pending count is consumed).
+    InterconnectNode* next = node->next();
+    node->Fire(*this);
+    node = next;
   }
-  return any;
+  return true;
 }
 
 bool EventManager::DispatchOneSynthetic() {
@@ -313,8 +352,7 @@ bool EventManager::DispatchIdle() {
 bool EventManager::DispatchPass() {
   bool did = false;
   did |= DispatchTimers();
-  did |= DispatchInterrupts();
-  did |= DispatchRemote();
+  did |= DispatchInterconnect();
   did |= DispatchOneSynthetic();
   if (did) {
     // Hardware interrupts and synthetic events take priority: restart the protocol before
@@ -324,13 +362,22 @@ bool EventManager::DispatchPass() {
   return DispatchIdle();
 }
 
+void EventManager::IdleHalt() {
+  // Publish "I am halting" on the interconnect before actually halting. If the CAS loses —
+  // a node landed since this pass's TakeBatch — skip the halt and dispatch again; the next
+  // TakeBatch clears a sentinel left behind by a timer/shutdown (non-push) wake.
+  if (root_.interconnect().MarkIdle(machine_core_)) {
+    executor_.Halt(machine_core_, timer_deadline_);
+  }
+}
+
 void EventManager::Loop() {
   Kassert(CurrentContext().machine_core == machine_core_, "Loop: wrong core");
   in_loop_ = true;
   while (!stopped_ && !executor_.Stopped()) {
     if (!DispatchPass()) {
       // Nothing ran: enable interrupts and halt until a wake or the next timer deadline.
-      executor_.Halt(machine_core_, timer_deadline_);
+      IdleHalt();
     } else {
       executor_.MaybeYield(machine_core_);
     }
@@ -344,12 +391,29 @@ void EventManager::LoopUntil(MoveFunction<bool()> pred) {
   in_loop_ = true;
   while (!pred() && !stopped_ && !executor_.Stopped()) {
     if (!DispatchPass()) {
-      executor_.Halt(machine_core_, timer_deadline_);
+      IdleHalt();
     } else {
       executor_.MaybeYield(machine_core_);
     }
   }
   in_loop_ = was_in_loop;
+}
+
+EventManager::Stats EventManager::stats() const {
+  Stats s;
+  s.interrupts = stats_.interrupts;
+  s.synthetic = stats_.synthetic;
+  s.idle_passes = stats_.idle_passes;
+  s.timers = stats_.timers;
+  s.end_of_event = stats_.end_of_event;
+  s.xcore_spawns = stats_.xcore_spawns;
+  s.xcore_batches = stats_.xcore_batches;
+  const Interconnect& ic = root_.interconnect();
+  s.xcore_pushes = ic.pushes(machine_core_);
+  s.xcore_wakeups = ic.wakeups(machine_core_);
+  s.xcore_wakeups_elided = s.xcore_pushes - s.xcore_wakeups;
+  s.control_locks = 0;  // no spinlock exists on the dispatch path to count
+  return s;
 }
 
 }  // namespace ebbrt

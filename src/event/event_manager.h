@@ -2,15 +2,18 @@
 //
 // One representative per core. A core's loop dispatches, in priority order:
 //
-//   1. due timer callbacks and pending interrupt vectors (the "enable then disable interrupts"
-//      window of the paper's protocol),
-//   2. remote spawns (our stand-in for IPIs),
+//   1. due timer callbacks (the "enable then disable interrupts" window of the paper's
+//      protocol),
+//   2. the cross-core interconnect batch — pending interrupt vectors, remote spawns, and
+//      resumed contexts, in per-sender FIFO order (our stand-in for IPIs),
 //   3. exactly ONE synthetic event,
 //   4. all registered IdleCallbacks,
 //
 // and restarts from the top whenever any step ran a handler, so interrupts and synthetic
 // events always take priority over repeatedly-invoked idle handlers; only when a full pass
-// runs nothing does the core "enable interrupts and halt" (Executor::Halt).
+// runs nothing does the core "enable interrupts and halt" (Executor::Halt) — after
+// CAS-publishing the interconnect's idle sentinel, so a sender racing the halt either gets
+// observed in one more pass or sees the sentinel and wakes the core.
 //
 // Every handler runs on a pooled event stack (fiber). A handler that must wait for
 // asynchronous work calls SaveContext(ctx) — its stack and callee-saved registers freeze
@@ -20,21 +23,23 @@
 // software familiar blocking semantics.
 //
 // Because handlers are never preempted and never migrate, all per-core state in this class is
-// plain (non-atomic); only the remote-spawn / interrupt mailboxes, which other cores push
-// into, take a spinlock.
+// plain (non-atomic). Cross-core traffic arrives exclusively through the lock-free
+// Interconnect — no spinlock is taken anywhere on the steady-state dispatch path.
 #ifndef EBBRT_SRC_EVENT_EVENT_MANAGER_H_
 #define EBBRT_SRC_EVENT_EVENT_MANAGER_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/ebb_id.h"
 #include "src/core/ebb_ref.h"
 #include "src/core/runtime.h"
 #include "src/event/executor.h"
+#include "src/event/interconnect.h"
 #include "src/platform/fiber.h"
 #include "src/platform/move_function.h"
 #include "src/platform/spinlock.h"
@@ -70,10 +75,16 @@ class EventManagerRoot {
   EventManager& RepFor(std::size_t machine_core);
   Executor& executor() { return executor_; }
   std::size_t num_cores() const { return reps_.size(); }
+  // The machine's cross-core mesh. Subsystems with their own node types (BufferPool block
+  // returns, RCU epoch markers) push here directly.
+  Interconnect& interconnect() { return interconnect_; }
 
  private:
   Executor& executor_;
   std::vector<std::unique_ptr<EventManager>> reps_;
+  // Declared last => destroyed first: the teardown drain Discards undelivered nodes while
+  // the reps (whose vector entries are embedded nodes) are still alive.
+  Interconnect interconnect_;
 };
 
 class EventManager {
@@ -97,9 +108,14 @@ class EventManager {
   // hardware interrupt from the EventManager and then bind a handler to that interrupt").
   std::uint32_t AllocateVector(MoveFunction<void()> handler);
   void SetVectorHandler(std::uint32_t vector, MoveFunction<void()> handler);
-  // Fires a vector on this core. Safe from any thread; the handler is invoked from the event
-  // loop with interrupts (conceptually) disabled.
+  // Fires a vector on this core. Safe from any thread: the raiser bumps the entry's pending
+  // count and only the 0->1 transition publishes the (embedded) node — no lock, no
+  // allocation, coalesced redelivery. The handler is invoked from the event loop with
+  // interrupts (conceptually) disabled.
   void RaiseVector(std::uint32_t vector);
+
+  // x86-flavored fixed table: vectors 0-31 reserved, 32-255 allocatable.
+  static constexpr std::uint32_t kNumVectors = 256;
 
   // --- Idle callbacks -----------------------------------------------------------------------
   // Recurring handler invoked on every idle pass (adaptive polling builds on this).
@@ -117,17 +133,23 @@ class EventManager {
     EventManager& em_;
     MoveFunction<void()> fn_;
     bool started_ = false;
+    std::size_t index_ = 0;  // position in em_.idle_callbacks_ while started (O(1) Stop)
   };
 
   // --- End-of-event hooks -------------------------------------------------------------------
   // Queues `fn` to run once, when the currently-dispatching event hands control back to this
   // core's loop (on completion or on SaveContext suspension) — after the handler, before the
   // next event and before any IdleCallback gets a turn. This is the event-boundary flush
-  // point the TX batcher builds on: work accumulated during one event dispatch is emitted
-  // exactly once, at its edge. Hooks run on the loop stack, not on an event stack, so they
-  // must run to completion (no SaveContext). A hook queued by another hook runs in the same
-  // boundary drain. Call from within an event on this core.
+  // point the TX batcher and the RCU epoch coalescer build on: work accumulated during one
+  // event dispatch is emitted exactly once, at its edge. Hooks run on the loop stack, not on
+  // an event stack, so they must run to completion (no SaveContext). A hook queued by
+  // another hook runs in the same boundary drain. Call from within an event on this core.
   void QueueEndOfEvent(MoveFunction<void()> fn);
+
+  // True while an event handler is running on this core's event stack (false on the loop
+  // stack: end-of-event hooks, interconnect drains, bring-up). The RCU manager keys its
+  // boundary batching off this.
+  bool dispatching_event() const { return active_stack_ != nullptr; }
 
   // --- Blocking support ---------------------------------------------------------------------
   // Freezes the current event into `ctx` and resumes the loop. Must be called from within an
@@ -166,17 +188,53 @@ class EventManager {
     RunOnEventStack(fn, persistent);
   }
 
-  // Statistics (exported for tests and the adaptive-polling policy).
+  // Statistics (exported for tests, benches, and the adaptive-polling policy).
   std::uint64_t interrupts_dispatched() const { return stats_.interrupts; }
   std::uint64_t events_dispatched() const { return stats_.synthetic; }
   std::uint64_t idle_passes() const { return stats_.idle_passes; }
   std::uint64_t end_of_event_hooks_run() const { return stats_.end_of_event; }
 
+  // Snapshot of this core's dispatch counters, including the interconnect's view of its
+  // inbound cross-core traffic.
+  struct Stats {
+    std::uint64_t interrupts = 0;      // vector handler activations
+    std::uint64_t synthetic = 0;       // spawned events run (local + cross-core)
+    std::uint64_t idle_passes = 0;
+    std::uint64_t timers = 0;
+    std::uint64_t end_of_event = 0;
+    std::uint64_t xcore_spawns = 0;    // spawn/activate nodes that arrived via the mesh
+    std::uint64_t xcore_batches = 0;   // non-empty TakeBatch drains (one exchange each)
+    std::uint64_t xcore_pushes = 0;    // nodes other cores/threads pushed at this core
+    std::uint64_t xcore_wakeups = 0;   // pushes that displaced the idle sentinel (paid wake)
+    std::uint64_t xcore_wakeups_elided = 0;  // pushes that needed no wake (core awake/pending)
+    std::uint64_t control_locks = 0;   // spinlock acquisitions on the dispatch path:
+                                       // structurally zero since the interconnect port
+  };
+  Stats stats() const;
+
  private:
+  friend class EventManagerRoot;
+
   struct QueueEntry {
     MoveFunction<void()> fn;  // synthetic event, or
     void* resume_sp = nullptr;  // frozen context to resume
     std::unique_ptr<FiberStack> resume_stack;
+  };
+
+  // Cross-core message types (definitions in the .cc; nested so Fire can use privates).
+  struct SpawnNode;     // a remote Spawn: carries the closure, runs as a synthetic event
+  struct ActivateNode;  // a remote ActivateContext: carries the frozen fiber
+
+  // One interrupt vector. The node is EMBEDDED: raising a vector never allocates, and a
+  // vector raised N times before the owner drains runs its handler N times off one node
+  // (pending counts the coalesced raises). Fire/Discard do not free — the entry is owned by
+  // the vector table and lives until the rep dies.
+  struct VectorEntry final : InterconnectNode {
+    explicit VectorEntry(MoveFunction<void()> h) : handler(std::move(h)) {}
+    void Fire(EventManager& em) override;
+    void Discard() override { pending.store(0, std::memory_order_relaxed); }
+    MoveFunction<void()> handler;       // invoked on the owner core only
+    std::atomic<std::uint32_t> pending{0};  // raises since the last Fire
   };
 
   static void FiberTrampoline(void* arg);
@@ -187,11 +245,15 @@ class EventManager {
   void ResumeContext(QueueEntry entry);
   // Drains end-of-event hooks on the loop stack after a handler completes or suspends.
   void RunEndOfEventHooks();
+  // Halts via the executor after publishing the interconnect idle sentinel; a failed publish
+  // means work arrived and the caller must run another pass.
+  void IdleHalt();
 
   bool DispatchPass();  // one pass of the §3.2 protocol; true if any handler ran
   bool DispatchTimers();
-  bool DispatchInterrupts();
-  bool DispatchRemote();
+  // Drains and fires this core's interconnect batch: interrupt vectors, remote spawns,
+  // resumed contexts, pooled-block returns, RCU markers — whatever other cores sent.
+  bool DispatchInterconnect();
   bool DispatchOneSynthetic();
   bool DispatchIdle();
 
@@ -202,14 +264,10 @@ class EventManager {
   // Core-local synthetic event queue (paper: Spawn). Plain deque: single writer/reader.
   std::deque<QueueEntry> local_queue_;
 
-  // Cross-core mailboxes.
-  Spinlock remote_mu_;
-  std::deque<QueueEntry> remote_queue_;
-  Spinlock irq_mu_;
-  std::deque<std::uint32_t> pending_vectors_;
-
-  // Vector table. Handlers are persistent; table mutated only on this core.
-  std::unordered_map<std::uint32_t, MoveFunction<void()>> vector_table_;
+  // Vector table: fixed array of release-published entries, so a device thread can raise
+  // concurrently with this core allocating new vectors (no map rehash to race with).
+  // Entries are created on this core and live until the rep dies.
+  std::array<std::atomic<VectorEntry*>, kNumVectors> vector_table_{};
   std::uint32_t next_vector_ = 32;  // skip "reserved" vectors, flavor of x86
 
   std::vector<IdleCallback*> idle_callbacks_;
@@ -239,6 +297,8 @@ class EventManager {
     std::uint64_t idle_passes = 0;
     std::uint64_t timers = 0;
     std::uint64_t end_of_event = 0;
+    std::uint64_t xcore_spawns = 0;
+    std::uint64_t xcore_batches = 0;
   } stats_;
 };
 

@@ -1,0 +1,105 @@
+#include "src/event/interconnect.h"
+
+namespace ebbrt {
+
+Interconnect::Interconnect(Executor& executor, std::size_t num_cores)
+    : executor_(executor), lists_(num_cores) {
+  // Cores are born halted: a core that has never entered its dispatch loop behaves exactly
+  // like one parked in Halt — the first push to it must pay for the wake or the loop never
+  // gets scheduled at all (SimWorld cores only run when a wake lands on the calendar). The
+  // loop's first TakeBatch clears the sentinel. (IdleTag() is a reinterpret_cast, so it
+  // cannot be a constexpr default member initializer on ExchangeList::head.)
+  for (auto& list : lists_) {
+    list.head.store(IdleTag(), std::memory_order_relaxed);
+  }
+}
+
+Interconnect::~Interconnect() {
+  // Discard every undelivered node. A Discard may itself publish new nodes (an RCU epoch
+  // completing at teardown can start a chained grace period), so sweep until a full pass
+  // over the mesh finds nothing.
+  bool any;
+  do {
+    any = false;
+    for (auto& list : lists_) {
+      InterconnectNode* node = list.head.exchange(nullptr, std::memory_order_acquire);
+      if (node == IdleTag()) {
+        continue;
+      }
+      while (node != nullptr) {
+        InterconnectNode* next = node->next_;  // Discard frees (or re-pushes) the node
+        node->Discard();
+        node = next;
+        any = true;
+      }
+    }
+  } while (any);
+}
+
+void Interconnect::Push(std::size_t target_core, InterconnectNode* node) {
+  Kassert(target_core < lists_.size(), "Interconnect::Push: bad core");
+  ExchangeList& list = lists_[target_core];
+  InterconnectNode* head = list.head.load(std::memory_order_acquire);
+  for (;;) {
+    if (head == IdleTag()) {
+      // Receiver is halted with nothing pending: our push is the one that must wake it.
+      node->next_ = nullptr;
+      if (list.head.compare_exchange_weak(head, node, std::memory_order_release,
+                                          std::memory_order_acquire)) {
+        list.pushes.fetch_add(1, std::memory_order_relaxed);
+        list.wakeups.fetch_add(1, std::memory_order_relaxed);
+        executor_.WakeCore(target_core);
+        return;
+      }
+    } else {
+      // Receiver is awake (nullptr) or a wake is already owed by an earlier pending node:
+      // just link in. No wake, no lock — the whole batch drains on one exchange.
+      node->next_ = head;
+      if (list.head.compare_exchange_weak(head, node, std::memory_order_release,
+                                          std::memory_order_acquire)) {
+        list.pushes.fetch_add(1, std::memory_order_relaxed);
+        if (head != nullptr) {
+          list.batched.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+      }
+    }
+  }
+}
+
+InterconnectNode* Interconnect::TakeBatch(std::size_t core) {
+  Kassert(core < lists_.size(), "Interconnect::TakeBatch: bad core");
+  ExchangeList& list = lists_[core];
+  if (list.head.load(std::memory_order_acquire) == nullptr) {
+    return nullptr;  // common idle-loop case: don't write the shared line
+  }
+  InterconnectNode* head = list.head.exchange(nullptr, std::memory_order_acquire);
+  if (head == IdleTag() || head == nullptr) {
+    // A spurious wake left our own sentinel behind (timer deadline, shutdown): the exchange
+    // just cleared it — the receiver is demonstrably awake again.
+    return nullptr;
+  }
+  // The chain is LIFO by construction; reverse once so delivery is FIFO per sender.
+  InterconnectNode* fifo = nullptr;
+  while (head != nullptr) {
+    InterconnectNode* next = head->next_;
+    head->next_ = fifo;
+    fifo = head;
+    head = next;
+  }
+  return fifo;
+}
+
+bool Interconnect::MarkIdle(std::size_t core) {
+  Kassert(core < lists_.size(), "Interconnect::MarkIdle: bad core");
+  ExchangeList& list = lists_[core];
+  InterconnectNode* expected = nullptr;
+  // Success publishes the sentinel; failure means a node landed since our TakeBatch and the
+  // caller must dispatch again instead of halting. All sender/receiver races serialize on
+  // this one atomic: a push either precedes the CAS (we see it and stay awake) or follows it
+  // (the pusher sees the sentinel and wakes us).
+  return list.head.compare_exchange_strong(expected, IdleTag(), std::memory_order_acq_rel,
+                                           std::memory_order_acquire);
+}
+
+}  // namespace ebbrt

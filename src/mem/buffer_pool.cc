@@ -3,9 +3,33 @@
 #include <new>
 
 #include "src/event/event_manager.h"
+#include "src/event/interconnect.h"
 #include "src/mem/gp_allocator.h"
 
 namespace ebbrt {
+
+// A remotely-freed block riding the interconnect home. The node is placement-newed into the
+// dead SharedStorage header (sizeof(BlockNode) << IOBuf::kStorageHeaderBytes), so the block
+// itself is the message: zero allocations, and the old spinlocked magazine is simply gone.
+// Fire runs on the owner core's loop — exactly where FreeLocal is legal.
+struct BufferPool::BlockNode final : InterconnectNode {
+  explicit BlockNode(BufferPool* p) : pool(p) {}
+  void Fire(EventManager&) override {
+    BufferPool* p = pool;
+    void* block = this;
+    this->~BlockNode();
+    p->FreeLocal(block);
+  }
+  void Discard() override {
+    // Machine teardown with the block still in flight: no loops left to deliver it, so hand
+    // it straight back to the slab (FreeAnywhere works from any context).
+    BufferPool* p = pool;
+    void* block = this;
+    this->~BlockNode();
+    p->ReturnToSlab(block);
+  }
+  BufferPool* pool;
+};
 
 // Storage dispose hook for pooled blocks: the last view died — snap the block back to its
 // owner core instead of the slab. free_arg carries the root, origin_core the owner.
@@ -54,6 +78,7 @@ void BufferPoolRoot::Release(IOBuf::SharedStorage* storage) {
     rep.FreeLocal(storage);
     return;
   }
+  // A free routed home from another core/context: same meaning the magazine counter had.
   mem::stats().remote_frees.fetch_add(1, std::memory_order_relaxed);
   rep.FreeRemote(storage);
 }
@@ -79,18 +104,20 @@ std::unique_ptr<IOBuf> BufferPool::Alloc() {
   const BufferPoolRoot::Config& cfg = root_.config();
   std::size_t data_bytes = cfg.block_bytes - IOBuf::kStorageHeaderBytes;
   void* block = nullptr;
-  if (freelist_ != nullptr || DrainMagazine()) {
+  if (freelist_ != nullptr) {
     block = freelist_;
     freelist_ = freelist_->next;
     --free_count_;
     at_cap_miss_streak_ = 0;  // a hit breaks any "sustained misses" run (plain store: cheap)
     mem::stats().pool_hits.fetch_add(1, std::memory_order_relaxed);
   } else {
+    // Remote frees arrive through the interconnect between events, so a dry freelist here
+    // genuinely means no block is home yet — carve (or fall back), never lock.
     mem::stats().pool_misses.fetch_add(1, std::memory_order_relaxed);
-    if (outstanding_ < cap_) {
+    if (outstanding_.load(std::memory_order_relaxed) < cap_) {
       block = GeneralPurposeAllocator::Instance()->Alloc(cfg.block_bytes);
       if (block != nullptr) {
-        ++outstanding_;
+        outstanding_.fetch_add(1, std::memory_order_relaxed);
         // A carve is an IOBuf storage block taken from the slab — count it like every
         // other owned-storage allocation (the at-cap fallback below counts through
         // CreateReserve), so iobuf_allocs stays consistent across both miss paths.
@@ -103,11 +130,11 @@ std::unique_ptr<IOBuf> BufferPool::Alloc() {
     if (block == nullptr) {
       // Pool at cap (or arena exhausted): an ordinary slab-backed buffer — it returns to
       // the slab, not the pool, when released. No failure surface.
-      MaybeQueueDrainHook();
+      MaybeQueueBoundaryHook();
       return IOBuf::CreateReserve(data_bytes, cfg.headroom);
     }
   }
-  MaybeQueueDrainHook();
+  MaybeQueueBoundaryHook();
   NoteCheckedOut();
   auto* storage = new (block) IOBuf::SharedStorage;
   storage->buffer = static_cast<std::uint8_t*>(block) + IOBuf::kStorageHeaderBytes;
@@ -147,7 +174,7 @@ void BufferPool::FreeLocal(void* block) {
   if (free_count_ >= cap_) {
     // The pool is full (or the cap decayed below what is coming home): hand the block back
     // to the slab path.
-    --outstanding_;
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
     GeneralPurposeAllocator::Instance()->Free(block);
     return;
   }
@@ -159,53 +186,41 @@ void BufferPool::FreeLocal(void* block) {
   // trickle home (no further Allocs) still gets decay ticks, so a grown cap shrinks back
   // and surplus blocks return to the slab. (A core with no pool activity at all keeps its
   // cached blocks — there is no event to hang the policy on.)
-  MaybeQueueDrainHook();
+  MaybeQueueBoundaryHook();
 }
 
 void BufferPool::FreeRemote(void* block) {
-  auto* link = static_cast<FreeLink*>(block);
-  std::lock_guard<Spinlock> lock(magazine_.mu);
-  link->next = magazine_.head;
-  magazine_.head = link;
-  ++magazine_.count;
-}
-
-bool BufferPool::DrainMagazine() {
-  FreeLink* head;
-  std::size_t count;
-  {
-    std::lock_guard<Spinlock> lock(magazine_.mu);
-    head = magazine_.head;
-    count = magazine_.count;
-    magazine_.head = nullptr;
-    magazine_.count = 0;
-  }
-  if (head == nullptr) {
-    return false;
-  }
-  // Splice onto the local list (walk to the magazine tail; remote frees are rare and the
-  // batch is small by construction — bounded by the per-core cap).
-  FreeLink* tail = head;
-  while (tail->next != nullptr) {
-    tail = tail->next;
-  }
-  tail->next = freelist_;
-  freelist_ = head;
-  free_count_ += count;
-  return true;
-}
-
-void BufferPool::MaybeQueueDrainHook() {
-  if (drain_hook_queued_) {
+  auto* em_root =
+      root_.runtime().TryGetSubsystem<EventManagerRoot>(Subsystem::kEventManager);
+  if (em_root == nullptr || machine_core_ >= em_root->interconnect().num_cores()) {
+    // No event plane to deliver through (bare-root tests, late teardown): retire the block
+    // to the slab instead of recycling it.
+    ReturnToSlab(block);
     return;
   }
-  drain_hook_queued_ = true;
-  // Drain whatever other cores freed during this event at its boundary, so a burst's worth
-  // of cross-core releases is recycled before the next event needs buffers — and give the
-  // adaptive cap its decay tick while we are already at the boundary.
+  // The dead block becomes its own message: one CAS publishes it onto the owner core's
+  // exchange list; the owner's loop fires it back onto the freelist between events.
+  static_assert(sizeof(BlockNode) <= IOBuf::kStorageHeaderBytes,
+                "BlockNode must fit in the dead storage header");
+  em_root->interconnect().Push(machine_core_, new (block) BlockNode(this));
+}
+
+void BufferPool::ReturnToSlab(void* block) {
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  GeneralPurposeAllocatorRoot* owner = mem::FindOwningRoot(block);
+  Kassert(owner != nullptr, "BufferPool: pooled block outside any arena");
+  owner->FreeAnywhere(block);
+}
+
+void BufferPool::MaybeQueueBoundaryHook() {
+  if (hook_queued_) {
+    return;
+  }
+  hook_queued_ = true;
+  // Give the adaptive cap its decay tick at this event's boundary. (Remote frees no longer
+  // need a drain here — the interconnect delivers them to FreeLocal between events.)
   event::Local().QueueEndOfEvent([this] {
-    drain_hook_queued_ = false;
-    DrainMagazine();
+    hook_queued_ = false;
     MaybeDecayCap();
   });
 }
@@ -257,11 +272,11 @@ void BufferPool::MaybeDecayCap() {
 }
 
 void BufferPool::TrimFreelistToCap() {
-  while (outstanding_ > cap_ && freelist_ != nullptr) {
+  while (outstanding_.load(std::memory_order_relaxed) > cap_ && freelist_ != nullptr) {
     FreeLink* link = freelist_;
     freelist_ = link->next;
     --free_count_;
-    --outstanding_;
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
     GeneralPurposeAllocator::Instance()->Free(link);
   }
 }

@@ -11,10 +11,12 @@
 // Cross-core lifecycle: a frame is normally freed on the core that allocated it (RSS pins a
 // connection's processing to one core), so the common path is lock-free. When a view does
 // die elsewhere — a response retained by a connection on another core, a world action, late
-// teardown — the block is pushed onto the owner core's *remote-free magazine* (a
-// spinlock-protected stack). The owner drains the magazine when its local list runs dry and,
-// opportunistically, at the end-of-event hook (PR 2's flush point), so remote frees are
-// recycled within one event boundary without ever blocking the fast path.
+// teardown — the dead block BECOMES an interconnect node: a BlockNode is placement-newed
+// into the (dead) storage header and CAS-published onto the owner core's exchange list, so
+// the return ride is the same lock-free mesh every other cross-core message takes. The
+// owner's dispatch loop fires the node between events and the block snaps back onto its
+// freelist — remote frees are recycled within one event boundary without any spinlock
+// (the old remote-free magazine and its lock are gone).
 //
 // Exhaustion is not an error: when a core holds no recycled block and the pool is at its
 // cap, Alloc falls back to an ordinary slab-backed IOBuf (mem::stats().pool_misses ticks and
@@ -22,6 +24,7 @@
 #ifndef EBBRT_SRC_MEM_BUFFER_POOL_H_
 #define EBBRT_SRC_MEM_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -70,7 +73,7 @@ class BufferPoolRoot {
 
   // Routes a released block back to its owner core — called by the IOBuf storage dispose
   // hook from ANY context. Same-core frees take the lock-free local path; everything else
-  // lands in the owner's remote-free magazine.
+  // rides the interconnect home as a BlockNode carved from the dead block itself.
   void Release(IOBuf::SharedStorage* storage);
 
  private:
@@ -96,7 +99,7 @@ class alignas(kCacheLineSize) BufferPool {
 
   // Observability.
   std::size_t free_blocks() const { return free_count_; }
-  std::size_t outstanding() const { return outstanding_; }
+  std::size_t outstanding() const { return outstanding_.load(std::memory_order_relaxed); }
   // The adaptive per-core cap currently in force (see Config): floor per_core_cap, ceiling
   // per_core_cap_max, moved by at-cap pressure and event-boundary quiet.
   std::size_t cap() const { return cap_; }
@@ -113,15 +116,19 @@ class alignas(kCacheLineSize) BufferPool {
   struct FreeLink {
     FreeLink* next;
   };
+  // A remotely-freed block in flight home: an interconnect node placement-newed into the
+  // dead storage header (the block IS the message — no allocation, no magazine, no lock).
+  // Defined in the .cc.
+  struct BlockNode;
 
   static void PoolDispose(IOBuf::SharedStorage* storage);
 
   void NoteCheckedOut();          // occupancy accounting around Alloc/Release
   void NoteReleased();
   void FreeLocal(void* block);    // owner core only: lock-free push
-  void FreeRemote(void* block);   // any context: magazine push under its spinlock
-  bool DrainMagazine();           // owner core: splice the magazine into the local list
-  void MaybeQueueDrainHook();     // owner core: drain again at this event's boundary
+  void FreeRemote(void* block);   // any context: publish a BlockNode on the interconnect
+  void ReturnToSlab(void* block); // any context: give the block back to the GP allocator
+  void MaybeQueueBoundaryHook();  // owner core: adaptive-cap decay tick at the event edge
   void NoteAtCapMiss();           // adaptive policy: grow after a sustained miss streak
   void MaybeDecayCap();           // adaptive policy: event-boundary decay when quiet
   void TrimFreelistToCap();       // return surplus recycled blocks to the slab
@@ -130,8 +137,11 @@ class alignas(kCacheLineSize) BufferPool {
   std::size_t machine_core_;
   FreeLink* freelist_ = nullptr;
   std::size_t free_count_ = 0;
-  std::size_t outstanding_ = 0;  // pooled blocks currently alive (bounds carving at the cap)
-  bool drain_hook_queued_ = false;
+  // Pooled blocks currently alive (bounds carving at the cap). Atomic because the no-event-
+  // plane fallback of FreeRemote retires a block from a foreign context; every other access
+  // is owner-core-only, so relaxed ops cost nothing.
+  std::atomic<std::size_t> outstanding_{0};
+  bool hook_queued_ = false;
 
   // Adaptive cap state (owner core only, like the freelist).
   std::size_t cap_;                    // effective cap: [per_core_cap, per_core_cap_max]
@@ -140,16 +150,6 @@ class alignas(kCacheLineSize) BufferPool {
   bool pressured_this_event_ = false;  // an at-cap miss happened since the last boundary
   std::atomic<std::size_t> in_use_{0};      // pooled blocks currently checked out
   std::atomic<std::size_t> in_use_hwm_{0};  // high-water mark of in_use_
-
-  // Remote-free magazine: other cores/contexts push, only the owner pops (by splicing the
-  // whole stack). Padded onto its own line — remote frees must not bounce the owner's
-  // freelist head.
-  struct alignas(kCacheLineSize) Magazine {
-    Spinlock mu;
-    FreeLink* head = nullptr;
-    std::size_t count = 0;
-  };
-  Magazine magazine_;
 };
 
 }  // namespace ebbrt

@@ -1,0 +1,123 @@
+#include "src/rcu/rcu.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/event/event_manager.h"
+#include "src/event/interconnect.h"
+
+namespace ebbrt {
+
+// One grace period in flight: the coalesced callback batch plus one embedded interconnect
+// marker per core — a single allocation per (core, event boundary), however many callbacks
+// the event issued. A marker firing on its core's dispatch loop IS that core's event
+// boundary; the last core to fire runs the batch (FIFO, so an erase's reclamation precedes
+// a later-queued check) and frees the epoch.
+struct RcuManagerRoot::Epoch {
+  struct Marker final : InterconnectNode {
+    void Fire(EventManager&) override { epoch->Complete(); }
+    // Teardown drain: no event loops remain, so no reader can still hold a reference —
+    // completing (rather than dropping) the epoch lets pending reclamations run instead of
+    // leaking.
+    void Discard() override { epoch->Complete(); }
+    Epoch* epoch = nullptr;
+  };
+
+  explicit Epoch(std::size_t cores) : remaining(cores), markers(cores) {
+    for (Marker& m : markers) {
+      m.epoch = this;
+    }
+  }
+
+  void Complete() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      for (MoveFunction<void()>& fn : fns) {
+        fn();
+      }
+      delete this;
+    }
+  }
+
+  std::atomic<std::size_t> remaining;
+  std::vector<MoveFunction<void()>> fns;
+  std::vector<Marker> markers;
+};
+
+void RcuManagerRoot::CallRcu(MoveFunction<void()> fn) {
+  auto* em_root = runtime_.TryGetSubsystem<EventManagerRoot>(Subsystem::kEventManager);
+  if (em_root == nullptr || em_root->num_cores() == 0) {
+    // No event loops: no concurrent event-borne readers exist, run immediately.
+    fn();
+    return;
+  }
+  callbacks_.fetch_add(1, std::memory_order_relaxed);
+  if (HaveContext() && CurrentContext().runtime == &runtime_) {
+    std::size_t core = CurrentContext().machine_core;
+    if (core < kMaxBatchedCores && core < em_root->num_cores()) {
+      EventManager& rep = em_root->RepFor(core);
+      if (rep.dispatching_event()) {
+        // Inside an event on this machine: join (or open) this event's batch. One epoch per
+        // (core, boundary) replaces one broadcast per callback.
+        CoreBatch& batch = batches_[core];
+        if (batch.hook_armed) {
+          coalesced_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          batch.hook_armed = true;
+          rep.QueueEndOfEvent([this, &batch, em_root] {
+            batch.hook_armed = false;
+            std::vector<MoveFunction<void()>> fns = std::move(batch.fns);
+            batch.fns.clear();
+            StartEpoch(std::move(fns), *em_root);
+          });
+        }
+        batch.fns.push_back(std::move(fn));
+        return;
+      }
+    }
+  }
+  // Not inside an event (world action, loop-stack hook, bring-up): broadcast right away.
+  std::vector<MoveFunction<void()>> one;
+  one.push_back(std::move(fn));
+  StartEpoch(std::move(one), *em_root);
+}
+
+void RcuManagerRoot::StartEpoch(std::vector<MoveFunction<void()>> fns,
+                                EventManagerRoot& em_root) {
+  if (fns.empty()) {
+    return;
+  }
+  std::size_t cores = em_root.num_cores();
+  auto* epoch = new Epoch(cores);
+  epoch->fns = std::move(fns);
+  epochs_.fetch_add(1, std::memory_order_relaxed);
+  // The issuing core's marker must not overtake events it already queued locally (they ride
+  // the local synthetic queue, which drains after the interconnect): send it through Spawn so
+  // it lines up behind them. Everyone else gets the embedded node on the lock-free mesh —
+  // it fires on their loop, i.e. at their next event boundary.
+  std::size_t self = cores;  // sentinel: no self rep
+  if (HaveContext() && CurrentContext().runtime == &runtime_ &&
+      CurrentContext().machine_core < cores) {
+    self = CurrentContext().machine_core;
+  }
+  for (std::size_t core = 0; core < cores; ++core) {
+    if (core == self) {
+      em_root.RepFor(core).Spawn([epoch] { epoch->Complete(); });
+    } else {
+      em_root.interconnect().Push(core, &epoch->markers[core]);
+    }
+  }
+}
+
+RcuManagerRoot& RcuManagerRoot::For(Runtime& runtime) {
+  auto* root = runtime.TryGetSubsystem<RcuManagerRoot>(Subsystem::kRcuManager);
+  if (root == nullptr) {
+    auto owned = std::make_shared<RcuManagerRoot>(runtime);
+    root = owned.get();
+    runtime.SetSubsystem(Subsystem::kRcuManager, root);
+    runtime.InstallRoot(kRcuManagerId, root);
+    runtime.Adopt(std::move(owned));  // dies with the machine (the old code leaked it)
+  }
+  return *root;
+}
+
+}  // namespace ebbrt

@@ -6,68 +6,82 @@
 // A read-side critical section is any stretch of code within one event handler: handlers are
 // never preempted and never migrate, so a reader observed "in" a structure is guaranteed out
 // of it once its core dispatches the next event. A grace period therefore elapses once every
-// core of the machine has dispatched one more event. CallRcu broadcasts a marker event to all
-// cores; when the last marker runs, every pre-existing reader has finished and the callback
-// (typically `delete node`) is safe to run.
+// core of the machine has passed an event boundary. CallRcu arranges exactly that — but
+// instead of broadcasting one marker event per callback (N cores × M callbacks for an event
+// that erases M entries), callbacks issued during one event COALESCE into a per-core batch
+// that is flushed at the event's end-of-event hook as a single *epoch*: one heap object
+// carrying the whole callback batch plus one embedded interconnect marker node per core.
+// Each marker fires on its core's dispatch loop — by definition at an event boundary — and
+// the last one to fire runs the batch and frees the epoch.
 //
-// Readers: zero instructions. Updaters: one broadcast per reclamation batch.
+// Marker delivery: remote cores get the embedded node pushed onto the lock-free
+// interconnect; the issuing core's own marker is queued as a local synthetic event, so it
+// runs behind everything that core spawned before the epoch started (the ordering the
+// deferred-reclamation tests pin).
+//
+// Readers: zero instructions. Updaters: one epoch per (core, event boundary) regardless of
+// how many callbacks the event issued.
 #ifndef EBBRT_SRC_RCU_RCU_H_
 #define EBBRT_SRC_RCU_RCU_H_
 
+#include <array>
 #include <atomic>
-#include <memory>
+#include <cstdint>
+#include <vector>
 
 #include "src/core/runtime.h"
-#include "src/event/event_manager.h"
 #include "src/platform/move_function.h"
 
 namespace ebbrt {
+
+class EventManagerRoot;
 
 class RcuManagerRoot {
  public:
   explicit RcuManagerRoot(Runtime& runtime) : runtime_(runtime) {}
 
   // Runs `fn` after a grace period: once every core of this machine has passed an event
-  // boundary. `fn` executes on whichever core completes the grace period. When the machine
-  // has no event loops (unit-test contexts), `fn` runs immediately — there are no concurrent
-  // event-borne readers to wait for.
-  void CallRcu(MoveFunction<void()> fn) {
-    auto* em_root =
-        runtime_.TryGetSubsystem<EventManagerRoot>(Subsystem::kEventManager);
-    std::size_t cores = runtime_.num_cores();
-    if (em_root == nullptr || cores == 0) {
-      fn();
-      return;
-    }
-    struct Grace {
-      std::atomic<std::size_t> remaining;
-      MoveFunction<void()> fn;
-    };
-    auto grace = std::make_shared<Grace>();
-    grace->remaining.store(cores, std::memory_order_relaxed);
-    grace->fn = std::move(fn);
-    for (std::size_t core = 0; core < cores; ++core) {
-      em_root->RepFor(core).Spawn([grace] {
-        if (grace->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          grace->fn();
-        }
-      });
-    }
-  }
+  // boundary. `fn` executes on whichever core completes the grace period (on its loop
+  // stack — callbacks must not block). Callbacks issued during one event share one epoch,
+  // flushed at the event's boundary. When the machine has no event loops (unit-test
+  // contexts), `fn` runs immediately — there are no concurrent event-borne readers to wait
+  // for.
+  void CallRcu(MoveFunction<void()> fn);
 
   // Installs (or returns) the machine's RCU root.
-  static RcuManagerRoot& For(Runtime& runtime) {
-    auto* root = runtime.TryGetSubsystem<RcuManagerRoot>(Subsystem::kRcuManager);
-    if (root == nullptr) {
-      root = new RcuManagerRoot(runtime);
-      runtime.SetSubsystem(Subsystem::kRcuManager, root);
-      runtime.InstallRoot(kRcuManagerId, root);
-    }
-    return *root;
+  static RcuManagerRoot& For(Runtime& runtime);
+
+  // Telemetry (pinned by tests): grace-period epochs started, callbacks accepted, and
+  // callbacks that joined an already-open per-core batch instead of paying for their own
+  // broadcast.
+  std::uint64_t epochs_started() const {
+    return epochs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t callbacks_queued() const {
+    return callbacks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t callbacks_coalesced() const {
+    return coalesced_.load(std::memory_order_relaxed);
   }
 
  private:
+  struct Epoch;  // defined in rcu.cc: callback batch + embedded per-core marker nodes
+
+  // Per-core pending batch, filled only by its own core between an event's first CallRcu
+  // and the end-of-event flush. Fixed-size array so a hook can hold a stable pointer.
+  struct alignas(64) CoreBatch {
+    std::vector<MoveFunction<void()>> fns;
+    bool hook_armed = false;
+  };
+  static constexpr std::size_t kMaxBatchedCores = 64;
+
+  void StartEpoch(std::vector<MoveFunction<void()>> fns, EventManagerRoot& em_root);
+
   Runtime& runtime_;
+  std::array<CoreBatch, kMaxBatchedCores> batches_;
+  std::atomic<std::uint64_t> epochs_{0};
+  std::atomic<std::uint64_t> callbacks_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
 };
 
 namespace rcu {

@@ -2,7 +2,7 @@
 //
 //   * one-slab-allocation IOBuf layout (embedded SharedStorage, arena-backed bytes),
 //   * pool recycle-reuse round trip,
-//   * cross-core free routed through the remote-free magazine and drained at the event
+//   * cross-core free routed home over the lock-free interconnect and recycled at the event
 //     boundary,
 //   * pool exhaustion falling back to the slab path (pool_misses tick, no failure),
 //   * refcounted Clone keeping a recycled buffer alive past the originating event.
@@ -84,7 +84,7 @@ TEST(BufferPool, RecycleReuseRoundTrip) {
   EXPECT_TRUE(checked);
 }
 
-TEST(BufferPool, CrossCoreFreeReturnsViaMagazine) {
+TEST(BufferPool, CrossCoreFreeRidesTheInterconnectHome) {
   SimWorld world;
   Runtime& rt = world.AddMachine("xcore", 2);
   auto stash = std::make_shared<std::unique_ptr<IOBuf>>();
@@ -100,10 +100,15 @@ TEST(BufferPool, CrossCoreFreeReturnsViaMagazine) {
     event::Local().SpawnRemote(
         [&, stash, block] {
           MemDelta before = MemDelta::Snap();
-          stash->reset();  // frees on core 1; owner is core 0 => magazine push
+          // Frees on core 1; owner is core 0: the dead block becomes an interconnect node
+          // and is CAS-published onto core 0's exchange list (remote_frees keeps the exact
+          // meaning it had under the old magazine — a free routed home cross-core).
+          stash->reset();
           MemDelta after = MemDelta::Snap();
           EXPECT_EQ(after.remote - before.remote, 1u);
-          // Back on the owner core: the next alloc drains the magazine and reuses the block.
+          // Back on the owner core: this spawn and the block ride the same sender's list,
+          // so FIFO-per-sender delivers the block BEFORE this event runs — the next alloc
+          // reuses it.
           event::Local().SpawnRemote(
               [&, block] {
                 BufferPool* owner_pool = BufferPool::Local();

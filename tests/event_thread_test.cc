@@ -211,6 +211,58 @@ TEST(SimEvents, PeriodicTimerStopsAfterStop) {
   EXPECT_EQ(ticks, 3);  // exactly three periods fit before the stop — no slack needed
 }
 
+TEST(SimEvents, IdleCallbackStopFromTheMiddleIsExact) {
+  // Regression for the O(n) Stop erase: with many registered callbacks, stopping one from
+  // the MIDDLE swap-and-pops the tail into its slot. The displaced tail must keep running
+  // and the stopped callback must never run again — in any later pass.
+  SimWorld world;
+  Runtime& rt = world.AddMachine("idlestop", 1);
+  constexpr int kCallbacks = 32;
+  auto runs = std::make_shared<std::array<int, kCallbacks>>();
+  runs->fill(0);
+  auto passes = std::make_shared<int>(0);
+  auto cbs =
+      std::make_shared<std::vector<std::unique_ptr<EventManager::IdleCallback>>>();
+  SimWorld::SpawnOn(rt, 0, [runs, passes, cbs] {
+    auto& em = event::Local();
+    // Callback 0 is the controller: it counts whole idle passes and drives the stops.
+    cbs->push_back(std::make_unique<EventManager::IdleCallback>(em, [runs, passes, cbs] {
+      ++(*runs)[0];
+      int pass = ++*passes;
+      if (pass == 1) {
+        // Stop every even-indexed callback (except the controller) — all interior slots,
+        // so each Stop displaces whatever currently sits at the tail.
+        for (int i = 2; i < kCallbacks; i += 2) {
+          (*cbs)[static_cast<std::size_t>(i)]->Stop();
+        }
+      } else if (pass == 3) {
+        for (auto& cb : *cbs) {
+          cb->Stop();  // quiesce the world
+        }
+      }
+    }));
+    for (int i = 1; i < kCallbacks; ++i) {
+      cbs->push_back(std::make_unique<EventManager::IdleCallback>(
+          em, [runs, i] { ++(*runs)[static_cast<std::size_t>(i)]; }));
+    }
+    for (auto& cb : *cbs) {
+      cb->Start();
+    }
+  });
+  world.Run();
+  EXPECT_EQ(*passes, 3);
+  for (int i = 1; i < kCallbacks; ++i) {
+    // The controller sits at snapshot position 0 and runs first each pass, so a Stop takes
+    // effect within the same pass (DispatchIdle skips anything no longer started). Evens
+    // are stopped before their very first turn and never run; odds run in passes 1 and 2
+    // and are skipped in pass 3 after the controller stops everyone.
+    int expected = (i % 2 == 0) ? 0 : 2;
+    EXPECT_EQ((*runs)[static_cast<std::size_t>(i)], expected) << "callback " << i;
+  }
+  EXPECT_EQ((*runs)[0], 3);
+  cbs->clear();  // break the callback<->holder reference cycle
+}
+
 TEST(SimEvents, ManyCrossCoreSpawnsAllArrive) {
   SimWorld world;
   Runtime& rt = world.AddMachine("mass", 2);

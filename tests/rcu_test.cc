@@ -35,6 +35,43 @@ TEST(Rcu, CallbackRunsAfterAllCoresQuiesce) {
   EXPECT_TRUE(reclaimed.load());
 }
 
+TEST(Rcu, CallbacksIssuedInOneEventShareOneEpoch) {
+  // Coalescing (interconnect PR): K CallRcu's inside one event must flush as ONE epoch —
+  // one marker broadcast per (core, event boundary), not per callback — and every callback
+  // still runs after the grace period, in FIFO order.
+  SimWorld world;
+  Runtime& m = world.AddMachine("coalesce", 4);
+  constexpr int kCallbacks = 16;
+  std::atomic<int> ran{0};
+  std::vector<int> order;
+  SimWorld::SpawnOn(m, 0, [&] {
+    auto& rcu_root = RcuManagerRoot::For(CurrentRuntime());
+    std::uint64_t epochs_before = rcu_root.epochs_started();
+    std::uint64_t coalesced_before = rcu_root.callbacks_coalesced();
+    for (int i = 0; i < kCallbacks; ++i) {
+      rcu::Call([&, i] {
+        ran.fetch_add(1);
+        order.push_back(i);
+      });
+    }
+    // Nothing flushed mid-event: the batch waits for this event's boundary.
+    EXPECT_EQ(rcu_root.epochs_started(), epochs_before);
+    EXPECT_EQ(rcu_root.callbacks_coalesced(), coalesced_before + kCallbacks - 1);
+    event::Local().QueueEndOfEvent([&, epochs_before] {
+      // Runs at the same boundary, after the RCU flush hook (FIFO hook order): exactly one
+      // epoch was opened for the whole batch.
+      EXPECT_EQ(RcuManagerRoot::For(CurrentRuntime()).epochs_started(),
+                epochs_before + 1);
+    });
+  });
+  world.Run();
+  EXPECT_EQ(ran.load(), kCallbacks);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kCallbacks));
+  for (int i = 0; i < kCallbacks; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);  // batch preserves issue order
+  }
+}
+
 TEST(Rcu, CallbacksRunInThreadMachineToo) {
   ThreadMachine machine(2);
   machine.Start();
@@ -121,7 +158,7 @@ TEST_F(RcuTableTest, ForEachVisitsAll) {
       table.Insert(i, i);
     }
     int sum = 0;
-    table.ForEach([&sum](const int& k, const int& v) { sum += v; });
+    table.ForEach([&sum](const int& /*key*/, const int& v) { sum += v; });
     EXPECT_EQ(sum, 49 * 50 / 2);
   });
 }
