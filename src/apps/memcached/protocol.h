@@ -24,12 +24,17 @@ enum class Opcode : std::uint8_t {
   kVersion = 0x0b,
   kGetK = 0x0c,
   kStat = 0x10,
+  // Bulk GET (protocol extension): one request frame carries N keys, one response frame
+  // carries N per-key results — the per-request header and dispatch are paid once per
+  // batch instead of once per key. Wire format below (MultiGetExtras / MultiGetEntry).
+  kMultiGet = 0x30,
 };
 
 enum class Status : std::uint16_t {
   kOk = 0x0000,
   kKeyNotFound = 0x0001,
   kKeyExists = 0x0002,
+  kInvalidArguments = 0x0004,
   kItemNotStored = 0x0005,
   kUnknownCommand = 0x0081,
 };
@@ -63,6 +68,38 @@ struct SetExtras {
 struct GetExtras {
   std::uint32_t flags;  // network order
 } __attribute__((packed));
+
+// --- MULTIGET (bulk GET) wire format ----------------------------------------------------------
+//
+// Request:  extras = MultiGetExtras{key_count}, key_length = 0, body after extras is
+//           key_count x [u16 klen][key bytes] (network order), consumed EXACTLY — a batch
+//           whose packed keys run short of (truncated) or past (trailing garbage) the
+//           declared count is malformed. The outer BinaryHeader framing stays intact for a
+//           malformed batch, so the server answers kInvalidArguments, ticks bad_frames, and
+//           the connection keeps parsing subsequent requests (the Messenger's bad_frames
+//           discipline: count and reject, never assert, never wedge).
+// Response: extras = MultiGetExtras{key_count}, value section is key_count x
+//           [MultiGetEntry][value bytes if hit], in request key order (duplicates answered
+//           per occurrence). Values are zero-copy views of the stored items.
+struct MultiGetExtras {
+  std::uint32_t key_count;  // network order
+} __attribute__((packed));
+
+// Per-key result word in a MULTIGET response body.
+struct MultiGetEntry {
+  std::uint16_t status;      // network order: Status::kOk (hit) / kKeyNotFound (miss)
+  std::uint32_t value_length;  // network order; 0 on miss
+} __attribute__((packed));
+static_assert(sizeof(MultiGetEntry) == 6);
+
+// A batch above this is malformed by definition: bound the remote-supplied count before
+// trusting it (a hostile key_count must not size any allocation or loop).
+inline constexpr std::size_t kMaxMultiGetKeys = 1024;
+
+// Hard ceiling on one request's total_body. The length words are remote input: without a
+// bound, a corrupt or hostile client could park the parser reassembling gigabytes that
+// never come (the Messenger's kMaxMessageBytes rule, applied to this protocol's framing).
+inline constexpr std::size_t kMaxRequestBody = 16 * 1024 * 1024;
 
 }  // namespace memcached
 }  // namespace ebbrt

@@ -82,6 +82,10 @@ void MemcachedServer::HandleRequest(Connection& conn, const RequestParser::Reque
           req.header, ok ? Status::kOk : Status::kKeyNotFound, 0, 0, 0));
       return;
     }
+    case Opcode::kMultiGet: {
+      HandleMultiGet(conn, req);
+      return;
+    }
     case Opcode::kNoop:
     case Opcode::kVersion: {
       conn.Pcb().Send(BuildResponseHeader(req.header, Status::kOk, 0, 0, 0));
@@ -94,6 +98,77 @@ void MemcachedServer::HandleRequest(Connection& conn, const RequestParser::Reque
     default:
       conn.Pcb().Send(BuildResponseHeader(req.header, Status::kUnknownCommand, 0, 0, 0));
   }
+}
+
+// MULTIGET k1..kN: one request frame, one response frame, one response-header's worth of
+// overhead for the whole batch. The batch body is remote input and is validated like the
+// Messenger validates its framing: the declared key_count is bounded BEFORE it sizes
+// anything, each packed key must fit the bytes that actually arrived, and the keys must
+// consume the body exactly. A bad batch costs one kInvalidArguments response and a
+// bad_frames tick; the outer BinaryHeader framing is still sound, so the connection keeps
+// serving (no wedge, no assert).
+void MemcachedServer::HandleMultiGet(Connection& conn, const RequestParser::Request& req) {
+  const char* p = req.value.data();
+  std::size_t remaining = req.value.size();
+  std::uint32_t count = 0;
+  bool ok = req.header.KeyLength() == 0 && req.extras.size() == sizeof(MultiGetExtras);
+  if (ok) {
+    MultiGetExtras extras;
+    std::memcpy(&extras, req.extras.data(), sizeof(extras));
+    count = NetToHost32(extras.key_count);
+    ok = count <= kMaxMultiGetKeys;
+  }
+  // Per key: [MultiGetEntry][value view] — entry words are tiny slab buffers, values are
+  // refcounted views of the stored items (the single-GET zero-copy path, N times under one
+  // header). Parts are spliced once at the end (JoinChains: no quadratic tail walks).
+  std::vector<std::unique_ptr<IOBuf>> parts;
+  parts.reserve(ok ? 1 + 2 * count : 1);
+  parts.push_back(nullptr);  // response header placeholder, built once sizes are known
+  std::size_t value_section = 0;
+  for (std::uint32_t i = 0; ok && i < count; ++i) {
+    std::uint16_t klen = 0;
+    if (remaining < sizeof(klen)) {
+      ok = false;
+      break;
+    }
+    std::memcpy(&klen, p, sizeof(klen));
+    klen = NetToHost16(klen);
+    p += sizeof(klen);
+    remaining -= sizeof(klen);
+    if (remaining < klen) {
+      ok = false;  // truncated batch: fewer key bytes than the count promised
+      break;
+    }
+    std::string_view key{p, klen};
+    p += klen;
+    remaining -= klen;
+    auto entry_buf = IOBuf::CreateReserveFor<sizeof(MultiGetEntry)>(0);
+    entry_buf->Append(sizeof(MultiGetEntry));
+    auto& entry = entry_buf->Get<MultiGetEntry>();
+    ItemRef item = store_.Get(key);
+    if (item == nullptr) {
+      entry.status = HostToNet16(static_cast<std::uint16_t>(Status::kKeyNotFound));
+      entry.value_length = 0;
+      value_section += sizeof(MultiGetEntry);
+      parts.push_back(std::move(entry_buf));
+      continue;
+    }
+    entry.status = HostToNet16(static_cast<std::uint16_t>(Status::kOk));
+    entry.value_length = HostToNet32(static_cast<std::uint32_t>(item->value.size()));
+    value_section += sizeof(MultiGetEntry) + item->value.size();
+    parts.push_back(std::move(entry_buf));
+    parts.push_back(MakeValueBuffer(std::move(item)));
+  }
+  if (!ok || remaining != 0) {  // exact consumption: trailing bytes are malformed too
+    bad_frames_.fetch_add(1, std::memory_order_relaxed);
+    conn.Pcb().Send(BuildResponseHeader(req.header, Status::kInvalidArguments, 0, 0, 0));
+    return;
+  }
+  auto header = BuildResponseHeader(req.header, Status::kOk, sizeof(MultiGetExtras), 0,
+                                    value_section);
+  header->Get<MultiGetExtras>(sizeof(BinaryHeader)).key_count = HostToNet32(count);
+  parts[0] = std::move(header);
+  conn.Pcb().Send(IOBuf::JoinChains(std::move(parts)));
 }
 
 // --- Baseline (socket API) server ---------------------------------------------------------------

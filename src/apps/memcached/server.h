@@ -61,17 +61,34 @@ class RequestParser {
   // and the bytes they copied.
   std::size_t coalesce_ops() const { return queue_.coalesce_ops(); }
   std::size_t coalesced_bytes() const { return queue_.coalesced_bytes(); }
+  // True once an unframeable header was seen (lengths that contradict each other, or a
+  // total_body above kMaxRequestBody). The byte stream can no longer be resynchronized, so
+  // the parser stops delivering and drops what it buffered; the owning connection checks
+  // this after every feed and closes (the Messenger's FailFraming discipline — count at the
+  // owner, never assert).
+  bool poisoned() const { return poisoned_; }
 
  private:
   // Takes `fn` by reference: a forwarded rvalue callable must not be re-forwarded inside a
   // loop (use-after-move); only the top-level entry points accept forwarding references.
   template <typename F>
   void Drain(F& fn) {
-    while (queue_.ChainLength() >= sizeof(BinaryHeader)) {
+    while (!poisoned_ && queue_.ChainLength() >= sizeof(BinaryHeader)) {
       // Chain-aware peek of the fixed-size header (host-copied regardless): learns the
       // record length without forcing a coalesce when the header itself straddles segments.
       BinaryHeader header;
       queue_.Peek(&header, sizeof(header));
+      // Header self-consistency before any length is trusted: the declared sections must
+      // fit the declared body, and the body must fit the protocol's ceiling. A header
+      // failing either is not a request — it is framing corruption, and every subsequent
+      // byte boundary would be a guess.
+      if (header.TotalBody() > kMaxRequestBody ||
+          static_cast<std::size_t>(header.extras_length) + header.KeyLength() >
+              header.TotalBody()) {
+        poisoned_ = true;
+        queue_ = IOBufQueue{};  // drop the unframeable tail
+        return;
+      }
       std::size_t total = sizeof(header) + header.TotalBody();
       if (queue_.ChainLength() < total) {
         return;  // incomplete request: wait for more segments, no copies yet
@@ -89,6 +106,7 @@ class RequestParser {
   }
 
   IOBufQueue queue_;
+  bool poisoned_ = false;
 };
 
 // Builds the response header (+extras) buffer with room for an appended value chain.
@@ -102,6 +120,10 @@ class MemcachedServer {
 
   KvStore& store() { return store_; }
   std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  // Malformed-but-framed requests rejected (today: MULTIGET batches whose packed keys
+  // disagree with the declared count). The bad_frames discipline: count, answer
+  // kInvalidArguments, keep the connection parsing — never an assert, never a wedge.
+  std::uint64_t bad_frames() const { return bad_frames_.load(std::memory_order_relaxed); }
 
  private:
   // One per connection, owned by the connection itself; all four datapath edges (receive,
@@ -116,6 +138,17 @@ class MemcachedServer {
       parser_.Feed(std::move(data), [this](const RequestParser::Request& req) {
         server_.HandleRequest(*this, req);
       });
+      if (parser_.poisoned()) {
+        // Unframeable byte stream: count it (once) and drop the connection —
+        // resynchronizing is impossible and an assert would let one bad client kill the
+        // server.
+        if (!poison_reported_) {
+          poison_reported_ = true;
+          server_.bad_frames_.fetch_add(1, std::memory_order_relaxed);
+          Pcb().Close();
+        }
+        return;
+      }
       // Surface the parser's reassembly counters (the receive-side zero-copy hit rate)
       // through the machine-wide stats benches read.
       std::size_t ops = parser_.coalesce_ops();
@@ -135,15 +168,18 @@ class MemcachedServer {
    private:
     MemcachedServer& server_;
     RequestParser parser_;
+    bool poison_reported_ = false;
     std::size_t reported_coalesce_ops_ = 0;
     std::size_t reported_coalesced_bytes_ = 0;
   };
 
   void HandleRequest(Connection& conn, const RequestParser::Request& req);
+  void HandleMultiGet(Connection& conn, const RequestParser::Request& req);
 
   NetworkManager& network_;
   KvStore store_;
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> bad_frames_{0};
 };
 
 class BaselineMemcachedServer {

@@ -43,6 +43,17 @@ inline constexpr std::size_t kMaxShards = 24;
 // Shard RPC opcodes; `aux` carries the found flag on GET responses.
 inline constexpr std::uint16_t kShardOpGet = 1;
 inline constexpr std::uint16_t kShardOpSet = 2;
+// Bulk GET: one RPC carries a whole key batch to a shard — the 16-byte RpcHeader, the
+// pending-table entry, and the per-frame dispatch are paid once per SHARD instead of once
+// per KEY. Request body is dist::BuildKeyVectorBody's packed key vector (aux = key count);
+// the reply is one IOBuf chain of per-key records in request order (aux = hit count), each
+// [u32 status word][value bytes if found] — see BuildMultiGetReply/ParseMultiGetReply.
+inline constexpr std::uint16_t kShardOpMultiGet = 3;
+
+// Per-key reply status word: top bit = found, low 31 bits = value length. A miss is a bare
+// word (no value bytes follow) — distinguishing "key absent from a healthy shard" from a
+// transport error, which crosses as an RPC error frame and fails the whole batch future.
+inline constexpr std::uint32_t kMultiGetFoundBit = 0x80000000u;
 
 // FNV-1a 64-bit with a murmur-style finalizer: small and deterministic everywhere. The
 // finalizer matters — raw FNV-1a of short strings differing only in their final digits
@@ -126,8 +137,22 @@ class ShardRouter {
   // Key-routed operations: hash the key onto the ring, ship the op to that shard's service
   // over the Messenger. Ops issued inside one event cork per shard (a fanned-out round
   // leaves as at most one wire segment per shard touched).
+  //
+  // Miss vs. failure, both ops: a key absent from a healthy shard resolves found=false —
+  // only a transport/shard error (connection lost, malformed reply, remote exception)
+  // surfaces through the future as an exception.
   Future<GetResult> Get(std::string_view key);
   Future<void> Set(std::string_view key, std::string_view value);
+
+  // Bulk scatter-gather GET. Partitions `keys` per shard on the ring, ships EXACTLY ONE
+  // kShardOpMultiGet RPC per shard touched (requests issued in one event cork per shard:
+  // the whole fan-out leaves as at most one wire segment per shard), and joins the partial
+  // replies zero-copy — each per-key value is a shared view carved out of its shard's
+  // reply chain (IOBufQueue::Split), never memcpy'd — into request order via WhenAll.
+  // Duplicate keys are answered per occurrence. Partial-failure policy: per-key misses are
+  // found=false results; any shard's transport error fails the WHOLE batch future with
+  // that error, after every shard has answered (WhenAll's first-error-wins join).
+  Future<std::vector<GetResult>> MultiGet(const std::vector<std::string_view>& keys);
 
   std::size_t ShardFor(std::string_view key) const;
   std::size_t shard_count() const { return shards_.size(); }
@@ -145,6 +170,23 @@ class ShardRouter {
   std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;  // (point, shard), sorted
   std::vector<std::uint64_t> per_shard_ops_;
 };
+
+// --- kShardOpMultiGet reply marshaling --------------------------------------------------------
+// Exposed (rather than buried in the service/router) so both ends and the zero-copy tests
+// share one wire definition.
+
+// Builds the reply chain: per entry one status word, then the value chain when non-null
+// (null = miss). Values are spliced in as-is — for the service these are MakeValueBuffer
+// views of stored items, so the reply references the store's bytes without copying. O(total
+// chain elements) via IOBuf::JoinChains.
+std::unique_ptr<IOBuf> BuildMultiGetReply(std::vector<std::unique_ptr<IOBuf>> values);
+
+// Parses a received reply chain into `expected` results (request key order). Zero-copy:
+// status words are chain-copied out (scalars), value bytes are Split off as shared views of
+// the reply chain's storage. False on a truncated/malformed reply (wrong record count,
+// short value, trailing bytes).
+bool ParseMultiGetReply(std::unique_ptr<IOBuf> body, std::size_t expected,
+                        std::vector<ShardRouter::GetResult>* out);
 
 }  // namespace memcached
 }  // namespace ebbrt

@@ -72,6 +72,70 @@ std::unique_ptr<IOBuf> BuildLenPrefixedBody(std::string_view head, std::string_v
   return body;
 }
 
+std::unique_ptr<IOBuf> BuildKeyVectorBody(const std::vector<std::string_view>& keys) {
+  Kassert(keys.size() <= kMaxVectorKeys, "BuildKeyVectorBody: too many keys");
+  std::size_t total = sizeof(std::uint32_t);
+  for (std::string_view key : keys) {
+    Kassert(key.size() <= 0xffff, "BuildKeyVectorBody: key too long");
+    total += sizeof(std::uint16_t) + key.size();
+  }
+  auto body = IOBuf::Create(total);
+  std::uint8_t* p = body->WritableData();
+  std::uint32_t count = HostToNet32(static_cast<std::uint32_t>(keys.size()));
+  std::memcpy(p, &count, sizeof(count));
+  p += sizeof(count);
+  for (std::string_view key : keys) {
+    std::uint16_t klen = HostToNet16(static_cast<std::uint16_t>(key.size()));
+    std::memcpy(p, &klen, sizeof(klen));
+    p += sizeof(klen);
+    std::memcpy(p, key.data(), key.size());
+    p += key.size();
+  }
+  return body;
+}
+
+bool ParseKeyVectorBody(const IOBuf* chain, std::vector<std::string>* keys) {
+  keys->clear();
+  if (chain == nullptr) {
+    return false;
+  }
+  std::size_t remaining = chain->ComputeChainDataLength();
+  std::size_t offset = 0;
+  std::uint32_t count = 0;
+  if (remaining < sizeof(count)) {
+    return false;
+  }
+  chain->CopyOut(&count, sizeof(count), offset);
+  count = NetToHost32(count);
+  offset += sizeof(count);
+  remaining -= sizeof(count);
+  if (count > kMaxVectorKeys) {
+    return false;
+  }
+  keys->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint16_t klen = 0;
+    if (remaining < sizeof(klen)) {
+      return false;
+    }
+    chain->CopyOut(&klen, sizeof(klen), offset);
+    klen = NetToHost16(klen);
+    offset += sizeof(klen);
+    remaining -= sizeof(klen);
+    if (remaining < klen) {
+      return false;
+    }
+    std::string key(klen, '\0');
+    if (klen != 0) {
+      chain->CopyOut(key.data(), klen, offset);
+    }
+    offset += klen;
+    remaining -= klen;
+    keys->push_back(std::move(key));
+  }
+  return remaining == 0;  // exact consumption: trailing bytes are malformed
+}
+
 bool ParseLenPrefixedBody(const std::string& raw, std::string* head, std::string* rest) {
   std::uint32_t head_len = 0;
   if (raw.size() < sizeof(head_len)) {

@@ -80,6 +80,63 @@ std::unique_ptr<IOBuf> BuildLenPrefixedBody(std::string_view head, std::string_v
 // Splits a received body back into (head, rest). False on a malformed (truncated) body.
 bool ParseLenPrefixedBody(const std::string& raw, std::string* head, std::string* rest);
 
+// --- Vectored (batch) body marshaling ---------------------------------------------------------
+//
+// Batch ops ship many small records under ONE RpcHeader — the whole point of bulk RPC is
+// that the 16-byte header and the per-frame dispatch are paid once per shard, not once per
+// key. The request direction is a packed key vector (keys are tiny; one buffer, one copy is
+// the marshal itself). The response direction is where zero-copy matters: a vectored reply
+// is an IOBuf chain of [scalar word][payload view] pairs, and ChainSplitter lets the caller
+// carve the payloads back out as shared views of the received segment — scalars are
+// chain-copied out (they may straddle segment boundaries), payload bytes never are.
+
+// A key count above this is malformed by definition (bad_frames discipline: bound every
+// remote-supplied count before trusting it).
+inline constexpr std::size_t kMaxVectorKeys = 4096;
+
+// [u32 count][count x (u16 klen)(key bytes)], network order, packed into one buffer.
+std::unique_ptr<IOBuf> BuildKeyVectorBody(const std::vector<std::string_view>& keys);
+// Unpacks a received key-vector body. False when malformed: count above kMaxVectorKeys,
+// truncated entries, or trailing bytes beyond the declared keys (an exact-consumption rule,
+// so a corrupt length can't smuggle payload past validation).
+bool ParseKeyVectorBody(const IOBuf* chain, std::vector<std::string>* keys);
+
+// Consuming reader over an owned reply chain. Scalars are Peek-copied (headers, not
+// payload); SplitBytes carves payload off as a zero-copy shared view (IOBufQueue::Split).
+class ChainSplitter {
+ public:
+  explicit ChainSplitter(std::unique_ptr<IOBuf> chain) {
+    if (chain != nullptr) {
+      queue_.Append(std::move(chain));
+    }
+  }
+
+  std::size_t Remaining() const { return queue_.ChainLength(); }
+
+  // Network-order scalar reads; false when the chain is exhausted (truncated reply).
+  bool ReadU32(std::uint32_t* out) {
+    if (!queue_.Peek(out, sizeof(*out))) {
+      return false;
+    }
+    queue_.TrimStart(sizeof(*out));
+    *out = NetToHost32(*out);
+    return true;
+  }
+
+  // The next `n` bytes as an owned zero-copy subchain (nullptr for n == 0 — an empty
+  // payload has no bytes to view — or when fewer than `n` bytes remain, after which the
+  // splitter is poisoned so a truncated record can't half-parse).
+  std::unique_ptr<IOBuf> SplitBytes(std::size_t n) {
+    if (n == 0 || n > queue_.ChainLength()) {
+      return nullptr;
+    }
+    return queue_.Split(n);
+  }
+
+ private:
+  IOBufQueue queue_;
+};
+
 class RpcClient;
 class RpcServer;
 

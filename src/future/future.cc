@@ -2,10 +2,13 @@
 
 namespace ebbrt {
 
+// Same join discipline as the templated flavor (see future.h): lock-free atomic countdown,
+// synchronous join for already-ready members, first-error-wins only after every member
+// completes.
 Future<void> WhenAll(std::vector<Future<void>> futures) {
   struct Gather {
-    Spinlock mu;
-    std::size_t remaining;
+    std::atomic<std::size_t> remaining;
+    Spinlock error_mu;  // error path only
     std::exception_ptr first_error;
     Promise<void> promise;
   };
@@ -13,23 +16,19 @@ Future<void> WhenAll(std::vector<Future<void>> futures) {
     return MakeReadyFuture<void>();
   }
   auto gather = std::make_shared<Gather>();
-  gather->remaining = futures.size();
+  gather->remaining.store(futures.size(), std::memory_order_relaxed);
   Future<void> result = gather->promise.GetFuture();
   for (auto& future : futures) {
     future.Then([gather](Future<void> f) {
-      bool last = false;
-      {
-        std::lock_guard<Spinlock> lock(gather->mu);
-        try {
-          f.Get();
-        } catch (...) {
-          if (!gather->first_error) {
-            gather->first_error = std::current_exception();
-          }
+      try {
+        f.Get();
+      } catch (...) {
+        std::lock_guard<Spinlock> lock(gather->error_mu);
+        if (!gather->first_error) {
+          gather->first_error = std::current_exception();
         }
-        last = (--gather->remaining == 0);
       }
-      if (last) {
+      if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         if (gather->first_error) {
           gather->promise.SetException(gather->first_error);
         } else {

@@ -16,6 +16,7 @@
 #ifndef EBBRT_SRC_FUTURE_FUTURE_H_
 #define EBBRT_SRC_FUTURE_FUTURE_H_
 
+#include <atomic>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -342,37 +343,46 @@ auto AsyncHelper(F&& f) -> Future<future_internal::flatten_t<std::invoke_result_
 
 // Collects the results of all futures (in order). If any fails, the aggregate fails with the
 // first error observed (others' errors are swallowed, matching EbbRT's semantics).
+//
+// Join discipline (the scatter-gather RPC hot path rides this):
+//   * an empty vector resolves immediately;
+//   * already-ready members run their join step synchronously inside this call (Then's
+//     ready fast path) — a fan-out whose replies all arrived returns a ready future without
+//     bouncing through the event loop;
+//   * the completion count is a lock-free atomic countdown: each member writes only its own
+//     slot, so N replies landing on N cores join without a shared lock (the fetch_sub's
+//     acq_rel ordering publishes every slot to whichever member finishes last);
+//   * failure policy: the aggregate fails with the FIRST error observed, but only after
+//     every member has completed — straggler continuations still have their slots and
+//     promises, nothing is abandoned mid-flight or leaked (the shared gather state dies
+//     with the last member's continuation).
 template <typename T>
 Future<std::vector<T>> WhenAll(std::vector<Future<T>> futures) {
   struct Gather {
-    Spinlock mu;
     std::vector<T> values;
-    std::size_t remaining;
+    std::atomic<std::size_t> remaining;
+    Spinlock error_mu;  // error path only; the success path never takes it
     std::exception_ptr first_error;
     Promise<std::vector<T>> promise;
   };
   if (futures.empty()) {
-    return MakeReadyFuture<std::vector<T>>();
+    return MakeReadyFuture<std::vector<T>>(std::vector<T>{});
   }
   auto gather = std::make_shared<Gather>();
   gather->values.resize(futures.size());
-  gather->remaining = futures.size();
+  gather->remaining.store(futures.size(), std::memory_order_relaxed);
   Future<std::vector<T>> result = gather->promise.GetFuture();
   for (std::size_t i = 0; i < futures.size(); ++i) {
     futures[i].Then([gather, i](Future<T> f) {
-      bool last = false;
-      {
-        std::lock_guard<Spinlock> lock(gather->mu);
-        try {
-          gather->values[i] = f.Get();
-        } catch (...) {
-          if (!gather->first_error) {
-            gather->first_error = std::current_exception();
-          }
+      try {
+        gather->values[i] = f.Get();  // distinct slots: no lock needed
+      } catch (...) {
+        std::lock_guard<Spinlock> lock(gather->error_mu);
+        if (!gather->first_error) {
+          gather->first_error = std::current_exception();
         }
-        last = (--gather->remaining == 0);
       }
-      if (last) {
+      if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         if (gather->first_error) {
           gather->promise.SetException(gather->first_error);
         } else {

@@ -136,6 +136,10 @@ bool IOBuf::Shared() const {
   return storage_ != nullptr && storage_->refs.load(std::memory_order_acquire) > 1;
 }
 
+std::size_t IOBuf::StorageRefCount() const {
+  return storage_ != nullptr ? storage_->refs.load(std::memory_order_acquire) : 0;
+}
+
 bool IOBuf::StorageEmbedded() const {
   return storage_ != nullptr &&
          storage_->buffer == reinterpret_cast<const std::uint8_t*>(storage_) +
@@ -194,6 +198,27 @@ void IOBuf::AppendChain(std::unique_ptr<IOBuf> chain) {
     tail = tail->next_.get();
   }
   tail->next_ = std::move(chain);
+}
+
+std::unique_ptr<IOBuf> IOBuf::JoinChains(std::vector<std::unique_ptr<IOBuf>> parts) {
+  std::unique_ptr<IOBuf> head;
+  IOBuf* tail = nullptr;
+  for (auto& part : parts) {
+    if (part == nullptr) {
+      continue;
+    }
+    IOBuf* part_tail = part.get();
+    while (part_tail->next_ != nullptr) {
+      part_tail = part_tail->next_.get();
+    }
+    if (head == nullptr) {
+      head = std::move(part);
+    } else {
+      tail->next_ = std::move(part);
+    }
+    tail = part_tail;
+  }
+  return head;
 }
 
 std::size_t IOBuf::CountChainElements() const {

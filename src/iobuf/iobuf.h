@@ -40,6 +40,7 @@
 #include <memory>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "src/mem/gp_allocator.h"
 #include "src/platform/debug.h"
@@ -109,6 +110,12 @@ class IOBuf {
   // True when other views (clones / splits) reference this element's storage.
   bool Shared() const;
 
+  // Number of live views (this one included) of this element's owned storage; 0 for a
+  // non-owning view. Lets tests assert a parse/join was zero-copy: a value extracted by
+  // sharing keeps the producer's count > 1, a value extracted by memcpy drops to a fresh
+  // storage block with count 1.
+  std::size_t StorageRefCount() const;
+
   // Shrinks the view from the front (protocol layers step past their headers).
   void Advance(std::size_t amount) {
     Kassert(amount <= length_, "IOBuf::Advance past end");
@@ -157,6 +164,13 @@ class IOBuf {
 
   // Appends `chain` at the tail of this chain (scatter/gather send path).
   void AppendChain(std::unique_ptr<IOBuf> chain);
+
+  // Splices `parts` into one chain in order (nullptr entries skipped), returning the head.
+  // O(total elements): the running tail is carried across parts instead of re-walking from
+  // the head per append, which matters when a batched reply splices hundreds of per-key
+  // view pairs (AppendChain in a loop is quadratic in chain length). Zero-copy: only next_
+  // pointers move.
+  static std::unique_ptr<IOBuf> JoinChains(std::vector<std::unique_ptr<IOBuf>> parts);
 
   // Detaches and returns everything after this element.
   std::unique_ptr<IOBuf> Pop() { return std::move(next_); }

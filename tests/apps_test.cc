@@ -45,6 +45,68 @@ std::unique_ptr<IOBuf> BuildGetRequest(std::string_view key) {
   return buf;
 }
 
+// `declared_count` is normally keys.size(); tests lie to exercise the malformed-batch path
+// (a count promising more keys than the body packs).
+std::unique_ptr<IOBuf> BuildMultiGetRequest(const std::vector<std::string_view>& keys,
+                                            std::size_t declared_count) {
+  using namespace memcached;
+  std::size_t packed = 0;
+  for (std::string_view k : keys) {
+    packed += sizeof(std::uint16_t) + k.size();
+  }
+  std::size_t body = sizeof(MultiGetExtras) + packed;
+  auto buf = IOBuf::Create(sizeof(BinaryHeader) + body, true);
+  auto& hdr = buf->Get<BinaryHeader>();
+  hdr.magic = kMagicRequest;
+  hdr.opcode = static_cast<std::uint8_t>(Opcode::kMultiGet);
+  hdr.extras_length = sizeof(MultiGetExtras);
+  hdr.total_body = HostToNet32(static_cast<std::uint32_t>(body));
+  buf->Get<MultiGetExtras>(sizeof(BinaryHeader)).key_count =
+      HostToNet32(static_cast<std::uint32_t>(declared_count));
+  auto* p = buf->WritableData() + sizeof(BinaryHeader) + sizeof(MultiGetExtras);
+  for (std::string_view k : keys) {
+    std::uint16_t klen = HostToNet16(static_cast<std::uint16_t>(k.size()));
+    std::memcpy(p, &klen, sizeof(klen));
+    p += sizeof(klen);
+    std::memcpy(p, k.data(), k.size());
+    p += k.size();
+  }
+  return buf;
+}
+
+// Unpacks a MULTIGET response's value section (count x [MultiGetEntry][value if hit]).
+struct MultiGetResult {
+  memcached::Status status;
+  std::string value;
+};
+std::vector<MultiGetResult> ParseMultiGetResponseBody(const std::string& body,
+                                                      std::size_t count) {
+  using memcached::MultiGetEntry;
+  std::vector<MultiGetResult> out;
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (off + sizeof(MultiGetEntry) > body.size()) {
+      ADD_FAILURE() << "response truncated at entry " << i;
+      return out;
+    }
+    MultiGetEntry entry;
+    std::memcpy(&entry, body.data() + off, sizeof(entry));
+    off += sizeof(entry);
+    MultiGetResult r;
+    r.status = static_cast<memcached::Status>(NetToHost16(entry.status));
+    std::uint32_t len = NetToHost32(entry.value_length);
+    if (off + len > body.size()) {
+      ADD_FAILURE() << "value truncated at entry " << i;
+      return out;
+    }
+    r.value = body.substr(off, len);
+    off += len;
+    out.push_back(std::move(r));
+  }
+  EXPECT_EQ(off, body.size()) << "trailing bytes after the declared entries";
+  return out;
+}
+
 struct ClientState {
   memcached::RequestParser parser;
   std::vector<std::pair<memcached::Status, std::string>> responses;
@@ -185,6 +247,89 @@ TEST(Apps, MemcachedValueSurvivesReplacementRace) {
   ASSERT_EQ(state->responses.size(), 4u);
   EXPECT_EQ(state->responses[1].second, std::string(900, 'A'));
   EXPECT_EQ(state->responses[3].second, std::string(900, 'B'));
+}
+
+TEST(Apps, MemcachedMultiGetBatchWithHitsMissesAndDuplicates) {
+  // One MULTIGET frame answering four lookups (two hits, a miss, a duplicate) under a
+  // single response header, entries in request order.
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  auto state = std::make_shared<ClientState>();
+  memcached::MemcachedServer* srv = nullptr;
+  server.Spawn(0, [&] { srv = new memcached::MemcachedServer(*server.net, 11211); });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 11211).Then([state](Future<TcpPcb> f) {
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(
+          std::unique_ptr<TcpHandler>(std::make_unique<ResponseCollector>(state)));
+      pcb.Send(BuildSetRequest("alpha", "first"));
+      pcb.Send(BuildSetRequest("beta", std::string(500, 'B')));
+      pcb.Send(BuildMultiGetRequest({"alpha", "missing", "beta", "alpha"}, 4));
+    });
+  });
+  bed.world().Run();
+  ASSERT_EQ(state->responses.size(), 3u);  // SET, SET, one MULTIGET response
+  EXPECT_EQ(state->responses[2].first, memcached::Status::kOk);
+  auto results = ParseMultiGetResponseBody(state->responses[2].second, 4);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].status, memcached::Status::kOk);
+  EXPECT_EQ(results[0].value, "first");
+  EXPECT_EQ(results[1].status, memcached::Status::kKeyNotFound);
+  EXPECT_EQ(results[1].value, "");
+  EXPECT_EQ(results[2].status, memcached::Status::kOk);
+  EXPECT_EQ(results[2].value, std::string(500, 'B'));
+  EXPECT_EQ(results[3].status, memcached::Status::kOk);  // duplicate answered again
+  EXPECT_EQ(results[3].value, "first");
+  EXPECT_EQ(srv->bad_frames(), 0u);
+}
+
+TEST(Apps, MemcachedMultiGetTruncatedBatchRejectedWithoutWedging) {
+  // A batch whose count promises more keys than the body packs is malformed-but-framed:
+  // the server must answer kInvalidArguments, tick bad_frames, and keep serving the SAME
+  // connection (the bad_frames discipline — reject, never assert, never wedge).
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  auto state = std::make_shared<ClientState>();
+  memcached::MemcachedServer* srv = nullptr;
+  server.Spawn(0, [&] { srv = new memcached::MemcachedServer(*server.net, 11211); });
+  client.Spawn(0, [&] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 11211).Then([state](Future<TcpPcb> f) {
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(
+          std::unique_ptr<TcpHandler>(std::make_unique<ResponseCollector>(state)));
+      pcb.Send(BuildSetRequest("still-here", "yes"));
+      pcb.Send(BuildMultiGetRequest({"only-one"}, /*declared_count=*/3));  // truncated
+      pcb.Send(BuildGetRequest("still-here"));  // same connection must still answer
+    });
+  });
+  bed.world().Run();
+  ASSERT_EQ(state->responses.size(), 3u);
+  EXPECT_EQ(state->responses[0].first, memcached::Status::kOk);
+  EXPECT_EQ(state->responses[1].first, memcached::Status::kInvalidArguments);
+  EXPECT_EQ(state->responses[2].first, memcached::Status::kOk);
+  EXPECT_EQ(state->responses[2].second, "yes");
+  EXPECT_EQ(srv->bad_frames(), 1u);
+}
+
+TEST(Apps, MemcachedParserPoisonedByContradictoryHeader) {
+  // A header whose declared sections exceed its declared body is framing corruption, not a
+  // request: the parser must stop (poisoned), deliver nothing, and drop what it buffered —
+  // every subsequent byte boundary would be a guess.
+  using memcached::RequestParser;
+  RequestParser parser;
+  auto bad = BuildGetRequest("some-key");
+  auto& hdr = bad->Get<memcached::BinaryHeader>();
+  hdr.total_body = HostToNet32(2);  // < key_length: self-contradictory
+  std::size_t parsed = 0;
+  parser.Feed(std::move(bad), [&](const RequestParser::Request&) { ++parsed; });
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_TRUE(parser.poisoned());
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+  // Poison is sticky: later (well-formed) bytes are not delivered either.
+  parser.Feed(BuildGetRequest("fine"), [&](const RequestParser::Request&) { ++parsed; });
+  EXPECT_EQ(parsed, 0u);
 }
 
 TEST(Apps, HttpServerServes148ByteResponse) {

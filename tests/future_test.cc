@@ -198,6 +198,89 @@ TEST(Future, WhenAllVoid) {
   EXPECT_NO_THROW(all.Get());
 }
 
+TEST(Future, WhenAllVoidEmptyIsReady) {
+  auto all = WhenAll(std::vector<Future<void>>{});
+  ASSERT_TRUE(all.Ready());
+  EXPECT_NO_THROW(all.Get());
+}
+
+TEST(Future, WhenAllAlreadyReadyMembersJoinSynchronously) {
+  // A join over members that are ALL already fulfilled must itself be ready before WhenAll
+  // returns — no deferred hop, the same synchronous fast path a single ready Then takes.
+  std::vector<Future<int>> futures;
+  futures.push_back(MakeReadyFuture<int>(1));
+  futures.push_back(MakeReadyFuture<int>(2));
+  futures.push_back(MakeReadyFuture<int>(3));
+  auto all = WhenAll(std::move(futures));
+  ASSERT_TRUE(all.Ready());
+  EXPECT_EQ(all.Get(), (std::vector<int>{1, 2, 3}));
+
+  std::vector<Future<void>> voids;
+  voids.push_back(MakeReadyFuture<void>());
+  voids.push_back(MakeReadyFuture<void>());
+  auto all_void = WhenAll(std::move(voids));
+  ASSERT_TRUE(all_void.Ready());
+  EXPECT_NO_THROW(all_void.Get());
+}
+
+TEST(Future, WhenAllMixedReadyAndPending) {
+  // Ready members join inline; the aggregate still waits for the stragglers.
+  Promise<int> straggler;
+  std::vector<Future<int>> futures;
+  futures.push_back(MakeReadyFuture<int>(10));
+  futures.push_back(straggler.GetFuture());
+  futures.push_back(MakeReadyFuture<int>(30));
+  auto all = WhenAll(std::move(futures));
+  EXPECT_FALSE(all.Ready());
+  straggler.SetValue(20);
+  ASSERT_TRUE(all.Ready());
+  EXPECT_EQ(all.Get(), (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Future, WhenAllErrorDoesNotLeakOtherMembersState) {
+  // One member failing must not leak the join state or the other members' values: once
+  // every member completes and the aggregate fulfills (with the first error), everything
+  // the join captured is released.
+  auto sentinel = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = sentinel;
+  {
+    std::vector<Promise<std::shared_ptr<int>>> promises(3);
+    std::vector<Future<std::shared_ptr<int>>> futures;
+    for (auto& p : promises) {
+      futures.push_back(p.GetFuture());
+    }
+    auto all = WhenAll(std::move(futures));
+    promises[1].SetException(std::make_exception_ptr(std::runtime_error("mid failed")));
+    promises[0].SetValue(sentinel);
+    sentinel.reset();
+    EXPECT_FALSE(all.Ready());  // first-error-wins, but only after ALL members complete
+    EXPECT_FALSE(watch.expired());  // straggler outstanding: the join still holds the slot
+    promises[2].SetValue(nullptr);
+    ASSERT_TRUE(all.Ready());
+    // The failed aggregate carries the error, not the values: the gather state (and every
+    // successful member's value it held) is released the moment the last member completes.
+    EXPECT_TRUE(watch.expired());
+    EXPECT_THROW(all.Get(), std::runtime_error);
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(Future, WhenAllMoveOnlyValues) {
+  std::vector<Promise<std::unique_ptr<int>>> promises(2);
+  std::vector<Future<std::unique_ptr<int>>> futures;
+  for (auto& p : promises) {
+    futures.push_back(p.GetFuture());
+  }
+  auto all = WhenAll(std::move(futures));
+  promises[1].SetValue(std::make_unique<int>(2));
+  promises[0].SetValue(std::make_unique<int>(1));
+  ASSERT_TRUE(all.Ready());
+  auto values = all.Get();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(*values[0], 1);
+  EXPECT_EQ(*values[1], 2);
+}
+
 TEST(Future, CrossThreadFulfillRace) {
   // SetValue and Then race from different threads; every continuation must run exactly once.
   constexpr int kIters = 2000;
