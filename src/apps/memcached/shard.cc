@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/event/timer.h"
 #include "src/rcu/rcu.h"
 
 namespace ebbrt {
@@ -211,60 +212,260 @@ Future<std::vector<ShardEndpoint>> DiscoverShards(Runtime& runtime, Ipv4Addr fro
   return result;
 }
 
+// --- Versioned ring record --------------------------------------------------------------------
+
+std::string EncodeRingRecord(const RingRecord& record) {
+  std::string out = std::to_string(record.epoch) + "|";
+  for (std::size_t i = 0; i < record.shards.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += EncodeShardRecord(record.shards[i].addr, record.shards[i].service);
+  }
+  return out;
+}
+
+bool ParseRingRecord(const std::string& record, RingRecord* out) {
+  std::size_t bar = record.find('|');
+  if (bar == std::string::npos || bar == 0) {
+    return false;
+  }
+  std::uint64_t epoch = 0;
+  for (std::size_t i = 0; i < bar; ++i) {
+    char c = record[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (epoch > (~std::uint64_t{0} - digit) / 10) {
+      return false;  // epoch overflows u64: nonsense record
+    }
+    epoch = epoch * 10 + digit;
+  }
+  std::vector<ShardEndpoint> shards;
+  std::size_t pos = bar + 1;
+  while (pos <= record.size()) {
+    std::size_t comma = record.find(',', pos);
+    std::size_t end = (comma == std::string::npos) ? record.size() : comma;
+    ShardEndpoint endpoint;
+    if (end == pos || !ParseShardRecord(record.substr(pos, end - pos), &endpoint)) {
+      return false;  // empty or malformed endpoint entry
+    }
+    shards.push_back(endpoint);
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  if (shards.empty()) {
+    return false;  // an empty shard list can never be routed to
+  }
+  out->epoch = epoch;
+  out->shards = std::move(shards);
+  return true;
+}
+
+Future<void> PublishRing(Runtime& runtime, Ipv4Addr frontend, const RingRecord& record) {
+  return dist::GlobalIdMap::For(runtime, frontend)
+      .Set(kRingRecordKey, EncodeRingRecord(record));
+}
+
+Future<RingRecord> FetchRing(Runtime& runtime, Ipv4Addr frontend) {
+  return dist::GlobalIdMap::For(runtime, frontend)
+      .GetWithRetry(kRingRecordKey)
+      .Then([](Future<std::string> f) {
+        std::string raw = f.Get();
+        RingRecord record;
+        if (!ParseRingRecord(raw, &record)) {
+          throw std::runtime_error("FetchRing: malformed ring record: " + raw);
+        }
+        return record;
+      });
+}
+
 // --- ShardRouter ------------------------------------------------------------------------------
 
 ShardRouter::ShardRouter(Runtime& runtime, std::vector<ShardEndpoint> shards,
                          std::size_t vnodes_per_shard)
-    : shards_(std::move(shards)), per_shard_ops_(shards_.size(), 0) {
-  Kassert(!shards_.empty(), "ShardRouter: no shards");
-  clients_.reserve(shards_.size());
-  ring_.reserve(shards_.size() * vnodes_per_shard);
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    clients_.push_back(std::make_unique<dist::RpcClient>(runtime, shards_[i].service,
-                                                         shards_[i].addr));
+    : ShardRouter(runtime, RingRecord{/*epoch=*/0, std::move(shards)},
+                  Config{vnodes_per_shard, /*replication=*/1, dist::CallOptions{},
+                         dist::CallOptions{}, /*ring_refresh_ns=*/0, Ipv4Addr::Any()}) {}
+
+ShardRouter::ShardRouter(Runtime& runtime, RingRecord ring, Config config)
+    : runtime_(runtime), config_(std::move(config)) {
+  Kassert(!ring.shards.empty(), "ShardRouter: no shards");
+  Kassert(config_.replication >= 1, "ShardRouter: replication must be >= 1");
+  ring_ = BuildRing(ring, config_.vnodes_per_shard);
+  suspect_.assign(ring_->shards.size(), 0);
+  per_shard_ops_.assign(ring_->shards.size(), 0);
+  // Dial every shard up front (the pre-ring behavior); later epochs dial lazily on first
+  // routed op.
+  for (const ShardEndpoint& endpoint : ring_->shards) {
+    ClientFor(endpoint);
+  }
+  StartRingWatcher();  // no-op unless Config asked for a periodic refresh
+}
+
+ShardRouter::~ShardRouter() { StopRingWatcher(); }
+
+std::shared_ptr<const ShardRouter::Ring> ShardRouter::BuildRing(
+    const RingRecord& record, std::size_t vnodes_per_shard) {
+  auto ring = std::make_shared<Ring>();
+  ring->epoch = record.epoch;
+  ring->shards = record.shards;
+  ring->points.reserve(record.shards.size() * vnodes_per_shard);
+  for (std::size_t i = 0; i < record.shards.size(); ++i) {
     for (std::size_t v = 0; v < vnodes_per_shard; ++v) {
       // Ring points are named by shard INDEX, not address: the same shard count always
       // yields the same placement, so rebuilding a router (or a second client machine
       // building its own) routes identically.
       std::uint64_t point =
           ShardHash("shard/" + std::to_string(i) + "/vnode/" + std::to_string(v));
-      ring_.emplace_back(point, static_cast<std::uint32_t>(i));
+      ring->points.emplace_back(point, static_cast<std::uint32_t>(i));
     }
   }
-  std::sort(ring_.begin(), ring_.end());
+  std::sort(ring->points.begin(), ring->points.end());
+  return ring;
+}
+
+std::vector<std::uint32_t> ShardRouter::Ring::ReplicasFor(std::uint64_t hash,
+                                                          std::size_t r) const {
+  r = std::min(r, shards.size());
+  std::vector<std::uint32_t> replicas;
+  replicas.reserve(r);
+  // First ring point clockwise from the key's hash (wrapping past the top), then keep
+  // walking clockwise collecting DISTINCT shards until R are found.
+  auto it = std::upper_bound(points.begin(), points.end(),
+                             std::make_pair(hash, std::uint32_t{0xffffffff}));
+  for (std::size_t walked = 0; walked < points.size() && replicas.size() < r; ++walked) {
+    if (it == points.end()) {
+      it = points.begin();
+    }
+    std::uint32_t shard = it->second;
+    if (std::find(replicas.begin(), replicas.end(), shard) == replicas.end()) {
+      replicas.push_back(shard);
+    }
+    ++it;
+  }
+  return replicas;
 }
 
 std::size_t ShardRouter::ShardFor(std::string_view key) const {
-  std::uint64_t h = ShardHash(key);
-  // First ring point clockwise from the key's hash (wrapping past the top).
-  auto it = std::upper_bound(ring_.begin(), ring_.end(),
-                             std::make_pair(h, std::uint32_t{0xffffffff}));
-  if (it == ring_.end()) {
-    it = ring_.begin();
+  return ring_->ReplicasFor(ShardHash(key), 1).front();
+}
+
+std::vector<std::uint32_t> ShardRouter::ReadOrder(const Ring& ring, std::string_view key) {
+  std::vector<std::uint32_t> replicas =
+      ring.ReplicasFor(ShardHash(key), config_.replication);
+  // Healthy replicas first, ring order preserved within each class: a suspect primary stops
+  // eating a timeout per read, but stays reachable as the last resort.
+  std::stable_partition(replicas.begin(), replicas.end(),
+                        [this](std::uint32_t shard) { return suspect_[shard] == 0; });
+  return replicas;
+}
+
+dist::RpcClient* ShardRouter::ClientFor(const ShardEndpoint& endpoint) {
+  auto it = clients_.find(endpoint.service);
+  if (it != clients_.end()) {
+    if (it->second->server() == endpoint.addr) {
+      return it->second.get();
+    }
+    // The service moved machines across an epoch: re-dial. Calls pending on the old client
+    // fail with RpcPeerLost through its teardown — they were addressed to a dead home.
+    clients_.erase(it);
   }
-  return it->second;
+  auto client =
+      std::make_unique<dist::RpcClient>(runtime_, endpoint.service, endpoint.addr);
+  dist::RpcClient* raw = client.get();
+  clients_.emplace(endpoint.service, std::move(client));
+  return raw;
+}
+
+void ShardRouter::MarkSuspect(const std::shared_ptr<const Ring>& ring,
+                              std::uint32_t shard) {
+  if (ring != ring_) {
+    return;  // stale snapshot: the swap that replaced it already cleared suspicion
+  }
+  if (suspect_[shard] == 0) {
+    suspect_[shard] = 1;
+    ++stats_.suspects_marked;
+  }
+  // A transport failure is the best hint that membership moved: poll the ring now instead
+  // of waiting out the watcher period.
+  RefreshRing();
 }
 
 Future<ShardRouter::GetResult> ShardRouter::Get(std::string_view key) {
-  std::size_t shard = ShardFor(key);
-  per_shard_ops_[shard]++;
-  return clients_[shard]
-      ->Call(kShardOpGet, 0, IOBuf::CopyBuffer(key))
-      .Then([](Future<dist::RpcClient::Response> f) {
-        dist::RpcClient::Response response = f.Get();
-        GetResult result;
-        result.found = response.aux != 0;
-        result.value = std::move(response.body);
-        return result;
+  std::shared_ptr<const Ring> ring = ring_;  // op-wide snapshot (RCU read side)
+  std::vector<std::uint32_t> replicas = ReadOrder(*ring, key);
+  return TryGet(std::move(ring), std::string(key), std::move(replicas), 0);
+}
+
+Future<ShardRouter::GetResult> ShardRouter::TryGet(std::shared_ptr<const Ring> ring,
+                                                   std::string key,
+                                                   std::vector<std::uint32_t> replicas,
+                                                   std::size_t index) {
+  std::uint32_t shard = replicas[index];
+  if (shard < per_shard_ops_.size()) {
+    per_shard_ops_[shard]++;
+  }
+  return ClientFor(ring->shards[shard])
+      ->Call(kShardOpGet, 0, IOBuf::CopyBuffer(key), config_.read_options)
+      .Then([this, ring = std::move(ring), key = std::move(key),
+             replicas = std::move(replicas),
+             index](Future<dist::RpcClient::Response> f) mutable -> Future<GetResult> {
+        try {
+          dist::RpcClient::Response response = f.Get();
+          GetResult result;
+          result.found = response.aux != 0;
+          result.value = std::move(response.body);
+          return MakeReadyFuture<GetResult>(std::move(result));
+        } catch (const dist::RpcTransportError&) {
+          // No response will ever come from this replica: suspect it and try the key's
+          // next one. Application errors (server threw) fall through untouched.
+          MarkSuspect(ring, replicas[index]);
+          if (index + 1 < replicas.size()) {
+            ++stats_.failovers;
+            return TryGet(std::move(ring), std::move(key), std::move(replicas), index + 1);
+          }
+          throw;  // every replica failed: surface the last transport error
+        }
       });
 }
 
 Future<void> ShardRouter::Set(std::string_view key, std::string_view value) {
-  std::size_t shard = ShardFor(key);
-  per_shard_ops_[shard]++;
-  return clients_[shard]
-      ->Call(kShardOpSet, 0, dist::BuildLenPrefixedBody(key, value))
-      .Then([](Future<dist::RpcClient::Response> f) { f.Get(); });
+  std::shared_ptr<const Ring> ring = ring_;
+  std::vector<std::uint32_t> replicas =
+      ring->ReplicasFor(ShardHash(key), config_.replication);
+  bool all_suspect = true;
+  for (std::uint32_t shard : replicas) {
+    if (suspect_[shard] == 0) {
+      all_suspect = false;
+      break;
+    }
+  }
+  std::vector<Future<void>> pending;
+  pending.reserve(replicas.size());
+  for (std::uint32_t shard : replicas) {
+    if (!all_suspect && suspect_[shard] != 0) {
+      ++stats_.write_skips;  // don't burn a deadline on a replica believed dead
+      continue;
+    }
+    per_shard_ops_[shard]++;
+    pending.push_back(
+        ClientFor(ring->shards[shard])
+            ->Call(kShardOpSet, 0, dist::BuildLenPrefixedBody(key, value),
+                   config_.write_options)
+            .Then([this, ring, shard](Future<dist::RpcClient::Response> f) {
+              try {
+                f.Get();
+              } catch (const dist::RpcTransportError&) {
+                MarkSuspect(ring, shard);
+                throw;
+              }
+            }));
+  }
+  return WhenAll(std::move(pending)).Then([](Future<void> f) { f.Get(); });
 }
 
 Future<std::vector<ShardRouter::GetResult>> ShardRouter::MultiGet(
@@ -272,54 +473,182 @@ Future<std::vector<ShardRouter::GetResult>> ShardRouter::MultiGet(
   if (keys.empty()) {
     return MakeReadyFuture<std::vector<GetResult>>(std::vector<GetResult>{});
   }
-  // Scatter: partition the batch per shard on the ring. slots[s][j] remembers which
-  // request-order slot shard s's j-th key answers, so the gather can write results straight
-  // into place (duplicate keys simply occupy two slots of the same shard's sub-batch).
-  std::vector<std::vector<std::string_view>> shard_keys(shards_.size());
-  std::vector<std::vector<std::size_t>> slots(shards_.size());
+  // Keys are copied once into the shared batch state: a group re-issued after a replica
+  // failure runs long after the caller's string_views died.
+  auto state = std::make_shared<MgState>();
+  state->ring = ring_;
+  state->keys.assign(keys.begin(), keys.end());
+  state->results.resize(keys.size());
+  std::vector<std::size_t> slots(keys.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
-    std::size_t shard = ShardFor(keys[i]);
-    per_shard_ops_[shard]++;
-    shard_keys[shard].push_back(keys[i]);
-    slots[shard].push_back(i);
+    slots[i] = i;
   }
-  // Gather state shared by the per-shard continuations: each writes only its own slots.
-  struct Join {
-    std::vector<GetResult> results;
-  };
-  auto join = std::make_shared<Join>();
-  join->results.resize(keys.size());
-  std::vector<Future<void>> pending;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (shard_keys[s].empty()) {
-      continue;
+  // Shards that already failed THIS BATCH: a re-issued group must not bounce back to the
+  // replica that just timed out (suspect_ alone can't guarantee that — a ring swap between
+  // rounds clears it).
+  auto excluded = std::make_shared<std::vector<char>>(state->ring->shards.size(), 0);
+  return MultiGetSlots(state, std::move(slots), excluded)
+      .Then([state](Future<void> f) {
+        f.Get();
+        return std::move(state->results);
+      });
+}
+
+Future<void> ShardRouter::MultiGetSlots(std::shared_ptr<MgState> state,
+                                        std::vector<std::size_t> slots,
+                                        std::shared_ptr<std::vector<char>> excluded) {
+  // Scatter: each key goes to its first replica that hasn't failed this batch, preferring
+  // non-suspect ones. slots group by chosen shard so the gather can write results straight
+  // into request-order slots (duplicate keys simply occupy two slots of a sub-batch).
+  constexpr std::uint32_t kNoShard = 0xffffffffu;
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> groups;
+  for (std::size_t slot : slots) {
+    std::vector<std::uint32_t> replicas =
+        state->ring->ReplicasFor(ShardHash(state->keys[slot]), config_.replication);
+    std::uint32_t chosen = kNoShard;
+    for (std::uint32_t shard : replicas) {
+      if ((*excluded)[shard] == 0 && suspect_[shard] == 0) {
+        chosen = shard;
+        break;
+      }
     }
-    std::size_t count = shard_keys[s].size();
+    if (chosen == kNoShard) {
+      for (std::uint32_t shard : replicas) {
+        if ((*excluded)[shard] == 0) {
+          chosen = shard;
+          break;
+        }
+      }
+    }
+    if (chosen == kNoShard) {
+      return MakeFailedFuture<void>(std::make_exception_ptr(dist::RpcPeerLost(
+          "shard: every replica of '" + state->keys[slot] + "' failed")));
+    }
+    groups[chosen].push_back(slot);
+  }
+  std::vector<Future<void>> pending;
+  pending.reserve(groups.size());
+  for (auto& group : groups) {
+    std::uint32_t shard = group.first;
+    std::vector<std::size_t> group_slots = std::move(group.second);
+    std::size_t count = group_slots.size();
+    if (shard < per_shard_ops_.size()) {
+      per_shard_ops_[shard] += count;
+    }
+    std::vector<std::string_view> group_keys;
+    group_keys.reserve(count);
+    for (std::size_t slot : group_slots) {
+      group_keys.push_back(state->keys[slot]);
+    }
     // ONE RPC per shard touched: the whole sub-batch rides a single kShardOpMultiGet frame
     // (and, via the Messenger's auto-cork, the whole fan-out leaves this event as at most
     // one wire segment per shard).
     pending.push_back(
-        clients_[s]
+        ClientFor(state->ring->shards[shard])
             ->Call(kShardOpMultiGet, static_cast<std::uint32_t>(count),
-                   dist::BuildKeyVectorBody(shard_keys[s]))
-            .Then([join, shard_slots = std::move(slots[s]),
-                   count](Future<dist::RpcClient::Response> f) {
-              // f.Get() rethrows transport/remote errors; WhenAll's join forwards the first
-              // one to the whole-batch future after every shard has answered.
-              dist::RpcClient::Response response = f.Get();
-              std::vector<GetResult> partial;
-              if (!ParseMultiGetReply(std::move(response.body), count, &partial)) {
-                throw std::runtime_error("shard: malformed MULTIGET reply");
-              }
-              for (std::size_t j = 0; j < count; ++j) {
-                join->results[shard_slots[j]] = std::move(partial[j]);
+                   dist::BuildKeyVectorBody(group_keys), config_.read_options)
+            .Then([this, state, excluded, shard, group_slots = std::move(group_slots),
+                   count](Future<dist::RpcClient::Response> f) mutable -> Future<void> {
+              try {
+                dist::RpcClient::Response response = f.Get();
+                std::vector<GetResult> partial;
+                if (!ParseMultiGetReply(std::move(response.body), count, &partial)) {
+                  throw std::runtime_error("shard: malformed MULTIGET reply");
+                }
+                for (std::size_t j = 0; j < count; ++j) {
+                  state->results[group_slots[j]] = std::move(partial[j]);
+                }
+                return MakeReadyFuture<void>();
+              } catch (const dist::RpcTransportError&) {
+                // Exactly this group's keys re-scatter to their next replicas; groups that
+                // answered keep their results (the batch fails only when some key exhausts
+                // its replica set). Application errors propagate through WhenAll untouched.
+                MarkSuspect(state->ring, shard);
+                (*excluded)[shard] = 1;
+                ++stats_.failovers;
+                return MultiGetSlots(state, std::move(group_slots), excluded);
               }
             }));
   }
-  return WhenAll(std::move(pending)).Then([join](Future<void> f) {
-    f.Get();
-    return std::move(join->results);
-  });
+  return WhenAll(std::move(pending)).Then([](Future<void> f) { f.Get(); });
+}
+
+bool ShardRouter::AdoptRing(const RingRecord& record) {
+  if (record.shards.empty()) {
+    return false;  // never adopt an unroutable ring (ParseRingRecord rejects these anyway)
+  }
+  if (record.epoch < ring_->epoch) {
+    ++stats_.stale_rings;
+    std::fprintf(stderr,
+                 "ShardRouter: stale ring record (epoch %llu < installed %llu), keeping "
+                 "last good ring\n",
+                 static_cast<unsigned long long>(record.epoch),
+                 static_cast<unsigned long long>(ring_->epoch));
+    return false;
+  }
+  if (record.epoch == ring_->epoch) {
+    return false;  // the watcher re-reading the installed epoch: the quiet steady state
+  }
+  bool same_shards = record.shards.size() == ring_->shards.size();
+  for (std::size_t i = 0; same_shards && i < record.shards.size(); ++i) {
+    same_shards = record.shards[i].addr == ring_->shards[i].addr &&
+                  record.shards[i].service == ring_->shards[i].service;
+  }
+  // The swap: in-flight ops drain against the snapshot they captured; everything issued
+  // after this line routes on the new epoch with a clean slate of suspicion.
+  ring_ = BuildRing(record, config_.vnodes_per_shard);
+  suspect_.assign(ring_->shards.size(), 0);
+  if (!same_shards) {
+    per_shard_ops_.assign(ring_->shards.size(), 0);
+  }
+  ++stats_.ring_swaps;
+  return true;
+}
+
+void ShardRouter::RefreshRing() {
+  if (config_.frontend.IsAny() || refresh_inflight_) {
+    return;
+  }
+  refresh_inflight_ = true;
+  // Plain Get, no retry ladder: the watcher (or the next suspect mark) IS the retry.
+  dist::GlobalIdMap::For(runtime_, config_.frontend)
+      .Get(kRingRecordKey)
+      .Then([this](Future<std::string> f) {
+        refresh_inflight_ = false;
+        std::string raw;
+        try {
+          raw = f.Get();
+        } catch (...) {
+          ++stats_.refresh_failures;  // no record / frontend unreachable: keep last good
+          return;
+        }
+        RingRecord record;
+        if (!ParseRingRecord(raw, &record)) {
+          ++stats_.malformed_rings;
+          std::fprintf(stderr,
+                       "ShardRouter: malformed ring record '%s', keeping last good ring "
+                       "(epoch %llu)\n",
+                       raw.c_str(), static_cast<unsigned long long>(ring_->epoch));
+          return;
+        }
+        AdoptRing(record);
+      });
+}
+
+void ShardRouter::StartRingWatcher() {
+  if (watcher_timer_ != 0 || config_.ring_refresh_ns == 0 || config_.frontend.IsAny()) {
+    return;
+  }
+  watcher_timer_ = Timer::Instance()->Start(
+      config_.ring_refresh_ns, [this] { RefreshRing(); }, /*periodic=*/true);
+}
+
+void ShardRouter::StopRingWatcher() {
+  if (watcher_timer_ == 0) {
+    return;
+  }
+  Timer::Instance()->Stop(watcher_timer_);
+  watcher_timer_ = 0;
 }
 
 double ShardRouter::Imbalance() const {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/apps/memcached/kvstore.h"
@@ -119,6 +120,31 @@ Future<void> AnnounceShard(Runtime& runtime, Ipv4Addr frontend, std::size_t shar
 Future<std::vector<ShardEndpoint>> DiscoverShards(Runtime& runtime, Ipv4Addr frontend,
                                                   std::size_t num_shards);
 
+// --- Versioned ring ---------------------------------------------------------------------------
+//
+// The per-shard records above bootstrap a FIXED shard set. The versioned ring makes
+// membership dynamic: whoever operates the cluster publishes the authoritative shard list
+// under ONE GlobalIdMap record ("service/memcached/ring") with a monotonically increasing
+// epoch. Routers poll it (or are told to refresh) and RCU-swap their routing state; shards
+// announce/retire at runtime by appearing in / vanishing from the next epoch's record.
+
+inline constexpr const char* kRingRecordKey = "service/memcached/ring";
+
+struct RingRecord {
+  std::uint64_t epoch = 0;
+  std::vector<ShardEndpoint> shards;
+};
+
+// Wire format: "<epoch>|a.b.c.d#svc,a.b.c.d#svc,...". ParseRingRecord returns false on any
+// malformation (non-numeric epoch, bad endpoint, empty shard list) — a router NEVER adopts
+// a record it can't fully parse (keep-last-good discipline, see ShardRouter::RefreshRing).
+std::string EncodeRingRecord(const RingRecord& record);
+bool ParseRingRecord(const std::string& record, RingRecord* out);
+
+// Publishes / resolves the authoritative ring record through the frontend's GlobalIdMap.
+Future<void> PublishRing(Runtime& runtime, Ipv4Addr frontend, const RingRecord& record);
+Future<RingRecord> FetchRing(Runtime& runtime, Ipv4Addr frontend);
+
 class ShardRouter {
  public:
   struct GetResult {
@@ -126,10 +152,45 @@ class ShardRouter {
     std::unique_ptr<IOBuf> value;  // zero-copy chain straight off the wire
   };
 
-  // `vnodes_per_shard` virtual points per shard smooth the ring (more points, better
-  // balance, slower build — lookups stay O(log points)).
+  struct Config {
+    // Virtual points per shard smooth the ring (more points, better balance, slower build —
+    // lookups stay O(log points)).
+    std::size_t vnodes_per_shard = 128;
+    // R-way replication: each key maps to the first R DISTINCT shards clockwise from its
+    // hash. Reads go to one replica and fail over along the set on transport errors; writes
+    // go to every non-suspect replica (write-all / read-one).
+    std::size_t replication = 2;
+    // Per-op RPC deadline/retry contracts. Reads default to a single attempt — the router's
+    // failover IS the retry, and re-sending to a dead replica only delays it.
+    dist::CallOptions read_options{dist::kDefaultRpcDeadlineNs,
+                                   dist::RetryPolicy{/*max_attempts=*/1}};
+    dist::CallOptions write_options{};
+    // Ring watcher period (virtual ns); 0 disables the periodic refresh (the router still
+    // refreshes opportunistically whenever it marks a replica suspect).
+    std::uint64_t ring_refresh_ns = 0;
+    // Frontend serving GlobalIdMap; Any() (the default) disables ring refresh entirely.
+    Ipv4Addr frontend = Ipv4Addr::Any();
+  };
+
+  // Failover/refresh observability. The router is per-core client state (one issuing core),
+  // so these are plain counters.
+  struct Stats {
+    std::uint64_t failovers = 0;        // ops re-routed to another replica
+    std::uint64_t suspects_marked = 0;  // replica transitions healthy -> suspect
+    std::uint64_t ring_swaps = 0;       // epochs adopted
+    std::uint64_t stale_rings = 0;      // fetched records with epoch <= current (ignored)
+    std::uint64_t malformed_rings = 0;  // fetched records that failed to parse (kept last good)
+    std::uint64_t refresh_failures = 0; // ring fetches that errored (kept last good)
+    std::uint64_t write_skips = 0;      // replica writes skipped because the target was suspect
+  };
+
+  // Static single-replica router over a fixed shard set (epoch 0) — the pre-ring behavior,
+  // used by balance tests and benches that don't exercise failover.
   ShardRouter(Runtime& runtime, std::vector<ShardEndpoint> shards,
               std::size_t vnodes_per_shard = 128);
+  // Replicated router over a versioned ring.
+  ShardRouter(Runtime& runtime, RingRecord ring, Config config);
+  ~ShardRouter();
 
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
@@ -140,8 +201,16 @@ class ShardRouter {
   //
   // Miss vs. failure, both ops: a key absent from a healthy shard resolves found=false —
   // only a transport/shard error (connection lost, malformed reply, remote exception)
-  // surfaces through the future as an exception.
+  // surfaces through the future as an exception. Transport errors (RpcTimeout /
+  // RpcPeerLost) additionally drive the failover state machine: the replica is marked
+  // suspect, reads fail over to the key's next replica, and the read's future only fails
+  // when EVERY replica has failed. Application-level errors from a shard propagate
+  // untouched — a shard that answers wrongly is not a dead shard.
   Future<GetResult> Get(std::string_view key);
+  // Write-all: the value goes to every non-suspect replica of the key (all of them when
+  // every replica is suspect — total blindness must not wedge writes); skipped replicas
+  // tick stats().write_skips. A transport failure marks the replica suspect and fails the
+  // future (the caller decides whether a partially applied write is worth retrying).
   Future<void> Set(std::string_view key, std::string_view value);
 
   // Bulk scatter-gather GET. Partitions `keys` per shard on the ring, ships EXACTLY ONE
@@ -150,25 +219,91 @@ class ShardRouter {
   // replies zero-copy — each per-key value is a shared view carved out of its shard's
   // reply chain (IOBufQueue::Split), never memcpy'd — into request order via WhenAll.
   // Duplicate keys are answered per occurrence. Partial-failure policy: per-key misses are
-  // found=false results; any shard's transport error fails the WHOLE batch future with
-  // that error, after every shard has answered (WhenAll's first-error-wins join).
+  // found=false results; a shard group's transport error marks that replica suspect and
+  // RE-ISSUES exactly that group's keys against their next replicas (the batch only fails
+  // when some key runs out of replicas); application errors fail the whole batch (WhenAll's
+  // first-error-wins join).
   Future<std::vector<GetResult>> MultiGet(const std::vector<std::string_view>& keys);
 
-  std::size_t ShardFor(std::string_view key) const;
-  std::size_t shard_count() const { return shards_.size(); }
+  // Adopts `record` if its epoch is newer than the installed ring's: routing state is
+  // RCU-swapped (in-flight ops drain against the ring snapshot they captured) and every
+  // suspect mark is cleared — the new epoch is the operator's word on who's alive. Stale
+  // (epoch <= current) and malformed records are rejected with a stat, keeping the last
+  // good ring. Returns whether the ring was swapped.
+  bool AdoptRing(const RingRecord& record);
+  // Fetches the ring record from the frontend and AdoptRing()s it. Failures (absent key,
+  // transport error, malformed record) leave the last good ring serving and tick stats.
+  // At most one fetch is in flight at a time. No-op without a configured frontend.
+  void RefreshRing();
+  // Periodic RefreshRing driver (needs Config{ring_refresh_ns > 0, frontend}). The watcher
+  // must be stopped — from the router's core — before a simulated world can drain; the
+  // destructor also stops it.
+  void StartRingWatcher();
+  void StopRingWatcher();
 
-  // Per-shard request counters (routing balance). The router is per-core client state like
-  // the rest of the dispatch plane: one core issues through one router, so these are plain
-  // counters — give each issuing core its own router to fan out from many cores.
+  std::uint64_t ring_epoch() const { return ring_->epoch; }
+  bool suspect(std::size_t shard) const { return suspect_[shard] != 0; }
+
+  // Primary replica (first ring point clockwise). Reads may be served by any replica.
+  std::size_t ShardFor(std::string_view key) const;
+  std::size_t shard_count() const { return ring_->shards.size(); }
+
+  const Stats& stats() const { return stats_; }
+
+  // Per-shard request counters (routing balance), indexed into the CURRENT ring's shard
+  // list (reset when a swap changes the shard set). The router is per-core client state
+  // like the rest of the dispatch plane: one core issues through one router, so these are
+  // plain counters — give each issuing core its own router to fan out from many cores.
   const std::vector<std::uint64_t>& per_shard_ops() const { return per_shard_ops_; }
   // max/mean - 1 over per_shard_ops (0 == perfectly balanced).
   double Imbalance() const;
 
  private:
-  std::vector<ShardEndpoint> shards_;
-  std::vector<std::unique_ptr<dist::RpcClient>> clients_;  // one per shard
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;  // (point, shard), sorted
+  // One immutable routing snapshot per epoch, RCU-published through `ring_`: ops capture
+  // the shared_ptr once and use that snapshot end-to-end, so a concurrent AdoptRing never
+  // yanks state out from under an in-flight failover chain (the old Ring lives until its
+  // last op drains — the read-side discipline, with shared_ptr as the grace period).
+  struct Ring {
+    std::uint64_t epoch = 0;
+    std::vector<ShardEndpoint> shards;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> points;  // (point, shard), sorted
+
+    // The key's replica set: first `r` DISTINCT shards clockwise from `hash`.
+    std::vector<std::uint32_t> ReplicasFor(std::uint64_t hash, std::size_t r) const;
+  };
+
+  // Shared MultiGet state: owned key copies (retried groups outlive the caller's views)
+  // and the request-order result slots.
+  struct MgState {
+    std::shared_ptr<const Ring> ring;
+    std::vector<std::string> keys;
+    std::vector<GetResult> results;
+  };
+
+  static std::shared_ptr<const Ring> BuildRing(const RingRecord& record,
+                                               std::size_t vnodes_per_shard);
+  // The key's replicas ordered for a read: ring order, non-suspect first.
+  std::vector<std::uint32_t> ReadOrder(const Ring& ring, std::string_view key);
+  dist::RpcClient* ClientFor(const ShardEndpoint& endpoint);
+  void MarkSuspect(const std::shared_ptr<const Ring>& ring, std::uint32_t shard);
+  Future<GetResult> TryGet(std::shared_ptr<const Ring> ring, std::string key,
+                           std::vector<std::uint32_t> replicas, std::size_t index);
+  Future<void> MultiGetSlots(std::shared_ptr<MgState> state, std::vector<std::size_t> slots,
+                             std::shared_ptr<std::vector<char>> excluded);
+
+  Runtime& runtime_;
+  Config config_;
+  std::shared_ptr<const Ring> ring_;
+  // Suspect flags parallel to ring_->shards (plain bytes: single issuing core). Cleared
+  // whole on every ring swap.
+  std::vector<char> suspect_;
+  // Clients persist across ring swaps keyed by service id (a shard that stays through an
+  // epoch change keeps its connection and pending calls).
+  std::unordered_map<EbbId, std::unique_ptr<dist::RpcClient>> clients_;
   std::vector<std::uint64_t> per_shard_ops_;
+  Stats stats_;
+  std::uint64_t watcher_timer_ = 0;
+  bool refresh_inflight_ = false;
 };
 
 // --- kShardOpMultiGet reply marshaling --------------------------------------------------------

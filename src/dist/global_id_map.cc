@@ -167,8 +167,7 @@ Future<std::string> GlobalIdMap::GetWithRetry(std::string key, RetryPolicy polic
           state->attempt_fn = nullptr;  // break the self-capture cycle
           return;
         }
-        std::uint64_t next_backoff =
-            std::min(backoff_ns * 2, state->policy.max_backoff_ns);
+        std::uint64_t next_backoff = state->policy.NextBackoff(backoff_ns);
         Timer::Instance()->Start(backoff_ns, [state, attempt, next_backoff] {
           state->attempt_fn(attempt + 1, next_backoff);
         });

@@ -18,6 +18,7 @@
 
 #include <string>
 
+#include "src/dist/retry.h"
 #include "src/dist/rpc.h"
 
 namespace ebbrt {
@@ -52,12 +53,10 @@ class GlobalIdMap {
   // Get with the bounded-backoff retry every discovery consumer wants: an absent key is
   // the normal bring-up race (the service has not announced yet), so it is retried with
   // exponentially-doubling delays; after max_attempts the future fails with a diagnosable
-  // error naming the key and attempt count — never an infinite poll.
-  struct RetryPolicy {
-    int max_attempts = 10;
-    std::uint64_t initial_backoff_ns = 250'000;  // doubling per retry
-    std::uint64_t max_backoff_ns = 8'000'000;
-  };
+  // error naming the key and attempt count — never an infinite poll. The schedule is the
+  // dist-plane-wide dist::RetryPolicy (retry.h) — the same type RpcClient::CallOptions
+  // takes, so one backoff implementation serves both layers.
+  using RetryPolicy = dist::RetryPolicy;
   Future<std::string> GetWithRetry(std::string key, RetryPolicy policy);
   Future<std::string> GetWithRetry(std::string key) {
     return GetWithRetry(std::move(key), RetryPolicy());

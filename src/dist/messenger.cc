@@ -62,6 +62,25 @@ void Messenger::UnregisterReceiver(EbbId target) {
   receivers_.Erase(target);
 }
 
+std::uint64_t Messenger::AddPeerObserver(PeerObserver observer) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  stats_.control_locks++;
+  std::uint64_t handle = next_peer_observer_++;
+  peer_observers_.emplace_back(handle, std::make_shared<PeerObserver>(std::move(observer)));
+  return handle;
+}
+
+void Messenger::RemovePeerObserver(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  stats_.control_locks++;
+  for (auto it = peer_observers_.begin(); it != peer_observers_.end(); ++it) {
+    if (it->first == handle) {
+      peer_observers_.erase(it);
+      return;
+    }
+  }
+}
+
 void Messenger::Send(Ipv4Addr dst, EbbId target, std::unique_ptr<IOBuf> payload) {
   std::shared_ptr<Peer> peer = PeerFor(dst);
   if (CurrentContext().machine_core == peer->core()) {
@@ -113,13 +132,33 @@ std::shared_ptr<Messenger::Peer> Messenger::PeerFor(Ipv4Addr addr) {
 }
 
 void Messenger::DropPeer(Peer& peer, bool was_established) {
-  std::lock_guard<std::mutex> lock(control_mu_);
-  stats_.control_locks++;
-  std::shared_ptr<Peer>* cached = peers_.Find(peer.addr().raw);
-  if (cached != nullptr && cached->get() == &peer) {
-    peers_.Erase(peer.addr().raw);
-    if (was_established) {
-      stats_.reconnects++;  // the next Send to this address re-dials
+  bool erased = false;
+  std::vector<std::shared_ptr<PeerObserver>> observers;
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    stats_.control_locks++;
+    std::shared_ptr<Peer>* cached = peers_.Find(peer.addr().raw);
+    if (cached != nullptr && cached->get() == &peer) {
+      peers_.Erase(peer.addr().raw);
+      erased = true;
+      if (was_established) {
+        stats_.reconnects++;  // the next Send to this address re-dials
+      }
+      observers.reserve(peer_observers_.size());
+      for (auto& entry : peer_observers_) {
+        observers.push_back(entry.second);
+      }
+    }
+  }
+  // Only the CANONICAL connection's death notifies: a stale peer dying while a newer
+  // connection owns the cache slot (simultaneous-open losers, superseded dials) changes
+  // nothing for senders. Observers run outside control_mu_ — failing a pending call may
+  // re-enter Send/PeerFor inline.
+  if (erased && !observers.empty()) {
+    stats_.peer_down_notifications++;
+    Ipv4Addr addr = peer.addr();
+    for (auto& observer : observers) {
+      (*observer)(addr);
     }
   }
 }

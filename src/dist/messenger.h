@@ -101,6 +101,15 @@ class Messenger {
   // core when needed.
   void Send(Ipv4Addr dst, EbbId target, std::unique_ptr<IOBuf> payload);
 
+  // Peer-death notification. Observers run whenever the cached connection to a peer dies —
+  // close, abort, framing failure, or dial failure — AFTER the cache entry is gone (so an
+  // observer that re-sends dials fresh). Invoked on the core that owned the dying
+  // connection; observers must tolerate any core. This is how the RPC layer fails pending
+  // calls routed through a dead peer instead of leaking them (rpc.h's RpcPeerLost).
+  using PeerObserver = std::function<void(Ipv4Addr peer)>;
+  std::uint64_t AddPeerObserver(PeerObserver observer);
+  void RemovePeerObserver(std::uint64_t handle);
+
   Runtime& runtime() { return runtime_; }
 
   // Counters are atomics: Deliver/teardown tick them from whichever core owns a peer's
@@ -113,6 +122,7 @@ class Messenger {
     std::atomic<std::uint64_t> dials{0};       // outbound connections initiated
     std::atomic<std::uint64_t> accepts{0};     // inbound connections cached
     std::atomic<std::uint64_t> reconnects{0};  // cache drops after an established conn died
+    std::atomic<std::uint64_t> peer_down_notifications{0};  // observer fan-outs (per peer death)
     std::atomic<std::uint64_t> dropped{0};     // undeliverable messages (see Send)
     // Frames failing header validation: length above kMaxMessageBytes, or a target EbbId
     // with no registered receiver. Both tick here and drop the offending peer connection
@@ -189,6 +199,11 @@ class Messenger {
   std::mutex control_mu_;
   RcuHashTable<std::uint32_t, std::shared_ptr<Peer>> peers_;
   RcuHashTable<EbbId, std::shared_ptr<Receiver>> receivers_;
+  // Peer-death observers (control plane: registration at endpoint construction, fan-out at
+  // connection teardown — never on the per-message path). Guarded by control_mu_; DropPeer
+  // snapshots the table and invokes outside the lock so observers may Send/dial freely.
+  std::uint64_t next_peer_observer_ = 1;
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<PeerObserver>>> peer_observers_;
 
   Stats stats_;
 };

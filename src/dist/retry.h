@@ -1,0 +1,42 @@
+// RetryPolicy — the one bounded-backoff schedule every dist-plane retry loop shares.
+//
+// Two layers retry independently and must not each grow their own arithmetic:
+//
+//   * GlobalIdMap::GetWithRetry re-polls a name that has not been announced yet (the
+//     bring-up race), and
+//   * RpcClient re-sends a call whose per-attempt deadline expired (the fault-tolerance
+//     path; see rpc.h's CallOptions).
+//
+// Both take this struct. `NextBackoff` is the single doubling implementation: capped at
+// `max_backoff_ns` and overflow-safe — a caller-supplied backoff near 2^63 doubles to the
+// cap, never wraps to a zero-delay hot loop.
+#ifndef EBBRT_SRC_DIST_RETRY_H_
+#define EBBRT_SRC_DIST_RETRY_H_
+
+#include <cstdint>
+
+namespace ebbrt {
+namespace dist {
+
+struct RetryPolicy {
+  int max_attempts = 10;
+  std::uint64_t initial_backoff_ns = 250'000;  // doubling per retry
+  std::uint64_t max_backoff_ns = 8'000'000;
+
+  std::uint64_t NextBackoff(std::uint64_t current_ns) const {
+    if (current_ns >= max_backoff_ns) {
+      return max_backoff_ns;
+    }
+    // current*2 would exceed the cap exactly when current > max - current; comparing
+    // against the difference never overflows.
+    if (current_ns > max_backoff_ns - current_ns) {
+      return max_backoff_ns;
+    }
+    return current_ns * 2;
+  }
+};
+
+}  // namespace dist
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_DIST_RETRY_H_

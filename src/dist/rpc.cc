@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/event/timer.h"
 #include "src/platform/context.h"
 #include "src/rcu/rcu.h"
 
@@ -258,62 +259,218 @@ void RpcDemuxRoot::DispatchFrame(EbbId service, Ipv4Addr from,
 // --- RpcClient --------------------------------------------------------------------------------
 
 RpcClient::RpcClient(Runtime& runtime, EbbId service, Ipv4Addr server)
-    : messenger_(Messenger::For(runtime)), service_(service), server_(server),
-      cores_(std::max<std::size_t>(1, runtime.num_cores())) {
+    : runtime_(runtime), messenger_(Messenger::For(runtime)), service_(service),
+      server_(server), cores_(std::max<std::size_t>(1, runtime.num_cores())) {
   RcuManagerRoot& rcu = RcuManagerRoot::For(runtime);
-  for (CoreState& core : cores_) {
+  for (std::shared_ptr<CoreLane>& lane : cores_) {
+    lane = std::make_shared<CoreLane>();
     // Per-core pending windows are small (a pipeline's worth); 32 buckets keeps chains
     // short without bloating per-client footprint across many services.
-    core.pending = std::make_unique<RcuHashTable<std::uint64_t, std::shared_ptr<PendingCall>>>(
-        rcu, /*bucket_bits=*/5);
+    lane->pending =
+        std::make_unique<RcuHashTable<std::uint64_t, std::shared_ptr<PendingCall>>>(
+            rcu, /*bucket_bits=*/5);
   }
   RpcDemuxRoot::For(runtime).Install(service, this, nullptr);
+  // Peer death fails everything in flight to that peer: no call waits out a deadline for a
+  // response whose connection is already gone (and calls WITHOUT a deadline still resolve).
+  RpcClient* self = this;
+  peer_observer_ = messenger_.AddPeerObserver([self](Ipv4Addr peer) {
+    if (peer == self->server_) {
+      self->OnPeerDown();
+    }
+  });
 }
 
 RpcClient::~RpcClient() {
+  // Unhook the resolution sources first — observer fan-out and frame dispatch must not see
+  // a half-dead client — then orphan whatever is still unresolved.
+  messenger_.RemovePeerObserver(peer_observer_);
   RpcDemuxRoot::For(messenger_.runtime()).Remove(service_, this, nullptr);
-  // Orphan every still-pending call. Collect first (ForEach is read-side iteration), then
-  // fail the promises; the tables and their nodes die with this object — no deferred
-  // erases are needed because no NEW dispatch can resolve this client after Remove (and
-  // destruction on a machine whose loops are still dispatching was never legal; see
-  // DispatchFrame's lifetime note).
+  // Claim every still-pending call through Extract (the same exactly-once gate the
+  // response/timeout/peer-down paths use), then fail the promises. Calls parked between
+  // retry attempts live outside the table; they are drained from `parked` and flagged
+  // abandoned so a backoff timer that fires later does nothing. Destruction on a machine
+  // whose loops are still dispatching was never legal (see DispatchFrame's lifetime note);
+  // armed sweep timers outlive us harmlessly — they hold weak lane references.
   std::vector<std::shared_ptr<PendingCall>> orphaned;
-  for (CoreState& core : cores_) {
-    core.pending->ForEach([&orphaned](const std::uint64_t&,
-                                      const std::shared_ptr<PendingCall>& call) {
+  for (std::shared_ptr<CoreLane>& lane : cores_) {
+    std::vector<std::uint64_t> ids;
+    lane->pending->ForEach(
+        [&ids](const std::uint64_t& id, const std::shared_ptr<PendingCall>&) {
+          ids.push_back(id);
+        });
+    for (std::uint64_t id : ids) {
+      std::shared_ptr<PendingCall> call;
+      if (lane->pending->Extract(id, &call)) {
+        orphaned.push_back(std::move(call));
+      }
+    }
+    for (auto& call : lane->parked) {
+      call->abandoned = true;
       orphaned.push_back(call);
-    });
+    }
+    lane->parked.clear();
   }
   for (auto& call : orphaned) {
     call->promise.SetException(
-        std::make_exception_ptr(std::runtime_error("rpc: client torn down")));
+        std::make_exception_ptr(RpcPeerLost("rpc: client torn down")));
   }
 }
 
 std::size_t RpcClient::pending_calls() const {
   std::size_t total = 0;
-  for (const CoreState& core : cores_) {
-    total += core.pending->size();
+  for (const std::shared_ptr<CoreLane>& lane : cores_) {
+    total += lane->pending->size() + lane->parked.size();
   }
   return total;
 }
 
+std::uint64_t RpcClient::NowNs() const {
+  return runtime_.GetSubsystem<TimerRoot>(Subsystem::kTimer).executor().Now();
+}
+
 Future<RpcClient::Response> RpcClient::Call(std::uint16_t opcode, std::uint32_t aux,
-                                            std::unique_ptr<IOBuf> body) {
+                                            std::unique_ptr<IOBuf> body,
+                                            const CallOptions& options) {
   // The pending entry lives in the ISSUING core's table, and the request id carries the
   // core so the response (arriving on whichever core owns the server connection) can find
   // it. Same-core issue/complete is the steady state — symmetric RSS brings the reply back
   // to the dialing core — so the bucket spinlocks below are uncontended in practice.
   std::size_t core = CurrentContext().machine_core;
-  CoreState& state = cores_[core];
+  CoreLane& lane = *cores_[core];
   std::uint64_t request_id =
-      (static_cast<std::uint64_t>(core) << kCoreShift) | state.next_seq++;
+      (static_cast<std::uint64_t>(core) << kCoreShift) | lane.next_seq++;
   auto call = std::make_shared<PendingCall>();
+  call->opcode = opcode;
+  call->aux = aux;
+  call->options = options;
+  call->backoff_ns = options.retry.initial_backoff_ns;
+  if (options.deadline_ns != 0 && options.retry.max_attempts > 1 && body != nullptr) {
+    // Keep a master copy for re-sends: Clone is a refcounted view of the same storage, so
+    // this is descriptor cost, not a byte copy.
+    call->retry_body = body->Clone();
+  }
   Future<Response> result = call->promise.GetFuture();
-  state.pending->Insert(request_id, std::move(call));
+  lane.pending->Insert(request_id, std::move(call));
+  if (options.deadline_ns != 0) {
+    std::uint64_t now = NowNs();
+    ScheduleExpiry(core, request_id, now + options.deadline_ns, now);
+  }
   messenger_.Send(server_, service_,
                   BuildRpcFrame(request_id, opcode, /*flags=*/0, aux, std::move(body)));
   return result;
+}
+
+void RpcClient::ScheduleExpiry(std::size_t core, std::uint64_t request_id,
+                               std::uint64_t deadline, std::uint64_t now) {
+  CoreLane& lane = *cores_[core];
+  lane.expiries.push(Expiry{deadline, request_id});
+  // One armed sweep covers every deadline at or after it; with a uniform deadline_ns calls
+  // expire in issue order, so this arms roughly once per deadline WINDOW (the sweep
+  // re-arms itself while work remains), not once per call.
+  if (deadline < lane.armed_until) {
+    ArmSweep(core, deadline, now);
+  }
+}
+
+void RpcClient::ArmSweep(std::size_t core, std::uint64_t deadline, std::uint64_t now) {
+  CoreLane& lane = *cores_[core];
+  lane.armed_until = deadline;
+  std::weak_ptr<CoreLane> weak = cores_[core];
+  RpcClient* self = this;
+  Timer::Instance()->Start(deadline > now ? deadline - now : 0, [self, weak, core] {
+    if (weak.lock() == nullptr) {
+      return;  // client torn down; its teardown already resolved everything
+    }
+    self->Sweep(core);
+  });
+}
+
+void RpcClient::Sweep(std::size_t core) {
+  CoreLane& lane = *cores_[core];
+  lane.armed_until = kNoSweep;
+  std::uint64_t now = NowNs();
+  while (!lane.expiries.empty() && lane.expiries.top().deadline <= now) {
+    std::uint64_t request_id = lane.expiries.top().request_id;
+    lane.expiries.pop();
+    std::shared_ptr<PendingCall> call;
+    if (!lane.pending->Extract(request_id, &call)) {
+      continue;  // completed (or otherwise claimed) before its deadline: lazy heap entry
+    }
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    if (call->attempts < call->options.retry.max_attempts) {
+      // Park for the backoff, then re-send under a FRESH id: a straggler response to this
+      // attempt must find nothing (late_drops), not the retry's entry.
+      stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t delay = call->backoff_ns;
+      call->backoff_ns = call->options.retry.NextBackoff(call->backoff_ns);
+      call->attempts++;
+      lane.parked.push_back(call);
+      std::weak_ptr<CoreLane> weak = cores_[core];
+      RpcClient* self = this;
+      Timer::Instance()->Start(delay, [self, weak, core, call] {
+        if (weak.lock() == nullptr || call->abandoned) {
+          return;
+        }
+        self->Resend(core, call);
+      });
+    } else {
+      call->promise.SetException(std::make_exception_ptr(RpcTimeout(
+          "rpc: deadline expired (service " + std::to_string(service_) + ", opcode " +
+          std::to_string(call->opcode) + ", " + std::to_string(call->attempts) +
+          " attempt(s))")));
+    }
+  }
+  if (!lane.expiries.empty()) {
+    ArmSweep(core, lane.expiries.top().deadline, now);
+  }
+}
+
+void RpcClient::Resend(std::size_t core, const std::shared_ptr<PendingCall>& call) {
+  CoreLane& lane = *cores_[core];
+  for (auto it = lane.parked.begin(); it != lane.parked.end(); ++it) {
+    if (it->get() == call.get()) {
+      lane.parked.erase(it);
+      break;
+    }
+  }
+  std::uint64_t request_id =
+      (static_cast<std::uint64_t>(core) << kCoreShift) | lane.next_seq++;
+  lane.pending->Insert(request_id, call);
+  std::uint64_t now = NowNs();
+  ScheduleExpiry(core, request_id, now + call->options.deadline_ns, now);
+  std::unique_ptr<IOBuf> body =
+      call->retry_body != nullptr ? call->retry_body->Clone() : nullptr;
+  messenger_.Send(server_, service_,
+                  BuildRpcFrame(request_id, call->opcode, /*flags=*/0, call->aux,
+                                std::move(body)));
+}
+
+void RpcClient::OnPeerDown() {
+  // The connection carrying every outstanding call just died: no response is coming. Claim
+  // each entry through Extract — concurrent sweeps/responses on other cores race safely,
+  // exactly one path wins each id. Calls parked for a retry backoff are left alone: their
+  // re-send dials a fresh connection, which is the desired recovery.
+  std::vector<std::shared_ptr<PendingCall>> lost;
+  for (std::shared_ptr<CoreLane>& lane : cores_) {
+    std::vector<std::uint64_t> ids;
+    lane->pending->ForEach(
+        [&ids](const std::uint64_t& id, const std::shared_ptr<PendingCall>&) {
+          ids.push_back(id);
+        });
+    for (std::uint64_t id : ids) {
+      std::shared_ptr<PendingCall> call;
+      if (lane->pending->Extract(id, &call)) {
+        lost.push_back(std::move(call));
+      }
+    }
+  }
+  stats_.peer_failures.fetch_add(lost.size(), std::memory_order_relaxed);
+  for (auto& call : lost) {
+    call->promise.SetException(std::make_exception_ptr(
+        RpcPeerLost("rpc: connection to " + server_.ToString() + " lost (service " +
+                    std::to_string(service_) + ")")));
+  }
 }
 
 void RpcClient::HandleFrame(Ipv4Addr, std::unique_ptr<IOBuf> message) {
@@ -326,10 +483,12 @@ void RpcClient::HandleFrame(Ipv4Addr, std::unique_ptr<IOBuf> message) {
   if (core >= cores_.size()) {
     return;  // id from a core this client never had: stale or corrupt
   }
-  // Extract claims the promise exactly once: a duplicate or stale response finds the entry
-  // already gone and is dropped here.
+  // Extract claims the promise exactly once: a duplicate response — or a straggler whose
+  // attempt already timed out, failed over, or was re-sent under a fresh id — finds the
+  // entry gone and is dropped WITH A STAT, never double-resolved.
   std::shared_ptr<PendingCall> call;
-  if (!cores_[core].pending->Extract(header.request_id, &call)) {
+  if (!cores_[core]->pending->Extract(header.request_id, &call)) {
+    stats_.late_drops.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (header.flags & kRpcError) {

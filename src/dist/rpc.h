@@ -9,7 +9,9 @@
 //     Future that fulfills with the response (or throws the server's error — errors cross
 //     the wire as flagged responses and surface as std::runtime_error through Future::Get,
 //     so a caller's continuation chain handles remote failures exactly like local
-//     exceptions, §3.5).
+//     exceptions, §3.5). Every call carries CallOptions{deadline_ns, RetryPolicy}: expired
+//     attempts are re-sent with bounded backoff and finally fail with RpcTimeout; a dead
+//     peer connection fails everything routed through it with RpcPeerLost.
 //   * RpcServer — the callee side: dispatches requests to a subclass's HandleCall and sends
 //     Reply/ReplyError back to the requesting machine.
 //   * RpcDemuxRoot — the per-machine service table: service id -> (client, server) endpoint
@@ -39,16 +41,58 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <queue>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/dist/messenger.h"
+#include "src/dist/retry.h"
 #include "src/future/future.h"
 #include "src/rcu/rcu_hash_table.h"
 
 namespace ebbrt {
 namespace dist {
+
+// Transport-failure taxonomy. A server-side exception still crosses as a flagged response
+// and surfaces as plain std::runtime_error; these subclasses mean the TRANSPORT failed —
+// no response will ever come — which is exactly the distinction a replicated router needs
+// (fail over on transport loss, propagate application errors untouched).
+class RpcTransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// The per-attempt deadline expired with no response (and no retry budget left).
+class RpcTimeout : public RpcTransportError {
+ public:
+  using RpcTransportError::RpcTransportError;
+};
+
+// The connection carrying the call died (peer close/abort/dial failure) or the client was
+// torn down with the call outstanding.
+class RpcPeerLost : public RpcTransportError {
+ public:
+  using RpcTransportError::RpcTransportError;
+};
+
+// Default per-attempt deadline (virtual ns). Generous against every in-tree round trip —
+// whole discovery retry ladders finish well inside one deadline — while still bounded: no
+// call outlives its peer silently.
+inline constexpr std::uint64_t kDefaultRpcDeadlineNs = 50'000'000;
+
+// Per-call deadline/retry contract. `deadline_ns` bounds each ATTEMPT; 0 disables expiry
+// (the call still resolves on peer death or client teardown — nothing is ever pending
+// forever). `retry.max_attempts` counts total sends: the default re-sends once, with the
+// shared dist::RetryPolicy backoff schedule (retry.h), before failing with RpcTimeout.
+// Retried attempts use fresh request ids, so a straggling response to an abandoned attempt
+// is dropped (stats().late_drops), never double-resolved.
+struct CallOptions {
+  std::uint64_t deadline_ns = kDefaultRpcDeadlineNs;
+  RetryPolicy retry{/*max_attempts=*/2, /*initial_backoff_ns=*/500'000,
+                    /*max_backoff_ns=*/8'000'000};
+};
 
 inline constexpr std::uint8_t kRpcResponse = 0x1;  // frame is a response, not a request
 inline constexpr std::uint8_t kRpcError = 0x2;     // response body is an error message
@@ -192,33 +236,96 @@ class RpcClient {
   // the server's error as std::runtime_error. Requests issued in one event are auto-corked
   // into as few wire segments as fit (the Messenger's batching). Callable from any core;
   // the pending entry lands in the calling core's table.
-  Future<Response> Call(std::uint16_t opcode, std::uint32_t aux, std::unique_ptr<IOBuf> body);
+  //
+  // No call with a deadline can stay pending forever: exactly one of response, deadline
+  // expiry (RpcTimeout, after `options.retry` re-sends), peer death (RpcPeerLost, via the
+  // Messenger's peer-down observers), or client teardown resolves the promise. All four
+  // paths claim the pending entry through RcuHashTable::Extract, so "exactly once" is the
+  // table's unlink atomicity, not a convention.
+  Future<Response> Call(std::uint16_t opcode, std::uint32_t aux, std::unique_ptr<IOBuf> body,
+                        const CallOptions& options);
+  Future<Response> Call(std::uint16_t opcode, std::uint32_t aux,
+                        std::unique_ptr<IOBuf> body) {
+    return Call(opcode, aux, std::move(body), CallOptions{});
+  }
 
   Ipv4Addr server() const { return server_; }
   std::size_t pending_calls() const;
+
+  // Fault-path observability (atomics: expiry sweeps run per issuing core, peer-down
+  // fan-out on the dead connection's core).
+  struct Stats {
+    std::atomic<std::uint64_t> timeouts{0};       // attempts that expired undelivered
+    std::atomic<std::uint64_t> retries{0};        // expired attempts re-sent
+    std::atomic<std::uint64_t> late_drops{0};     // responses whose id was already claimed
+    std::atomic<std::uint64_t> peer_failures{0};  // calls failed by peer-connection death
+  };
+  const Stats& stats() const { return stats_; }
 
  private:
   friend class RpcDemuxRoot;
   void HandleFrame(Ipv4Addr from, std::unique_ptr<IOBuf> message);
 
   // A pending call, owned by the per-core table from issue to completion. Held by
-  // shared_ptr so Extract's winner can fulfill it after the node is unlinked.
+  // shared_ptr so Extract's winner can fulfill it after the node is unlinked — and, across
+  // a retry, by the backoff timer while the call is parked outside the table.
   struct PendingCall {
     Promise<Response> promise;
+    std::uint16_t opcode = 0;
+    std::uint32_t aux = 0;
+    CallOptions options;
+    int attempts = 1;                     // sends so far
+    std::uint64_t backoff_ns = 0;         // delay before the NEXT re-send
+    std::unique_ptr<IOBuf> retry_body;    // master copy, cloned per re-send (null: no retry)
+    bool abandoned = false;               // set by teardown; a parked re-send must not fire
   };
   // How many id bits the issuing core occupies. 16 bits of core leaves 48 bits of per-core
   // sequence — enough to never wrap in any run we could simulate.
   static constexpr unsigned kCoreShift = 48;
 
-  struct alignas(kCacheLineSize) CoreState {
+  // Deadline bookkeeping is core-local (like the id counter): expiries for calls issued on
+  // a core are swept by a one-shot Timer on that same core. The lane is shared_ptr-anchored
+  // so a sweep or parked re-send that fires after the client died locks a dead weak_ptr and
+  // does nothing. Completed calls leave STALE heap entries behind; the sweep pops them at
+  // their would-be deadline and finds the table entry already gone — lazy deletion, no
+  // per-completion Timer::Stop (which would be illegal cross-core anyway).
+  struct Expiry {
+    std::uint64_t deadline;
+    std::uint64_t request_id;
+    friend bool operator>(const Expiry& a, const Expiry& b) {
+      return a.deadline != b.deadline ? a.deadline > b.deadline
+                                      : a.request_id > b.request_id;
+    }
+  };
+  struct alignas(kCacheLineSize) CoreLane {
     std::uint64_t next_seq = 1;  // only this core's events advance it: no atomics
     std::unique_ptr<RcuHashTable<std::uint64_t, std::shared_ptr<PendingCall>>> pending;
+    std::priority_queue<Expiry, std::vector<Expiry>, std::greater<>> expiries;
+    // Earliest virtual time an armed sweep will fire (kNoSweep: none armed). One sweep
+    // covers every later deadline — calls with one deadline_ns expire in issue order, so
+    // arming is ~once per deadline window, not per call (no per-call Timer allocation on
+    // the steady-state path).
+    std::uint64_t armed_until = kNoSweep;
+    // Calls extracted on expiry and awaiting their backoff re-send; drained by teardown.
+    std::vector<std::shared_ptr<PendingCall>> parked;
   };
+  static constexpr std::uint64_t kNoSweep = ~std::uint64_t{0};
 
+  void ScheduleExpiry(std::size_t core, std::uint64_t request_id, std::uint64_t deadline,
+                      std::uint64_t now);
+  void ArmSweep(std::size_t core, std::uint64_t deadline, std::uint64_t now);
+  void Sweep(std::size_t core);
+  void Resend(std::size_t core, const std::shared_ptr<PendingCall>& call);
+  void OnPeerDown();
+  std::uint64_t NowNs() const;
+
+  Runtime& runtime_;
   Messenger& messenger_;
   EbbId service_;
   Ipv4Addr server_;
-  std::vector<CoreState> cores_;
+  std::vector<std::shared_ptr<CoreLane>> cores_;
+  std::uint64_t peer_observer_ = 0;
+  Stats stats_;
 };
 
 class RpcServer {

@@ -212,6 +212,13 @@ bool SimWorld::DispatchEntry(CalendarEntry entry) {
     return false;  // stale duplicate: a tighter wake superseded this entry
   }
   core->wake_scheduled_at = kNoWakeup;
+  if (core->killed) {
+    // Killed machine: the wake is consumed and discarded. Work (timers, interconnect
+    // nodes) stays queued in the machine's own state; ReviveMachine re-wakes the core so
+    // it drains everything it missed.
+    ++stats_.entries_dropped_killed;
+    return false;
+  }
   // A core whose virtual clock is ahead of the calendar is logically still busy: defer the
   // wake to its clock so work arriving "while busy" queues up behind it. This is what makes
   // interrupt coalescing, adaptive polling, and queueing delay emerge correctly in the DES.
@@ -250,6 +257,39 @@ bool SimWorld::RunUntil(std::uint64_t t) {
   now_ = std::max(now_, t);
   in_run_ = false;
   return quiescent;
+}
+
+void SimWorld::KillMachine(Runtime& runtime) {
+  Kassert(current_ == nullptr || current_->runtime != &runtime,
+          "KillMachine: a machine cannot kill itself from its own core slice");
+  if (!killed_.insert(&runtime).second) {
+    return;  // already dead
+  }
+  ++stats_.kills;
+  for (auto& core : cores_) {
+    if (core->runtime == &runtime) {
+      core->killed = true;
+      core->wake_pending = false;
+    }
+  }
+}
+
+void SimWorld::ReviveMachine(Runtime& runtime) {
+  Kassert(current_ == nullptr || current_->runtime != &runtime,
+          "ReviveMachine: not from the machine's own core slice");
+  if (killed_.erase(&runtime) == 0) {
+    return;  // not dead
+  }
+  ++stats_.revives;
+  for (auto& core : cores_) {
+    if (core->runtime == &runtime) {
+      core->killed = false;
+      // Unconditional wake: anything that queued during the outage (overdue timers,
+      // interconnect pushes whose WakeCore was elided or dropped, posted frames) gets
+      // drained now. A core with nothing to do just parks again.
+      PushWake(core.get(), Now());
+    }
+  }
 }
 
 void SimWorld::Shutdown() {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/runtime.h"
@@ -76,6 +77,21 @@ class SimWorld {
   // the destructor.
   void Shutdown();
 
+  // --- Fault injection ------------------------------------------------------------------------
+  // Kills a machine: its cores stop being scheduled (their calendar wakes are dropped on
+  // pop) and the sim NICs drop deliveries to it. This models a PAUSE/partition, not state
+  // destruction — memory, timer wheels, and TCP state survive, so ReviveMachine resumes the
+  // machine exactly where it stopped (overdue timers fire late, retransmits heal
+  // connections). Crash-with-amnesia semantics would need state migration on top; the
+  // failover machinery built on this (suspect marking, replica reads) is agnostic to the
+  // difference while the machine is down. Callable from tests, world actions, or another
+  // machine's core slice — never from a core of the machine being killed.
+  void KillMachine(Runtime& runtime);
+  void ReviveMachine(Runtime& runtime);
+  bool MachineKilled(const Runtime& runtime) const {
+    return killed_.count(&runtime) != 0;
+  }
+
   bool stopped() const { return stopped_; }
 
   // Diagnostics: calendar pressure and scheduling behaviour (used to validate bench setups).
@@ -85,6 +101,9 @@ class SimWorld {
     std::uint64_t slices = 0;
     std::uint64_t yields = 0;
     std::uint64_t actions = 0;
+    std::uint64_t kills = 0;
+    std::uint64_t revives = 0;
+    std::uint64_t entries_dropped_killed = 0;  // core wakes discarded while killed
   };
   const WorldStats& world_stats() const { return stats_; }
 
@@ -123,6 +142,7 @@ class SimWorld {
     bool fiber_started = false;
     bool loop_exited = false;
     bool wake_pending = false;
+    bool killed = false;  // machine kill: wakes are dropped until revival
     // Earliest outstanding calendar wake for this core (kNoWakeup when none). Maintained so
     // each core has at most ONE live wake entry; later-scheduled duplicates are dropped on
     // pop. Without this, every halt adds an entry and the calendar grows with traffic.
@@ -173,6 +193,8 @@ class SimWorld {
   std::uint64_t slice_start_cycles_ = 0;
   std::uint64_t slice_charge_ = 0;
   void* calendar_sp_ = nullptr;
+
+  std::unordered_set<const Runtime*> killed_;
 
   std::vector<std::unique_ptr<Runtime>> runtimes_;
   std::vector<std::unique_ptr<MachineExecutor>> executors_;

@@ -491,6 +491,43 @@ void TcpManager::RtxTimeout(std::shared_ptr<TcpEntry> entry) {
   ArmRtxTimer(*entry);
 }
 
+std::size_t TcpManager::SeverPeer(Ipv4Addr peer) {
+  // Collect first: severing mutates the table, and ForEach is read-side iteration.
+  std::vector<std::shared_ptr<TcpEntry>> victims;
+  table_.ForEach([&](const FourTuple& tuple, const std::shared_ptr<TcpEntry>& entry) {
+    if (tuple.remote_ip == peer) {
+      victims.push_back(entry);
+    }
+  });
+  for (auto& victim : victims) {
+    auto sever = [this, entry = victim] {
+      TcpEntry& e = *entry;
+      if (e.removed || e.state == TcpState::kClosed) {
+        return;  // lost a race with a concurrent close/abort
+      }
+      // Mirror the RST-receive path (ProcessSegment), plus the courtesy RST out so the
+      // peer's state dies too instead of lingering until retransmission give-up.
+      TransmitSegment(e, kTcpRst | kTcpAck, nullptr, e.snd_nxt, /*queue_rtx=*/false);
+      e.state = TcpState::kClosed;
+      if (e.connect_pending) {
+        e.connect_pending = false;
+        e.connected.SetException(
+            std::make_exception_ptr(std::runtime_error("tcp: connection severed")));
+      }
+      if (e.handler != nullptr) {
+        e.handler->Abort();
+      }
+      RemoveEntry(e);
+    };
+    if (CurrentContext().machine_core == victim->owner_core) {
+      sever();
+    } else {
+      event::Local().SpawnRemote(std::move(sever), victim->owner_core);
+    }
+  }
+  return victims.size();
+}
+
 void TcpManager::RemoveEntry(TcpEntry& entry) {
   // Idempotent: the abort paths reach here twice when a handler's Abort() itself calls
   // Pcb().Close() (handler -> Close -> RemoveEntry, then the stack's own RemoveEntry).

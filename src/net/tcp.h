@@ -243,6 +243,13 @@ class TcpManager {
 
   std::size_t active_connections() const { return table_.size(); }
 
+  // Fault injection: severs every connection whose remote endpoint is `peer`, exactly as if
+  // an RST arrived on each — a final RST goes out, the handler's Abort() fires, pending
+  // connects fail, state is removed. Each connection is severed on its owner core (spawned
+  // there when needed). Must be called from a core of this machine. Returns the number of
+  // connections targeted.
+  std::size_t SeverPeer(Ipv4Addr peer);
+
   // internal (used by TcpPcb/TcpEntry/TxBatcher logic)
   void TransmitSegment(TcpEntry& entry, std::uint8_t flags, std::unique_ptr<IOBuf> payload,
                        std::uint32_t seq, bool queue_rtx);

@@ -111,6 +111,12 @@ void Nic::ReplenishPostedRx(Queue& queue) {
 }
 
 void Nic::DeliverFrame(std::unique_ptr<IOBuf> frame, std::size_t queue_index) {
+  if (world_.MachineKilled(runtime_)) {
+    // Kill-after-schedule race: the frame was already in flight (calendar action queued)
+    // when the machine died. It dies at the device boundary — no ring push, no interrupt.
+    ++rx_killed_drops_;
+    return;
+  }
   Queue& queue = *queues_[queue_index];
   queue.ring.push_back(std::move(frame));
   if (queue.interrupts_enabled && !queue.irq_pending) {

@@ -61,6 +61,8 @@ class Nic {
   MacAddr mac() const { return mac_; }
   std::size_t num_queues() const { return queues_.size(); }
   Runtime& runtime() { return runtime_; }
+  // The switch port this NIC is attached to (the handle Switch::SetLinkFault wants).
+  std::size_t port() const { return port_; }
 
   // --- Driver API ---------------------------------------------------------------------------
   // Installs the stack's receive entry point (invoked on the queue's target core with
@@ -104,6 +106,9 @@ class Nic {
   // RX frames delivered into a driver-posted pool buffer vs. heap-cloned (posted ring empty).
   std::uint64_t rx_posted_fills() const { return rx_posted_fills_; }
   std::uint64_t rx_clone_fallbacks() const { return rx_clone_fallbacks_; }
+  // Frames that arrived after the machine was killed but were already scheduled for delivery
+  // (the switch drops pre-schedule; this counts the in-flight race).
+  std::uint64_t rx_killed_drops() const { return rx_killed_drops_; }
 
  private:
   struct Queue {
@@ -145,6 +150,7 @@ class Nic {
   std::uint64_t tx_kicks_ = 0;
   std::uint64_t rx_posted_fills_ = 0;
   std::uint64_t rx_clone_fallbacks_ = 0;
+  std::uint64_t rx_killed_drops_ = 0;
   // Per-core doorbell state: nonzero while this core's current event already kicked (reset
   // by an end-of-event hook). Single-threaded per core; plain bytes.
   std::vector<char> kick_charged_;

@@ -11,6 +11,43 @@ std::size_t Switch::Attach(Nic* nic) {
   return ports_.size() - 1;
 }
 
+void Switch::SetLinkFault(std::size_t port, const FaultPlan& plan) {
+  Kassert(port < ports_.size(), "Switch: bad port");
+  LinkFault fault;
+  fault.plan = plan;
+  fault.rng.seed(plan.seed);
+  link_faults_[port] = std::move(fault);
+}
+
+void Switch::ClearLinkFault(std::size_t port) { link_faults_.erase(port); }
+
+bool Switch::FaultEats(std::size_t port) {
+  auto it = link_faults_.find(port);
+  if (it == link_faults_.end()) {
+    return false;
+  }
+  LinkFault& fault = it->second;
+  if (fault.plan.blackhole) {
+    ++frames_dropped_;
+    ++faults_injected_;
+    return true;
+  }
+  if (fault.plan.drop_rate > 0.0) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    if (dist(fault.rng) < fault.plan.drop_rate) {
+      ++frames_dropped_;
+      ++faults_injected_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t Switch::FaultDelay(std::size_t port) const {
+  auto it = link_faults_.find(port);
+  return it == link_faults_.end() ? 0 : it->second.plan.extra_delay_ns;
+}
+
 void Switch::Transmit(std::size_t from_port, const IOBuf& frame) {
   Kassert(from_port < ports_.size(), "Switch: bad port");
   if (loss_rate_ > 0.0) {
@@ -19,6 +56,9 @@ void Switch::Transmit(std::size_t from_port, const IOBuf& frame) {
       ++frames_dropped_;
       return;
     }
+  }
+  if (FaultEats(from_port)) {
+    return;  // egress fault on the sender's link
   }
   std::size_t frame_len = frame.ComputeChainDataLength();
   if (frame_len < sizeof(EthernetHeader)) {
@@ -35,7 +75,7 @@ void Switch::Transmit(std::size_t from_port, const IOBuf& frame) {
   std::uint64_t start = std::max(now, tx_link_free_[from_port]);
   std::uint64_t done = start + link_.SerializationNs(frame_len);
   tx_link_free_[from_port] = done;
-  std::uint64_t arrival = done + link_.propagation_ns;
+  std::uint64_t arrival = done + link_.propagation_ns + FaultDelay(from_port);
 
   ++frames_forwarded_;
   if (!eth.dst.IsBroadcast()) {
@@ -54,12 +94,24 @@ void Switch::Transmit(std::size_t from_port, const IOBuf& frame) {
 }
 
 void Switch::DeliverTo(std::size_t port, const IOBuf& frame, std::uint64_t at) {
+  // Ingress fault on the receiver's link, then killed-machine drop: a dead machine's NIC
+  // neither fills posted descriptors nor raises interrupts, so the frame dies here without
+  // consuming the posted ring (which must survive intact for revival).
+  if (FaultEats(port)) {
+    return;
+  }
+  Nic* nic = ports_[port];
+  if (world_.MachineKilled(nic->runtime())) {
+    ++frames_dropped_;
+    ++killed_drops_;
+    return;
+  }
+  at += FaultDelay(port);
   // Copy at the fabric boundary: bytes physically leave the sender's memory. The destination
   // NIC writes them into its next driver-posted RX buffer (recycled pool memory, flattened —
   // receivers see one contiguous DMA buffer, as a real NIC would present), falling back to a
   // fresh DeepClone when nothing is posted yet. RSS steering is computed once and shared by
   // the copy (posted ring) and the delivery.
-  Nic* nic = ports_[port];
   std::size_t queue = nic->QueueForFrame(frame);
   auto copy = nic->CopyForDelivery(frame, queue);
   // Shared-ptr shim: MoveFunction is movable but calendar entries are heap-managed anyway.

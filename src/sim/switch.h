@@ -45,8 +45,28 @@ class Switch {
     rng_.seed(seed);
   }
 
+  // Per-link fault injection: a plan on a port applies to BOTH directions of that NIC's
+  // link (frames it transmits and frames delivered to it), each independently. Drops use
+  // the plan's own deterministic RNG so scripted failure scenarios replay bit-identically;
+  // blackhole silently eats every frame (the classic partition: TCP sees nothing, only
+  // timers); extra_delay_ns defers delivery (reordering/latency spikes). Severing live TCP
+  // connections outright is the stack's job — TcpManager::SeverPeer — since the wire model
+  // has no per-connection state.
+  struct FaultPlan {
+    double drop_rate = 0.0;
+    std::uint64_t extra_delay_ns = 0;
+    bool blackhole = false;
+    std::uint32_t seed = 1;
+  };
+  void SetLinkFault(std::size_t port, const FaultPlan& plan);
+  void ClearLinkFault(std::size_t port);
+
   std::uint64_t frames_forwarded() const { return frames_forwarded_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
+  // Frames eaten by a FaultPlan (subset of frames_dropped_) / by delivery to a killed
+  // machine (also counted in frames_dropped_).
+  std::uint64_t faults_injected() const { return faults_injected_; }
+  std::uint64_t killed_drops() const { return killed_drops_; }
 
  private:
   struct MacHash {
@@ -57,7 +77,15 @@ class Switch {
     }
   };
 
+  struct LinkFault {
+    FaultPlan plan;
+    std::mt19937 rng;
+  };
+
   void DeliverTo(std::size_t port, const IOBuf& frame, std::uint64_t at);
+  // True when the plan says this frame dies on the link (ticks the fault counters).
+  bool FaultEats(std::size_t port);
+  std::uint64_t FaultDelay(std::size_t port) const;
 
   SimWorld& world_;
   LinkModel link_;
@@ -66,8 +94,11 @@ class Switch {
   std::vector<std::uint64_t> tx_link_free_;  // per-port sender link availability
   double loss_rate_ = 0.0;
   std::mt19937 rng_{1234};
+  std::unordered_map<std::size_t, LinkFault> link_faults_;
   std::uint64_t frames_forwarded_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t killed_drops_ = 0;
 };
 
 }  // namespace sim
