@@ -108,6 +108,24 @@ inline std::string AllocPointsJson(const std::vector<DepthPoint>& points) {
   return out;
 }
 
+// The shared latency-quantile JSON fragment (no surrounding braces): every bench that
+// reports latency from an obs::Histogram appends these columns to its records, so the CI
+// validator checks ONE schema. Templated on the snapshot (obs::Histogram::Snapshot) to keep
+// this header free of src includes, like FillDepthPoint.
+template <typename Snapshot>
+inline std::string HistogramColumnsJson(const Snapshot& snapshot) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"samples\": %llu, \"mean_ns\": %llu, \"p50_ns\": %llu, \"p99_ns\": %llu, "
+                "\"p999_ns\": %llu",
+                static_cast<unsigned long long>(snapshot.count),
+                static_cast<unsigned long long>(snapshot.Mean()),
+                static_cast<unsigned long long>(snapshot.P50()),
+                static_cast<unsigned long long>(snapshot.P99()),
+                static_cast<unsigned long long>(snapshot.P999()));
+  return buf;
+}
+
 inline void WriteJsonSection(const std::string& path, const std::string& name,
                              const std::string& value);
 

@@ -37,6 +37,7 @@
 
 #include "bench/bench_json.h"
 #include "src/apps/memcached/shard.h"
+#include "src/obs/histogram.h"
 #include "src/sim/testbed.h"
 
 namespace ebbrt {
@@ -72,7 +73,9 @@ struct PhaseStats {
   std::uint64_t virtual_ns = 0;
   double ops_per_sec = 0;
   double error_rate = 0;
-  std::uint64_t p99_ns = 0;
+  // Per-phase latency distribution (obs::Histogram): constant space, no sort, and the
+  // shared p50/p99/p999 JSON columns via HistogramColumnsJson.
+  obs::Histogram::Snapshot latency;
 };
 
 struct FailoverPoint {
@@ -94,16 +97,8 @@ struct FailoverPoint {
   std::uint64_t pre_kill_control_locks = 0;
 };
 
-std::uint64_t Percentile99(std::vector<std::uint64_t>& lat) {
-  if (lat.empty()) {
-    return 0;
-  }
-  std::sort(lat.begin(), lat.end());
-  return lat[(lat.size() * 99) / 100 == lat.size() ? lat.size() - 1 : (lat.size() * 99) / 100];
-}
-
-void FinishPhase(PhaseStats* phase, std::vector<std::uint64_t>& lat) {
-  phase->p99_ns = Percentile99(lat);
+void FinishPhase(PhaseStats* phase, obs::Histogram& lat) {
+  phase->latency = lat.TakeSnapshot();
   if (phase->virtual_ns != 0) {
     phase->ops_per_sec = static_cast<double>(phase->ops) * 1e9 /
                          static_cast<double>(phase->virtual_ns);
@@ -157,7 +152,7 @@ FailoverPoint RunFailover(std::size_t pre_kill_rounds, std::size_t recovery_roun
     std::uint64_t lock_mark = 0;
     std::uint64_t lock_end = 0;
     PhaseStats pre_kill, fault, recovery;
-    std::vector<std::uint64_t> lat_pre, lat_fault, lat_recovery;
+    obs::Histogram lat_pre, lat_fault, lat_recovery;
     bool done = false;
     std::function<void()> preload_round;
     std::function<void()> round;
@@ -237,9 +232,9 @@ FailoverPoint RunFailover(std::size_t pre_kill_rounds, std::size_t recovery_roun
                           gf.Get();
                           ++*ops;
                           switch (phase) {
-                            case Phase::kPreKill: state->lat_pre.push_back(lat); break;
-                            case Phase::kFault: state->lat_fault.push_back(lat); break;
-                            case Phase::kRecovery: state->lat_recovery.push_back(lat); break;
+                            case Phase::kPreKill: state->lat_pre.Record(lat); break;
+                            case Phase::kFault: state->lat_fault.Record(lat); break;
+                            case Phase::kRecovery: state->lat_recovery.Record(lat); break;
                             case Phase::kWarmup: break;
                           }
                         } catch (const std::exception&) {
@@ -391,13 +386,15 @@ std::string PhaseJson(const char* name, const PhaseStats& p) {
   char buf[300];
   std::snprintf(buf, sizeof(buf),
                 "{\"phase\": \"%s\", \"ops\": %llu, \"errors\": %llu, "
-                "\"error_rate\": %.4f, \"ops_per_sec\": %.0f, \"p99_ns\": %llu, "
-                "\"virtual_ns\": %llu}",
+                "\"error_rate\": %.4f, \"ops_per_sec\": %.0f, ",
                 name, static_cast<unsigned long long>(p.ops),
-                static_cast<unsigned long long>(p.errors), p.error_rate, p.ops_per_sec,
-                static_cast<unsigned long long>(p.p99_ns),
+                static_cast<unsigned long long>(p.errors), p.error_rate, p.ops_per_sec);
+  std::string out = buf;
+  out += HistogramColumnsJson(p.latency);
+  std::snprintf(buf, sizeof(buf), ", \"virtual_ns\": %llu}",
                 static_cast<unsigned long long>(p.virtual_ns));
-  return buf;
+  out += buf;
+  return out;
 }
 
 std::string FailoverJson(const FailoverPoint& p) {
@@ -469,18 +466,26 @@ int GateFailover(const FailoverPoint& p) {
 }
 
 void PrintPoint(const FailoverPoint& p) {
-  std::printf("%-10s %10llu %8llu %12.4f %14.0f %12llu\n", "pre_kill",
+  std::printf("%-10s %10llu %8llu %12.4f %14.0f %10llu %10llu %10llu\n", "pre_kill",
               static_cast<unsigned long long>(p.pre_kill.ops),
               static_cast<unsigned long long>(p.pre_kill.errors), p.pre_kill.error_rate,
-              p.pre_kill.ops_per_sec, static_cast<unsigned long long>(p.pre_kill.p99_ns));
-  std::printf("%-10s %10llu %8llu %12.4f %14.0f %12llu\n", "fault",
+              p.pre_kill.ops_per_sec,
+              static_cast<unsigned long long>(p.pre_kill.latency.P50()),
+              static_cast<unsigned long long>(p.pre_kill.latency.P99()),
+              static_cast<unsigned long long>(p.pre_kill.latency.P999()));
+  std::printf("%-10s %10llu %8llu %12.4f %14.0f %10llu %10llu %10llu\n", "fault",
               static_cast<unsigned long long>(p.fault.ops),
               static_cast<unsigned long long>(p.fault.errors), p.fault.error_rate,
-              p.fault.ops_per_sec, static_cast<unsigned long long>(p.fault.p99_ns));
-  std::printf("%-10s %10llu %8llu %12.4f %14.0f %12llu\n", "recovery",
+              p.fault.ops_per_sec, static_cast<unsigned long long>(p.fault.latency.P50()),
+              static_cast<unsigned long long>(p.fault.latency.P99()),
+              static_cast<unsigned long long>(p.fault.latency.P999()));
+  std::printf("%-10s %10llu %8llu %12.4f %14.0f %10llu %10llu %10llu\n", "recovery",
               static_cast<unsigned long long>(p.recovery.ops),
               static_cast<unsigned long long>(p.recovery.errors), p.recovery.error_rate,
-              p.recovery.ops_per_sec, static_cast<unsigned long long>(p.recovery.p99_ns));
+              p.recovery.ops_per_sec,
+              static_cast<unsigned long long>(p.recovery.latency.P50()),
+              static_cast<unsigned long long>(p.recovery.latency.P99()),
+              static_cast<unsigned long long>(p.recovery.latency.P999()));
   std::printf("# recovery_ratio=%.2f recovery_ns=%llu failovers=%llu suspects=%llu "
               "ring_swaps=%llu write_skips=%llu allocs_per_op=%.4f control_locks=%llu\n",
               p.recovery_ratio, static_cast<unsigned long long>(p.recovery_ns),
@@ -500,8 +505,8 @@ int main(int argc, char** argv) {
   bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   std::printf("# failover sweep: kill 1 of %zu shards (R=2) mid-run, revive after %.1fms\n",
               kNumShards, kFaultWindowNs / 1e6);
-  std::printf("%-10s %10s %8s %12s %14s %12s\n", "phase", "ops", "errors", "error_rate",
-              "ops_per_sec", "p99_ns");
+  std::printf("%-10s %10s %8s %12s %14s %10s %10s %10s\n", "phase", "ops", "errors",
+              "error_rate", "ops_per_sec", "p50_ns", "p99_ns", "p999_ns");
   FailoverPoint p = smoke ? RunFailover(/*pre_kill_rounds=*/20, /*recovery_rounds=*/20)
                           : RunFailover(/*pre_kill_rounds=*/60, /*recovery_rounds=*/60);
   PrintPoint(p);

@@ -1,7 +1,27 @@
 #include "src/apps/http/http_server.h"
 
+#include "src/obs/metrics.h"
+
 namespace ebbrt {
 namespace http {
+
+namespace {
+
+// Extracts the path token from a request line ("GET /metrics HTTP/1.1" -> "/metrics").
+std::string PathOfLine(const std::string& line) {
+  std::size_t first = line.find(' ');
+  if (first == std::string::npos) {
+    return "/";
+  }
+  std::size_t start = first + 1;
+  std::size_t end = line.find(' ', start);
+  if (end == std::string::npos) {
+    end = line.size();
+  }
+  return start < end ? line.substr(start, end - start) : "/";
+}
+
+}  // namespace
 
 std::string StaticResponse() {
   // Sized so the whole response is exactly 148 bytes, matching the paper's workload.
@@ -29,13 +49,24 @@ std::size_t RequestAccumulator::Feed(const char* data, std::size_t len) {
   static constexpr char kDelim[] = "\r\n\r\n";
   std::size_t complete = 0;
   for (std::size_t i = 0; i < len; ++i) {
-    if (data[i] == kDelim[match_]) {
+    char c = data[i];
+    if (!line_done_) {
+      if (c == '\r' || c == '\n') {
+        line_done_ = true;
+      } else if (line_.size() < kMaxLine) {
+        line_.push_back(c);
+      }
+    }
+    if (c == kDelim[match_]) {
       if (++match_ == 4) {
         ++complete;
         match_ = 0;
+        paths_.push_back(PathOfLine(line_));
+        line_.clear();
+        line_done_ = false;
       }
     } else {
-      match_ = data[i] == '\r' ? 1 : 0;
+      match_ = c == '\r' ? 1 : 0;
     }
   }
   return complete;
@@ -49,7 +80,14 @@ std::size_t RequestAccumulator::Feed(const IOBuf& chain) {
   return complete;
 }
 
-HttpServer::HttpServer(NetworkManager& network, std::uint16_t port) : server_(network) {
+std::vector<std::string> RequestAccumulator::TakePaths() {
+  std::vector<std::string> out = std::move(paths_);
+  paths_.clear();
+  return out;
+}
+
+HttpServer::HttpServer(NetworkManager& network, std::uint16_t port)
+    : runtime_(network.runtime()), server_(network) {
   server_.Listen(port, [this](std::shared_ptr<uv::TcpStream> stream) {
     auto acc = std::make_shared<RequestAccumulator>();
     // Event-scoped TX batching: all responses written while handling one device event
@@ -57,12 +95,28 @@ HttpServer::HttpServer(NetworkManager& network, std::uint16_t port) : server_(ne
     stream->SetAutoCork(true);
     stream->ReadStart([this, stream, acc](std::unique_ptr<IOBuf> data) {
       // The stream handler fires straight from the device event; the accumulator scans the
-      // received chain in place — no copies on any path.
+      // received chain in place — no copies on any path (the retained request LINE is the
+      // routing exception, bounded at kMaxLine).
       std::size_t requests = acc->Feed(*data);
+      std::vector<std::string> paths = acc->TakePaths();
       // Respond synchronously from the device event — one static buffer per request.
       static const std::string kResponse = StaticResponse();
       for (std::size_t i = 0; i < requests; ++i) {
         ++requests_;
+        if (i < paths.size() && paths[i] == "/metrics") {
+          // The exposition surface: a full registry snapshot (per-core slots summed,
+          // collectors sampled) rendered as Prometheus-flavored text. Scrape cost is the
+          // scraper's problem, not the datapath's — this path copies freely.
+          std::string text =
+              obs::ObsRoot::RenderText(obs::ObsRoot::For(runtime_).SnapshotNow());
+          std::string response = "HTTP/1.1 200 OK\r\n"
+                                 "Content-Type: text/plain; version=0.0.4\r\n"
+                                 "Connection: keep-alive\r\n"
+                                 "Content-Length: " +
+                                 std::to_string(text.size()) + "\r\n\r\n" + text;
+          stream->Write(IOBuf::CopyBuffer(response));
+          continue;
+        }
         stream->Write(IOBuf::WrapBuffer(kResponse.data(), kResponse.size()));
       }
     });
@@ -83,6 +137,7 @@ BaselineHttpServer::BaselineHttpServer(baseline::SocketStack& stack, std::uint16
           break;
         }
         std::size_t requests = acc->Feed(buf, n);
+        acc->TakePaths();  // baseline doesn't route; drain so nothing accumulates
         for (std::size_t i = 0; i < requests; ++i) {
           ++requests_;
           socket->Write(kResponse.data(), kResponse.size());

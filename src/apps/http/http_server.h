@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/baseline/socket.h"
 #include "src/uv/uv.h"
@@ -20,18 +21,29 @@ namespace http {
 std::string StaticResponse();
 
 // Minimal HTTP/1.1 request accumulator: detects end-of-headers, supports keep-alive GETs.
-// A pure state machine — it scans IOBuf chains element by element and never copies or
-// accumulates bytes, regardless of how requests straddle segment boundaries.
+// A streaming state machine — it scans IOBuf chains element by element in place; the only
+// bytes it retains are each request's FIRST line (method + path, bounded at kMaxLine), so
+// the server can route by path without ever buffering bodies or header blocks.
 class RequestAccumulator {
  public:
+  // Bound on the retained request line; a longer one is truncated (its path simply won't
+  // match any route and falls through to the static response).
+  static constexpr std::size_t kMaxLine = 256;
+
   // Feeds bytes; returns the number of complete requests now available.
   std::size_t Feed(const char* data, std::size_t len);
   // Chain-aware feed: scans every element of the received chain in place.
   std::size_t Feed(const IOBuf& chain);
+  // Paths of the requests Feed has completed, arrival order; consuming (callers that don't
+  // route — the baseline server — still drain it so nothing accumulates).
+  std::vector<std::string> TakePaths();
 
  private:
   // Scans for "\r\n\r\n" across feeds with a 3-byte carry.
   std::size_t match_ = 0;
+  bool line_done_ = false;  // saw the end of the current request's first line
+  std::string line_;        // the first line so far (bounded at kMaxLine)
+  std::vector<std::string> paths_;
 };
 
 class HttpServer {
@@ -40,6 +52,7 @@ class HttpServer {
   std::uint64_t requests() const { return requests_; }
 
  private:
+  Runtime& runtime_;
   uv::TcpServer server_;
   std::uint64_t requests_ = 0;
 };

@@ -31,7 +31,7 @@ struct HttpLoadgen::Conn final : public TcpHandler,
     bytes_pending = 0;
     std::uint64_t now = gen->bed_.world().Now();
     if (issued_at >= gen->measure_start_ && issued_at < gen->measure_end_) {
-      gen->latencies_.push_back(now - issued_at);  // per round (== per request at depth 1)
+      gen->latencies_.Record(now - issued_at);  // per round (== per request at depth 1)
       gen->completed_ += std::max<std::size_t>(gen->config_.pipeline, 1);
     }
     if (!stopped && now < gen->measure_end_) {
@@ -48,7 +48,6 @@ Future<HttpLoadgen::Result> HttpLoadgen::Run() {
   Future<Result> result = done_.GetFuture();
   measure_start_ = bed_.world().Now() + config_.warmup_ns;
   measure_end_ = measure_start_ + config_.duration_ns;
-  latencies_.reserve(1 << 14);
   std::size_t cores = client_.runtime->num_cores();
   auto ready = std::make_shared<std::size_t>(0);
   for (std::size_t i = 0; i < config_.connections; ++i) {
@@ -102,20 +101,13 @@ void HttpLoadgen::Finish() {
     conn->Pcb().Close();
   }
   Result result;
-  result.samples = latencies_.size();
-  if (!latencies_.empty()) {
-    std::sort(latencies_.begin(), latencies_.end());
-    std::uint64_t sum = 0;
-    for (auto v : latencies_) {
-      sum += v;
-    }
-    result.mean_ns = sum / latencies_.size();
-    auto pct = [this](double p) {
-      std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(latencies_.size()));
-      return latencies_[std::min(idx, latencies_.size() - 1)];
-    };
-    result.p50_ns = pct(0.50);
-    result.p99_ns = pct(0.99);
+  obs::Histogram::Snapshot snapshot = latencies_.TakeSnapshot();
+  result.samples = static_cast<std::size_t>(snapshot.count);
+  if (snapshot.count != 0) {
+    result.mean_ns = snapshot.Mean();
+    result.p50_ns = snapshot.P50();
+    result.p99_ns = snapshot.P99();
+    result.p999_ns = snapshot.P999();
   }
   result.achieved_rps =
       static_cast<double>(completed_) * 1e9 / static_cast<double>(config_.duration_ns);

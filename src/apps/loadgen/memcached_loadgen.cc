@@ -66,7 +66,7 @@ struct MemcachedLoadgen::Conn final : public TcpHandler {
       issue_times.pop_front();
       std::uint64_t now = gen->bed_.world().Now();
       if (issued >= gen->measure_start_ && issued < gen->measure_end_) {
-        gen->latencies_.push_back(now - issued);
+        gen->latencies_.Record(now - issued);
         ++gen->completed_in_window_;
       }
     });
@@ -129,7 +129,6 @@ void MemcachedLoadgen::StartConnections() {
   std::size_t client_cores = client_.runtime->num_cores();
   measure_start_ = bed_.world().Now() + config_.warmup_ns;
   measure_end_ = measure_start_ + config_.duration_ns;
-  latencies_.reserve(1 << 16);
   for (std::size_t i = 0; i < config_.connections; ++i) {
     std::size_t core = i % client_cores;
     client_.Spawn(core, [this, i, core] {
@@ -203,22 +202,14 @@ void MemcachedLoadgen::Finish() {
     conn->Pcb().Close();
   }
   Result result;
-  result.samples = latencies_.size();
-  if (!latencies_.empty()) {
-    std::sort(latencies_.begin(), latencies_.end());
-    std::uint64_t sum = 0;
-    for (std::uint64_t v : latencies_) {
-      sum += v;
-    }
-    result.mean_ns = sum / latencies_.size();
-    auto pct = [this](double p) {
-      std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(latencies_.size()));
-      idx = std::min(idx, latencies_.size() - 1);
-      return latencies_[idx];
-    };
-    result.p50_ns = pct(0.50);
-    result.p95_ns = pct(0.95);
-    result.p99_ns = pct(0.99);
+  obs::Histogram::Snapshot snapshot = latencies_.TakeSnapshot();
+  result.samples = static_cast<std::size_t>(snapshot.count);
+  if (snapshot.count != 0) {
+    result.mean_ns = snapshot.Mean();
+    result.p50_ns = snapshot.P50();
+    result.p95_ns = snapshot.P95();
+    result.p99_ns = snapshot.P99();
+    result.p999_ns = snapshot.P999();
   }
   result.achieved_qps = static_cast<double>(completed_in_window_) * 1e9 /
                         static_cast<double>(config_.duration_ns);

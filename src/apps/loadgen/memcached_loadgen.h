@@ -15,6 +15,7 @@
 
 #include "src/apps/memcached/protocol.h"
 #include "src/apps/memcached/server.h"
+#include "src/obs/histogram.h"
 #include "src/sim/testbed.h"
 
 namespace ebbrt {
@@ -86,6 +87,7 @@ class MemcachedLoadgen {
     std::uint64_t p50_ns = 0;
     std::uint64_t p95_ns = 0;
     std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
     std::size_t samples = 0;
   };
 
@@ -115,7 +117,9 @@ class MemcachedLoadgen {
   std::vector<std::shared_ptr<Conn>> conns_;
   std::uint64_t measure_start_ = 0;
   std::uint64_t measure_end_ = 0;
-  std::vector<std::uint64_t> latencies_;
+  // Shared percentile machinery (obs::Histogram): constant space, no sort at Finish; the
+  // quantile is the sample's bucket upper bound (<= 12.5% above exact, see histogram.h).
+  obs::Histogram latencies_;
   std::uint64_t completed_in_window_ = 0;
   bool finished_ = false;
   std::size_t conns_ready_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -304,9 +305,46 @@ ShardRouter::ShardRouter(Runtime& runtime, RingRecord ring, Config config)
     ClientFor(endpoint);
   }
   StartRingWatcher();  // no-op unless Config asked for a periodic refresh
+  // Join the machine's telemetry plane: the router's failover state machine and its RPC
+  // clients' fault counters become registry metrics, sampled only at snapshot time. The
+  // router is per-core client state, so samples are a benign racy read of plain counters.
+  obs_collector_ = obs::ObsRoot::For(runtime_).AddCollector(
+      [this](std::vector<obs::ObsRoot::Sample>& out) {
+        out.emplace_back("router_failovers", static_cast<double>(stats_.failovers));
+        out.emplace_back("router_suspects_marked",
+                         static_cast<double>(stats_.suspects_marked));
+        out.emplace_back("router_ring_swaps", static_cast<double>(stats_.ring_swaps));
+        out.emplace_back("router_stale_rings", static_cast<double>(stats_.stale_rings));
+        out.emplace_back("router_malformed_rings",
+                         static_cast<double>(stats_.malformed_rings));
+        out.emplace_back("router_refresh_failures",
+                         static_cast<double>(stats_.refresh_failures));
+        out.emplace_back("router_write_skips", static_cast<double>(stats_.write_skips));
+        out.emplace_back("router_ring_epoch", static_cast<double>(ring_->epoch));
+        std::uint64_t timeouts = 0, retries = 0, late_drops = 0, peer_failures = 0,
+                      pending = 0;
+        for (const auto& entry : clients_) {
+          const dist::RpcClient::Stats& s = entry.second->stats();
+          timeouts += s.timeouts.load(std::memory_order_relaxed);
+          retries += s.retries.load(std::memory_order_relaxed);
+          late_drops += s.late_drops.load(std::memory_order_relaxed);
+          peer_failures += s.peer_failures.load(std::memory_order_relaxed);
+          pending += entry.second->pending_calls();
+        }
+        out.emplace_back("rpc_timeouts", static_cast<double>(timeouts));
+        out.emplace_back("rpc_retries", static_cast<double>(retries));
+        out.emplace_back("rpc_late_drops", static_cast<double>(late_drops));
+        out.emplace_back("rpc_peer_failures", static_cast<double>(peer_failures));
+        out.emplace_back("rpc_pending_calls", static_cast<double>(pending));
+      });
 }
 
-ShardRouter::~ShardRouter() { StopRingWatcher(); }
+ShardRouter::~ShardRouter() {
+  StopRingWatcher();
+  if (obs::ObsRoot* obs_root = obs::ObsRoot::TryFor(runtime_)) {
+    obs_root->RemoveCollector(obs_collector_);
+  }
+}
 
 std::shared_ptr<const ShardRouter::Ring> ShardRouter::BuildRing(
     const RingRecord& record, std::size_t vnodes_per_shard) {
@@ -395,25 +433,91 @@ void ShardRouter::MarkSuspect(const std::shared_ptr<const Ring>& ring,
   RefreshRing();
 }
 
+ShardRouter::OpTrace ShardRouter::BeginOpTrace() {
+  OpTrace trace;
+  obs::ObsRoot* obs_root = obs::ObsRoot::TryFor(runtime_);
+  if (obs_root == nullptr || !obs_root->tracing_on()) {
+    return trace;
+  }
+  // The op's root span: adopt the core's ambient trace (a traced handler driving the
+  // router) or start a fresh one. Every shard RPC the op issues — including failover
+  // re-issues rounds later — parents into this span.
+  obs::MetricRegistry& rep = obs_root->RepFor(CurrentContext().machine_core);
+  obs::MetricRegistry::TraceContext ctx = rep.current();
+  trace.trace_id = ctx.trace_id != 0 ? ctx.trace_id : rep.NewTraceId();
+  trace.parent_span = ctx.trace_id != 0 ? ctx.span_id : 0;
+  trace.span_id = rep.NewSpanId();
+  trace.start_ns = obs_root->NowNs();
+  return trace;
+}
+
+void ShardRouter::FinishOpTrace(const OpTrace& trace, std::uint16_t opcode,
+                                obs::SpanStatus status) {
+  if (trace.trace_id == 0) {
+    return;
+  }
+  obs::ObsRoot* obs_root = obs::ObsRoot::TryFor(runtime_);
+  if (obs_root == nullptr) {
+    return;
+  }
+  std::size_t core = CurrentContext().machine_core;
+  obs::SpanRecord span;
+  span.trace_id = trace.trace_id;
+  span.span_id = trace.span_id;
+  span.parent_span = trace.parent_span;
+  span.service = kNullEbbId;  // logical router op, not a wire service
+  span.opcode = opcode;
+  span.kind = obs::SpanKind::kLocal;
+  span.status = status;
+  span.start_ns = trace.start_ns;
+  span.end_ns = obs_root->NowNs();
+  span.attempts = 1;
+  span.core = static_cast<std::uint32_t>(core);
+  obs_root->RepFor(core).RecordSpan(span);
+}
+
 Future<ShardRouter::GetResult> ShardRouter::Get(std::string_view key) {
   std::shared_ptr<const Ring> ring = ring_;  // op-wide snapshot (RCU read side)
   std::vector<std::uint32_t> replicas = ReadOrder(*ring, key);
-  return TryGet(std::move(ring), std::string(key), std::move(replicas), 0);
+  OpTrace trace = BeginOpTrace();
+  Future<GetResult> result =
+      TryGet(std::move(ring), std::string(key), std::move(replicas), 0, trace);
+  if (trace.trace_id == 0) {
+    return result;
+  }
+  return result.Then([this, trace](Future<GetResult> f) -> GetResult {
+    try {
+      GetResult r = f.Get();
+      FinishOpTrace(trace, kShardOpGet, obs::SpanStatus::kOk);
+      return r;
+    } catch (...) {
+      FinishOpTrace(trace, kShardOpGet, obs::SpanStatus::kError);
+      throw;
+    }
+  });
 }
 
 Future<ShardRouter::GetResult> ShardRouter::TryGet(std::shared_ptr<const Ring> ring,
                                                    std::string key,
                                                    std::vector<std::uint32_t> replicas,
-                                                   std::size_t index) {
+                                                   std::size_t index, OpTrace trace) {
   std::uint32_t shard = replicas[index];
   if (shard < per_shard_ops_.size()) {
     per_shard_ops_[shard]++;
   }
+  // The shard RPC is issued under the op's root span as ambient context, so the client span
+  // it records parents correctly — on the first attempt AND on failover re-issues.
+  std::optional<obs::ObsRoot::TraceScope> scope;
+  if (trace.trace_id != 0) {
+    if (obs::ObsRoot* obs_root = obs::ObsRoot::TryFor(runtime_)) {
+      scope.emplace(*obs_root, trace.trace_id, trace.span_id);
+    }
+  }
   return ClientFor(ring->shards[shard])
       ->Call(kShardOpGet, 0, IOBuf::CopyBuffer(key), config_.read_options)
       .Then([this, ring = std::move(ring), key = std::move(key),
-             replicas = std::move(replicas),
-             index](Future<dist::RpcClient::Response> f) mutable -> Future<GetResult> {
+             replicas = std::move(replicas), index,
+             trace](Future<dist::RpcClient::Response> f) mutable -> Future<GetResult> {
         try {
           dist::RpcClient::Response response = f.Get();
           GetResult result;
@@ -426,7 +530,8 @@ Future<ShardRouter::GetResult> ShardRouter::TryGet(std::shared_ptr<const Ring> r
           MarkSuspect(ring, replicas[index]);
           if (index + 1 < replicas.size()) {
             ++stats_.failovers;
-            return TryGet(std::move(ring), std::move(key), std::move(replicas), index + 1);
+            return TryGet(std::move(ring), std::move(key), std::move(replicas), index + 1,
+                          trace);
           }
           throw;  // every replica failed: surface the last transport error
         }
@@ -442,6 +547,13 @@ Future<void> ShardRouter::Set(std::string_view key, std::string_view value) {
     if (suspect_[shard] == 0) {
       all_suspect = false;
       break;
+    }
+  }
+  OpTrace trace = BeginOpTrace();
+  std::optional<obs::ObsRoot::TraceScope> scope;
+  if (trace.trace_id != 0) {
+    if (obs::ObsRoot* obs_root = obs::ObsRoot::TryFor(runtime_)) {
+      scope.emplace(*obs_root, trace.trace_id, trace.span_id);
     }
   }
   std::vector<Future<void>> pending;
@@ -465,7 +577,19 @@ Future<void> ShardRouter::Set(std::string_view key, std::string_view value) {
               }
             }));
   }
-  return WhenAll(std::move(pending)).Then([](Future<void> f) { f.Get(); });
+  Future<void> joined = WhenAll(std::move(pending)).Then([](Future<void> f) { f.Get(); });
+  if (trace.trace_id == 0) {
+    return joined;
+  }
+  return joined.Then([this, trace](Future<void> f) {
+    try {
+      f.Get();
+      FinishOpTrace(trace, kShardOpSet, obs::SpanStatus::kOk);
+    } catch (...) {
+      FinishOpTrace(trace, kShardOpSet, obs::SpanStatus::kError);
+      throw;
+    }
+  });
 }
 
 Future<std::vector<ShardRouter::GetResult>> ShardRouter::MultiGet(
@@ -479,6 +603,7 @@ Future<std::vector<ShardRouter::GetResult>> ShardRouter::MultiGet(
   state->ring = ring_;
   state->keys.assign(keys.begin(), keys.end());
   state->results.resize(keys.size());
+  state->trace = BeginOpTrace();
   std::vector<std::size_t> slots(keys.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
     slots[i] = i;
@@ -488,8 +613,14 @@ Future<std::vector<ShardRouter::GetResult>> ShardRouter::MultiGet(
   // rounds clears it).
   auto excluded = std::make_shared<std::vector<char>>(state->ring->shards.size(), 0);
   return MultiGetSlots(state, std::move(slots), excluded)
-      .Then([state](Future<void> f) {
-        f.Get();
+      .Then([this, state](Future<void> f) {
+        try {
+          f.Get();
+        } catch (...) {
+          FinishOpTrace(state->trace, kShardOpMultiGet, obs::SpanStatus::kError);
+          throw;
+        }
+        FinishOpTrace(state->trace, kShardOpMultiGet, obs::SpanStatus::kOk);
         return std::move(state->results);
       });
 }
@@ -525,6 +656,14 @@ Future<void> ShardRouter::MultiGetSlots(std::shared_ptr<MgState> state,
           "shard: every replica of '" + state->keys[slot] + "' failed")));
     }
     groups[chosen].push_back(slot);
+  }
+  // Scatter under the batch's root span: every per-shard RPC — first round or a failover
+  // re-issue rounds later — records its client span as a child of the same root.
+  std::optional<obs::ObsRoot::TraceScope> scope;
+  if (state->trace.trace_id != 0) {
+    if (obs::ObsRoot* obs_root = obs::ObsRoot::TryFor(runtime_)) {
+      scope.emplace(*obs_root, state->trace.trace_id, state->trace.span_id);
+    }
   }
   std::vector<Future<void>> pending;
   pending.reserve(groups.size());

@@ -32,6 +32,7 @@
 #include "src/apps/memcached/kvstore.h"
 #include "src/dist/global_id_map.h"
 #include "src/dist/rpc.h"
+#include "src/obs/metrics.h"
 
 namespace ebbrt {
 namespace memcached {
@@ -272,12 +273,27 @@ class ShardRouter {
     std::vector<std::uint32_t> ReplicasFor(std::uint64_t hash, std::size_t r) const;
   };
 
+  // Trace identity of one routed operation's ROOT span (the kLocal span every shard RPC of
+  // the op parents into). Zero trace_id = the op runs untraced. Failover re-issues thread
+  // this through, so a key's second replica still stitches into the same tree.
+  struct OpTrace {
+    std::uint64_t trace_id = 0;
+    std::uint32_t span_id = 0;
+    std::uint32_t parent_span = 0;
+    std::uint64_t start_ns = 0;
+  };
+  // Starts a root span for one op (all-zero when tracing is off / the plane is absent).
+  OpTrace BeginOpTrace();
+  // Records the op's kLocal root span (no-op for an untraced OpTrace).
+  void FinishOpTrace(const OpTrace& trace, std::uint16_t opcode, obs::SpanStatus status);
+
   // Shared MultiGet state: owned key copies (retried groups outlive the caller's views)
   // and the request-order result slots.
   struct MgState {
     std::shared_ptr<const Ring> ring;
     std::vector<std::string> keys;
     std::vector<GetResult> results;
+    OpTrace trace;
   };
 
   static std::shared_ptr<const Ring> BuildRing(const RingRecord& record,
@@ -287,7 +303,8 @@ class ShardRouter {
   dist::RpcClient* ClientFor(const ShardEndpoint& endpoint);
   void MarkSuspect(const std::shared_ptr<const Ring>& ring, std::uint32_t shard);
   Future<GetResult> TryGet(std::shared_ptr<const Ring> ring, std::string key,
-                           std::vector<std::uint32_t> replicas, std::size_t index);
+                           std::vector<std::uint32_t> replicas, std::size_t index,
+                           OpTrace trace);
   Future<void> MultiGetSlots(std::shared_ptr<MgState> state, std::vector<std::size_t> slots,
                              std::shared_ptr<std::vector<char>> excluded);
 
@@ -304,6 +321,10 @@ class ShardRouter {
   Stats stats_;
   std::uint64_t watcher_timer_ = 0;
   bool refresh_inflight_ = false;
+  // Re-homes the router's failover stats and its RpcClients' fault counters (timeouts,
+  // retries, late drops, peer failures) into the machine's metric registry as a pull-style
+  // collector — sampled at snapshot time only, removed in the destructor.
+  std::uint64_t obs_collector_ = 0;
 };
 
 // --- kShardOpMultiGet reply marshaling --------------------------------------------------------

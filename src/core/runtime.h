@@ -49,6 +49,7 @@ enum class Subsystem : std::size_t {
   kMessenger,
   kGlobalIdMap,
   kRpcDemux,  // per-machine RPC service demultiplexer (dist::rpc)
+  kObservability,  // per-machine telemetry plane root (obs::ObsRoot)
   kMachine,  // simulated machine this runtime is attached to (if any)
   kNumSubsystems,
 };

@@ -163,6 +163,30 @@ void Messenger::DropPeer(Peer& peer, bool was_established) {
   }
 }
 
+void Messenger::NoteBadFrame(Ipv4Addr peer) {
+  stats_.bad_frames++;
+  std::lock_guard<std::mutex> lock(control_mu_);
+  stats_.control_locks++;
+  for (auto& entry : bad_frames_by_peer_) {
+    if (entry.first == peer.raw) {
+      entry.second++;
+      return;
+    }
+  }
+  bad_frames_by_peer_.emplace_back(peer.raw, 1);
+}
+
+std::vector<std::pair<Ipv4Addr, std::uint64_t>> Messenger::BadFramesByPeer() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  stats_.control_locks++;
+  std::vector<std::pair<Ipv4Addr, std::uint64_t>> out;
+  out.reserve(bad_frames_by_peer_.size());
+  for (const auto& entry : bad_frames_by_peer_) {
+    out.emplace_back(Ipv4Addr{entry.first}, entry.second);
+  }
+  return out;
+}
+
 bool Messenger::Dispatch(Ipv4Addr from, EbbId target, std::unique_ptr<IOBuf> payload) {
   // Lock-free receiver lookup: the hot half of the receive path. The copied shared_ptr
   // keeps the receiver alive through the callback even against a concurrent Unregister.
@@ -286,7 +310,7 @@ void Messenger::Peer::Receive(std::unique_ptr<IOBuf> buf) {
     }
     std::size_t len = NetToHost32(header.length);
     if (len > kMaxMessageBytes) {
-      messenger_.stats_.bad_frames++;
+      messenger_.NoteBadFrame(addr_);
       FailFraming();
       return;
     }
@@ -297,7 +321,7 @@ void Messenger::Peer::Receive(std::unique_ptr<IOBuf> buf) {
     std::unique_ptr<IOBuf> payload =
         len != 0 ? rx_.Split(len) : IOBuf::Create(0);
     if (!messenger_.Dispatch(addr_, NetToHost32(header.target), std::move(payload))) {
-      messenger_.stats_.bad_frames++;
+      messenger_.NoteBadFrame(addr_);
       unknown_target = true;  // keep carving: later frames in this queue still deliver
     }
   }

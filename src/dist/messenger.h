@@ -136,6 +136,12 @@ class Messenger {
   };
   const Stats& stats() const { return stats_; }
 
+  // Per-peer bad-frame attribution (control plane, for the obs registry's
+  // messenger_bad_frames{peer="..."} series): which remote machine keeps sending frames
+  // that fail validation. Entries survive the peer's connection teardown — the signal IS
+  // the history of misbehavior.
+  std::vector<std::pair<Ipv4Addr, std::uint64_t>> BadFramesByPeer();
+
  private:
   // One cached connection to a peer machine. A Peer IS the TcpHandler for its connection;
   // it owns the RX reassembly queue and the not-yet-sendable TX backlog. All Peer state is
@@ -204,6 +210,12 @@ class Messenger {
   // snapshots the table and invokes outside the lock so observers may Send/dial freely.
   std::uint64_t next_peer_observer_ = 1;
   std::vector<std::pair<std::uint64_t, std::shared_ptr<PeerObserver>>> peer_observers_;
+
+  // Ticks stats_.bad_frames and the per-peer ledger. Bad frames are a connection-fatal
+  // event (the peer is about to be dropped), so taking control_mu_ here is the same
+  // control-plane cost the teardown already pays — never a steady-state lock.
+  void NoteBadFrame(Ipv4Addr peer);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> bad_frames_by_peer_;  // addr.raw -> count
 
   Stats stats_;
 };

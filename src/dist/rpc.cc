@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/event/timer.h"
+#include "src/obs/metrics.h"
 #include "src/platform/context.h"
 #include "src/rcu/rcu.h"
 
@@ -27,6 +28,9 @@ bool ParseFrame(std::unique_ptr<IOBuf> message, RpcHeader* header,
   header->request_id = NetToHost64(header->request_id);
   header->opcode = NetToHost16(header->opcode);
   header->aux = NetToHost32(header->aux);
+  header->trace_id = NetToHost64(header->trace_id);
+  header->span_id = NetToHost32(header->span_id);
+  header->parent_span = NetToHost32(header->parent_span);
   return true;
 }
 
@@ -34,7 +38,7 @@ bool ParseFrame(std::unique_ptr<IOBuf> message, RpcHeader* header,
 
 std::unique_ptr<IOBuf> BuildRpcFrame(std::uint64_t request_id, std::uint16_t opcode,
                                      std::uint8_t flags, std::uint32_t aux,
-                                     std::unique_ptr<IOBuf> body) {
+                                     std::unique_ptr<IOBuf> body, const RpcTrace& trace) {
   auto frame = IOBuf::CreateReserveFor<sizeof(RpcHeader)>(0);
   frame->Append(sizeof(RpcHeader));
   auto& header = frame->Get<RpcHeader>();
@@ -43,6 +47,9 @@ std::unique_ptr<IOBuf> BuildRpcFrame(std::uint64_t request_id, std::uint16_t opc
   header.flags = flags;
   header.reserved = 0;
   header.aux = HostToNet32(aux);
+  header.trace_id = HostToNet64(trace.trace_id);
+  header.span_id = HostToNet32(trace.span_id);
+  header.parent_span = HostToNet32(trace.parent_span);
   if (body != nullptr) {
     frame->AppendChain(std::move(body));
   }
@@ -350,6 +357,19 @@ Future<RpcClient::Response> RpcClient::Call(std::uint16_t opcode, std::uint32_t 
     // this is descriptor cost, not a byte copy.
     call->retry_body = body->Clone();
   }
+  obs::ObsRoot* obs_root = obs::ObsRoot::TryFor(runtime_);
+  if (obs_root != nullptr && obs_root->tracing_on()) {
+    // Adopt the core's ambient trace (a router fan-out, a traced handler) or start a fresh
+    // one. These ids name the LOGICAL call for its whole life: every retry re-sends them,
+    // so the server's spans parent into the same tree no matter how many attempts it took.
+    obs::MetricRegistry& rep = obs_root->RepFor(core);
+    obs::MetricRegistry::TraceContext ctx = rep.current();
+    call->trace.trace_id = ctx.trace_id != 0 ? ctx.trace_id : rep.NewTraceId();
+    call->trace.parent_span = ctx.trace_id != 0 ? ctx.span_id : 0;
+    call->trace.span_id = rep.NewSpanId();
+    call->span_start_ns = NowNs();
+  }
+  RpcTrace trace = call->trace;
   Future<Response> result = call->promise.GetFuture();
   lane.pending->Insert(request_id, std::move(call));
   if (options.deadline_ns != 0) {
@@ -357,7 +377,7 @@ Future<RpcClient::Response> RpcClient::Call(std::uint16_t opcode, std::uint32_t 
     ScheduleExpiry(core, request_id, now + options.deadline_ns, now);
   }
   messenger_.Send(server_, service_,
-                  BuildRpcFrame(request_id, opcode, /*flags=*/0, aux, std::move(body)));
+                  BuildRpcFrame(request_id, opcode, /*flags=*/0, aux, std::move(body), trace));
   return result;
 }
 
@@ -415,6 +435,7 @@ void RpcClient::Sweep(std::size_t core) {
         self->Resend(core, call);
       });
     } else {
+      RecordClientSpan(*call, obs::SpanStatus::kTimeout);
       call->promise.SetException(std::make_exception_ptr(RpcTimeout(
           "rpc: deadline expired (service " + std::to_string(service_) + ", opcode " +
           std::to_string(call->opcode) + ", " + std::to_string(call->attempts) +
@@ -441,9 +462,10 @@ void RpcClient::Resend(std::size_t core, const std::shared_ptr<PendingCall>& cal
   ScheduleExpiry(core, request_id, now + call->options.deadline_ns, now);
   std::unique_ptr<IOBuf> body =
       call->retry_body != nullptr ? call->retry_body->Clone() : nullptr;
+  // Fresh request id, SAME trace ids: the retry is the same logical call on the wire.
   messenger_.Send(server_, service_,
                   BuildRpcFrame(request_id, call->opcode, /*flags=*/0, call->aux,
-                                std::move(body)));
+                                std::move(body), call->trace));
 }
 
 void RpcClient::OnPeerDown() {
@@ -467,6 +489,7 @@ void RpcClient::OnPeerDown() {
   }
   stats_.peer_failures.fetch_add(lost.size(), std::memory_order_relaxed);
   for (auto& call : lost) {
+    RecordClientSpan(*call, obs::SpanStatus::kPeerLost);
     call->promise.SetException(std::make_exception_ptr(
         RpcPeerLost("rpc: connection to " + server_.ToString() + " lost (service " +
                     std::to_string(service_) + ")")));
@@ -492,14 +515,40 @@ void RpcClient::HandleFrame(Ipv4Addr, std::unique_ptr<IOBuf> message) {
     return;
   }
   if (header.flags & kRpcError) {
+    RecordClientSpan(*call, obs::SpanStatus::kError);
     call->promise.SetException(
         std::make_exception_ptr(std::runtime_error(ChainToString(body.get()))));
     return;
   }
+  RecordClientSpan(*call, obs::SpanStatus::kOk);
   Response response;
   response.aux = header.aux;
   response.body = std::move(body);
   call->promise.SetValue(std::move(response));
+}
+
+void RpcClient::RecordClientSpan(const PendingCall& call, obs::SpanStatus status) {
+  if (call.trace.trace_id == 0) {
+    return;  // issued untraced (tracing off, or the plane didn't exist yet)
+  }
+  obs::ObsRoot* obs_root = obs::ObsRoot::TryFor(runtime_);
+  if (obs_root == nullptr) {
+    return;
+  }
+  std::size_t core = CurrentContext().machine_core;
+  obs::SpanRecord span;
+  span.trace_id = call.trace.trace_id;
+  span.span_id = call.trace.span_id;
+  span.parent_span = call.trace.parent_span;
+  span.service = service_;
+  span.opcode = call.opcode;
+  span.kind = obs::SpanKind::kClient;
+  span.status = status;
+  span.start_ns = call.span_start_ns;
+  span.end_ns = NowNs();
+  span.attempts = static_cast<std::uint32_t>(call.attempts);
+  span.core = static_cast<std::uint32_t>(core);
+  obs_root->RepFor(core).RecordSpan(span);
 }
 
 // --- RpcServer --------------------------------------------------------------------------------
@@ -531,7 +580,36 @@ void RpcServer::HandleFrame(Ipv4Addr from, std::unique_ptr<IOBuf> message) {
   if (!ParseFrame(std::move(message), &header, &body)) {
     return;
   }
-  HandleCall(from, header.request_id, header.opcode, header.aux, std::move(body));
+  obs::ObsRoot* obs_root =
+      header.trace_id != 0 ? obs::ObsRoot::TryFor(messenger_.runtime()) : nullptr;
+  if (obs_root == nullptr || !obs_root->tracing_on()) {
+    HandleCall(from, header.request_id, header.opcode, header.aux, std::move(body));
+    return;
+  }
+  // Traced request: this hop gets its own span, parented on the caller's (the span id the
+  // frame carried), and the handler runs under it as the ambient context — so any RPC the
+  // handler issues in turn stitches into the same trace.
+  std::size_t core = CurrentContext().machine_core;
+  obs::MetricRegistry& rep = obs_root->RepFor(core);
+  obs::SpanRecord span;
+  span.trace_id = header.trace_id;
+  span.span_id = rep.NewSpanId();
+  span.parent_span = header.span_id;
+  span.service = service_;
+  span.opcode = header.opcode;
+  span.kind = obs::SpanKind::kServer;
+  span.status = obs::SpanStatus::kOk;
+  span.start_ns = obs_root->NowNs();
+  span.attempts = 1;
+  span.core = static_cast<std::uint32_t>(core);
+  {
+    obs::ObsRoot::TraceScope scope(*obs_root, span.trace_id, span.span_id);
+    HandleCall(from, header.request_id, header.opcode, header.aux, std::move(body));
+  }
+  // The span closes when the handler returns (every in-tree handler replies synchronously;
+  // an async handler's span would cover dispatch, not the eventual reply).
+  span.end_ns = obs_root->NowNs();
+  rep.RecordSpan(span);
 }
 
 }  // namespace dist

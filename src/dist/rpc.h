@@ -53,6 +53,11 @@
 #include "src/rcu/rcu_hash_table.h"
 
 namespace ebbrt {
+
+namespace obs {
+enum class SpanStatus : std::uint8_t;
+}  // namespace obs
+
 namespace dist {
 
 // Transport-failure taxonomy. A server-side exception still crosses as a flagged response
@@ -103,8 +108,23 @@ struct RpcHeader {
   std::uint8_t flags;        // kRpcResponse / kRpcError
   std::uint8_t reserved;
   std::uint32_t aux;         // service-defined scalar argument/result (network order)
+  // Distributed-trace propagation (obs layer; all-zero when tracing is off). The trace id
+  // names the end-to-end operation; span_id names THIS hop's span, which the receiving
+  // server adopts as the parent of its own span — so a MultiGet fan-out that fails over
+  // still stitches into one tree. Retries and failover re-issues travel under fresh
+  // request ids but the SAME trace id (network order).
+  std::uint64_t trace_id;
+  std::uint32_t span_id;
+  std::uint32_t parent_span;
 } __attribute__((packed));
-static_assert(sizeof(RpcHeader) == 16);
+static_assert(sizeof(RpcHeader) == 32);
+
+// Trace identifiers a frame carries (see RpcHeader). Default-constructed = untraced.
+struct RpcTrace {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_span = 0;
+};
 
 inline std::uint64_t HostToNet64(std::uint64_t v) { return __builtin_bswap64(v); }
 inline std::uint64_t NetToHost64(std::uint64_t v) { return __builtin_bswap64(v); }
@@ -112,7 +132,8 @@ inline std::uint64_t NetToHost64(std::uint64_t v) { return __builtin_bswap64(v);
 // Builds [RpcHeader | body...] with the body chained zero-copy behind the header buffer.
 std::unique_ptr<IOBuf> BuildRpcFrame(std::uint64_t request_id, std::uint16_t opcode,
                                      std::uint8_t flags, std::uint32_t aux,
-                                     std::unique_ptr<IOBuf> body);
+                                     std::unique_ptr<IOBuf> body,
+                                     const RpcTrace& trace = RpcTrace{});
 
 // Flattens an IOBuf chain into a std::string (marshalling convenience for string-valued
 // results; the zero-copy representation stays available to callers that keep the chain).
@@ -278,6 +299,10 @@ class RpcClient {
     std::uint64_t backoff_ns = 0;         // delay before the NEXT re-send
     std::unique_ptr<IOBuf> retry_body;    // master copy, cloned per re-send (null: no retry)
     bool abandoned = false;               // set by teardown; a parked re-send must not fire
+    // Trace identity of the LOGICAL call: one client span covers every attempt (the span's
+    // `attempts` field says how many), so retries re-send under these same ids.
+    RpcTrace trace;
+    std::uint64_t span_start_ns = 0;      // first send time (span start, virtual ns)
   };
   // How many id bits the issuing core occupies. 16 bits of core leaves 48 bits of per-core
   // sequence — enough to never wrap in any run we could simulate.
@@ -318,6 +343,10 @@ class RpcClient {
   void Resend(std::size_t core, const std::shared_ptr<PendingCall>& call);
   void OnPeerDown();
   std::uint64_t NowNs() const;
+  // Writes the call's client span into the current core's ring (no-op when the call was
+  // issued untraced). Every completion path — response, error, timeout, peer loss — funnels
+  // through this; teardown skips it (the machine may have no event context).
+  void RecordClientSpan(const PendingCall& call, obs::SpanStatus status);
 
   Runtime& runtime_;
   Messenger& messenger_;

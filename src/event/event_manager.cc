@@ -185,12 +185,23 @@ void EventManager::QueueEndOfEvent(MoveFunction<void()> fn) {
 }
 
 void EventManager::RunEndOfEventHooks() {
+  if (end_of_event_queue_.empty()) {
+    return;
+  }
+  // Boundary-work duration: how long the TX flush / RCU epoch / pool decay machinery holds
+  // the loop at each event edge. Only non-empty drains record, so the histogram measures
+  // actual boundary work rather than a spike of zeros.
+  bool measure = ObsMetricsOn();
+  std::uint64_t t0 = measure ? executor_.Now() : 0;
   // Hooks queued by a running hook drain in the same boundary (the while re-checks).
   while (!end_of_event_queue_.empty()) {
     MoveFunction<void()> fn = std::move(end_of_event_queue_.front());
     end_of_event_queue_.pop_front();
     ++stats_.end_of_event;
     fn();
+  }
+  if (measure) {
+    hook_duration_hist_.Record(executor_.Now() - t0);
   }
 }
 
@@ -225,6 +236,12 @@ void EventManager::FiberMain() {
 }
 
 void EventManager::RunOnEventStack(MoveFunction<void()>* fn, bool persistent) {
+  // Handler latency brackets exactly the fiber's occupancy of this core (the switch in to
+  // the switch out — completion or suspension), in executor time: virtual ns under SimWorld
+  // (so the distribution is deterministic), wall ns on real threads. Reading the clock has
+  // no side effects, so measurement cannot perturb the simulated schedule.
+  bool measure = ObsMetricsOn();
+  std::uint64_t t0 = measure ? executor_.Now() : 0;
   active_fn_ = fn;
   active_persistent_ = persistent;
   active_stack_ = stack_pool_.Get();
@@ -240,11 +257,16 @@ void EventManager::RunOnEventStack(MoveFunction<void()>* fn, bool persistent) {
   } else {
     stack_pool_.Put(std::move(active_stack_));
   }
+  if (measure) {
+    handler_latency_hist_.Record(executor_.Now() - t0);
+  }
   RunEndOfEventHooks();
   executor_.OnHandlerComplete();
 }
 
 void EventManager::ResumeContext(QueueEntry entry) {
+  bool measure = ObsMetricsOn();
+  std::uint64_t t0 = measure ? executor_.Now() : 0;
   // Adopt the frozen stack as the active fiber and switch into it.
   active_stack_ = std::move(entry.resume_stack);
   fiber_suspended_ = false;
@@ -256,6 +278,9 @@ void EventManager::ResumeContext(QueueEntry entry) {
     suspend_target_ = nullptr;
   } else {
     stack_pool_.Put(std::move(active_stack_));
+  }
+  if (measure) {
+    handler_latency_hist_.Record(executor_.Now() - t0);
   }
   RunEndOfEventHooks();
   executor_.OnHandlerComplete();
@@ -306,12 +331,28 @@ bool EventManager::DispatchInterconnect() {
     return false;
   }
   ++stats_.xcore_batches;
+  // Queue residency: time the OLDEST node of this batch waited between its push (to an
+  // empty list) and this drain. Always consumed, so a stale timestamp from a measurement-off
+  // window cannot leak into a later record.
+  std::uint64_t oldest = root_.interconnect().TakeOldestPushNs(machine_core_);
+  bool measure = ObsMetricsOn();
+  if (measure && oldest != 0) {
+    std::uint64_t now = executor_.Now();
+    if (now >= oldest) {
+      xcore_residency_hist_.Record(now - oldest);
+    }
+  }
+  std::uint64_t batch = 0;
   while (node != nullptr) {
     // Read the link BEFORE firing: Fire disposes the node (and an embedded node may be
     // re-published by a concurrent raiser the moment its pending count is consumed).
     InterconnectNode* next = node->next();
     node->Fire(*this);
     node = next;
+    ++batch;
+  }
+  if (measure) {
+    xcore_batch_size_hist_.Record(batch);
   }
   return true;
 }
@@ -350,6 +391,9 @@ bool EventManager::DispatchIdle() {
 }
 
 bool EventManager::DispatchPass() {
+  // Refresh the run-queue depth gauge once per pass: a cross-core-readable signal without
+  // putting a store on every queue mutation.
+  run_queue_depth_.store(local_queue_.size(), std::memory_order_relaxed);
   bool did = false;
   did |= DispatchTimers();
   did |= DispatchInterconnect();

@@ -40,6 +40,7 @@
 #include "src/core/runtime.h"
 #include "src/event/executor.h"
 #include "src/event/interconnect.h"
+#include "src/obs/histogram.h"
 #include "src/platform/fiber.h"
 #include "src/platform/move_function.h"
 #include "src/platform/spinlock.h"
@@ -212,6 +213,23 @@ class EventManager {
   };
   Stats stats() const;
 
+  // --- Observability (obs::ObsRoot attaches at plane creation) -------------------------------
+  // The obs plane's per-machine level switch. While it reads >= kMetrics, the loop records
+  // per-event handler latency, end-of-event hook duration, interconnect batch size, and
+  // queue residency into the inline histograms below — one Executor::Now() pair and a few
+  // relaxed stores per event, no locks, no heap. Detached (nullptr) = everything off.
+  void SetObsLevel(const std::atomic<std::uint8_t>* level) {
+    obs_level_.store(level, std::memory_order_relaxed);
+  }
+  const obs::Histogram& handler_latency_hist() const { return handler_latency_hist_; }
+  const obs::Histogram& end_of_event_hook_hist() const { return hook_duration_hist_; }
+  const obs::Histogram& xcore_batch_size_hist() const { return xcore_batch_size_hist_; }
+  const obs::Histogram& xcore_residency_hist() const { return xcore_residency_hist_; }
+  // Local run-queue depth, refreshed once per dispatch pass (the autoscaler's queue signal).
+  std::uint64_t run_queue_depth() const {
+    return run_queue_depth_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class EventManagerRoot;
 
@@ -290,6 +308,19 @@ class EventManager {
 
   bool stopped_ = false;
   bool in_loop_ = false;
+
+  // Observability plane hookup (see SetObsLevel). The pointer itself is atomic so the obs
+  // root can attach/detach from a control-plane core while this core's loop runs.
+  bool ObsMetricsOn() const {
+    const std::atomic<std::uint8_t>* level = obs_level_.load(std::memory_order_relaxed);
+    return level != nullptr && level->load(std::memory_order_relaxed) != 0;
+  }
+  std::atomic<const std::atomic<std::uint8_t>*> obs_level_{nullptr};
+  obs::Histogram handler_latency_hist_;
+  obs::Histogram hook_duration_hist_;
+  obs::Histogram xcore_batch_size_hist_;
+  obs::Histogram xcore_residency_hist_;
+  std::atomic<std::uint64_t> run_queue_depth_{0};
 
   struct {
     std::uint64_t interrupts = 0;

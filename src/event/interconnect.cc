@@ -48,6 +48,8 @@ void Interconnect::Push(std::size_t target_core, InterconnectNode* node) {
                                           std::memory_order_acquire)) {
         list.pushes.fetch_add(1, std::memory_order_relaxed);
         list.wakeups.fetch_add(1, std::memory_order_relaxed);
+        // This push starts a fresh batch: stamp it for the queue-residency histogram.
+        list.oldest_push_ns.store(executor_.Now(), std::memory_order_relaxed);
         executor_.WakeCore(target_core);
         return;
       }
@@ -60,6 +62,8 @@ void Interconnect::Push(std::size_t target_core, InterconnectNode* node) {
         list.pushes.fetch_add(1, std::memory_order_relaxed);
         if (head != nullptr) {
           list.batched.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          list.oldest_push_ns.store(executor_.Now(), std::memory_order_relaxed);
         }
         return;
       }

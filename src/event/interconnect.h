@@ -104,6 +104,13 @@ class Interconnect {
     return lists_[core].batched.load(std::memory_order_relaxed);
   }
 
+  // Owner core only, after TakeBatch returned a batch: the push timestamp of the batch's
+  // OLDEST node (the push that found the list empty), consumed on read (0 when unset). The
+  // EventManager turns `drain time - this` into the queue-residency histogram.
+  std::uint64_t TakeOldestPushNs(std::size_t core) {
+    return lists_[core].oldest_push_ns.exchange(0, std::memory_order_relaxed);
+  }
+
   // Allocates a node of concrete type T. Per-core slab pop when the calling context has a
   // GP allocator installed (the steady-state path: 0 heap allocs); ::operator new fallback
   // otherwise, counted in mem::stats().heap_fallback_allocs.
@@ -154,6 +161,10 @@ class Interconnect {
     std::atomic<std::uint64_t> pushes{0};
     std::atomic<std::uint64_t> wakeups{0};
     std::atomic<std::uint64_t> batched{0};
+    // Executor timestamp of the push that started the current pending batch (found the
+    // list empty/idle); cleared by the receiver via TakeOldestPushNs. Best-effort under
+    // real threads, exact under SimWorld.
+    std::atomic<std::uint64_t> oldest_push_ns{0};
   };
 
   Executor& executor_;

@@ -1,0 +1,164 @@
+// obs::Histogram — fixed-size log-linear latency/size histogram (HDR-style).
+//
+// The recording path is built for the per-core always-on discipline the rest of the runtime
+// follows: a Record is one bit-scan plus three relaxed atomic bumps into a fixed inline
+// bucket array — no locks, no heap, no branches that depend on prior samples. Buckets are
+// log-linear: values below 2^kSubBits get exact unit buckets, and every power-of-two range
+// above is split into 2^kSubBits linear sub-buckets, bounding the relative quantile error at
+// 1/2^kSubBits (12.5% with kSubBits = 3) while keeping the whole table at 496 * 8 bytes.
+//
+// Concurrency contract (same as the runtime's other per-core stats): each Histogram instance
+// has ONE writer core; any core may read concurrently through Sample/Snapshot. Relaxed
+// atomics make the cross-core reads well-defined; a snapshot is a consistent-enough view at
+// an event boundary (exact under SimWorld, monotonic under real threads).
+//
+// This header is dependency-free on purpose: the EventManager and the loadgens embed
+// histograms directly without pulling in the Ebb machinery.
+#ifndef EBBRT_SRC_OBS_HISTOGRAM_H_
+#define EBBRT_SRC_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace ebbrt {
+namespace obs {
+
+class Histogram {
+ public:
+  // Sub-bucket resolution: 2^kSubBits linear buckets per power-of-two range.
+  static constexpr std::size_t kSubBits = 3;
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;
+  // Unit buckets [0, kSub) + one group of kSub sub-buckets per msb position kSubBits..63.
+  static constexpr std::size_t kBuckets = kSub + (64 - kSubBits) * kSub;  // 496
+
+  // Bucket index for a value. Values < kSub get exact unit buckets; above that the top
+  // kSubBits bits below the msb select the sub-bucket within the msb's group.
+  static constexpr std::size_t Index(std::uint64_t v) {
+    if (v < kSub) {
+      return static_cast<std::size_t>(v);
+    }
+    std::size_t msb = 63 - static_cast<std::size_t>(__builtin_clzll(v));
+    std::size_t group = msb - kSubBits + 1;  // 1.. for msb = kSubBits..
+    std::size_t sub = static_cast<std::size_t>(v >> (msb - kSubBits)) & (kSub - 1);
+    return (group << kSubBits) + sub;
+  }
+
+  // Smallest value mapping to bucket `index` (the exact value for unit buckets).
+  static constexpr std::uint64_t LowerBound(std::size_t index) {
+    if (index < kSub) {
+      return index;
+    }
+    std::size_t group = index >> kSubBits;
+    std::uint64_t sub = index & (kSub - 1);
+    return (kSub + sub) << (group - 1);
+  }
+
+  // Largest value mapping to bucket `index` (what Quantile reports, so the estimate is
+  // always >= the exact quantile and within one sub-bucket width above it).
+  static constexpr std::uint64_t UpperBound(std::size_t index) {
+    return index + 1 < kBuckets ? LowerBound(index + 1) - 1
+                                : ~std::uint64_t{0};
+  }
+
+  // A mergeable, plain (non-atomic) copy of a histogram's state. Merging per-core samples
+  // yields the machine-wide distribution; quantiles come from the merged view.
+  struct Snapshot {
+    std::uint64_t buckets[kBuckets] = {};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    void Merge(const Snapshot& other) {
+      for (std::size_t i = 0; i < kBuckets; ++i) {
+        buckets[i] += other.buckets[i];
+      }
+      count += other.count;
+      sum += other.sum;
+    }
+
+    // Value at quantile q in [0, 1]: the upper bound of the bucket holding the ceil(q*count)-th
+    // sample. 0 when empty. Reported >= exact and <= exact * (1 + 1/kSub) + 1.
+    std::uint64_t Quantile(double q) const {
+      if (count == 0) {
+        return 0;
+      }
+      if (q < 0) {
+        q = 0;
+      }
+      if (q > 1) {
+        q = 1;
+      }
+      std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(count));
+      if (target < 1) {
+        target = 1;
+      }
+      if (target > count) {
+        target = count;
+      }
+      std::uint64_t seen = 0;
+      for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets[i];
+        if (seen >= target) {
+          return UpperBound(i);
+        }
+      }
+      return UpperBound(kBuckets - 1);
+    }
+
+    std::uint64_t P50() const { return Quantile(0.50); }
+    std::uint64_t P95() const { return Quantile(0.95); }
+    std::uint64_t P99() const { return Quantile(0.99); }
+    std::uint64_t P999() const { return Quantile(0.999); }
+    double Mean() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  // Owner core only. One bit-scan, three relaxed load/store pairs — no read-modify-write:
+  // the single-writer contract makes a plain bump sufficient, and keeps the recording cost
+  // flat even on architectures where fetch_add is a full barrier.
+  void Record(std::uint64_t v) {
+    std::size_t i = Index(v);
+    buckets_[i].store(buckets_[i].load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    count_.store(count_.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    sum_.store(sum_.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+  }
+
+  // Any core: accumulates this histogram's current state into `out` (merge semantics, so a
+  // caller sums per-core reps by sampling them all into one Snapshot).
+  void Sample(Snapshot* out) const {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out->buckets[i] += buckets_[i].load(std::memory_order_relaxed);
+    }
+    out->count += count_.load(std::memory_order_relaxed);
+    out->sum += sum_.load(std::memory_order_relaxed);
+  }
+
+  Snapshot TakeSnapshot() const {
+    Snapshot s;
+    Sample(&s);
+    return s;
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Owner core only (benches reset between sweep phases).
+  void Reset() {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace obs
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_OBS_HISTOGRAM_H_

@@ -1,0 +1,261 @@
+// obs — the always-on telemetry plane (metrics registry + distributed trace plumbing).
+//
+// The repo's visibility used to be a patchwork: five unrelated stats() structs, percentile
+// math re-implemented inside each loadgen, and no per-hop record of a cross-shard request at
+// all. This module gives the machine ONE per-core, lock-free, zero-allocation observability
+// Ebb, in the style of eBPF's always-on in-kernel instrumentation: cheap enough to leave
+// enabled, structured enough that the autoscaler and the benches can consume it directly.
+//
+//   * MetricRegistry is the per-core representative (MulticoreEbb shape, static id
+//     kMetricRegistryId). Recording a counter/gauge/histogram is a plain array index bump
+//     into that core's fixed inline slots — no locks, no heap, no cross-core traffic.
+//   * ObsRoot is the per-machine root (Subsystem::kObservability): the name table, the
+//     global level switch (off / metrics / metrics+tracing), pull-style collectors that
+//     re-home the legacy stats() structs (EventManager, mem::stats, NetworkManager,
+//     Messenger, BufferPool occupancy) without touching their hot paths, and the span rings'
+//     control plane.
+//   * Snapshots: SnapshotNow() reads every core's slots with relaxed loads (any-core safe);
+//     SnapshotAsync() rides the PR 6 interconnect — one SpawnRemote per core samples that
+//     core's slots at an event boundary and an atomic fan-in completes on the origin core,
+//     taking zero control-plane locks (tests assert control_locks stays flat).
+//   * Tracing: each core carries a current {trace id, span id} context (TraceScope RAII).
+//     The RPC layer stamps both into every frame (rpc.h's widened RpcHeader) so a trace id
+//     survives retries under fresh request ids and ShardRouter failovers; completed hops are
+//     written as SpanRecords into a per-core preallocated ring. Ids derive from (runtime id,
+//     core, sequence) — fully deterministic under SimWorld, so tests assert exact span
+//     trees.
+#ifndef EBBRT_SRC_OBS_METRICS_H_
+#define EBBRT_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/ebb_id.h"
+#include "src/core/ebb_ref.h"
+#include "src/core/runtime.h"
+#include "src/obs/histogram.h"
+#include "src/platform/context.h"
+#include "src/platform/debug.h"
+
+namespace ebbrt {
+namespace obs {
+
+// Global instrumentation level for one machine. kMetrics enables the event-plane histogram
+// recording; kTracing additionally stamps trace ids into RPC frames and writes span records.
+// The plane is born at kTracing — "always on" is the design point; benches dial it down to
+// measure the plane's own cost.
+enum class Level : std::uint8_t { kOff = 0, kMetrics = 1, kTracing = 2 };
+
+enum class SpanKind : std::uint8_t { kLocal = 0, kClient = 1, kServer = 2 };
+enum class SpanStatus : std::uint8_t { kOk = 0, kError = 1, kTimeout = 2, kPeerLost = 3 };
+
+// One completed hop of a distributed request. POD, written whole into a preallocated
+// per-core ring — recording a span never allocates.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_span = 0;  // 0 = root of its trace
+  EbbId service = 0;              // target service id (client/server) or logical op owner
+  std::uint16_t opcode = 0;
+  SpanKind kind = SpanKind::kLocal;
+  SpanStatus status = SpanStatus::kOk;
+  std::uint64_t start_ns = 0;     // virtual time under SimWorld
+  std::uint64_t end_ns = 0;
+  std::uint32_t attempts = 0;     // client spans: send attempts (1 = no retry)
+  std::uint32_t core = 0;         // recording core
+};
+
+// Dense handle for a registered metric (index into the per-core slot arrays).
+using MetricId = std::uint32_t;
+
+class ObsRoot;
+
+// --- Per-core representative -----------------------------------------------------------------
+//
+// All recording methods are owner-core only (the usual non-preemption argument); the slot
+// arrays are relaxed atomics so any core can snapshot them concurrently.
+class MetricRegistry {
+ public:
+  // Capacity of the per-core slot arrays. Registration Kasserts on overflow — these are
+  // machine-level metric families, not per-request keys.
+  static constexpr std::size_t kMaxCounters = 64;
+  static constexpr std::size_t kMaxGauges = 32;
+  static constexpr std::size_t kMaxHistograms = 24;
+  // Span ring capacity per core (power of two). The ring wraps: recent spans win.
+  static constexpr std::size_t kSpanRingCap = 4096;
+
+  static EbbRef<MetricRegistry> Instance() {
+    return EbbRef<MetricRegistry>(kMetricRegistryId);
+  }
+  static MetricRegistry& HandleFault(EbbId id);
+
+  MetricRegistry(ObsRoot& root, std::size_t machine_core);
+
+  ObsRoot& root() { return root_; }
+  std::size_t machine_core() const { return machine_core_; }
+
+  // --- Hot path (owner core) ---------------------------------------------------------------
+  void Add(MetricId id, std::uint64_t delta = 1) {
+    counters_[id].store(counters_[id].load(std::memory_order_relaxed) + delta,
+                        std::memory_order_relaxed);
+  }
+  void SetGauge(MetricId id, std::int64_t v) {
+    gauges_[id].store(v, std::memory_order_relaxed);
+  }
+  Histogram& Hist(MetricId id) { return hists_[id]; }
+  void RecordHist(MetricId id, std::uint64_t v) { hists_[id].Record(v); }
+
+  // --- Trace context (owner core) ------------------------------------------------------------
+  struct TraceContext {
+    std::uint64_t trace_id = 0;
+    std::uint32_t span_id = 0;
+  };
+  TraceContext current() const { return ctx_; }
+  std::uint64_t NewTraceId();
+  std::uint32_t NewSpanId();
+  // Writes one completed span into this core's ring. Never allocates; the ring wraps.
+  void RecordSpan(const SpanRecord& span);
+  std::uint64_t spans_recorded() const {
+    return span_next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ObsRoot;
+
+  ObsRoot& root_;
+  std::size_t machine_core_;
+
+  std::atomic<std::uint64_t> counters_[kMaxCounters] = {};
+  std::atomic<std::int64_t> gauges_[kMaxGauges] = {};
+  Histogram hists_[kMaxHistograms];
+
+  TraceContext ctx_;               // current trace scope (owner core only)
+  std::uint64_t trace_seq_ = 0;
+  std::uint32_t span_seq_ = 0;
+  // Preallocated at rep construction (control plane) — the recording path never allocates.
+  std::unique_ptr<SpanRecord[]> span_ring_;
+  std::atomic<std::uint64_t> span_next_{0};  // total spans ever recorded; ring index mod cap
+};
+
+// --- Per-machine root ------------------------------------------------------------------------
+class ObsRoot {
+ public:
+  // The machine's plane, creating and installing it (Subsystem::kObservability, root under
+  // kMetricRegistryId) on first use. Must be called from one of `runtime`'s cores the first
+  // time. Construction attaches the level switch to every EventManager rep and installs the
+  // default collectors that re-home the legacy stats() structs.
+  static ObsRoot& For(Runtime& runtime);
+  // The plane if it exists, nullptr otherwise — for hot paths that must not force creation.
+  static ObsRoot* TryFor(Runtime& runtime) {
+    return runtime.TryGetSubsystem<ObsRoot>(Subsystem::kObservability);
+  }
+
+  explicit ObsRoot(Runtime& runtime);
+  ~ObsRoot();
+
+  ObsRoot(const ObsRoot&) = delete;
+  ObsRoot& operator=(const ObsRoot&) = delete;
+
+  Runtime& runtime() { return runtime_; }
+
+  Level level() const { return static_cast<Level>(level_.load(std::memory_order_relaxed)); }
+  void SetLevel(Level level) {
+    level_.store(static_cast<std::uint8_t>(level), std::memory_order_relaxed);
+  }
+  bool metrics_on() const { return level() >= Level::kMetrics; }
+  bool tracing_on() const { return level() >= Level::kTracing; }
+
+  // --- Registration (control plane; idempotent by name) --------------------------------------
+  MetricId RegisterCounter(const std::string& name);
+  MetricId RegisterGauge(const std::string& name);
+  MetricId RegisterHistogram(const std::string& name);
+
+  // Pull-style collectors: sampled at snapshot time, never on a hot path. This is how the
+  // legacy stats() structs (and any labeled series, e.g. per-peer bad_frames) join the
+  // registry without being rewritten. Scalar samples carry their full exposition name,
+  // labels included.
+  using Sample = std::pair<std::string, double>;
+  using Collector = std::function<void(std::vector<Sample>&)>;
+  using HistSample = std::pair<std::string, Histogram::Snapshot>;
+  using HistCollector = std::function<void(std::vector<HistSample>&)>;
+  std::uint64_t AddCollector(Collector collector);
+  std::uint64_t AddHistCollector(HistCollector collector);
+  void RemoveCollector(std::uint64_t handle);
+
+  // --- Snapshots -----------------------------------------------------------------------------
+  struct MetricsSnapshot {
+    std::vector<Sample> samples;     // counters (summed across cores), gauges, collector output
+    std::vector<HistSample> hists;   // registered + collector histograms, merged across cores
+  };
+  // Direct cross-core relaxed reads; callable from any of the machine's cores.
+  MetricsSnapshot SnapshotNow();
+  // Interconnect-riding aggregation: one SpawnRemote per core samples that core's slots at
+  // an event boundary; an atomic fan-in merges and delivers `done` back on the calling core.
+  // Zero locks end to end (SpawnRemote is a slab-carved node + one CAS since PR 6).
+  void SnapshotAsync(std::function<void(MetricsSnapshot)> done);
+  // The /metrics exposition text for a snapshot (Prometheus-flavored; histograms render as
+  // _count/_sum plus q="0.5|0.99|0.999" quantile samples).
+  static std::string RenderText(const MetricsSnapshot& snapshot);
+
+  // --- Tracing (control-plane views; recording goes through the reps) ------------------------
+  // All spans currently held in the per-core rings, oldest first per core. Control plane:
+  // tests and debug endpoints, not the datapath.
+  std::vector<SpanRecord> Spans() const;
+  void ClearSpans();
+  std::uint64_t NowNs();
+
+  // RAII trace scope for the current core: installs {trace_id, span_id} as the ambient
+  // context so RPC calls issued inside pick it up, restores the previous context on exit.
+  class TraceScope {
+   public:
+    TraceScope(ObsRoot& root, std::uint64_t trace_id, std::uint32_t span_id);
+    ~TraceScope();
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+   private:
+    MetricRegistry& rep_;
+    MetricRegistry::TraceContext saved_;
+  };
+
+  // The rep for `machine_core`, created on first use (control-plane lock on creation only).
+  MetricRegistry& RepFor(std::size_t machine_core);
+  MetricRegistry* TryRep(std::size_t machine_core) const {
+    return reps_[machine_core].get();
+  }
+  std::size_t num_cores() const { return reps_.size(); }
+
+ private:
+  friend class MetricRegistry;
+
+  void SampleCore(std::size_t machine_core, MetricsSnapshot* out);
+  void MergeAndFinish(MetricsSnapshot* out);
+  void InstallDefaultCollectors();
+
+  Runtime& runtime_;
+  std::atomic<std::uint8_t> level_{static_cast<std::uint8_t>(Level::kTracing)};
+
+  mutable std::mutex mu_;  // registration + rep creation; never on a recording path
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+  std::uint64_t next_collector_ = 1;
+  std::vector<std::pair<std::uint64_t, Collector>> collectors_;
+  std::vector<std::pair<std::uint64_t, HistCollector>> hist_collectors_;
+
+  std::vector<std::unique_ptr<MetricRegistry>> reps_;  // indexed by machine core
+};
+
+// The current core's representative (faults in the root and rep on first touch).
+inline MetricRegistry& Local() { return *MetricRegistry::Instance(); }
+
+}  // namespace obs
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_OBS_METRICS_H_

@@ -1,0 +1,38 @@
+#include "src/obs/stats_service.h"
+
+#include <utility>
+
+namespace ebbrt {
+namespace obs {
+
+StatsService::StatsService(Runtime& runtime)
+    : dist::RpcServer(runtime, kStatsServiceId), runtime_(runtime) {}
+
+void StatsService::HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint16_t opcode,
+                              std::uint32_t /*aux*/, std::unique_ptr<IOBuf> /*body*/) {
+  if (opcode != kStatsOpScrape) {
+    ReplyError(from, request_id, "stats: unknown opcode");
+    return;
+  }
+  ++scrapes_;
+  // Snapshot on the arrival core (any of the machine's cores may sample the relaxed slots)
+  // and render; the scrape path copies freely — it is control plane by definition.
+  ObsRoot::MetricsSnapshot snapshot = ObsRoot::For(runtime_).SnapshotNow();
+  std::string text = ObsRoot::RenderText(snapshot);
+  Reply(from, request_id, static_cast<std::uint32_t>(snapshot.samples.size()),
+        IOBuf::CopyBuffer(text));
+}
+
+StatsClient::StatsClient(Runtime& runtime, Ipv4Addr server)
+    : client_(runtime, kStatsServiceId, server) {}
+
+Future<std::string> StatsClient::Scrape() {
+  return client_.Call(kStatsOpScrape, 0, nullptr)
+      .Then([](Future<dist::RpcClient::Response> f) {
+        dist::RpcClient::Response response = f.Get();
+        return dist::ChainToString(response.body.get());
+      });
+}
+
+}  // namespace obs
+}  // namespace ebbrt

@@ -1,0 +1,55 @@
+// obs::StatsService — the RPC scrape surface of the telemetry plane.
+//
+// /metrics (http_server.cc) serves scrapers that can reach a machine's HTTP port; the hosted
+// frontend, though, already speaks to every native machine over the Messenger — so the plane
+// also exposes itself as an ordinary RPC service. A frontend (or a test, or the autoscaler)
+// scrapes any machine with one Call and gets back the same Prometheus-flavored text the HTTP
+// endpoint renders, built from the same ObsRoot snapshot. The reply's `aux` carries the
+// sample count so a scraper can sanity-check truncation-free delivery without parsing.
+#ifndef EBBRT_SRC_OBS_STATS_SERVICE_H_
+#define EBBRT_SRC_OBS_STATS_SERVICE_H_
+
+#include <string>
+
+#include "src/dist/rpc.h"
+#include "src/obs/metrics.h"
+
+namespace ebbrt {
+namespace obs {
+
+// Static service id, clear of the shard range (kFirstStaticUserId+8 .. +31).
+inline constexpr EbbId kStatsServiceId = kFirstStaticUserId + 33;
+
+inline constexpr std::uint16_t kStatsOpScrape = 1;
+
+// The serving half: install one on any machine whose plane should be remotely scrapable.
+class StatsService final : public dist::RpcServer {
+ public:
+  explicit StatsService(Runtime& runtime);
+
+  std::uint64_t scrapes() const { return scrapes_; }
+
+ private:
+  void HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint16_t opcode,
+                  std::uint32_t aux, std::unique_ptr<IOBuf> body) override;
+
+  Runtime& runtime_;
+  std::uint64_t scrapes_ = 0;
+};
+
+// The scraping half: one client per (machine, target) pair, like any RPC client.
+class StatsClient {
+ public:
+  StatsClient(Runtime& runtime, Ipv4Addr server);
+
+  // Fulfills with the target machine's rendered /metrics text.
+  Future<std::string> Scrape();
+
+ private:
+  dist::RpcClient client_;
+};
+
+}  // namespace obs
+}  // namespace ebbrt
+
+#endif  // EBBRT_SRC_OBS_STATS_SERVICE_H_

@@ -1,0 +1,244 @@
+// Distributed-tracing tests: trace ids survive RPC retries under fresh request ids, and a
+// MultiGet that crosses a shard failover yields exactly the span tree the design promises —
+// one local root, one client span per frame issued (the dead primary's marked kTimeout),
+// and server spans on the survivors parented on the client spans that reached them.
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/memcached/shard.h"
+#include "src/dist/rpc.h"
+#include "src/event/timer.h"
+#include "src/obs/metrics.h"
+#include "src/sim/testbed.h"
+
+namespace ebbrt {
+namespace {
+
+using sim::Testbed;
+using sim::TestbedNode;
+
+constexpr Ipv4Addr kServerIp = Ipv4Addr::Of(10, 0, 0, 2);
+constexpr Ipv4Addr kClientIp = Ipv4Addr::Of(10, 0, 0, 3);
+constexpr Ipv4Addr kFrontendIp = Ipv4Addr::Of(10, 0, 0, 10);
+constexpr EbbId kEchoService = kFirstStaticUserId + 34;
+
+class EchoServer final : public dist::RpcServer {
+ public:
+  EchoServer(Runtime& runtime, EbbId service) : dist::RpcServer(runtime, service) {}
+
+ private:
+  void HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint16_t /*opcode*/,
+                  std::uint32_t aux, std::unique_ptr<IOBuf> body) override {
+    Reply(from, request_id, aux, std::move(body));
+  }
+};
+
+TEST(Tracing, TraceIdSurvivesRetryUnderFreshRequestId) {
+  // Attempt 1 expires through a delayed link; the healed re-send (a FRESH request id)
+  // completes. One logical call -> ONE client span with attempts == 2, and BOTH server-side
+  // executions carry the same trace id, parented on that one client span — the re-send
+  // re-sent the trace identity, not just the payload.
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  std::shared_ptr<EchoServer> echo;
+  server.Spawn(0, [&] {
+    obs::ObsRoot::For(*server.runtime);  // tracing is the default level
+    echo = std::make_shared<EchoServer>(*server.runtime, kEchoService);
+    server.runtime->Adopt(echo);
+  });
+  std::shared_ptr<dist::RpcClient> rpc;
+  bool succeeded = false;
+  client.Spawn(0, [&] {
+    obs::ObsRoot::For(*client.runtime);
+    rpc = std::make_shared<dist::RpcClient>(*client.runtime, kEchoService, kServerIp);
+    // Warm call first so the dial doesn't ride the faulted link (fault_test's recipe).
+    rpc->Call(1, 0, IOBuf::CopyBuffer("warm"), dist::CallOptions{})
+        .Then([&](Future<dist::RpcClient::Response> wf) {
+          wf.Get();
+          obs::ObsRoot::For(*client.runtime).ClearSpans();
+          obs::ObsRoot::For(*server.runtime).ClearSpans();
+          bed.fabric().SetLinkFault(server.nic->port(),
+                                    {.drop_rate = 0, .extra_delay_ns = 1'000'000});
+          Timer::Instance()->Start(
+              1'200'000, [&] { bed.fabric().ClearLinkFault(server.nic->port()); });
+          dist::CallOptions options{
+              /*deadline_ns=*/400'000,
+              dist::RetryPolicy{/*max_attempts=*/3, /*initial_backoff_ns=*/2'000'000,
+                                /*max_backoff_ns=*/8'000'000}};
+          rpc->Call(1, 0, IOBuf::CopyBuffer("traced"), options)
+              .Then([&](Future<dist::RpcClient::Response> f) {
+                f.Get();
+                succeeded = true;
+              });
+        });
+  });
+  bed.world().Run();
+  ASSERT_TRUE(succeeded);
+
+  std::vector<obs::SpanRecord> client_spans = obs::ObsRoot::For(*client.runtime).Spans();
+  ASSERT_EQ(client_spans.size(), 1u);  // one LOGICAL call, one span, despite two sends
+  const obs::SpanRecord& call_span = client_spans[0];
+  EXPECT_EQ(call_span.kind, obs::SpanKind::kClient);
+  EXPECT_EQ(call_span.status, obs::SpanStatus::kOk);
+  EXPECT_EQ(call_span.attempts, 2u);
+  EXPECT_EQ(call_span.service, kEchoService);
+  EXPECT_NE(call_span.trace_id, 0u);
+  EXPECT_GT(call_span.end_ns, call_span.start_ns);
+
+  std::vector<obs::SpanRecord> server_spans = obs::ObsRoot::For(*server.runtime).Spans();
+  ASSERT_EQ(server_spans.size(), 2u);  // both attempts executed (attempt 1's reply was late)
+  for (const obs::SpanRecord& span : server_spans) {
+    EXPECT_EQ(span.kind, obs::SpanKind::kServer);
+    EXPECT_EQ(span.trace_id, call_span.trace_id);
+    EXPECT_EQ(span.parent_span, call_span.span_id);
+  }
+}
+
+TEST(Tracing, MultiGetAcrossFailoverYieldsExactSpanTree) {
+  // Two shards, R=2, write-all preload, then kill the primary of half the keys and issue
+  // ONE MultiGet. The promised tree:
+  //   1 kLocal root (opcode kShardOpMultiGet, parent 0)
+  //   3 kClient children of the root: the two-shard scatter (one frame each) plus the one
+  //     failover re-issue; exactly the dead primary's span is kTimeout
+  //   2 kServer spans on the SURVIVOR (original + re-issued slots), each parented on the
+  //     client span that carried its frame; the corpse records nothing
+  Testbed bed;
+  TestbedNode frontend = bed.AddNode("frontend", 1, kFrontendIp,
+                                     sim::HypervisorModel::Native(), RuntimeKind::kHosted);
+  std::vector<TestbedNode> shards;
+  for (std::size_t i = 0; i < 2; ++i) {
+    shards.push_back(bed.AddNode("shard" + std::to_string(i), 1,
+                                 Ipv4Addr::Of(10, 0, 0, 20 + static_cast<unsigned>(i))));
+  }
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  frontend.Spawn(0, [&] { dist::GlobalIdMap::ServeOn(*frontend.runtime); });
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    TestbedNode node = shards[i];
+    node.Spawn(0, [node, i] {
+      obs::ObsRoot::For(*node.runtime);
+      node.runtime->Adopt(std::make_shared<memcached::ShardService>(*node.runtime, i));
+      memcached::AnnounceShard(*node.runtime, kFrontendIp, i, node.iface->addr())
+          .Then([](Future<void> f) { f.Get(); });
+    });
+  }
+
+  auto router = std::make_shared<std::unique_ptr<memcached::ShardRouter>>();
+  auto keys = std::make_shared<std::vector<std::string>>();
+  std::size_t primary = 0;
+  std::size_t found = 0;
+  bool done = false;
+  client.Spawn(0, [&, router, keys] {
+    memcached::DiscoverShards(*client.runtime, kFrontendIp, shards.size())
+        .Then([&, router, keys](Future<std::vector<memcached::ShardEndpoint>> f) {
+          memcached::RingRecord ring;
+          ring.epoch = 1;
+          ring.shards = f.Get();
+          memcached::ShardRouter::Config config;
+          config.replication = 2;
+          config.read_options =
+              dist::CallOptions{/*deadline_ns=*/500'000, dist::RetryPolicy{1}};
+          config.write_options =
+              dist::CallOptions{/*deadline_ns=*/500'000, dist::RetryPolicy{1}};
+          *router = std::make_unique<memcached::ShardRouter>(*client.runtime,
+                                                             std::move(ring), config);
+          // Pick keys whose primaries cover BOTH shards, so the scatter is two frames and
+          // the kill leaves a survivor holding replicated copies of the lost slots.
+          for (std::size_t i = 0; keys->size() < 4; ++i) {
+            std::string key = "key" + std::to_string(i);
+            std::size_t shard = (*router)->ShardFor(key);
+            std::size_t have = 0;
+            for (const std::string& k : *keys) {
+              if ((*router)->ShardFor(k) == shard) {
+                have++;
+              }
+            }
+            if (have < 2) {
+              keys->push_back(key);
+            }
+          }
+          primary = (*router)->ShardFor((*keys)[0]);
+          std::vector<Future<void>> preload;
+          for (const std::string& key : *keys) {
+            preload.push_back((*router)->Set(key, "value-of-" + key));
+          }
+          WhenAll(std::move(preload)).Then([&, router, keys](Future<void> pf) {
+            pf.Get();  // every key on BOTH replicas
+            obs::ObsRoot::For(*client.runtime).ClearSpans();
+            for (TestbedNode& node : shards) {
+              obs::ObsRoot::For(*node.runtime).ClearSpans();
+            }
+            bed.world().KillMachine(*shards[primary].runtime);
+            std::vector<std::string_view> views(keys->begin(), keys->end());
+            (*router)->MultiGet(views).Then(
+                [&](Future<std::vector<memcached::ShardRouter::GetResult>> mf) {
+                  for (const memcached::ShardRouter::GetResult& r : mf.Get()) {
+                    if (r.found) {
+                      found++;
+                    }
+                  }
+                  done = true;
+                });
+          });
+        });
+  });
+  bed.world().Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(found, keys->size());  // the failover answered every key
+
+  // --- The client's half of the tree: 1 root + 3 client spans, one trace id throughout.
+  std::vector<obs::SpanRecord> client_spans = obs::ObsRoot::For(*client.runtime).Spans();
+  std::vector<obs::SpanRecord> roots, rpcs;
+  for (const obs::SpanRecord& span : client_spans) {
+    if (span.kind == obs::SpanKind::kLocal) {
+      roots.push_back(span);
+    } else if (span.kind == obs::SpanKind::kClient) {
+      rpcs.push_back(span);
+    }
+  }
+  ASSERT_EQ(roots.size(), 1u);
+  const obs::SpanRecord& root = roots[0];
+  EXPECT_EQ(root.parent_span, 0u);  // a genuine trace root
+  EXPECT_EQ(root.opcode, memcached::kShardOpMultiGet);
+  EXPECT_EQ(root.status, obs::SpanStatus::kOk);
+  ASSERT_NE(root.trace_id, 0u);
+
+  ASSERT_EQ(rpcs.size(), 3u);  // two-shard scatter + one failover re-issue
+  std::set<std::uint32_t> ok_rpc_ids;
+  std::size_t timeouts = 0;
+  for (const obs::SpanRecord& span : rpcs) {
+    EXPECT_EQ(span.trace_id, root.trace_id);
+    EXPECT_EQ(span.parent_span, root.span_id);
+    EXPECT_EQ(span.opcode, memcached::kShardOpMultiGet);
+    if (span.status == obs::SpanStatus::kTimeout) {
+      timeouts++;
+      // The frame that died with the primary: addressed to the dead shard's service.
+      EXPECT_EQ(span.service,
+                memcached::kShardServiceBase + static_cast<EbbId>(primary));
+    } else {
+      EXPECT_EQ(span.status, obs::SpanStatus::kOk);
+      ok_rpc_ids.insert(span.span_id);
+    }
+  }
+  EXPECT_EQ(timeouts, 1u);
+
+  // --- The shards' half: the corpse recorded nothing; the survivor served both frames.
+  std::vector<obs::SpanRecord> dead_spans =
+      obs::ObsRoot::For(*shards[primary].runtime).Spans();
+  EXPECT_TRUE(dead_spans.empty());
+  std::vector<obs::SpanRecord> survivor_spans =
+      obs::ObsRoot::For(*shards[1 - primary].runtime).Spans();
+  ASSERT_EQ(survivor_spans.size(), 2u);
+  for (const obs::SpanRecord& span : survivor_spans) {
+    EXPECT_EQ(span.kind, obs::SpanKind::kServer);
+    EXPECT_EQ(span.trace_id, root.trace_id);
+    EXPECT_EQ(ok_rpc_ids.count(span.parent_span), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ebbrt
