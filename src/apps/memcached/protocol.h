@@ -101,6 +101,13 @@ inline constexpr std::size_t kMaxMultiGetKeys = 1024;
 // never come (the Messenger's kMaxMessageBytes rule, applied to this protocol's framing).
 inline constexpr std::size_t kMaxRequestBody = 16 * 1024 * 1024;
 
+// Per-item bounds (memcached's classic limits: 250-byte keys, 1 MiB values). Enforced at
+// every ingress that would otherwise carve an item block — the TCP servers and the shard
+// RPC service — BEFORE any allocation is sized by the remote length: an oversized request
+// costs one kInvalidArguments response and a bad_frames tick, never a 16 MB item.
+inline constexpr std::size_t kMaxKeyLen = 250;
+inline constexpr std::size_t kMaxValueLen = 1024 * 1024;
+
 }  // namespace memcached
 }  // namespace ebbrt
 

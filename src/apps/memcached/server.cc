@@ -33,25 +33,42 @@ MemcachedServer::MemcachedServer(NetworkManager& network, std::uint16_t port)
   });
 }
 
+// SET/ADD/REPLACE client flags, when the request carried SetExtras (0 otherwise).
+static std::uint32_t RequestFlags(const RequestParser::Request& req) {
+  if (req.extras.size() < sizeof(SetExtras)) {
+    return 0;
+  }
+  SetExtras extras;
+  std::memcpy(&extras, req.extras.data(), sizeof(extras));
+  return NetToHost32(extras.flags);
+}
+
 void MemcachedServer::HandleRequest(Connection& conn, const RequestParser::Request& req) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  if (req.oversized) {
+    // Framed but beyond the per-item bounds: the parser already dropped the body without
+    // buffering it; answer and keep serving (the bad_frames discipline).
+    bad_frames_.fetch_add(1, std::memory_order_relaxed);
+    conn.Pcb().Send(BuildResponseHeader(req.header, Status::kInvalidArguments, 0, 0, 0));
+    return;
+  }
   switch (static_cast<Opcode>(req.header.opcode)) {
     case Opcode::kGet:
     case Opcode::kGetK: {
       bool with_key = static_cast<Opcode>(req.header.opcode) == Opcode::kGetK;
-      ItemRef item = store_.Get(req.key);
+      ItemPtr item = store_.Get(req.key);
       if (item == nullptr) {
         conn.Pcb().Send(BuildResponseHeader(req.header, Status::kKeyNotFound, 0, 0, 0));
         return;
       }
       std::size_t key_len = with_key ? req.key.size() : 0;
       auto response = BuildResponseHeader(req.header, Status::kOk, sizeof(GetExtras),
-                                          key_len, item->value.size());
+                                          key_len, item->value().size());
       // Extras live in the header buffer; append key (copied — tiny) and the value as a
-      // zero-copy reference-counted view of the stored item.
+      // zero-copy reference-counted view of the stored item block.
       auto& extras = response->Get<GetExtras>(sizeof(BinaryHeader));
-      extras.flags = HostToNet32(item->flags);
-      response->Get<BinaryHeader>().cas = item->cas;
+      extras.flags = HostToNet32(item->flags());
+      response->Get<BinaryHeader>().cas = item->cas();
       if (with_key) {
         response->AppendChain(IOBuf::CopyBuffer(req.key));
       }
@@ -60,18 +77,18 @@ void MemcachedServer::HandleRequest(Connection& conn, const RequestParser::Reque
       return;
     }
     case Opcode::kSet: {
-      store_.Set(req.key, std::string(req.value), 0);
+      store_.Set(req.key, req.value, RequestFlags(req));
       conn.Pcb().Send(BuildResponseHeader(req.header, Status::kOk, 0, 0, 0));
       return;
     }
     case Opcode::kAdd: {
-      bool ok = store_.Add(req.key, std::string(req.value), 0);
+      bool ok = store_.Add(req.key, req.value, RequestFlags(req));
       conn.Pcb().Send(BuildResponseHeader(
           req.header, ok ? Status::kOk : Status::kKeyExists, 0, 0, 0));
       return;
     }
     case Opcode::kReplace: {
-      bool ok = store_.Replace(req.key, std::string(req.value), 0);
+      bool ok = store_.Replace(req.key, req.value, RequestFlags(req));
       conn.Pcb().Send(BuildResponseHeader(
           req.header, ok ? Status::kOk : Status::kItemNotStored, 0, 0, 0));
       return;
@@ -139,13 +156,17 @@ void MemcachedServer::HandleMultiGet(Connection& conn, const RequestParser::Requ
       ok = false;  // truncated batch: fewer key bytes than the count promised
       break;
     }
+    if (klen > kMaxKeyLen) {
+      ok = false;  // per-item key bound applies inside a batch too
+      break;
+    }
     std::string_view key{p, klen};
     p += klen;
     remaining -= klen;
     auto entry_buf = IOBuf::CreateReserveFor<sizeof(MultiGetEntry)>(0);
     entry_buf->Append(sizeof(MultiGetEntry));
     auto& entry = entry_buf->Get<MultiGetEntry>();
-    ItemRef item = store_.Get(key);
+    ItemPtr item = store_.Get(key);
     if (item == nullptr) {
       entry.status = HostToNet16(static_cast<std::uint16_t>(Status::kKeyNotFound));
       entry.value_length = 0;
@@ -154,8 +175,8 @@ void MemcachedServer::HandleMultiGet(Connection& conn, const RequestParser::Requ
       continue;
     }
     entry.status = HostToNet16(static_cast<std::uint16_t>(Status::kOk));
-    entry.value_length = HostToNet32(static_cast<std::uint32_t>(item->value.size()));
-    value_section += sizeof(MultiGetEntry) + item->value.size();
+    entry.value_length = HostToNet32(static_cast<std::uint32_t>(item->value().size()));
+    value_section += sizeof(MultiGetEntry) + item->value().size();
     parts.push_back(std::move(entry_buf));
     parts.push_back(MakeValueBuffer(std::move(item)));
   }
@@ -225,22 +246,27 @@ void BaselineMemcachedServer::HandleRequest(Connection& conn,
     conn.out.append(value.data(), value.size());
   };
 
+  if (req.oversized) {
+    bad_frames_.fetch_add(1, std::memory_order_relaxed);
+    append_response(req.header, Status::kInvalidArguments, {}, {}, {});
+    return;
+  }
   switch (static_cast<Opcode>(req.header.opcode)) {
     case Opcode::kGet: {
-      ItemRef item = store_.Get(req.key);
+      ItemPtr item = store_.Get(req.key);
       if (item == nullptr) {
         append_response(req.header, Status::kKeyNotFound, {}, {}, {});
         return;
       }
       GetExtras extras;
-      extras.flags = HostToNet32(item->flags);
+      extras.flags = HostToNet32(item->flags());
       append_response(req.header, Status::kOk,
                       {reinterpret_cast<const char*>(&extras), sizeof(extras)}, {},
-                      item->value);
+                      item->value());
       return;
     }
     case Opcode::kSet: {
-      store_.Set(req.key, std::string(req.value), 0);
+      store_.Set(req.key, req.value, 0);
       append_response(req.header, Status::kOk, {}, {}, {});
       return;
     }

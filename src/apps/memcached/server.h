@@ -37,6 +37,11 @@ class RequestParser {
     std::string_view key;       // views into the segment (or the one-time coalesce buffer)
     std::string_view extras;
     std::string_view value;
+    // Framed correctly but key/value exceed the protocol's per-item bounds (kMaxKeyLen /
+    // kMaxValueLen). The views above are EMPTY: the parser never buffered, coalesced, or
+    // copied the oversized body — it streams past it — so a hostile 16 MB SET costs the
+    // server zero allocations. Handlers answer kInvalidArguments and keep the connection.
+    bool oversized = false;
   };
 
   // Feeds `data` and invokes `fn(request)` for each complete request. The views in `request`
@@ -73,7 +78,21 @@ class RequestParser {
   // loop (use-after-move); only the top-level entry points accept forwarding references.
   template <typename F>
   void Drain(F& fn) {
-    while (!poisoned_ && queue_.ChainLength() >= sizeof(BinaryHeader)) {
+    while (!poisoned_) {
+      // Discard phase of an oversized request: body bytes are dropped segment by segment
+      // as they arrive, bounded by what the TCP window lets in — never reassembled.
+      if (skip_remaining_ > 0) {
+        std::size_t drop = std::min(skip_remaining_, queue_.ChainLength());
+        queue_.TrimStart(drop);
+        skip_remaining_ -= drop;
+        if (skip_remaining_ > 0) {
+          return;
+        }
+        continue;
+      }
+      if (queue_.ChainLength() < sizeof(BinaryHeader)) {
+        return;
+      }
       // Chain-aware peek of the fixed-size header (host-copied regardless): learns the
       // record length without forcing a coalesce when the header itself straddles segments.
       BinaryHeader header;
@@ -88,6 +107,18 @@ class RequestParser {
         poisoned_ = true;
         queue_ = IOBufQueue{};  // drop the unframeable tail
         return;
+      }
+      // Per-item bounds before any buffering is sized by the remote lengths: a framed
+      // request whose key or value exceeds the protocol maxima is answered immediately
+      // (empty-bodied, oversized flag set) and its body is streamed to the bit bucket.
+      if (header.KeyLength() > kMaxKeyLen || header.ValueLength() > kMaxValueLen) {
+        queue_.TrimStart(sizeof(header));
+        skip_remaining_ = header.TotalBody();
+        Request req;
+        req.header = header;
+        req.oversized = true;
+        fn(req);
+        continue;
       }
       std::size_t total = sizeof(header) + header.TotalBody();
       if (queue_.ChainLength() < total) {
@@ -106,6 +137,7 @@ class RequestParser {
   }
 
   IOBufQueue queue_;
+  std::size_t skip_remaining_ = 0;  // oversized-request body bytes still to discard
   bool poisoned_ = false;
 };
 
@@ -188,6 +220,7 @@ class BaselineMemcachedServer {
 
   KvStore& store() { return store_; }
   std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  std::uint64_t bad_frames() const { return bad_frames_.load(std::memory_order_relaxed); }
 
  private:
   struct Connection {
@@ -203,6 +236,7 @@ class BaselineMemcachedServer {
   baseline::SocketStack& stack_;
   KvStore store_;
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> bad_frames_{0};
 };
 
 }  // namespace memcached

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/apps/memcached/protocol.h"
 #include "src/event/timer.h"
 #include "src/rcu/rcu.h"
 
@@ -51,8 +52,23 @@ void ShardService::HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint
   }
   switch (opcode) {
     case kShardOpGet: {
-      std::string key = dist::ChainToString(body.get());
-      ItemRef item = store_.Get(key);
+      std::size_t body_len = body != nullptr ? body->ComputeChainDataLength() : 0;
+      if (body_len > kMaxKeyLen) {
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+        ReplyError(from, request_id, "shard: oversized key");
+        return;
+      }
+      // A single-segment body (the common case) is looked up as a view straight over the
+      // wire buffer; only a key that straddled segments pays the flatten.
+      std::string key_storage;
+      std::string_view key;
+      if (body != nullptr && body->Next() == nullptr) {
+        key = {reinterpret_cast<const char*>(body->Data()), body->Length()};
+      } else {
+        key_storage = dist::ChainToString(body.get());
+        key = key_storage;
+      }
+      ItemPtr item = store_.Get(key);
       if (item == nullptr) {
         Reply(from, request_id, /*aux=*/0, nullptr);
         return;
@@ -63,13 +79,34 @@ void ShardService::HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint
       return;
     }
     case kShardOpSet: {
+      // Bounds come straight off the wire lengths ([u32 klen][key][value]) before any byte
+      // of the body is flattened: an oversized item is rejected without sizing a buffer.
+      std::size_t body_len = body != nullptr ? body->ComputeChainDataLength() : 0;
+      std::uint32_t klen_net = 0;
+      if (body_len >= sizeof(klen_net)) {
+        std::uint8_t* dst = reinterpret_cast<std::uint8_t*>(&klen_net);
+        std::size_t need = sizeof(klen_net);
+        for (const IOBuf* b = body.get(); b != nullptr && need > 0; b = b->Next()) {
+          std::size_t take = std::min(need, b->Length());
+          std::memcpy(dst, b->Data(), take);
+          dst += take;
+          need -= take;
+        }
+      }
+      std::size_t klen = NetToHost32(klen_net);
+      if (body_len >= sizeof(klen_net) && sizeof(klen_net) + klen <= body_len &&
+          (klen > kMaxKeyLen || body_len - sizeof(klen_net) - klen > kMaxValueLen)) {
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+        ReplyError(from, request_id, "shard: oversized item");
+        return;
+      }
       std::string key;
       std::string value;
       if (!dist::ParseLenPrefixedBody(dist::ChainToString(body.get()), &key, &value)) {
         ReplyError(from, request_id, "shard: malformed SET body");
         return;
       }
-      store_.Set(key, std::move(value), 0);
+      store_.Set(key, value, 0);
       Reply(from, request_id, /*aux=*/1, nullptr);
       return;
     }
@@ -91,7 +128,14 @@ void ShardService::HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint
         if (i > 0 && config_.on_request) {
           config_.on_request();
         }
-        ItemRef item = store_.Get(keys[i]);
+        if (keys[i].size() > kMaxKeyLen) {
+          // Per-item bound inside a batch: an oversized key can't be stored, so it simply
+          // misses — but it is counted, since a conforming client never sends one.
+          bad_frames_.fetch_add(1, std::memory_order_relaxed);
+          values.push_back(nullptr);
+          continue;
+        }
+        ItemPtr item = store_.Get(keys[i]);
         if (item == nullptr) {
           values.push_back(nullptr);
           continue;

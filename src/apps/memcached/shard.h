@@ -100,6 +100,11 @@ class ShardService final : public dist::RpcServer {
   KvStore& store() { return store_; }
   std::size_t shard_index() const { return shard_index_; }
   std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  // Well-framed RPCs rejected for violating per-item bounds (kMaxKeyLen / kMaxValueLen) —
+  // checked from the wire lengths BEFORE any key/value is materialized, so an oversized
+  // request never sizes an allocation. Same discipline as the TCP servers: count, reply an
+  // error, keep serving.
+  std::uint64_t bad_frames() const { return bad_frames_.load(std::memory_order_relaxed); }
 
  private:
   void HandleCall(Ipv4Addr from, std::uint64_t request_id, std::uint16_t opcode,
@@ -109,6 +114,7 @@ class ShardService final : public dist::RpcServer {
   Config config_;
   KvStore store_;
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> bad_frames_{0};
 };
 
 // Publishes this machine's shard under its GlobalIdMap record (the frontend at `frontend`

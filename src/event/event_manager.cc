@@ -193,13 +193,15 @@ void EventManager::RunEndOfEventHooks() {
   // actual boundary work rather than a spike of zeros.
   bool measure = ObsMetricsOn();
   std::uint64_t t0 = measure ? executor_.Now() : 0;
-  // Hooks queued by a running hook drain in the same boundary (the while re-checks).
-  while (!end_of_event_queue_.empty()) {
-    MoveFunction<void()> fn = std::move(end_of_event_queue_.front());
-    end_of_event_queue_.pop_front();
+  // Hooks queued by a running hook drain in the same boundary (the index re-checks size();
+  // the callable is moved out before invocation, so a push_back-triggered reallocation
+  // during fn() invalidates nothing we still hold).
+  for (std::size_t i = 0; i < end_of_event_queue_.size(); ++i) {
+    MoveFunction<void()> fn = std::move(end_of_event_queue_[i]);
     ++stats_.end_of_event;
     fn();
   }
+  end_of_event_queue_.clear();  // keeps capacity: the steady state never re-allocates
   if (measure) {
     hook_duration_hist_.Record(executor_.Now() - t0);
   }

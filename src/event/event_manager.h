@@ -291,7 +291,11 @@ class EventManager {
   std::vector<IdleCallback*> idle_callbacks_;
 
   // One-shot event-boundary hooks (see QueueEndOfEvent). Core-local: single writer/reader.
-  std::deque<MoveFunction<void()>> end_of_event_queue_;
+  // A vector drained by index and clear()ed, NOT a deque: clear keeps the capacity, so the
+  // steady state (one RCU-epoch hook per event, forever) re-queues into memory that was
+  // allocated once — a deque's chunk map migrates forward and re-allocates every few
+  // events, which shows up as a per-op generic-heap rate on write-heavy item-plane mixes.
+  std::vector<MoveFunction<void()>> end_of_event_queue_;
 
   MoveFunction<TimerPollResult(std::uint64_t)> timer_poll_;
   std::uint64_t timer_deadline_ = kNoWakeup;

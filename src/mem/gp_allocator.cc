@@ -1,5 +1,7 @@
 #include "src/mem/gp_allocator.h"
 
+#include <cstdlib>
+
 namespace ebbrt {
 
 namespace {
@@ -34,7 +36,16 @@ void UnregisterRoot(GeneralPurposeAllocatorRoot* root) {
 
 namespace mem {
 
+namespace internal {
+// Defined in heap_count.cc alongside the replacement ::operator new. Referencing it here
+// forces that archive member into any binary that touches mem::stats(): a static-library
+// operator new is only linked when some symbol in its object file is, and a silently absent
+// hook would report 0.0 allocs for a path that mallocs.
+void EnsureHeapCountLinked();
+}  // namespace internal
+
 Stats& stats() {
+  internal::EnsureHeapCountLinked();
   static Stats instance;
   return instance;
 }
@@ -47,6 +58,42 @@ GeneralPurposeAllocatorRoot* FindOwningRoot(const void* p) {
     }
   }
   return nullptr;
+}
+
+void* AllocRouted(std::size_t size, bool* slab_backed) {
+  if (HaveContext() &&
+      CurrentRuntime().TryGetSubsystem<GeneralPurposeAllocatorRoot>(
+          Subsystem::kGeneralPurposeAllocator) != nullptr) {
+    void* p = GeneralPurposeAllocator::Instance()->Alloc(size);
+    if (p != nullptr) {
+      if (slab_backed != nullptr) {
+        *slab_backed = true;
+      }
+      return p;
+    }
+  }
+  if (slab_backed != nullptr) {
+    *slab_backed = false;
+  }
+  stats().heap_fallback_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void FreeRouted(void* p) {
+  if (p == nullptr) {
+    return;
+  }
+  GeneralPurposeAllocatorRoot* owner = FindOwningRoot(p);
+  if (owner == nullptr) {
+    std::free(p);
+    return;
+  }
+  if (HaveContext() && owner->runtime() == &CurrentRuntime()) {
+    // Same machine: per-core fast path via the cached Ebb representative.
+    GeneralPurposeAllocator::Instance()->Free(p);
+    return;
+  }
+  owner->FreeAnywhere(p);
 }
 
 }  // namespace mem

@@ -122,6 +122,20 @@ void Install(Runtime& runtime, std::size_t num_cores, Config config = {});
 inline void* Alloc(std::size_t size) { return GeneralPurposeAllocator::Instance()->Alloc(size); }
 inline void Free(void* p) { GeneralPurposeAllocator::Instance()->Free(p); }
 
+// Variable-size carve helper for datapath objects that outlive the allocating event (item
+// blocks, IOBuf storage): carves from the current core's GP allocator when a machine context
+// is installed (slab/large-page fast path, DMA-safe arena memory), and falls back to
+// std::malloc otherwise (bare unit tests, world actions). `slab_backed`, when non-null, is
+// set to whether the arena path served the block.
+void* AllocRouted(std::size_t size, bool* slab_backed = nullptr);
+
+// Release for AllocRouted blocks, callable from ANY context: resolves the owning arena via
+// FindOwningRoot and routes the block home (per-core fast path on the owning machine,
+// spinlocked depot/buddy remote free otherwise — counted in stats().remote_frees), or
+// std::free for heap-fallback blocks. This is the "allocate on the owner core, free
+// wherever the last view dies" discipline in one call.
+void FreeRouted(void* p);
+
 // Resolves a pointer to the GP root whose arena contains it (nullptr for ordinary heap
 // memory). Backed by a small append-on-install registry of live arenas, so buffer release
 // paths (IOBuf storage, pooled frames) can route a block home from any context — the piece
@@ -137,6 +151,13 @@ struct Stats {
   std::atomic<std::uint64_t> pool_hits{0};     // BufferPool allocs served from recycled blocks
   std::atomic<std::uint64_t> pool_misses{0};   // ...that had to carve from the slab path
   std::atomic<std::uint64_t> remote_frees{0};  // frees routed home via magazine/depot locks
+
+  // Every ::operator new in the process (counted by the replacement operators in
+  // heap_count.cc). The IOBuf-path counters above only see the allocations the datapath
+  // routes through mem::, which is exactly why the old bench gates missed the item plane's
+  // make_shared/std::string churn — this counter sees EVERYTHING the generic heap serves,
+  // so "zero-alloc" claims are measured against the whole process, not a subsystem.
+  std::atomic<std::uint64_t> generic_heap_allocs{0};
 
   // --- BufferPool occupancy (descriptor-cache sizing input) --------------------------------
   // Pooled blocks currently checked out of any pool (in flight on a datapath), and the

@@ -65,17 +65,24 @@ class RcuManagerRoot {
   }
 
  private:
-  struct Epoch;  // defined in rcu.cc: callback batch + embedded per-core marker nodes
+  struct Epoch;         // defined in rcu.cc: callback batch + embedded per-core marker nodes
+  struct CallbackNode;  // one queued callback, slab-carved (mem::AllocRouted), intrusively
+                        // linked — a CallRcu on the datapath costs zero generic-heap allocs
 
   // Per-core pending batch, filled only by its own core between an event's first CallRcu
-  // and the end-of-event flush. Fixed-size array so a hook can hold a stable pointer.
+  // and the end-of-event flush. Fixed-size array so a hook can hold a stable pointer. The
+  // batch is an intrusive FIFO of CallbackNodes (head/tail), not a vector: a vector's
+  // storage is moved away at every flush, so each event's first callback would re-allocate
+  // it — a steady per-op heap rate on write-heavy workloads that the item-plane gates
+  // (fig13) now measure.
   struct alignas(64) CoreBatch {
-    std::vector<MoveFunction<void()>> fns;
+    CallbackNode* head = nullptr;
+    CallbackNode* tail = nullptr;
     bool hook_armed = false;
   };
   static constexpr std::size_t kMaxBatchedCores = 64;
 
-  void StartEpoch(std::vector<MoveFunction<void()>> fns, EventManagerRoot& em_root);
+  void StartEpoch(CallbackNode* head, EventManagerRoot& em_root);
 
   Runtime& runtime_;
   std::array<CoreBatch, kMaxBatchedCores> batches_;

@@ -8,22 +8,40 @@
 // Readers traverse bucket chains through release/consume-ordered next pointers — plain loads
 // on x86 — and never synchronize. Writers serialize per bucket; erased nodes are reclaimed
 // through RcuManagerRoot once every core has passed an event boundary.
+//
+// Lookup is heterogeneous: Find accepts any type the Hash/Eq policies take (e.g. a
+// string_view probing a string-keyed table), so a datapath lookup never materializes a
+// temporary key. Every node stores its hash, so chain traversal compares one integer before
+// touching key bytes.
+//
+// The KeyOf policy (default: void) lets the value own the key bytes. With a non-void KeyOf,
+// nodes store no key at all — KeyOf{}(value) reads it back (e.g. from an item block that
+// already embeds the key) — and nodes are carved from the per-core slab allocator
+// (mem::AllocRouted) with route-home frees, keeping table churn off the generic heap. Only
+// owners whose lifetime sits inside their machine's (so slab blocks outlive the nodes)
+// should opt in; the void default keeps plain new/delete and the embedded key copy.
 #ifndef EBBRT_SRC_RCU_RCU_HASH_TABLE_H_
 #define EBBRT_SRC_RCU_RCU_HASH_TABLE_H_
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "src/mem/gp_allocator.h"
 #include "src/platform/spinlock.h"
 #include "src/rcu/rcu.h"
 
 namespace ebbrt {
 
-template <typename K, typename V, typename Hash = std::hash<K>>
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<>, typename KeyOf = void>
 class RcuHashTable {
+  static constexpr bool kKeyFromValue = !std::is_void_v<KeyOf>;
+
  public:
   // `bucket_bits` fixes the table at 2^bits buckets (RCU-resizable tables exist; the paper's
   // stack uses a fixed-size table and so do we — sized generously by the owner).
@@ -36,7 +54,7 @@ class RcuHashTable {
       Node* node = bucket.head.load(std::memory_order_relaxed);
       while (node != nullptr) {
         Node* next = node->next.load(std::memory_order_relaxed);
-        delete node;
+        DeleteNode(node);
         node = next;
       }
     }
@@ -45,13 +63,16 @@ class RcuHashTable {
   RcuHashTable(const RcuHashTable&) = delete;
   RcuHashTable& operator=(const RcuHashTable&) = delete;
 
-  // Lock-free lookup. The returned pointer is guaranteed valid for the remainder of the
-  // current event (the RCU read-side section); callers must not hold it across events.
-  V* Find(const K& key) {
-    Bucket& bucket = BucketFor(key);
+  // Lock-free lookup, heterogeneous over anything Hash/Eq accept. The returned pointer is
+  // guaranteed valid for the remainder of the current event (the RCU read-side section);
+  // callers must not hold it across events.
+  template <typename LK>
+  V* Find(const LK& key) {
+    std::size_t hash = Hash{}(key);
+    Bucket& bucket = buckets_[hash & mask_];
     for (Node* node = bucket.head.load(std::memory_order_acquire); node != nullptr;
          node = node->next.load(std::memory_order_acquire)) {
-      if (node->key == key) {
+      if (node->hash == hash && Eq{}(NodeKey(*node), key)) {
         return &node->value;
       }
     }
@@ -60,15 +81,16 @@ class RcuHashTable {
 
   // Inserts (key, value); returns false (and drops value) if the key already exists.
   bool Insert(const K& key, V value) {
-    Bucket& bucket = BucketFor(key);
+    std::size_t hash = Hash{}(key);
+    Bucket& bucket = buckets_[hash & mask_];
     std::lock_guard<Spinlock> lock(bucket.mu);
     for (Node* node = bucket.head.load(std::memory_order_relaxed); node != nullptr;
          node = node->next.load(std::memory_order_relaxed)) {
-      if (node->key == key) {
+      if (node->hash == hash && Eq{}(NodeKey(*node), key)) {
         return false;
       }
     }
-    Node* node = new Node(key, std::move(value));
+    Node* node = NewNode(hash, key, std::move(value));
     node->next.store(bucket.head.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
     bucket.head.store(node, std::memory_order_release);  // publish
@@ -79,15 +101,16 @@ class RcuHashTable {
   // Inserts or replaces. Replacement unlinks the old node and RCU-defers its deletion, so
   // concurrent readers keep a valid (old) value.
   void InsertOrReplace(const K& key, V value) {
-    Bucket& bucket = BucketFor(key);
-    Node* node = new Node(key, std::move(value));
+    std::size_t hash = Hash{}(key);
+    Bucket& bucket = buckets_[hash & mask_];
+    Node* node = NewNode(hash, key, std::move(value));
     Node* victim = nullptr;
     {
       std::lock_guard<Spinlock> lock(bucket.mu);
       std::atomic<Node*>* link = &bucket.head;
       Node* cursor = link->load(std::memory_order_relaxed);
       while (cursor != nullptr) {
-        if (cursor->key == key) {
+        if (cursor->hash == hash && Eq{}(NodeKey(*cursor), key)) {
           victim = cursor;
           node->next.store(cursor->next.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
@@ -105,8 +128,42 @@ class RcuHashTable {
       }
     }
     if (victim != nullptr) {
-      rcu_.CallRcu([victim] { delete victim; });
+      rcu_.CallRcu([victim] { DeleteNode(victim); });
     }
+  }
+
+  // Replaces `key`'s value ONLY if the key is present — the check and the swap happen under
+  // one bucket-lock hold, so a concurrent Erase cannot interleave between them and let a
+  // replace resurrect a deleted key (memcached REPLACE semantics). Returns false (dropping
+  // `value`) when the key is absent. The displaced node is RCU-deferred like any other
+  // unlink, so in-flight readers keep the old value.
+  bool ReplaceIfPresent(const K& key, V value) {
+    std::size_t hash = Hash{}(key);
+    Bucket& bucket = buckets_[hash & mask_];
+    Node* node = NewNode(hash, key, std::move(value));
+    Node* victim = nullptr;
+    {
+      std::lock_guard<Spinlock> lock(bucket.mu);
+      std::atomic<Node*>* link = &bucket.head;
+      Node* cursor = link->load(std::memory_order_relaxed);
+      while (cursor != nullptr) {
+        if (cursor->hash == hash && Eq{}(NodeKey(*cursor), key)) {
+          victim = cursor;
+          node->next.store(cursor->next.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+          link->store(node, std::memory_order_release);
+          break;
+        }
+        link = &cursor->next;
+        cursor = link->load(std::memory_order_relaxed);
+      }
+    }
+    if (victim == nullptr) {
+      DeleteNode(node);  // never published: no reader can hold it, free immediately
+      return false;
+    }
+    rcu_.CallRcu([victim] { DeleteNode(victim); });
+    return true;
   }
 
   // Unlinks `key`; deletion is deferred past a grace period. Returns false if absent.
@@ -126,7 +183,7 @@ class RcuHashTable {
     for (auto& bucket : buckets_) {
       for (Node* node = bucket.head.load(std::memory_order_acquire); node != nullptr;
            node = node->next.load(std::memory_order_acquire)) {
-        f(node->key, node->value);
+        f(NodeKey(*node), node->value);
       }
     }
   }
@@ -134,29 +191,67 @@ class RcuHashTable {
   std::size_t size() const { return size_.load(std::memory_order_relaxed); }
 
  private:
-  struct Node {
-    Node(const K& k, V v) : key(k), value(std::move(v)) {}
+  // Two node layouts, selected by the KeyOf policy. KeyedNode embeds a key copy (the
+  // classic layout); KeylessNode reads the key back out of the value, shrinking the node to
+  // {hash, value, next} — for a pointer-like V that's three words.
+  struct KeyedNode {
+    KeyedNode(std::size_t h, const K& k, V v) : hash(h), key(k), value(std::move(v)) {}
+    std::size_t hash;
     K key;
     V value;
-    std::atomic<Node*> next{nullptr};
+    std::atomic<KeyedNode*> next{nullptr};
   };
+  struct KeylessNode {
+    KeylessNode(std::size_t h, const K&, V v) : hash(h), value(std::move(v)) {}
+    std::size_t hash;
+    V value;
+    std::atomic<KeylessNode*> next{nullptr};
+  };
+  using Node = std::conditional_t<kKeyFromValue, KeylessNode, KeyedNode>;
   struct Bucket {
     std::atomic<Node*> head{nullptr};
     Spinlock mu;
   };
 
-  Bucket& BucketFor(const K& key) { return buckets_[Hash{}(key)&mask_]; }
+  static decltype(auto) NodeKey(const Node& node) {
+    if constexpr (kKeyFromValue) {
+      return KeyOf{}(node.value);
+    } else {
+      return (node.key);
+    }
+  }
+
+  // KeyOf tables carve nodes from the per-core slab plane with route-home frees (an RCU
+  // callback may run the delete on a different core than the insert); void-KeyOf tables
+  // keep plain new/delete so owners with arbitrary lifetimes stay safe.
+  static Node* NewNode(std::size_t hash, const K& key, V value) {
+    if constexpr (kKeyFromValue) {
+      void* p = mem::AllocRouted(sizeof(Node));
+      return new (p) Node(hash, key, std::move(value));
+    } else {
+      return new Node(hash, key, std::move(value));
+    }
+  }
+  static void DeleteNode(Node* node) {
+    if constexpr (kKeyFromValue) {
+      node->~Node();
+      mem::FreeRouted(node);
+    } else {
+      delete node;
+    }
+  }
 
   // Locked unlink of `key`'s node, copying its value into *out when non-null. Returns the
   // unlinked (not yet reclaimed) node, or nullptr when absent — the one traversal Erase
   // and Extract share.
   Node* Unlink(const K& key, V* out) {
-    Bucket& bucket = BucketFor(key);
+    std::size_t hash = Hash{}(key);
+    Bucket& bucket = buckets_[hash & mask_];
     std::lock_guard<Spinlock> lock(bucket.mu);
     std::atomic<Node*>* link = &bucket.head;
     Node* cursor = link->load(std::memory_order_relaxed);
     while (cursor != nullptr) {
-      if (cursor->key == key) {
+      if (cursor->hash == hash && Eq{}(NodeKey(*cursor), key)) {
         if (out != nullptr) {
           *out = cursor->value;
         }
@@ -176,7 +271,7 @@ class RcuHashTable {
       return false;
     }
     size_.fetch_sub(1, std::memory_order_relaxed);
-    rcu_.CallRcu([victim] { delete victim; });
+    rcu_.CallRcu([victim] { DeleteNode(victim); });
     return true;
   }
 

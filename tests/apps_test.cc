@@ -313,6 +313,90 @@ TEST(Apps, MemcachedMultiGetTruncatedBatchRejectedWithoutWedging) {
   EXPECT_EQ(srv->bad_frames(), 1u);
 }
 
+TEST(Apps, MemcachedOversizedKeyRejectedWithoutWedging) {
+  // A SET whose key exceeds kMaxKeyLen is framed correctly but violates the per-item
+  // bounds: the server must answer kInvalidArguments, tick bad_frames, never carve an item
+  // for it, and keep serving the same connection.
+  Testbed bed;
+  TestbedNode server = bed.AddNode("server", 1, kServerIp);
+  TestbedNode client = bed.AddNode("client", 1, kClientIp);
+  auto state = std::make_shared<ClientState>();
+  memcached::MemcachedServer* srv = nullptr;
+  server.Spawn(0, [&] { srv = new memcached::MemcachedServer(*server.net, 11211); });
+  std::string long_key(memcached::kMaxKeyLen + 1, 'K');
+  client.Spawn(0, [&, state] {
+    client.net->tcp().Connect(*client.iface, kServerIp, 11211).Then([state, &long_key](
+                                                                        Future<TcpPcb> f) {
+      TcpPcb pcb = f.Get();
+      pcb.InstallHandler(
+          std::unique_ptr<TcpHandler>(std::make_unique<ResponseCollector>(state)));
+      pcb.Send(BuildSetRequest(long_key, "rejected"));
+      pcb.Send(BuildSetRequest("fits", "stored"));  // same connection must still serve
+      pcb.Send(BuildGetRequest("fits"));
+    });
+  });
+  bed.world().Run();
+  ASSERT_EQ(state->responses.size(), 3u);
+  EXPECT_EQ(state->responses[0].first, memcached::Status::kInvalidArguments);
+  EXPECT_EQ(state->responses[1].first, memcached::Status::kOk);
+  EXPECT_EQ(state->responses[2].first, memcached::Status::kOk);
+  EXPECT_EQ(state->responses[2].second, "stored");
+  EXPECT_EQ(srv->bad_frames(), 1u);
+  EXPECT_EQ(srv->store().size(), 1u);  // the oversized item was never stored
+}
+
+TEST(Apps, MemcachedParserSkipsOversizedValueWithoutBuffering) {
+  // A SET declaring a value above kMaxValueLen must be rejected from the HEADER alone: the
+  // request is delivered immediately (oversized flag, empty views) and the body bytes are
+  // discarded as they stream in — pending_bytes stays at zero, nothing is coalesced, and
+  // the stream resynchronizes at the next request.
+  using memcached::BinaryHeader;
+  using memcached::RequestParser;
+  constexpr std::size_t kHugeValue = 2 * 1024 * 1024;  // > kMaxValueLen, < kMaxRequestBody
+  auto request = IOBuf::Create(sizeof(BinaryHeader), true);
+  auto& hdr = request->Get<BinaryHeader>();
+  hdr.magic = memcached::kMagicRequest;
+  hdr.opcode = static_cast<std::uint8_t>(memcached::Opcode::kSet);
+  hdr.key_length = HostToNet16(1);
+  hdr.extras_length = sizeof(memcached::SetExtras);
+  hdr.total_body = HostToNet32(
+      static_cast<std::uint32_t>(sizeof(memcached::SetExtras) + 1 + kHugeValue));
+  std::size_t body_len = sizeof(memcached::SetExtras) + 1 + kHugeValue;
+
+  RequestParser parser;
+  std::size_t delivered = 0;
+  std::size_t oversized = 0;
+  auto sink = [&](const RequestParser::Request& req) {
+    ++delivered;
+    if (req.oversized) {
+      ++oversized;
+      EXPECT_TRUE(req.key.empty());
+      EXPECT_TRUE(req.value.empty());
+    }
+  };
+  // Header alone: rejected immediately, before one body byte exists.
+  parser.Feed(std::move(request), sink);
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(oversized, 1u);
+  EXPECT_FALSE(parser.poisoned());
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+  // Body streams in: discarded chunk by chunk, never buffered, never coalesced.
+  std::string chunk(64 * 1024, 'x');
+  std::size_t sent = 0;
+  while (sent < body_len) {
+    std::size_t n = std::min(chunk.size(), body_len - sent);
+    parser.FeedBytes(chunk.data(), n, sink);
+    sent += n;
+    EXPECT_EQ(parser.pending_bytes(), 0u);
+  }
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(parser.coalesce_ops(), 0u);
+  // The stream resynchronizes: the next well-formed request parses normally.
+  parser.Feed(BuildGetRequest("after"), sink);
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(oversized, 1u);
+}
+
 TEST(Apps, MemcachedParserPoisonedByContradictoryHeader) {
   // A header whose declared sections exceed its declared body is framing corruption, not a
   // request: the parser must stop (poisoned), deliver nothing, and drop what it buffered —

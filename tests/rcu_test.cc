@@ -2,6 +2,7 @@
 // concurrent readers/writers, deferred reclamation safety.
 #include <atomic>
 #include <string>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -124,6 +125,77 @@ TEST_F(RcuTableTest, InsertOrReplaceSwapsValue) {
     table.InsertOrReplace(7, 71);
     EXPECT_EQ(*table.Find(7), 71);
     EXPECT_EQ(table.size(), 1u);
+  });
+}
+
+TEST_F(RcuTableTest, ReplaceIfPresentRequiresTheKey) {
+  machine_.RunSync(0, [&] {
+    RcuHashTable<int, int> table(RcuManagerRoot::For(machine_.runtime()), 4);
+    // Absent key: REPLACE must fail and must not insert.
+    EXPECT_FALSE(table.ReplaceIfPresent(7, 70));
+    EXPECT_EQ(table.Find(7), nullptr);
+    EXPECT_EQ(table.size(), 0u);
+    // Present key: swaps the value in place, size unchanged.
+    EXPECT_TRUE(table.Insert(7, 70));
+    EXPECT_TRUE(table.ReplaceIfPresent(7, 71));
+    ASSERT_NE(table.Find(7), nullptr);
+    EXPECT_EQ(*table.Find(7), 71);
+    EXPECT_EQ(table.size(), 1u);
+    // Deleted key stays deleted: REPLACE after Erase must not resurrect it.
+    EXPECT_TRUE(table.Erase(7));
+    EXPECT_FALSE(table.ReplaceIfPresent(7, 72));
+    EXPECT_EQ(table.Find(7), nullptr);
+  });
+}
+
+TEST_F(RcuTableTest, ReplaceIfPresentNeverResurrectsUnderChurn) {
+  // The TOCTOU this API closes: the old store implemented REPLACE as Get-then-Set, so a
+  // Delete between the two resurrected the key. Here cores race Delete against
+  // ReplaceIfPresent on one key; after every round settles, the key must exist iff some
+  // replace legitimately beat the delete — and once a round ends with the key deleted and
+  // no writer in flight, a late ReplaceIfPresent must keep failing.
+  auto table = std::make_shared<RcuHashTable<int, int>>(
+      RcuManagerRoot::For(machine_.runtime()), 2);
+  for (int round = 0; round < 200; ++round) {
+    machine_.RunSync(0, [table] { table->InsertOrReplace(1, 10); });
+    std::atomic<bool> replaced{false};
+    std::atomic<bool> erased{false};
+    machine_.Spawn(1, [table, &replaced] { replaced = table->ReplaceIfPresent(1, 11); });
+    machine_.Spawn(2, [table, &erased] { erased = table->Erase(1); });
+    machine_.RunSync(1, [] {});
+    machine_.RunSync(2, [] {});
+    EXPECT_TRUE(erased.load());  // the key existed at round start; exactly one erase wins
+    machine_.RunSync(0, [table, &replaced] {
+      if (replaced.load()) {
+        // Replace won the race, then the erase removed the replacement: key gone either way.
+      }
+      EXPECT_EQ(table->Find(1), nullptr);
+      // The key is now deleted with no writer in flight: replace must not resurrect it.
+      EXPECT_FALSE(table->ReplaceIfPresent(1, 12));
+      EXPECT_EQ(table->Find(1), nullptr);
+    });
+  }
+  EXPECT_EQ(table->size(), 0u);
+}
+
+TEST_F(RcuTableTest, HeterogeneousFindNeedsNoKeyMaterialization) {
+  machine_.RunSync(0, [&] {
+    // string-keyed table probed with a string_view: the transparent Hash/Eq pair resolves
+    // the lookup without constructing a std::string.
+    struct TransparentHash {
+      using is_transparent = void;
+      std::size_t operator()(std::string_view s) const {
+        return std::hash<std::string_view>{}(s);
+      }
+    };
+    RcuHashTable<std::string, int, TransparentHash> table(
+        RcuManagerRoot::For(machine_.runtime()), 4);
+    EXPECT_TRUE(table.Insert("alpha", 1));
+    EXPECT_TRUE(table.Insert("beta", 2));
+    std::string_view probe{"alpha"};
+    ASSERT_NE(table.Find(probe), nullptr);
+    EXPECT_EQ(*table.Find(probe), 1);
+    EXPECT_EQ(table.Find(std::string_view{"gamma"}), nullptr);
   });
 }
 

@@ -208,8 +208,55 @@ def validate_observability(data):
             sys.exit(f'{section}: spans recorded below kTracing')
 
 
+def validate_item_plane(data):
+    required = ('mix_get_pct', 'value_size', 'ops', 'gets', 'sets', 'ns_per_op',
+                'get_heap_allocs_per_op', 'set_heap_allocs_per_op',
+                'heap_allocs_per_op', 'control_locks') + HIST_KEYS
+    for section, points in data.items():
+        assert isinstance(points, list) and points, f'{section}: empty section'
+        for p in points:
+            require(p, required, section)
+            if p['ops'] == 0:
+                sys.exit(f'{section}: mix {p["mix_get_pct"]} value {p["value_size"]} '
+                         f'ran no ops')
+    # The tentpole gates apply to the CURRENT implementation's sections, not the
+    # committed pre-refactor baseline (schema-checked above, exempt below).
+    for section, points in data.items():
+        if section.endswith('_baseline'):
+            continue
+        # Smoke runs (CI, reduced op count) tolerate < 0.05; the committed full-run
+        # section must measure exactly zero — the item plane's whole claim.
+        limit = 0.05 if section.endswith('_smoke') else 0.0
+        for p in points:
+            where = f'{section}: mix {p["mix_get_pct"]} value {p["value_size"]}'
+            exceeded = (p['get_heap_allocs_per_op'] > limit or
+                        p['set_heap_allocs_per_op'] > limit)
+            if exceeded:
+                sys.exit(f'{where}: item plane mallocs in steady state '
+                         f'(get {p["get_heap_allocs_per_op"]} '
+                         f'set {p["set_heap_allocs_per_op"]}, limit {limit})')
+            if p['control_locks'] != 0:
+                sys.exit(f'{where}: {p["control_locks"]} control locks on the '
+                         f'item path')
+    # Perf gate: committed current 50/50 ns/op must beat the committed baseline at the
+    # same value size (the mix where the refactor's SET-side win shows).
+    current = data.get('item_plane')
+    baseline = data.get('item_plane_baseline')
+    if current and baseline:
+        base_5050 = {p['value_size']: p['ns_per_op'] for p in baseline
+                     if p['mix_get_pct'] == 50}
+        for p in current:
+            if p['mix_get_pct'] != 50 or p['value_size'] not in base_5050:
+                continue
+            if p['ns_per_op'] >= base_5050[p['value_size']]:
+                sys.exit(f'item_plane: 50/50 ns/op {p["ns_per_op"]} did not improve '
+                         f'on baseline {base_5050[p["value_size"]]} at value size '
+                         f'{p["value_size"]}')
+
+
 VALIDATORS = {
     'BENCH_interconnect.json': validate_interconnect,
+    'BENCH_item_plane.json': validate_item_plane,
     'BENCH_sharded_kv.json': validate_sharded_kv,
     'BENCH_failover.json': validate_failover,
     'BENCH_multiget.json': validate_multiget,
